@@ -1,0 +1,117 @@
+//! The attack injector trait and supporting types.
+
+use cres_boot::SlotStore;
+use cres_policy::DetectionCapability;
+use cres_sim::SimTime;
+use cres_soc::task::{Syscall, TaskId};
+use cres_soc::Soc;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Attack taxonomy (aligned with the incident vocabulary the SSM
+/// classifies into).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Control-flow hijack.
+    CodeInjection,
+    /// Protected-memory scanning.
+    MemoryProbe,
+    /// Firmware modification.
+    FirmwareTamper,
+    /// Firmware downgrade (replay of old signed image).
+    Downgrade,
+    /// DMA-based data theft.
+    DmaExfil,
+    /// Debug-port intrusion.
+    DebugIntrusion,
+    /// Network flood DoS.
+    NetworkFlood,
+    /// Exploit-signature traffic.
+    ExploitTraffic,
+    /// Bulk exfiltration.
+    Exfiltration,
+    /// Sensor false-data injection.
+    SensorSpoof,
+    /// Physical fault injection.
+    FaultInjection,
+    /// Anti-forensic log destruction.
+    LogWipe,
+    /// Behavioural (syscall) anomaly.
+    SyscallAnomaly,
+    /// Firmware crash / lockup (watchdog-class).
+    SystemHang,
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Side effects an injector asks the platform to route (used where the
+/// effect flows through a channel the injector cannot reach directly, such
+/// as the syscall monitor's report path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackEffect {
+    /// The compromised task "issued" these syscalls this step.
+    SyscallsEmitted(TaskId, Vec<Syscall>),
+}
+
+/// The result of one injection step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackStepResult {
+    /// What the attacker did (ground-truth narrative).
+    pub description: String,
+    /// Whether the step achieved its goal (e.g. a probe read succeeded).
+    pub achieved: bool,
+    /// Effects for the platform to route.
+    pub effects: Vec<AttackEffect>,
+}
+
+/// Mutable handles an injector may act through. `slots` is present only on
+/// platforms that expose the firmware store to the attacker's vantage
+/// point.
+pub struct AttackTargets<'a> {
+    /// The SoC under attack.
+    pub soc: &'a mut Soc,
+    /// Firmware slot store, when reachable.
+    pub slots: Option<&'a mut SlotStore>,
+}
+
+/// An attack injector: a multi-step adversary procedure with ground truth.
+pub trait AttackInjector {
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Taxonomy class.
+    fn kind(&self) -> AttackKind;
+
+    /// Detection capabilities that *should* observe this attack (ground
+    /// truth for scoring detection coverage).
+    fn detectable_by(&self) -> Vec<DetectionCapability>;
+
+    /// Number of steps in the attack procedure.
+    fn steps(&self) -> u32;
+
+    /// Executes step `step` (0-based) at `now`.
+    fn inject_step(
+        &mut self,
+        step: u32,
+        now: SimTime,
+        targets: &mut AttackTargets<'_>,
+    ) -> AttackStepResult;
+
+    /// Times at which steps actually executed (ground truth for latency).
+    fn injection_times(&self) -> &[SimTime];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(AttackKind::CodeInjection.to_string(), "CodeInjection");
+        assert_eq!(AttackKind::LogWipe.to_string(), "LogWipe");
+    }
+}

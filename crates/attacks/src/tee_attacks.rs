@@ -1,0 +1,118 @@
+//! TEE-specific attacks (experiment E7's instruments).
+//!
+//! These operate on a [`cres_tee::Tee`] rather than the SoC bus, because
+//! the vulnerabilities they model live in the TEE's physical deployment:
+//!
+//! * [`shared_cache_key_extraction`] — Spectre/Meltdown-class leakage of a
+//!   stored key across the shared microarchitecture; succeeds only against
+//!   [`TeeDeployment::SharedResources`](cres_tee::TeeDeployment);
+//! * [`ta_downgrade`] — reinstalling an old, genuinely signed trusted
+//!   application (Project Zero's TrustZone downgrade \[32\]); succeeds only
+//!   when the TEE lacks rollback protection.
+
+use cres_tee::{TaManifest, Tee, TeeError};
+
+/// Outcome of a TEE attack attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeeAttackOutcome {
+    /// The attacker obtained the target (key bytes or old-TA install).
+    Succeeded(String),
+    /// The deployment/protection blocked the attack.
+    Blocked(String),
+}
+
+impl TeeAttackOutcome {
+    /// True when the attack succeeded.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, TeeAttackOutcome::Succeeded(_))
+    }
+}
+
+/// Attempts to extract the named key through a microarchitectural side
+/// channel. Models the §IV argument: "both secure and non-secure processes
+/// share the same physical memory resource".
+pub fn shared_cache_key_extraction(tee: &mut Tee, key_name: &str) -> TeeAttackOutcome {
+    match tee.side_channel_extract(key_name) {
+        Some(bytes) => TeeAttackOutcome::Succeeded(format!(
+            "extracted {} bytes of key {key_name:?} via cache timing",
+            bytes.len()
+        )),
+        None => TeeAttackOutcome::Blocked(
+            "no shared microarchitecture between attacker and secure world".into(),
+        ),
+    }
+}
+
+/// Attempts to reinstall an old, genuinely signed TA version.
+pub fn ta_downgrade(tee: &mut Tee, old_manifest: TaManifest) -> TeeAttackOutcome {
+    let version = old_manifest.version;
+    let name = old_manifest.name.clone();
+    match tee.install_ta(old_manifest) {
+        Ok(()) => TeeAttackOutcome::Succeeded(format!(
+            "downgraded TA {name:?} to vulnerable version {version}"
+        )),
+        Err(TeeError::Downgrade { installed, offered }) => TeeAttackOutcome::Blocked(format!(
+            "rollback protection held: {offered} < {installed}"
+        )),
+        Err(e) => TeeAttackOutcome::Blocked(format!("install rejected: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_crypto::drbg::HmacDrbg;
+    use cres_crypto::rsa::generate_keypair;
+    use cres_tee::{TaSigner, TeeDeployment};
+
+    fn setup(deployment: TeeDeployment, rollback: bool) -> (Tee, TaSigner) {
+        let mut d = HmacDrbg::new(b"tee-attack-test", b"");
+        let kp = generate_keypair(512, &mut d).unwrap();
+        let signer = TaSigner::new(&kp);
+        let mut tee = Tee::new(deployment, kp.public.clone(), rollback);
+        tee.install_ta(signer.sign("keystore", 3, b"v3")).unwrap();
+        let s = tee.open_session("keystore").unwrap();
+        tee.store_key(s, "device-root", b"super secret").unwrap();
+        (tee, signer)
+    }
+
+    #[test]
+    fn extraction_succeeds_only_when_shared() {
+        let (mut shared, _) = setup(TeeDeployment::SharedResources, true);
+        assert!(shared_cache_key_extraction(&mut shared, "device-root").succeeded());
+
+        let (mut isolated, _) = setup(TeeDeployment::IsolatedCoprocessor, true);
+        assert!(!shared_cache_key_extraction(&mut isolated, "device-root").succeeded());
+    }
+
+    #[test]
+    fn extraction_of_unknown_key_fails_quietly() {
+        let (mut shared, _) = setup(TeeDeployment::SharedResources, true);
+        assert!(!shared_cache_key_extraction(&mut shared, "no-such-key").succeeded());
+    }
+
+    #[test]
+    fn downgrade_blocked_by_rollback_protection() {
+        let (mut tee, signer) = setup(TeeDeployment::SharedResources, true);
+        let outcome = ta_downgrade(&mut tee, signer.sign("keystore", 1, b"v1-vulnerable"));
+        assert!(!outcome.succeeded());
+        assert_eq!(tee.installed_version("keystore"), Some(3));
+    }
+
+    #[test]
+    fn downgrade_succeeds_without_rollback_protection() {
+        let (mut tee, signer) = setup(TeeDeployment::SharedResources, false);
+        let outcome = ta_downgrade(&mut tee, signer.sign("keystore", 1, b"v1-vulnerable"));
+        assert!(outcome.succeeded());
+        assert_eq!(tee.installed_version("keystore"), Some(1));
+    }
+
+    #[test]
+    fn forged_downgrade_always_blocked() {
+        let (mut tee, _) = setup(TeeDeployment::SharedResources, false);
+        let mut d = HmacDrbg::new(b"evil", b"");
+        let evil = generate_keypair(512, &mut d).unwrap();
+        let forged = TaSigner::new(&evil).sign("keystore", 1, b"backdoor");
+        assert!(!ta_downgrade(&mut tee, forged).succeeded());
+    }
+}

@@ -1,0 +1,40 @@
+//! A4 — boot-time cost: verified + measured boot vs unverified load,
+//! across image sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cres_boot::{BootChain, BootPolicy, BootRom, ImageSigner, MemArbCounters};
+use cres_crypto::drbg::HmacDrbg;
+use cres_crypto::rsa::generate_keypair;
+use cres_crypto::sha2::Sha256;
+use std::hint::black_box;
+
+fn bench_boot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("boot_verify");
+    g.sample_size(20);
+    let mut drbg = HmacDrbg::new(b"bench-boot", b"");
+    let kp = generate_keypair(512, &mut drbg).unwrap();
+    let signer = ImageSigner::new(&kp);
+    let chain = BootChain::new(
+        BootRom::new(kp.public.fingerprint(), BootPolicy::default()),
+        kp.public.clone(),
+        Sha256::digest(b"rom"),
+    );
+    for size in [16 * 1024usize, 256 * 1024, 1024 * 1024] {
+        let payload = vec![0xA5u8; size];
+        let image = signer.sign("app", 1, 1, &payload);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("verified_measured", size), &image, |b, image| {
+            b.iter(|| {
+                let mut arb = MemArbCounters::new();
+                black_box(chain.boot(&[image], &mut arb).booted())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash_only", size), &payload, |b, payload| {
+            b.iter(|| black_box(Sha256::digest(payload)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_boot);
+criterion_main!(benches);

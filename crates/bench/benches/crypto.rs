@@ -1,0 +1,91 @@
+//! A3 — crypto substrate throughput: SHA-256/512, HMAC, AES-CTR, AEAD,
+//! RSA sign/verify and Merkle proofs across input sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cres_crypto::aead::Aead;
+use cres_crypto::aes::Aes;
+use cres_crypto::drbg::HmacDrbg;
+use cres_crypto::hmac::HmacSha256;
+use cres_crypto::merkle::MerkleTree;
+use cres_crypto::modes::ctr_xor;
+use cres_crypto::rsa::generate_keypair;
+use cres_crypto::sha2::{Sha256, Sha512};
+use std::hint::black_box;
+
+const SIZES: [usize; 4] = [64, 1024, 16 * 1024, 64 * 1024];
+
+fn data(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in SIZES {
+        let input = data(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &input, |b, input| {
+            b.iter(|| Sha256::digest(black_box(input)))
+        });
+        g.bench_with_input(BenchmarkId::new("sha512", size), &input, |b, input| {
+            b.iter(|| Sha512::digest(black_box(input)))
+        });
+        g.bench_with_input(BenchmarkId::new("hmac_sha256", size), &input, |b, input| {
+            b.iter(|| HmacSha256::mac(b"key", black_box(input)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ciphers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cipher");
+    let aes = Aes::new(&[7u8; 16]).unwrap();
+    let aead = Aead::new(b"bench key");
+    for size in SIZES {
+        let input = data(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("aes_ctr", size), &input, |b, input| {
+            b.iter(|| {
+                let mut buf = input.clone();
+                ctr_xor(&aes, &[1u8; 12], &mut buf);
+                black_box(buf)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("aead_seal", size), &input, |b, input| {
+            b.iter(|| aead.seal(&[1u8; 12], b"", black_box(input)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsa");
+    g.sample_size(10);
+    let mut drbg = HmacDrbg::new(b"bench", b"rsa");
+    let kp = generate_keypair(512, &mut drbg).unwrap();
+    let msg = data(1024);
+    let sig = kp.private.sign(&msg);
+    g.bench_function("sign_512", |b| b.iter(|| kp.private.sign(black_box(&msg))));
+    g.bench_function("verify_512", |b| {
+        b.iter(|| kp.public.verify(black_box(&msg), black_box(&sig)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    for leaves in [16usize, 256, 4096] {
+        let items: Vec<Vec<u8>> =
+            (0..leaves).map(|i| format!("record-{i}").into_bytes()).collect();
+        g.bench_with_input(BenchmarkId::new("build", leaves), &items, |b, items| {
+            b.iter(|| MerkleTree::build(items.iter().map(|v| v.as_slice())))
+        });
+        let tree = MerkleTree::build(items.iter().map(|v| v.as_slice()));
+        g.bench_with_input(BenchmarkId::new("prove", leaves), &tree, |b, tree| {
+            b.iter(|| tree.prove(black_box(leaves / 2)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_ciphers, bench_rsa, bench_merkle);
+criterion_main!(benches);

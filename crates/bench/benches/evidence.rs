@@ -1,0 +1,60 @@
+//! A2 — evidence-chain cost: append throughput, full-chain verification and
+//! Merkle sealing across chain lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cres_sim::SimTime;
+use cres_ssm::EvidenceStore;
+use std::hint::black_box;
+
+fn store_with(n: u64) -> EvidenceStore {
+    let mut s = EvidenceStore::new(b"bench-key");
+    for i in 0..n {
+        s.append(
+            SimTime::at_cycle(i),
+            "bus-policy",
+            "out-of-policy R by CPU1 at 0x50000000",
+        );
+    }
+    s
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evidence_append");
+    for prior in [0u64, 1_000, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(prior), &prior, |b, &prior| {
+            let mut s = store_with(prior);
+            let mut i = prior;
+            b.iter(|| {
+                i += 1;
+                s.append(SimTime::at_cycle(i), "bench", black_box("payload line"))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evidence_verify");
+    for len in [100u64, 1_000, 10_000] {
+        let s = store_with(len);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &s, |b, s| {
+            b.iter(|| s.verify().unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_seal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evidence_seal");
+    g.sample_size(20);
+    for len in [100u64, 1_000, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let mut s = store_with(len);
+            b.iter(|| black_box(s.seal()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_append, bench_verify, bench_seal);
+criterion_main!(benches);

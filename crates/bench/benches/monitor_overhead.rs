@@ -1,0 +1,65 @@
+//! E8 companion — wall-clock cost of the monitor sampling pipeline itself:
+//! one full sample-all pass over a busy SoC, per monitor-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cres_monitor::bus_mon::AccessWindow;
+use cres_monitor::{BusPolicyMonitor, MemoryGuardMonitor, NetworkMonitor, ResourceMonitor};
+use cres_sim::SimTime;
+use cres_soc::addr::{Addr, MasterId};
+use cres_soc::soc::SocBuilder;
+use cres_soc::Soc;
+use std::hint::black_box;
+
+fn busy_soc() -> Soc {
+    let mut soc = SocBuilder::with_standard_layout(1).bus_ring(16_384).build();
+    // generate a burst of traffic for the taps
+    for i in 0..2_000u64 {
+        let addr = Addr(0x2000_0000 + (i % 0x1000));
+        let _ = soc
+            .bus
+            .write(SimTime::at_cycle(i), MasterId::CPU0, addr, &[0u8; 8], &mut soc.mem);
+    }
+    soc
+}
+
+fn monitor_set(soc: &Soc, n: usize) -> Vec<Box<dyn ResourceMonitor>> {
+    let r = |name: &str| soc.mem.region_by_name(name).unwrap().id();
+    let all: Vec<Box<dyn ResourceMonitor>> = vec![
+        Box::new(BusPolicyMonitor::new(
+            vec![AccessWindow {
+                master: MasterId::CPU0,
+                region: r("sram"),
+                read: true,
+                write: true,
+                exec: true,
+            }],
+            true,
+        )),
+        Box::new(MemoryGuardMonitor::new(vec![r("ssm_private")], vec![r("flash_a")])),
+        Box::new(NetworkMonitor::new(64, 4096)),
+    ];
+    all.into_iter().take(n).collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitor_sample_pass");
+    for n in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || (busy_soc(), monitor_set(&busy_soc(), n)),
+                |(mut soc, mut monitors)| {
+                    let mut events = Vec::new();
+                    for m in &mut monitors {
+                        events.extend(m.sample(&mut soc, SimTime::at_cycle(3_000)));
+                    }
+                    black_box(events)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

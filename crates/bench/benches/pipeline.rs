@@ -1,0 +1,31 @@
+//! End-to-end pipeline cost: wall-clock time to simulate a fixed slice of
+//! platform life under each profile (the "how expensive is resilience in
+//! the simulator" number).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_sim::SimDuration;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("platform_slice");
+    g.sample_size(10);
+    for profile in [PlatformProfile::CyberResilient, PlatformProfile::PassiveTrust] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{profile}")),
+            &profile,
+            |b, &profile| {
+                b.iter(|| {
+                    let config = PlatformConfig::new(profile, 3);
+                    let report = ScenarioRunner::new(config)
+                        .run(Scenario::quiet(SimDuration::cycles(100_000)));
+                    black_box(report.critical_steps)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! A1 — ablation: the correlation engine on vs off (raw alerting).
+//!
+//! Two measurements:
+//!
+//! 1. **engine-level false positives** — a year's worth of sparse benign
+//!    Warning-grade noise (driver bugs producing occasional MPU denials) is
+//!    fed to the correlation engine directly; the raw configuration raises
+//!    an incident per denial, the correlating one only when denials cluster;
+//! 2. **platform-level latency** — a real code-injection run confirms the
+//!    engine costs nothing on true positives (Critical events classify
+//!    immediately either way).
+//!
+//! Run: `cargo run --release -p cres-bench --bin a1_correlation`
+
+use cres_bench::scenarios::build;
+use cres_monitor::{MonitorEvent, Severity, Subject};
+use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_policy::DetectionCapability;
+use cres_sim::{SimDuration, SimTime};
+use cres_soc::addr::MasterId;
+use cres_ssm::{CorrelationConfig, CorrelationEngine, HealthState};
+
+/// Sparse benign noise: one denial every `gap` cycles for `n` events, plus
+/// one genuine burst of 4 denials in a tight window.
+fn noise_fp_count(enabled: bool) -> (u64, bool) {
+    let mut engine = CorrelationEngine::new(CorrelationConfig {
+        enabled,
+        ..Default::default()
+    });
+    let deny = |at: u64| {
+        MonitorEvent::new(
+            SimTime::at_cycle(at),
+            "bus-policy",
+            DetectionCapability::BusPolicing,
+            Severity::Warning,
+            Subject::Master(MasterId::CPU3),
+            "denied W by CPU3 at 0x00000000 (driver bug)",
+        )
+    };
+    let mut fp = 0u64;
+    // 50 sparse denials, far apart (outside any correlation window)
+    for i in 0..50u64 {
+        let at = i * 500_000;
+        if engine.ingest(SimTime::at_cycle(at), &deny(at), HealthState::Healthy).is_some() {
+            fp += 1;
+        }
+    }
+    // one real reconnaissance burst: 4 denials within 2k cycles
+    let mut burst_caught = false;
+    for i in 0..4u64 {
+        let at = 40_000_000 + i * 500;
+        if engine
+            .ingest(SimTime::at_cycle(at), &deny(at), HealthState::Healthy)
+            .is_some()
+        {
+            burst_caught = true;
+        }
+    }
+    (fp, burst_caught)
+}
+
+fn main() {
+    cres_bench::banner("A1", "Ablation: correlation engine on/off");
+
+    println!("-- engine-level: 50 sparse benign denials + 1 genuine burst --");
+    let widths = [14, 18, 18];
+    cres_bench::row(&[&"correlation", &"false positives", &"burst caught"], &widths);
+    cres_bench::rule(&widths);
+    for enabled in [true, false] {
+        let (fp, burst) = noise_fp_count(enabled);
+        cres_bench::row(
+            &[
+                &if enabled { "on (CRES)" } else { "off (raw)" },
+                &fp,
+                &if burst { "yes" } else { "NO" },
+            ],
+            &widths,
+        );
+    }
+    cres_bench::rule(&widths);
+
+    println!("\n-- platform-level: code-injection detection latency --");
+    let widths = [14, 10, 12, 14, 10];
+    cres_bench::row(&[&"correlation", &"events", &"incidents", &"det latency", &"reboots"], &widths);
+    cres_bench::rule(&widths);
+    for enabled in [true, false] {
+        let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, 55);
+        config.correlation_enabled = enabled;
+        let scenario = Scenario::quiet(SimDuration::cycles(1_000_000)).attack(
+            SimTime::at_cycle(500_000),
+            SimDuration::cycles(5_000),
+            build("code-injection"),
+        );
+        let report = ScenarioRunner::new(config).run(scenario);
+        cres_bench::row(
+            &[
+                &if enabled { "on (CRES)" } else { "off (raw)" },
+                &report.total_events,
+                &report.total_incidents,
+                &report
+                    .attacks
+                    .first()
+                    .and_then(|a| a.detection_latency)
+                    .map_or("missed".to_string(), |l| format!("{l}cy")),
+                &report.reboots,
+            ],
+            &widths,
+        );
+    }
+    cres_bench::rule(&widths);
+    println!(
+        "\nexpected shape: the raw configuration fires on every sparse benign\n\
+         denial (≈50 false countermeasure triggers) where the correlating\n\
+         engine fires only on the clustered burst — at identical latency for\n\
+         genuinely critical events."
+    );
+}

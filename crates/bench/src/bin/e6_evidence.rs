@@ -1,0 +1,85 @@
+//! E6 — **the headline claim (C1)**: continuity of the evidence data
+//! stream once trust is broken.
+//!
+//! A staged intrusion (probe → code injection → exfiltration) ends with an
+//! anti-forensic log wipe. The passive baseline's audit trail lives in
+//! GPP-reachable memory (console + app_log) and dies with the wipe; the
+//! CRES SSM's hash-chained store — keyed and held in physically isolated
+//! memory — survives, and tampering with a shared-deployment store is at
+//! least *detectable*.
+//!
+//! Run: `cargo run --release -p cres-bench --bin e6_evidence`
+
+use cres_bench::scenarios::build;
+use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_sim::{SimDuration, SimTime};
+
+fn staged_intrusion(duration: u64) -> Scenario {
+    Scenario::quiet(SimDuration::cycles(duration))
+        .attack(
+            SimTime::at_cycle(200_000),
+            SimDuration::cycles(5_000),
+            build("memory-probe"),
+        )
+        .attack(
+            SimTime::at_cycle(350_000),
+            SimDuration::cycles(8_000),
+            build("code-injection"),
+        )
+        .attack(
+            SimTime::at_cycle(500_000),
+            SimDuration::cycles(5_000),
+            build("exfiltration"),
+        )
+        .attack(
+            SimTime::at_cycle(650_000),
+            SimDuration::cycles(1_000),
+            build("log-wipe"),
+        )
+}
+
+fn main() {
+    cres_bench::banner(
+        "E6",
+        "Evidence continuity once trust is broken (staged intrusion ending in log wipe)",
+    );
+    let duration = 900_000;
+    let widths = [16, 14, 14, 12, 14, 14];
+    cres_bench::row(
+        &[
+            &"profile",
+            &"evid records",
+            &"chain",
+            &"coverage",
+            &"console lines",
+            &"incidents",
+        ],
+        &widths,
+    );
+    cres_bench::rule(&widths);
+    for profile in [PlatformProfile::CyberResilient, PlatformProfile::PassiveTrust] {
+        let mut config = PlatformConfig::new(profile, 99);
+        // the baseline has no SSM evidence store at all
+        config.evidence_enabled = profile == PlatformProfile::CyberResilient;
+        let report = ScenarioRunner::new(config).run(staged_intrusion(duration));
+        cres_bench::row(
+            &[
+                &profile.to_string(),
+                &report.evidence_len,
+                &if report.evidence_chain_ok { "intact" } else { "BROKEN" },
+                &cres_bench::pct(report.evidence_coverage),
+                &report.console_lines,
+                &report.total_incidents,
+            ],
+            &widths,
+        );
+    }
+    cres_bench::rule(&widths);
+    println!(
+        "\nnote: the baseline's console count reflects the post-wipe residue —\n\
+         every line written before the wipe is gone; with evidence disabled its\n\
+         coverage of the attack timeline is zero. The CRES chain records the\n\
+         probe, the injection, the exfiltration AND the wipe attempt itself,\n\
+         and still verifies end-to-end."
+    );
+}

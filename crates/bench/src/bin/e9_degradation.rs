@@ -1,0 +1,89 @@
+//! E9 — graceful degradation under progressive compromise (§V-3): as more
+//! resources are attacked, the CRES platform sheds non-critical load and
+//! keeps the protection relay alive; the passive baseline either misses
+//! everything (attacker operates freely) or, when it does react, takes the
+//! whole system down.
+//!
+//! Run: `cargo run --release -p cres-bench --bin e9_degradation`
+
+use cres_bench::scenarios::build;
+use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_sim::{SimDuration, SimTime};
+
+const DURATION: u64 = 1_200_000;
+
+/// The progressive campaign, in escalation order.
+const CAMPAIGN: [&str; 5] = [
+    "network-flood",
+    "exploit-traffic",
+    "sensor-spoof",
+    "memory-probe",
+    "code-injection",
+];
+
+fn scenario(k: usize) -> Scenario {
+    let mut s = Scenario::quiet(SimDuration::cycles(DURATION));
+    for (i, name) in CAMPAIGN.iter().take(k).enumerate() {
+        s = s.attack(
+            SimTime::at_cycle(200_000 + 150_000 * i as u64),
+            SimDuration::cycles(5_000),
+            build(name),
+        );
+    }
+    s
+}
+
+fn main() {
+    cres_bench::banner(
+        "E9",
+        "Graceful degradation: critical-service delivery under progressive compromise",
+    );
+    let widths = [12, 16, 16, 14, 14, 16];
+    cres_bench::row(
+        &[
+            &"# attacks",
+            &"CRES relay",
+            &"CRES detected",
+            &"CRES wins",
+            &"passive relay",
+            &"passive wins",
+        ],
+        &widths,
+    );
+    cres_bench::rule(&widths);
+
+    let quiet_cres = ScenarioRunner::new(PlatformConfig::new(PlatformProfile::CyberResilient, 31))
+        .run(scenario(0));
+    let quiet_passive = ScenarioRunner::new(PlatformConfig::new(PlatformProfile::PassiveTrust, 31))
+        .run(scenario(0));
+
+    for k in 0..=CAMPAIGN.len() {
+        let cres = ScenarioRunner::new(PlatformConfig::new(PlatformProfile::CyberResilient, 31))
+            .run(scenario(k));
+        let passive = ScenarioRunner::new(PlatformConfig::new(PlatformProfile::PassiveTrust, 31))
+            .run(scenario(k));
+        cres_bench::row(
+            &[
+                &k,
+                &cres_bench::pct(
+                    cres.critical_steps as f64 / quiet_cres.critical_steps.max(1) as f64,
+                ),
+                &format!("{}/{k}", cres.attacks.iter().filter(|a| a.detected()).count()),
+                &cres.attacker_wins,
+                &cres_bench::pct(
+                    passive.critical_steps as f64 / quiet_passive.critical_steps.max(1) as f64,
+                ),
+                &passive.attacker_wins,
+            ],
+            &widths,
+        );
+    }
+    cres_bench::rule(&widths);
+    println!(
+        "\nexpected shape: CRES relay delivery stays ≈100% at every k (load is\n\
+         shed from telemetry/logging, never the relay) while attacker wins\n\
+         stay bounded; the passive platform's relay also keeps stepping — but\n\
+         every attack step succeeds unchecked, which is the paper's point:\n\
+         availability without detection is not resilience."
+    );
+}

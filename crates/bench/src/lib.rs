@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! Experiment harness support: shared formatting and sweep helpers for the
+//! `e*`/`a*` experiment binaries and criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper reproduction plan (see `DESIGN.md` §3 and `EXPERIMENTS.md`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `e1_figure1` | Figure 1 — framework functions/principles/activities |
+//! | `e2_table1` | Table I — requirement ↔ mechanism mapping |
+//! | `e3_detection` | detection rate & latency per attack class |
+//! | `e4_response` | service continuity: active response vs reboot-only |
+//! | `e5_recovery` | recovery paths: reboot vs rollback vs golden |
+//! | `e6_evidence` | evidence continuity once trust is broken |
+//! | `e7_isolation` | isolated SSM vs shared-resource TEE |
+//! | `e8_overhead` | monitoring overhead sweep |
+//! | `e9_degradation` | graceful degradation under progressive compromise |
+//! | `e10_downgrade` | secure-boot downgrade vs anti-rollback |
+//! | `a1_correlation` | ablation: correlation engine on/off |
+
+pub mod scenarios;
+
+use std::fmt::Display;
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}
+
+/// Prints a table row of fixed-width cells.
+pub fn row(cells: &[&dyn Display], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{:<width$}  ", cell.to_string(), width = width));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a rule sized to the given widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats an optional cycle count.
+pub fn opt_cycles(v: Option<u64>) -> String {
+    v.map_or("—".to_string(), |c| format!("{c}"))
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(opt_cycles(None), "—");
+        assert_eq!(opt_cycles(Some(42)), "42");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,98 @@
+//! The standard attack gauntlet shared by E3/E4/E6 and the examples.
+
+use cres_attacks::{
+    AttackInjector, CodeInjectionAttack, DebugPortAttack, DmaExfilAttack, ExfilAttack,
+    FaultInjectionAttack, FirmwareTamperAttack, LogWipeAttack, MalformedTrafficAttack,
+    MemoryProbeAttack, NetworkFloodAttack, SensorSpoofAttack, SyscallAnomalyAttack,
+    SystemHangAttack,
+};
+use cres_soc::addr::MasterId;
+use cres_soc::periph::{EnvTamper, SensorSpoof};
+use cres_soc::soc::layout;
+use cres_soc::task::{BlockId, Syscall, TaskId};
+
+/// Names of the standard runtime attack gauntlet (downgrade is boot-time
+/// and lives in E10).
+pub const GAUNTLET: [&str; 11] = [
+    "code-injection",
+    "memory-probe",
+    "firmware-tamper",
+    "dma-exfil",
+    "debug-port",
+    "network-flood",
+    "exploit-traffic",
+    "exfiltration",
+    "sensor-spoof",
+    "fault-injection",
+    "log-wipe",
+];
+
+/// Builds a fresh injector for a gauntlet entry.
+///
+/// # Panics
+///
+/// Panics for unknown names.
+pub fn build(name: &str) -> Box<dyn AttackInjector> {
+    match name {
+        // hijacking to bb0 twice guarantees at least one illegal self-edge
+        "code-injection" => Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)),
+        "memory-probe" => Box::new(MemoryProbeAttack::new(
+            MasterId::CPU1,
+            vec![
+                layout::SSM_PRIVATE.0,
+                layout::TEE_SECURE.0,
+                layout::SSM_PRIVATE.0.offset(0x100),
+                layout::TEE_SECURE.0.offset(0x100),
+            ],
+        )),
+        "firmware-tamper" => Box::new(FirmwareTamperAttack::new(
+            MasterId::CPU0,
+            layout::FLASH_A.0.offset(0x800),
+        )),
+        "dma-exfil" => Box::new(DmaExfilAttack::new(
+            layout::TEE_SECURE.0,
+            layout::SRAM.0.offset(0x3000),
+            64,
+        )),
+        "debug-port" => Box::new(DebugPortAttack::new(vec![
+            layout::SRAM.0,
+            layout::TEE_SECURE.0,
+            layout::SSM_PRIVATE.0,
+        ])),
+        "network-flood" => Box::new(NetworkFloodAttack::new(300, 8)),
+        "exploit-traffic" => Box::new(MalformedTrafficAttack::new(5, 4)),
+        "exfiltration" => Box::new(ExfilAttack::new(4_096, 6)),
+        "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))),
+        "fault-injection" => Box::new(FaultInjectionAttack::new(EnvTamper::VoltageGlitch(1.1))),
+        "log-wipe" => Box::new(LogWipeAttack::new(MasterId::CPU0)),
+        "syscall-anomaly" => Box::new(SyscallAnomalyAttack::new(
+            TaskId(1),
+            vec![Syscall::PrivEscalate, Syscall::FirmwareWrite],
+            3,
+        )),
+        "system-hang" => Box::new(SystemHangAttack::new()),
+        other => panic!("unknown gauntlet attack {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_gauntlet_entry_builds() {
+        for name in GAUNTLET {
+            let injector = build(name);
+            assert_eq!(injector.name(), name);
+            assert!(injector.steps() > 0);
+        }
+        // plus the extra entry outside the constant
+        assert_eq!(build("syscall-anomaly").name(), "syscall-anomaly");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown gauntlet attack")]
+    fn unknown_name_panics() {
+        build("nonexistent");
+    }
+}

@@ -1,0 +1,316 @@
+//! The signed firmware image format.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! magic(4) "CRFW" | format_ver(2) | stage_len(2) | stage(UTF-8)
+//! | version(4) | security_version(8) | payload_len(4)
+//! | payload_hash(32) | payload | signature(sig_len over everything before)
+//! ```
+//!
+//! The signature covers header *and* payload, so neither can be swapped
+//! independently — except by re-signing, which requires the vendor key. The
+//! downgrade attack of E10 does not forge anything: it replays an *old,
+//! genuinely signed* image, which is exactly why `security_version` plus an
+//! OTP counter is needed.
+
+use cres_crypto::rsa::{RsaKeypair, RsaPrivateKey, RsaPublicKey};
+use cres_crypto::sha2::Sha256;
+use cres_crypto::CryptoError;
+use std::fmt;
+
+/// Image format magic.
+pub const MAGIC: [u8; 4] = *b"CRFW";
+/// Current format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Errors from parsing or verifying images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// Input too short or structurally invalid.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadFormatVersion(u16),
+    /// The payload hash in the header does not match the payload.
+    PayloadHashMismatch,
+    /// Signature verification failed.
+    BadSignature,
+    /// The stage name was not valid UTF-8.
+    BadStageName,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Truncated => write!(f, "image truncated"),
+            ImageError::BadMagic => write!(f, "bad image magic"),
+            ImageError::BadFormatVersion(v) => write!(f, "unsupported format version {v}"),
+            ImageError::PayloadHashMismatch => write!(f, "payload hash mismatch"),
+            ImageError::BadSignature => write!(f, "bad image signature"),
+            ImageError::BadStageName => write!(f, "stage name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<CryptoError> for ImageError {
+    fn from(_: CryptoError) -> Self {
+        ImageError::BadSignature
+    }
+}
+
+/// Parsed image header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageHeader {
+    /// Boot stage this image belongs to (e.g. `"bootloader"`, `"app"`).
+    pub stage: String,
+    /// Human-facing version number.
+    pub version: u32,
+    /// Monotone security version for anti-rollback.
+    pub security_version: u64,
+    /// SHA-256 of the payload.
+    pub payload_hash: [u8; 32],
+}
+
+/// A parsed firmware image (header + payload + signature).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirmwareImage {
+    /// Parsed header fields.
+    pub header: ImageHeader,
+    /// The executable payload.
+    pub payload: Vec<u8>,
+    /// RSA PKCS#1 v1.5 signature over header bytes + payload.
+    pub signature: Vec<u8>,
+}
+
+impl FirmwareImage {
+    /// Serializes header fields (the signed prefix, without payload).
+    fn header_bytes(header: &ImageHeader, payload_len: u32) -> Vec<u8> {
+        let stage_bytes = header.stage.as_bytes();
+        let mut out = Vec::with_capacity(56 + stage_bytes.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(stage_bytes.len() as u16).to_le_bytes());
+        out.extend_from_slice(stage_bytes);
+        out.extend_from_slice(&header.version.to_le_bytes());
+        out.extend_from_slice(&header.security_version.to_le_bytes());
+        out.extend_from_slice(&payload_len.to_le_bytes());
+        out.extend_from_slice(&header.payload_hash);
+        out
+    }
+
+    /// Serializes the full image to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Self::header_bytes(&self.header, self.payload.len() as u32);
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses an image from bytes **without verifying the signature** —
+    /// verification is the boot ROM's job, via [`FirmwareImage::verify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] on structural problems, including a payload
+    /// that does not match the header hash.
+    pub fn from_bytes(data: &[u8], sig_len: usize) -> Result<Self, ImageError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], ImageError> {
+            if *pos + n > data.len() {
+                return Err(ImageError::Truncated);
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let fv = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+        if fv != FORMAT_VERSION {
+            return Err(ImageError::BadFormatVersion(fv));
+        }
+        let stage_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let stage = std::str::from_utf8(take(&mut pos, stage_len)?)
+            .map_err(|_| ImageError::BadStageName)?
+            .to_string();
+        let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let security_version = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let payload_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let payload_hash: [u8; 32] = take(&mut pos, 32)?.try_into().unwrap();
+        let payload = take(&mut pos, payload_len)?.to_vec();
+        let signature = take(&mut pos, sig_len)?.to_vec();
+        if Sha256::digest(&payload) != payload_hash {
+            return Err(ImageError::PayloadHashMismatch);
+        }
+        Ok(FirmwareImage {
+            header: ImageHeader {
+                stage,
+                version,
+                security_version,
+                payload_hash,
+            },
+            payload,
+            signature,
+        })
+    }
+
+    /// The bytes the signature covers.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Self::header_bytes(&self.header, self.payload.len() as u32);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Verifies the signature against `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::BadSignature`] on mismatch.
+    pub fn verify(&self, key: &RsaPublicKey) -> Result<(), ImageError> {
+        key.verify(&self.signed_bytes(), &self.signature)?;
+        Ok(())
+    }
+
+    /// The measurement extended into a PCR for this image: SHA-256 over the
+    /// signed bytes (header + payload).
+    pub fn measurement(&self) -> [u8; 32] {
+        Sha256::digest(&self.signed_bytes())
+    }
+}
+
+/// The vendor-side signing tool.
+#[derive(Debug, Clone)]
+pub struct ImageSigner {
+    key: RsaPrivateKey,
+}
+
+impl ImageSigner {
+    /// Creates a signer from a keypair.
+    pub fn new(keypair: &RsaKeypair) -> Self {
+        ImageSigner {
+            key: keypair.private.clone(),
+        }
+    }
+
+    /// Builds and signs an image.
+    pub fn sign(
+        &self,
+        stage: &str,
+        version: u32,
+        security_version: u64,
+        payload: &[u8],
+    ) -> FirmwareImage {
+        let header = ImageHeader {
+            stage: stage.to_string(),
+            version,
+            security_version,
+            payload_hash: Sha256::digest(payload),
+        };
+        let mut img = FirmwareImage {
+            header,
+            payload: payload.to_vec(),
+            signature: Vec::new(),
+        };
+        img.signature = self.key.sign(&img.signed_bytes());
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_crypto::drbg::HmacDrbg;
+    use cres_crypto::rsa::generate_keypair;
+
+    fn keypair() -> RsaKeypair {
+        let mut drbg = HmacDrbg::new(b"image-test-seed", b"");
+        generate_keypair(512, &mut drbg).unwrap()
+    }
+
+    #[test]
+    fn sign_serialize_parse_verify_round_trip() {
+        let kp = keypair();
+        let signer = ImageSigner::new(&kp);
+        let img = signer.sign("app", 0x0102_0304, 7, b"payload bytes");
+        let bytes = img.to_bytes();
+        let parsed = FirmwareImage::from_bytes(&bytes, kp.public.modulus_len()).unwrap();
+        assert_eq!(parsed, img);
+        assert!(parsed.verify(&kp.public).is_ok());
+        assert_eq!(parsed.header.stage, "app");
+        assert_eq!(parsed.header.version, 0x0102_0304);
+        assert_eq!(parsed.header.security_version, 7);
+    }
+
+    #[test]
+    fn tampered_payload_fails_hash_check() {
+        let kp = keypair();
+        let img = ImageSigner::new(&kp).sign("app", 1, 1, b"original");
+        let mut bytes = img.to_bytes();
+        // payload starts after the fixed header + stage name
+        let payload_off = bytes.len() - kp.public.modulus_len() - b"original".len();
+        bytes[payload_off] ^= 0xFF;
+        assert_eq!(
+            FirmwareImage::from_bytes(&bytes, kp.public.modulus_len()),
+            Err(ImageError::PayloadHashMismatch)
+        );
+    }
+
+    #[test]
+    fn tampered_header_fails_signature() {
+        let kp = keypair();
+        let img = ImageSigner::new(&kp).sign("app", 1, 1, b"pl");
+        let mut evil = img.clone();
+        evil.header.security_version = 99; // pretend to be newer
+        assert_eq!(evil.verify(&kp.public), Err(ImageError::BadSignature));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp = keypair();
+        let mut drbg = HmacDrbg::new(b"attacker-seed", b"");
+        let attacker = generate_keypair(512, &mut drbg).unwrap();
+        let img = ImageSigner::new(&attacker).sign("app", 1, 1, b"evil");
+        assert_eq!(img.verify(&kp.public), Err(ImageError::BadSignature));
+    }
+
+    #[test]
+    fn garbage_inputs_are_rejected_cleanly() {
+        assert_eq!(FirmwareImage::from_bytes(b"", 64), Err(ImageError::Truncated));
+        assert_eq!(
+            FirmwareImage::from_bytes(b"XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX", 64),
+            Err(ImageError::BadMagic)
+        );
+        let mut bad_ver = Vec::new();
+        bad_ver.extend_from_slice(&MAGIC);
+        bad_ver.extend_from_slice(&99u16.to_le_bytes());
+        bad_ver.extend_from_slice(&[0; 64]);
+        assert_eq!(
+            FirmwareImage::from_bytes(&bad_ver, 64),
+            Err(ImageError::BadFormatVersion(99))
+        );
+    }
+
+    #[test]
+    fn measurement_differs_per_version() {
+        let kp = keypair();
+        let signer = ImageSigner::new(&kp);
+        let a = signer.sign("app", 1, 1, b"same payload");
+        let b = signer.sign("app", 2, 1, b"same payload");
+        assert_ne!(a.measurement(), b.measurement());
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let kp = keypair();
+        let img = ImageSigner::new(&kp).sign("bl", 1, 0, b"");
+        let parsed =
+            FirmwareImage::from_bytes(&img.to_bytes(), kp.public.modulus_len()).unwrap();
+        assert!(parsed.verify(&kp.public).is_ok());
+        assert!(parsed.payload.is_empty());
+    }
+}

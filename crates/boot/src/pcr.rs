@@ -1,0 +1,181 @@
+//! Platform configuration registers for measured boot.
+//!
+//! A TPM-style PCR bank: registers start at zero and can only be *extended*
+//! (`pcr ← SHA-256(pcr ‖ measurement)`), never written. A boot stage's
+//! measurement is folded in before control transfers to it, so the final
+//! PCR values commit to the exact boot path. Attestation quotes are
+//! HMAC-keyed over the PCR values plus a caller nonce.
+
+use cres_crypto::hmac::HmacSha256;
+use cres_crypto::sha2::Sha256;
+
+/// Number of registers in the bank.
+pub const PCR_COUNT: usize = 8;
+
+/// Conventional register assignments.
+pub mod index {
+    /// Boot ROM self-measurement.
+    pub const ROM: usize = 0;
+    /// Bootloader stage.
+    pub const BOOTLOADER: usize = 1;
+    /// Application firmware stage.
+    pub const APP: usize = 2;
+    /// Configuration data.
+    pub const CONFIG: usize = 3;
+}
+
+/// A bank of platform configuration registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcrBank {
+    regs: [[u8; 32]; PCR_COUNT],
+    extend_log: Vec<(usize, [u8; 32])>,
+}
+
+impl Default for PcrBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcrBank {
+    /// Creates a zeroed bank.
+    pub fn new() -> Self {
+        PcrBank {
+            regs: [[0u8; 32]; PCR_COUNT],
+            extend_log: Vec::new(),
+        }
+    }
+
+    /// Extends register `idx` with `measurement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range indices.
+    pub fn extend(&mut self, idx: usize, measurement: &[u8; 32]) {
+        assert!(idx < PCR_COUNT, "no PCR {idx}");
+        let mut h = Sha256::new();
+        h.update(&self.regs[idx]);
+        h.update(measurement);
+        self.regs[idx] = h.finalize();
+        self.extend_log.push((idx, *measurement));
+    }
+
+    /// Reads register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range indices.
+    pub fn read(&self, idx: usize) -> [u8; 32] {
+        assert!(idx < PCR_COUNT, "no PCR {idx}");
+        self.regs[idx]
+    }
+
+    /// The ordered log of extensions (measured-boot event log).
+    pub fn event_log(&self) -> &[(usize, [u8; 32])] {
+        &self.extend_log
+    }
+
+    /// Produces an attestation quote: HMAC over `nonce ‖ all PCR values`
+    /// under `key` (the attestation key held by the TEE/SSM).
+    pub fn quote(&self, key: &[u8], nonce: &[u8]) -> [u8; 32] {
+        let mut mac = HmacSha256::new(key);
+        mac.update(nonce);
+        for r in &self.regs {
+            mac.update(r);
+        }
+        mac.finalize()
+    }
+
+    /// Verifies a quote against expected PCR values.
+    #[must_use]
+    pub fn verify_quote(
+        expected: &[[u8; 32]; PCR_COUNT],
+        key: &[u8],
+        nonce: &[u8],
+        quote: &[u8; 32],
+    ) -> bool {
+        let mut mac = HmacSha256::new(key);
+        mac.update(nonce);
+        for r in expected {
+            mac.update(r);
+        }
+        cres_crypto::ct::ct_eq(&mac.finalize(), quote)
+    }
+
+    /// Snapshot of all registers (for golden-value comparison).
+    pub fn snapshot(&self) -> [[u8; 32]; PCR_COUNT] {
+        self.regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_is_zero() {
+        let b = PcrBank::new();
+        assert_eq!(b.read(0), [0u8; 32]);
+        assert!(b.event_log().is_empty());
+    }
+
+    #[test]
+    fn extend_changes_register_and_is_order_sensitive() {
+        let mut a = PcrBank::new();
+        let mut b = PcrBank::new();
+        let m1 = [1u8; 32];
+        let m2 = [2u8; 32];
+        a.extend(0, &m1);
+        a.extend(0, &m2);
+        b.extend(0, &m2);
+        b.extend(0, &m1);
+        assert_ne!(a.read(0), b.read(0), "PCR extension must be order sensitive");
+        assert_ne!(a.read(0), [0u8; 32]);
+    }
+
+    #[test]
+    fn extend_is_deterministic() {
+        let mut a = PcrBank::new();
+        let mut b = PcrBank::new();
+        a.extend(2, &[7u8; 32]);
+        b.extend(2, &[7u8; 32]);
+        assert_eq!(a.read(2), b.read(2));
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut b = PcrBank::new();
+        b.extend(1, &[1u8; 32]);
+        assert_eq!(b.read(0), [0u8; 32]);
+        assert_ne!(b.read(1), [0u8; 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no PCR")]
+    fn out_of_range_panics() {
+        PcrBank::new().read(PCR_COUNT);
+    }
+
+    #[test]
+    fn quote_round_trip() {
+        let mut b = PcrBank::new();
+        b.extend(index::APP, &[9u8; 32]);
+        let q = b.quote(b"attest-key", b"nonce-1");
+        assert!(PcrBank::verify_quote(&b.snapshot(), b"attest-key", b"nonce-1", &q));
+        assert!(!PcrBank::verify_quote(&b.snapshot(), b"attest-key", b"nonce-2", &q));
+        assert!(!PcrBank::verify_quote(&b.snapshot(), b"wrong-key", b"nonce-1", &q));
+        // different PCR state → quote mismatch
+        let fresh = PcrBank::new();
+        assert!(!PcrBank::verify_quote(&fresh.snapshot(), b"attest-key", b"nonce-1", &q));
+    }
+
+    #[test]
+    fn event_log_records_extensions() {
+        let mut b = PcrBank::new();
+        b.extend(0, &[1u8; 32]);
+        b.extend(2, &[2u8; 32]);
+        assert_eq!(b.event_log().len(), 2);
+        assert_eq!(b.event_log()[0].0, 0);
+        assert_eq!(b.event_log()[1].0, 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Authenticated M2M telemetry: the paper's §III-4 concern made concrete.
+//!
+//! > "Machine-to-Machine communication is an enabling technology for
+//! > critical infrastructure, which brought serious security challenges to
+//! > secure, verify and avoid man-in-middle attacks in embedded systems."
+//!
+//! [`SecureChannel`] authenticates every message with an HMAC tag produced
+//! by the TEE keystore — the key never leaves the secure world — and
+//! enforces strictly increasing sequence numbers, so a man-in-the-middle
+//! can neither tamper with, forge, nor replay telemetry without detection.
+//! Rejection counters feed the platform's security telemetry.
+
+use cres_crypto::hmac::HmacSha256;
+use cres_tee::{SessionId, Tee, TeeError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An authenticated telemetry message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthMessage {
+    /// Strictly increasing per-channel sequence number.
+    pub seq: u64,
+    /// Application payload.
+    pub payload: Vec<u8>,
+    /// HMAC-SHA-256 over `seq ‖ payload` under the channel key.
+    pub tag: [u8; 32],
+}
+
+/// Why an inbound message was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The tag did not verify (tamper or forgery).
+    BadTag,
+    /// The sequence number was not strictly newer (replay or reorder).
+    Replay {
+        /// Highest sequence accepted so far.
+        highest_seen: u64,
+        /// The stale sequence offered.
+        offered: u64,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::BadTag => write!(f, "authentication tag mismatch"),
+            RejectReason::Replay {
+                highest_seen,
+                offered,
+            } => write!(f, "replay: seq {offered} not newer than {highest_seen}"),
+        }
+    }
+}
+
+/// One endpoint of an authenticated channel. Sender and receiver each hold
+/// one, provisioned with the same keystore key name.
+#[derive(Debug)]
+pub struct SecureChannel {
+    key_name: String,
+    session: SessionId,
+    next_seq: u64,
+    highest_seen: Option<u64>,
+    accepted: u64,
+    rejected_tag: u64,
+    rejected_replay: u64,
+}
+
+impl SecureChannel {
+    /// Opens a channel endpoint over an existing keystore session holding
+    /// `key_name`.
+    pub fn new(session: SessionId, key_name: &str) -> Self {
+        SecureChannel {
+            key_name: key_name.to_string(),
+            session,
+            next_seq: 0,
+            highest_seen: None,
+            accepted: 0,
+            rejected_tag: 0,
+            rejected_replay: 0,
+        }
+    }
+
+    fn message_bytes(seq: u64, payload: &[u8]) -> Vec<u8> {
+        let mut m = Vec::with_capacity(8 + payload.len());
+        m.extend_from_slice(&seq.to_le_bytes());
+        m.extend_from_slice(payload);
+        m
+    }
+
+    /// Produces the next authenticated message. The MAC is computed inside
+    /// the TEE; this endpoint never sees the key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TeeError`] when the session or key is gone (e.g. after
+    /// a key-zeroisation countermeasure).
+    pub fn send(&mut self, tee: &Tee, payload: &[u8]) -> Result<AuthMessage, TeeError> {
+        let seq = self.next_seq;
+        let tag = tee.mac_with_key(self.session, &self.key_name, &Self::message_bytes(seq, payload))?;
+        self.next_seq += 1;
+        Ok(AuthMessage {
+            seq,
+            payload: payload.to_vec(),
+            tag,
+        })
+    }
+
+    /// Verifies an inbound message: tag first, then anti-replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`]; TEE failures surface as
+    /// [`RejectReason::BadTag`] (an endpoint without the key cannot accept
+    /// anything).
+    pub fn receive(&mut self, tee: &Tee, msg: &AuthMessage) -> Result<Vec<u8>, RejectReason> {
+        let expect = tee
+            .mac_with_key(
+                self.session,
+                &self.key_name,
+                &Self::message_bytes(msg.seq, &msg.payload),
+            )
+            .map_err(|_| RejectReason::BadTag)?;
+        if !cres_crypto::ct::ct_eq(&expect, &msg.tag) {
+            self.rejected_tag += 1;
+            return Err(RejectReason::BadTag);
+        }
+        if let Some(highest) = self.highest_seen {
+            if msg.seq <= highest {
+                self.rejected_replay += 1;
+                return Err(RejectReason::Replay {
+                    highest_seen: highest,
+                    offered: msg.seq,
+                });
+            }
+        }
+        self.highest_seen = Some(msg.seq);
+        self.accepted += 1;
+        Ok(msg.payload.clone())
+    }
+
+    /// `(accepted, bad-tag rejections, replay rejections)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.accepted, self.rejected_tag, self.rejected_replay)
+    }
+}
+
+/// A man-in-the-middle manipulation of an in-flight message, for tests and
+/// examples.
+pub fn mitm_tamper(msg: &AuthMessage, new_payload: &[u8]) -> AuthMessage {
+    AuthMessage {
+        seq: msg.seq,
+        payload: new_payload.to_vec(),
+        tag: msg.tag, // the attacker cannot recompute this
+    }
+}
+
+/// A naive forgery: the attacker MACs with a guessed key.
+pub fn mitm_forge(seq: u64, payload: &[u8], guessed_key: &[u8]) -> AuthMessage {
+    let mut m = Vec::with_capacity(8 + payload.len());
+    m.extend_from_slice(&seq.to_le_bytes());
+    m.extend_from_slice(payload);
+    AuthMessage {
+        seq,
+        payload: payload.to_vec(),
+        tag: HmacSha256::mac(guessed_key, &m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PlatformConfig, PlatformProfile};
+    use crate::provision::provision;
+
+    fn tee_with_channel_key() -> (Tee, SessionId) {
+        let p = provision(&PlatformConfig::new(PlatformProfile::CyberResilient, 606));
+        let mut tee = p.tee;
+        let session = tee.open_session("keystore").unwrap();
+        tee.store_key(session, "m2m-telemetry", b"channel key material")
+            .unwrap();
+        (tee, session)
+    }
+
+    #[test]
+    fn round_trip_accepts_in_order_messages() {
+        let (tee, session) = tee_with_channel_key();
+        let mut tx = SecureChannel::new(session, "m2m-telemetry");
+        let mut rx = SecureChannel::new(session, "m2m-telemetry");
+        for i in 0..10u8 {
+            let msg = tx.send(&tee, &[i; 16]).unwrap();
+            assert_eq!(rx.receive(&tee, &msg).unwrap(), vec![i; 16]);
+        }
+        assert_eq!(rx.stats(), (10, 0, 0));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (tee, session) = tee_with_channel_key();
+        let mut tx = SecureChannel::new(session, "m2m-telemetry");
+        let mut rx = SecureChannel::new(session, "m2m-telemetry");
+        let msg = tx.send(&tee, b"freq=50.01").unwrap();
+        let evil = mitm_tamper(&msg, b"freq=61.50");
+        assert_eq!(rx.receive(&tee, &evil), Err(RejectReason::BadTag));
+        // the genuine message still goes through
+        assert!(rx.receive(&tee, &msg).is_ok());
+        assert_eq!(rx.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn forged_message_rejected() {
+        let (tee, session) = tee_with_channel_key();
+        let mut rx = SecureChannel::new(session, "m2m-telemetry");
+        let forged = mitm_forge(0, b"open breaker", b"guessed-key");
+        assert_eq!(rx.receive(&tee, &forged), Err(RejectReason::BadTag));
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (tee, session) = tee_with_channel_key();
+        let mut tx = SecureChannel::new(session, "m2m-telemetry");
+        let mut rx = SecureChannel::new(session, "m2m-telemetry");
+        let m0 = tx.send(&tee, b"a").unwrap();
+        let m1 = tx.send(&tee, b"b").unwrap();
+        rx.receive(&tee, &m0).unwrap();
+        rx.receive(&tee, &m1).unwrap();
+        // replaying either is rejected with the replay reason
+        assert!(matches!(
+            rx.receive(&tee, &m0),
+            Err(RejectReason::Replay { offered: 0, .. })
+        ));
+        assert!(matches!(
+            rx.receive(&tee, &m1),
+            Err(RejectReason::Replay { offered: 1, .. })
+        ));
+        assert_eq!(rx.stats(), (2, 0, 2));
+    }
+
+    #[test]
+    fn reordering_is_treated_as_replay() {
+        // strict monotonicity: late delivery of an older message is refused
+        let (tee, session) = tee_with_channel_key();
+        let mut tx = SecureChannel::new(session, "m2m-telemetry");
+        let mut rx = SecureChannel::new(session, "m2m-telemetry");
+        let m0 = tx.send(&tee, b"a").unwrap();
+        let m1 = tx.send(&tee, b"b").unwrap();
+        rx.receive(&tee, &m1).unwrap();
+        assert!(matches!(rx.receive(&tee, &m0), Err(RejectReason::Replay { .. })));
+    }
+
+    #[test]
+    fn zeroised_keys_fail_closed() {
+        let (mut tee, session) = tee_with_channel_key();
+        let mut tx = SecureChannel::new(session, "m2m-telemetry");
+        let msg = tx.send(&tee, b"x").unwrap();
+        tee.zeroize_keys();
+        // sending and receiving both fail once the key is gone
+        assert!(tx.send(&tee, b"y").is_err());
+        let mut rx = SecureChannel::new(session, "m2m-telemetry");
+        assert_eq!(rx.receive(&tee, &msg), Err(RejectReason::BadTag));
+    }
+}

@@ -1,0 +1,475 @@
+//! The discrete-event scenario runner.
+//!
+//! Drives the full detect→respond→recover loop: workload tasks pump
+//! themselves through the simulator, monitors sample on their period, the
+//! SSM ingests and plans, the response manager executes, and recovery
+//! checks return the platform to health after a quiet window. Attacks are
+//! scheduled scripts of injector steps.
+
+use crate::config::PlatformConfig;
+use crate::metrics::{matching_incident_kinds, AttackOutcomeReport, RunReport};
+use crate::platform::Platform;
+use cres_attacks::AttackInjector;
+use cres_forensics::Timeline;
+use cres_sim::{SimDuration, SimTime, Simulator};
+use cres_soc::periph::{Packet, PacketKind};
+use cres_soc::soc::layout;
+use cres_soc::task::{control_loop_program, Criticality, Task, TaskId};
+use cres_ssm::{HealthState, ResponseAction};
+
+/// One scheduled attack.
+pub struct AttackSpec {
+    /// When the first step fires.
+    pub start: SimTime,
+    /// Interval between steps.
+    pub step_interval: SimDuration,
+    /// The injector.
+    pub injector: Box<dyn AttackInjector>,
+}
+
+/// A runnable scenario.
+pub struct Scenario {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Attacks to schedule.
+    pub attacks: Vec<AttackSpec>,
+    /// Period of benign background network traffic (None = no traffic).
+    pub benign_packet_period: Option<SimDuration>,
+    /// Pre-deployment syscall-model training rounds.
+    pub training_rounds: u32,
+    /// Install the default three-task workload (relay/telemetry/logger).
+    pub default_workload: bool,
+}
+
+impl Scenario {
+    /// An attack-free scenario of the given length.
+    pub fn quiet(duration: SimDuration) -> Self {
+        Scenario {
+            duration,
+            attacks: Vec::new(),
+            benign_packet_period: Some(SimDuration::cycles(2_000)),
+            training_rounds: 50,
+            default_workload: true,
+        }
+    }
+
+    /// Adds an attack starting at `start` with one step per
+    /// `step_interval`.
+    pub fn attack(
+        mut self,
+        start: SimTime,
+        step_interval: SimDuration,
+        injector: Box<dyn AttackInjector>,
+    ) -> Self {
+        self.attacks.push(AttackSpec {
+            start,
+            step_interval,
+            injector,
+        });
+        self
+    }
+}
+
+/// Runs scenarios against a platform configuration.
+pub struct ScenarioRunner {
+    config: PlatformConfig,
+}
+
+impl ScenarioRunner {
+    /// Creates a runner.
+    pub fn new(config: PlatformConfig) -> Self {
+        ScenarioRunner { config }
+    }
+
+    /// Installs the default workload: a critical protection-relay loop, a
+    /// best-effort telemetry loop and an important logger loop.
+    pub fn install_default_workload(platform: &mut Platform) {
+        let relay = Task::new(
+            TaskId(1),
+            "protection-relay",
+            control_loop_program(layout::FLASH_A.0, layout::SRAM.0, layout::PERIPH.0),
+            Criticality::Critical,
+        );
+        let telemetry = Task::new(
+            TaskId(2),
+            "telemetry",
+            control_loop_program(
+                layout::FLASH_A.0.offset(0x2000),
+                layout::SRAM.0.offset(0x2000),
+                layout::PERIPH.0.offset(0x200),
+            ),
+            Criticality::BestEffort,
+        );
+        let logger = Task::new(
+            TaskId(3),
+            "logger",
+            control_loop_program(
+                layout::FLASH_A.0.offset(0x4000),
+                layout::SRAM.0.offset(0x4000),
+                layout::PERIPH.0.offset(0x400),
+            ),
+            Criticality::Important,
+        );
+        platform.add_task(relay, 0);
+        platform.add_task(telemetry, 1);
+        platform.add_task(logger, 2);
+    }
+
+    /// Builds the platform, runs the scenario and scores the result.
+    pub fn run(self, scenario: Scenario) -> RunReport {
+        let mut platform = Platform::new(self.config);
+        if scenario.default_workload {
+            Self::install_default_workload(&mut platform);
+        }
+        if scenario.training_rounds > 0 {
+            platform.train_syscall_monitor(scenario.training_rounds);
+        }
+
+        let mut sim: Simulator<Platform> = Simulator::new();
+        let horizon = SimTime::ZERO + scenario.duration;
+
+        // Workload pumps.
+        for id in platform.soc.task_ids() {
+            pump_task(&mut sim, id, SimTime::at_cycle(1));
+        }
+
+        // Benign traffic.
+        if let Some(period) = scenario.benign_packet_period {
+            sim.schedule_periodic(period, |p, sim| {
+                let now = sim.now();
+                p.soc.deliver_packet(Packet {
+                    src: 2,
+                    dst: 1,
+                    len: 96,
+                    kind: PacketKind::Command,
+                    at: now,
+                });
+                p.soc.nic.send(Packet {
+                    src: 1,
+                    dst: 2,
+                    len: 128,
+                    kind: PacketKind::Telemetry,
+                    at: now,
+                });
+                while p.soc.nic.receive().is_some() {}
+                p.soc.irq.acknowledge(cres_soc::periph::IrqLine::NicRx);
+                true
+            });
+        }
+
+        // Monitor sampling + detect/respond/recover loop.
+        let recovery_window = self.config.recovery_window;
+        sim.schedule_periodic(self.config.monitor_period, move |p, sim| {
+            let now = sim.now();
+            let events = p.sample_monitors(now);
+            if events.is_empty() {
+                return true;
+            }
+            let plans = p.ingest_and_respond(now, events);
+            for plan in &plans {
+                let reboots = plan.actions.iter().any(|a| {
+                    matches!(
+                        a,
+                        ResponseAction::RebootSystem
+                            | ResponseAction::RollbackFirmware
+                            | ResponseAction::GoldenRecovery
+                    )
+                });
+                if reboots {
+                    p.ssm.record_recovery_started(now, "reboot/rollback recovery");
+                    let done = now + p.response.reboot_duration() + SimDuration::cycles(1);
+                    sim.schedule_at(done, move |p: &mut Platform, _| {
+                        p.update.record_boot_success();
+                        p.ssm.record_recovered(done);
+                    });
+                } else {
+                    // Quiet-window recovery: if no new incidents arrive
+                    // within the window, restore service.
+                    let incidents_now = p.ssm.incidents().len();
+                    sim.schedule_at(now + recovery_window, move |p: &mut Platform, sim| {
+                        if p.ssm.incidents().len() == incidents_now
+                            && p.ssm.health() != HealthState::Healthy
+                        {
+                            p.response.exit_degraded(&mut p.soc);
+                            p.response.restore_network(&mut p.soc);
+                            p.ssm.record_recovered(sim.now());
+                        }
+                    });
+                }
+            }
+            true
+        });
+
+        // Periodic Merkle audit seals over the evidence chain (an external
+        // auditor can then verify any single record without a full replay).
+        sim.schedule_periodic(SimDuration::cycles(250_000), |p, _| {
+            p.ssm.seal_evidence();
+            true
+        });
+
+        // Attacks.
+        for spec in scenario.attacks {
+            let idx = platform.add_attack(spec.injector);
+            let interval = spec.step_interval;
+            pump_attack(&mut sim, idx, spec.start, interval);
+        }
+
+        sim.run_until(&mut platform, horizon);
+
+        // Final drain so nothing observed goes unscored.
+        let events = platform.sample_monitors(horizon);
+        platform.ingest_and_respond(horizon, events);
+
+        Self::score(self.config, scenario.duration, platform)
+    }
+
+    fn score(config: PlatformConfig, duration: SimDuration, platform: Platform) -> RunReport {
+        let end = SimTime::ZERO + duration;
+        let mut attacks = Vec::new();
+        let mut ground_truth: Vec<SimTime> = Vec::new();
+        let mut attacker_wins = 0u32;
+        for idx in 0..platform.attack_count() {
+            let injector = platform.attack(idx);
+            let kind = injector.kind();
+            let times = injector.injection_times();
+            ground_truth.extend_from_slice(times);
+            let first_injection = times.first().copied();
+            let matching = matching_incident_kinds(kind);
+            let mut matching_incidents = 0u32;
+            let mut detected_at: Option<SimTime> = None;
+            if let Some(t0) = first_injection {
+                for incident in platform.ssm.incidents() {
+                    if incident.classified_at >= t0 && matching.contains(&incident.kind) {
+                        matching_incidents += 1;
+                        if detected_at.is_none() {
+                            detected_at = Some(incident.classified_at);
+                        }
+                    }
+                }
+            }
+            let (executed, achieved) = platform.attack_stats(idx);
+            attacker_wins += achieved;
+            attacks.push(AttackOutcomeReport {
+                name: injector.name().to_string(),
+                kind,
+                first_injection,
+                detected_at,
+                detection_latency: match (first_injection, detected_at) {
+                    (Some(a), Some(b)) => Some(b.saturating_since(a).as_cycles()),
+                    _ => None,
+                },
+                matching_incidents,
+                steps_achieved: achieved,
+                steps_executed: executed,
+            });
+        }
+
+        let timeline = Timeline::reconstruct(platform.ssm.evidence().records());
+        let tolerance = config.monitor_period.as_cycles() * 3 + 1_000;
+        let evidence_coverage = timeline.coverage(&ground_truth, tolerance);
+        let (total_events, total_incidents) = platform.ssm.correlation_stats();
+
+        RunReport {
+            profile: config.profile,
+            seed: config.seed,
+            duration_cycles: duration.as_cycles(),
+            boot_ok: platform.boot_report.booted(),
+            attacks,
+            total_events,
+            total_incidents,
+            availability: platform.ssm.health_tracker().service_availability(end),
+            final_health: platform.ssm.health(),
+            critical_steps: platform.critical_steps,
+            evidence_len: platform.ssm.evidence().len(),
+            evidence_chain_ok: platform.ssm.evidence().verify().is_ok(),
+            evidence_seals: platform.ssm.evidence().seals().len(),
+            evidence_coverage,
+            console_lines: platform.soc.uart.lines().len(),
+            monitor_overhead_cycles: platform.monitor_overhead_cycles,
+            reboots: platform.reboots,
+            attacker_wins,
+        }
+    }
+}
+
+/// Self-rescheduling task pump.
+fn pump_task(sim: &mut Simulator<Platform>, id: TaskId, at: SimTime) {
+    sim.schedule_labeled(at, "task-step", move |p: &mut Platform, sim| {
+        let next = match p.step_task_and_observe(id, sim.now()) {
+            Some(delay) => sim.now() + delay,
+            // halted/killed/in-reset: poll again later (response actions
+            // may restart the task)
+            None => sim.now() + SimDuration::cycles(2_000),
+        };
+        pump_task(sim, id, next);
+    });
+}
+
+/// Self-rescheduling attack pump.
+fn pump_attack(sim: &mut Simulator<Platform>, idx: usize, at: SimTime, interval: SimDuration) {
+    sim.schedule_labeled(at, "attack-step", move |p: &mut Platform, sim| {
+        if p.attack_step(idx, sim.now()).is_some() {
+            pump_attack(sim, idx, sim.now() + interval, interval);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformProfile;
+    use cres_attacks::{CodeInjectionAttack, NetworkFloodAttack, SensorSpoofAttack};
+    use cres_soc::periph::SensorSpoof;
+    use cres_soc::task::BlockId;
+
+    fn cfg(profile: PlatformProfile) -> PlatformConfig {
+        PlatformConfig::new(profile, 42)
+    }
+
+    #[test]
+    fn quiet_run_stays_healthy() {
+        let report = ScenarioRunner::new(cfg(PlatformProfile::CyberResilient))
+            .run(Scenario::quiet(SimDuration::cycles(300_000)));
+        assert!(report.boot_ok);
+        assert_eq!(report.total_incidents, 0, "false positives in quiet run");
+        assert_eq!(report.final_health, HealthState::Healthy);
+        assert!(report.availability > 0.999);
+        assert!(report.critical_steps > 100);
+        assert!(report.evidence_chain_ok);
+        assert_eq!(report.attacker_wins, 0);
+        assert!(report.evidence_seals >= 1, "no audit seals were taken");
+    }
+
+    #[test]
+    fn quiet_run_is_reproducible() {
+        let run = || {
+            ScenarioRunner::new(cfg(PlatformProfile::CyberResilient))
+                .run(Scenario::quiet(SimDuration::cycles(200_000)))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.critical_steps, b.critical_steps);
+        assert_eq!(a.total_events, b.total_events);
+        assert_eq!(a.evidence_len, b.evidence_len);
+    }
+
+    #[test]
+    fn code_injection_detected_on_cres() {
+        let scenario = Scenario::quiet(SimDuration::cycles(400_000)).attack(
+            SimTime::at_cycle(100_000),
+            SimDuration::cycles(5_000),
+            Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(3), 3)),
+        );
+        let report = ScenarioRunner::new(cfg(PlatformProfile::CyberResilient)).run(scenario);
+        assert_eq!(report.attacks.len(), 1);
+        assert!(report.attacks[0].detected(), "{:?}", report.attacks[0]);
+        let latency = report.attacks[0].detection_latency.unwrap();
+        assert!(latency <= 20_000, "latency {latency} too high");
+        assert!(report.evidence_chain_ok);
+        assert!(report.evidence_coverage > 0.5);
+    }
+
+    #[test]
+    fn code_injection_missed_on_baseline() {
+        let scenario = Scenario::quiet(SimDuration::cycles(400_000)).attack(
+            SimTime::at_cycle(100_000),
+            SimDuration::cycles(5_000),
+            Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(3), 3)),
+        );
+        let report = ScenarioRunner::new(cfg(PlatformProfile::PassiveTrust)).run(scenario);
+        assert!(!report.attacks[0].detected());
+        assert_eq!(report.total_incidents, 0);
+    }
+
+    #[test]
+    fn flood_detected_and_rate_limited() {
+        let scenario = Scenario::quiet(SimDuration::cycles(500_000)).attack(
+            SimTime::at_cycle(100_000),
+            SimDuration::cycles(2_000),
+            Box::new(NetworkFloodAttack::new(300, 10)),
+        );
+        let report = ScenarioRunner::new(cfg(PlatformProfile::CyberResilient)).run(scenario);
+        assert!(report.attacks[0].detected());
+        // active response: no reboot needed for a flood, and the critical
+        // relay keeps delivering service at the quiet-run rate
+        assert_eq!(report.reboots, 0);
+        let quiet = ScenarioRunner::new(cfg(PlatformProfile::CyberResilient))
+            .run(Scenario::quiet(SimDuration::cycles(500_000)));
+        let ratio = report.critical_steps as f64 / quiet.critical_steps as f64;
+        assert!(ratio > 0.95, "relay throughput dropped to {ratio}");
+    }
+
+    #[test]
+    fn system_hang_is_the_baselines_one_detection() {
+        // The watchdog path: both profiles detect a firmware crash, and the
+        // baseline's reboot actually restores service.
+        let scenario = || {
+            Scenario::quiet(SimDuration::cycles(1_500_000)).attack(
+                SimTime::at_cycle(300_000),
+                SimDuration::cycles(1_000),
+                Box::new(cres_attacks::SystemHangAttack::new()),
+            )
+        };
+        let passive =
+            ScenarioRunner::new(cfg(PlatformProfile::PassiveTrust)).run(scenario());
+        assert!(passive.attacks[0].detected(), "baseline watchdog missed the hang");
+        assert!(passive.reboots >= 1, "baseline never rebooted");
+        // service resumed after the reboot: steps continued past the hang
+        assert!(passive.critical_steps > 1_000);
+        let cres = ScenarioRunner::new(cfg(PlatformProfile::CyberResilient)).run(scenario());
+        assert!(cres.attacks[0].detected());
+    }
+
+    #[test]
+    fn taint_flow_detected_on_shared_topology() {
+        // DMA steals from tee_secure and stages into the peripheral window:
+        // on the shared topology the MPU grants it, but the taint monitor
+        // flags the secret→egress flow.
+        use cres_soc::soc::layout;
+        let scenario = Scenario::quiet(SimDuration::cycles(600_000)).attack(
+            SimTime::at_cycle(200_000),
+            SimDuration::cycles(5_000),
+            Box::new(cres_attacks::DmaExfilAttack::new(
+                layout::TEE_SECURE.0,
+                layout::PERIPH.0.offset(0x800),
+                64,
+            )),
+        );
+        let report = ScenarioRunner::new(cfg(PlatformProfile::TeeShared)).run(scenario);
+        assert!(report.attacks[0].detected());
+        // ground truth: the copy actually succeeded on this topology
+        assert!(report.attacks[0].steps_achieved > 0);
+    }
+
+    #[test]
+    fn escalation_marks_staged_campaigns() {
+        let scenario = Scenario::quiet(SimDuration::cycles(900_000))
+            .attack(
+                SimTime::at_cycle(200_000),
+                SimDuration::cycles(5_000),
+                Box::new(cres_attacks::NetworkFloodAttack::new(300, 3)),
+            )
+            .attack(
+                SimTime::at_cycle(260_000),
+                SimDuration::cycles(5_000),
+                Box::new(cres_attacks::MalformedTrafficAttack::new(5, 2)),
+            );
+        let report = ScenarioRunner::new(cfg(PlatformProfile::CyberResilient)).run(scenario);
+        assert!(report.attacks.iter().all(|a| a.detected()));
+        // second-kind incident inside the escalation window is escalated —
+        // verified at the unit level; here we confirm both kinds classified
+        assert!(report.total_incidents >= 2);
+    }
+
+    #[test]
+    fn sensor_spoof_detected_and_recovers() {
+        let scenario = Scenario::quiet(SimDuration::cycles(800_000)).attack(
+            SimTime::at_cycle(100_000),
+            SimDuration::cycles(1_000),
+            Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(60.0))),
+        );
+        let report = ScenarioRunner::new(cfg(PlatformProfile::CyberResilient)).run(scenario);
+        assert!(report.attacks[0].detected());
+        assert!(report.critical_steps > 0);
+    }
+}

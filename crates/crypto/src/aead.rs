@@ -1,0 +1,171 @@
+//! Authenticated encryption with associated data: AES-CTR + HMAC-SHA-256,
+//! composed encrypt-then-MAC.
+//!
+//! The MAC covers `aad || nonce || ciphertext || len(aad) as u64-be`, which
+//! prevents the classic AAD/ciphertext boundary-sliding ambiguity. Keys for
+//! the cipher and the MAC are derived from the caller's single key via HKDF
+//! with distinct `info` labels, so a key-separation mistake in calling code
+//! cannot alias them.
+
+use crate::aes::Aes;
+use crate::ct::ct_eq;
+use crate::hkdf;
+use crate::hmac::HmacSha256;
+use crate::modes::ctr_xor;
+use crate::CryptoError;
+
+/// Length of the authentication tag in bytes.
+pub const TAG_LEN: usize = 32;
+/// Length of the nonce in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// An encrypt-then-MAC AEAD instance bound to one key.
+///
+/// # Example
+///
+/// ```
+/// use cres_crypto::aead::Aead;
+/// let aead = Aead::new(b"device storage key");
+/// let nonce = [1u8; 12];
+/// let ct = aead.seal(&nonce, b"header", b"secret payload");
+/// let pt = aead.open(&nonce, b"header", &ct).unwrap();
+/// assert_eq!(pt, b"secret payload");
+/// assert!(aead.open(&nonce, b"other header", &ct).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aead {
+    cipher: Aes,
+    mac_key: Vec<u8>,
+}
+
+impl Aead {
+    /// Derives cipher and MAC subkeys from `key` and builds the instance.
+    ///
+    /// Any key length is accepted; it is stretched/compressed through HKDF.
+    pub fn new(key: &[u8]) -> Self {
+        let enc_key = hkdf::derive(b"cres-aead", key, b"enc", 32);
+        let mac_key = hkdf::derive(b"cres-aead", key, b"mac", 32);
+        Aead {
+            cipher: Aes::new(&enc_key).expect("32-byte key is valid"),
+            mac_key,
+        }
+    }
+
+    /// Encrypts `plaintext`, authenticating `aad` alongside it. Returns
+    /// `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        ctr_xor(&self.cipher, nonce, &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `ciphertext || tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] when the tag does not
+    /// match (tampered ciphertext, wrong nonce, wrong AAD or wrong key) and
+    /// [`CryptoError::MalformedInput`] when the input is shorter than a tag.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::MalformedInput("sealed input shorter than tag"));
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expect = self.tag(nonce, aad, ct);
+        if !ct_eq(&expect, tag) {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let mut pt = ct.to_vec();
+        ctr_xor(&self.cipher, nonce, &mut pt);
+        Ok(pt)
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(aad);
+        mac.update(nonce);
+        mac.update(ct);
+        mac.update(&(aad.len() as u64).to_be_bytes());
+        mac.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let aead = Aead::new(b"k");
+        let nonce = [9u8; 12];
+        for len in [0, 1, 16, 17, 1000] {
+            let pt: Vec<u8> = (0..len as u32).map(|i| (i % 250) as u8).collect();
+            let ct = aead.seal(&nonce, b"aad", &pt);
+            assert_eq!(ct.len(), pt.len() + TAG_LEN);
+            assert_eq!(aead.open(&nonce, b"aad", &ct).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn tamper_any_byte_fails() {
+        let aead = Aead::new(b"k");
+        let nonce = [0u8; 12];
+        let ct = aead.seal(&nonce, b"", b"0123456789");
+        for i in 0..ct.len() {
+            let mut bad = ct.clone();
+            bad[i] ^= 1;
+            assert!(
+                matches!(aead.open(&nonce, b"", &bad), Err(CryptoError::VerificationFailed)),
+                "byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_aad_or_nonce_fails() {
+        let aead = Aead::new(b"k");
+        let ct = aead.seal(&[1u8; 12], b"aad", b"data");
+        assert!(aead.open(&[1u8; 12], b"bad", &ct).is_err());
+        assert!(aead.open(&[2u8; 12], b"aad", &ct).is_err());
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let a = Aead::new(b"k1");
+        let b = Aead::new(b"k2");
+        let ct = a.seal(&[0u8; 12], b"", b"data");
+        assert!(b.open(&[0u8; 12], b"", &ct).is_err());
+    }
+
+    #[test]
+    fn aad_boundary_is_unambiguous() {
+        // (aad="ab", pt="c...") must not collide with (aad="a", pt="bc...").
+        let aead = Aead::new(b"k");
+        let nonce = [0u8; 12];
+        let ct1 = aead.seal(&nonce, b"ab", b"");
+        assert!(aead.open(&nonce, b"a", &ct1).is_err());
+    }
+
+    #[test]
+    fn too_short_input_is_malformed() {
+        let aead = Aead::new(b"k");
+        assert!(matches!(
+            aead.open(&[0u8; 12], b"", &[0u8; 31]),
+            Err(CryptoError::MalformedInput(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_same_inputs() {
+        let a = Aead::new(b"k");
+        let b = Aead::new(b"k");
+        assert_eq!(a.seal(&[5u8; 12], b"x", b"y"), b.seal(&[5u8; 12], b"x", b"y"));
+    }
+}

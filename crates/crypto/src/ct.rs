@@ -1,0 +1,99 @@
+//! Constant-time comparison helpers.
+//!
+//! Authentication-tag and signature comparisons must not leak how many
+//! leading bytes matched; these helpers accumulate a difference mask over
+//! the whole input before deciding.
+
+/// Compares two byte slices in time independent of where they differ.
+///
+/// Slices of different lengths compare unequal (the length check itself is
+/// not secret — lengths are public in every protocol this crate serves).
+///
+/// # Example
+///
+/// ```
+/// use cres_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tagg"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff: u8 = 0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse to 0/1 without a data-dependent branch.
+    diff == 0
+}
+
+/// Conditionally selects `a` (when `choice` is true) or `b` without
+/// branching on `choice` per element.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn ct_select(choice: bool, a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "ct_select requires equal lengths");
+    let mask = (choice as u8).wrapping_neg(); // 0xFF or 0x00
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x & mask) | (y & !mask))
+        .collect()
+}
+
+/// Zeroises a buffer. A best-effort `write_volatile` keeps the compiler from
+/// eliding the wipes that key-zeroisation countermeasures rely on.
+pub fn zeroize(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        // SAFETY: `b` is a valid, aligned, exclusive reference.
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+    std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+    }
+
+    #[test]
+    fn eq_detects_difference_anywhere() {
+        let a = vec![7u8; 64];
+        for i in 0..64 {
+            let mut b = a.clone();
+            b[i] ^= 1;
+            assert!(!ct_eq(&a, &b), "difference at {i} missed");
+        }
+    }
+
+    #[test]
+    fn select_picks_correctly() {
+        assert_eq!(ct_select(true, b"aaa", b"bbb"), b"aaa");
+        assert_eq!(ct_select(false, b"aaa", b"bbb"), b"bbb");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn select_rejects_mismatched_lengths() {
+        let _ = ct_select(true, b"a", b"bb");
+    }
+
+    #[test]
+    fn zeroize_clears() {
+        let mut buf = vec![0xAAu8; 32];
+        zeroize(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

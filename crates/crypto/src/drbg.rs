@@ -1,0 +1,180 @@
+//! HMAC-DRBG (NIST SP 800-90A) over HMAC-SHA-256.
+//!
+//! The platform's deterministic source of key material: device provisioning
+//! derives per-device keys from an OTP seed, and RSA key generation in
+//! [`crate::rsa`] draws candidate primes from a DRBG so experiments are
+//! reproducible.
+
+use crate::hmac::HmacSha256;
+
+/// An HMAC-DRBG instance.
+///
+/// # Example
+///
+/// ```
+/// use cres_crypto::drbg::HmacDrbg;
+/// let mut a = HmacDrbg::new(b"seed", b"personalization");
+/// let mut b = HmacDrbg::new(b"seed", b"personalization");
+/// assert_eq!(a.generate(32), b.generate(32));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacDrbg {
+    key: [u8; 32],
+    value: [u8; 32],
+    reseed_counter: u64,
+}
+
+impl HmacDrbg {
+    /// Instantiates the DRBG from entropy input and a personalization
+    /// string.
+    pub fn new(entropy: &[u8], personalization: &[u8]) -> Self {
+        let mut drbg = HmacDrbg {
+            key: [0u8; 32],
+            value: [1u8; 32],
+            reseed_counter: 1,
+        };
+        let mut seed = Vec::with_capacity(entropy.len() + personalization.len());
+        seed.extend_from_slice(entropy);
+        seed.extend_from_slice(personalization);
+        drbg.update(Some(&seed));
+        drbg
+    }
+
+    /// Mixes additional entropy into the state.
+    pub fn reseed(&mut self, entropy: &[u8]) {
+        self.update(Some(entropy));
+        self.reseed_counter = 1;
+    }
+
+    /// Generates `len` pseudorandom bytes.
+    pub fn generate(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            self.value = HmacSha256::mac(&self.key, &self.value);
+            let take = (len - out.len()).min(32);
+            out.extend_from_slice(&self.value[..take]);
+        }
+        self.update(None);
+        self.reseed_counter += 1;
+        out
+    }
+
+    /// Fills `buf` with pseudorandom bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        let bytes = self.generate(buf.len());
+        buf.copy_from_slice(&bytes);
+    }
+
+    /// Generates a uniformly random value below `bound` using rejection
+    /// sampling on 64-bit chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let mut b = [0u8; 8];
+            self.fill(&mut b);
+            let v = u64::from_be_bytes(b);
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// SP 800-90A HMAC_DRBG_Update.
+    fn update(&mut self, provided: Option<&[u8]>) {
+        let mut mac = HmacSha256::new(&self.key);
+        mac.update(&self.value);
+        mac.update(&[0x00]);
+        if let Some(p) = provided {
+            mac.update(p);
+        }
+        self.key = mac.finalize();
+        self.value = HmacSha256::mac(&self.key, &self.value);
+        if let Some(p) = provided {
+            let mut mac = HmacSha256::new(&self.key);
+            mac.update(&self.value);
+            mac.update(&[0x01]);
+            mac.update(p);
+            self.key = mac.finalize();
+            self.value = HmacSha256::mac(&self.key, &self.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = HmacDrbg::new(b"entropy", b"p13n");
+        let mut b = HmacDrbg::new(b"entropy", b"p13n");
+        assert_eq!(a.generate(100), b.generate(100));
+        assert_eq!(a.generate(7), b.generate(7));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = HmacDrbg::new(b"e1", b"");
+        let mut b = HmacDrbg::new(b"e2", b"");
+        assert_ne!(a.generate(32), b.generate(32));
+    }
+
+    #[test]
+    fn personalization_matters() {
+        let mut a = HmacDrbg::new(b"e", b"p1");
+        let mut b = HmacDrbg::new(b"e", b"p2");
+        assert_ne!(a.generate(32), b.generate(32));
+    }
+
+    #[test]
+    fn successive_outputs_differ() {
+        let mut d = HmacDrbg::new(b"e", b"");
+        let x = d.generate(32);
+        let y = d.generate(32);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn reseed_changes_stream() {
+        let mut a = HmacDrbg::new(b"e", b"");
+        let mut b = HmacDrbg::new(b"e", b"");
+        let _ = a.generate(16);
+        let _ = b.generate(16);
+        a.reseed(b"fresh");
+        assert_ne!(a.generate(32), b.generate(32));
+    }
+
+    #[test]
+    fn bounded_generation_respects_bound() {
+        let mut d = HmacDrbg::new(b"e", b"");
+        for _ in 0..1000 {
+            assert!(d.gen_u64_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn bounded_generation_covers_range() {
+        let mut d = HmacDrbg::new(b"e", b"");
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[d.gen_u64_below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn output_distribution_rough_uniformity() {
+        // Each bit should be set roughly half the time.
+        let mut d = HmacDrbg::new(b"stat", b"");
+        let bytes = d.generate(10_000);
+        let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        let total = 10_000 * 8;
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.02, "bit fraction {frac}");
+    }
+}

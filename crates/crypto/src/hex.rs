@@ -1,0 +1,84 @@
+//! Hexadecimal encoding and decoding helpers.
+//!
+//! Used pervasively by tests (known-answer vectors) and by forensic report
+//! rendering.
+
+use crate::CryptoError;
+
+/// Encodes bytes as a lowercase hex string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cres_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
+        s.push(char::from_digit(u32::from(b & 0xf), 16).unwrap());
+    }
+    s
+}
+
+/// Decodes a hex string (upper or lower case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::MalformedInput`] if the string has odd length or
+/// contains a non-hex character.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cres_crypto::hex::decode("DEad").unwrap(), vec![0xde, 0xad]);
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(CryptoError::MalformedInput("odd-length hex string"));
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::MalformedInput("non-hex character"))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(CryptoError::MalformedInput("non-hex character"))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn case_insensitive_decode() {
+        assert_eq!(decode("aAbB").unwrap(), vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert!(matches!(decode("abc"), Err(CryptoError::MalformedInput(_))));
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert!(matches!(decode("zz"), Err(CryptoError::MalformedInput(_))));
+    }
+}

@@ -1,0 +1,110 @@
+//! HKDF (RFC 5869) extract-and-expand key derivation over HMAC-SHA-256.
+//!
+//! Used by the platform to derive per-purpose keys (evidence-chain key,
+//! firmware-image MAC key, TEE storage key) from a single device root key —
+//! the "strong trust anchor" the paper's PROTECT function calls for.
+
+use crate::hmac::HmacSha256;
+
+/// Performs the HKDF-Extract step, producing a pseudorandom key.
+///
+/// An empty salt behaves as a zero-filled hash-length salt, per the RFC.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    let salt: &[u8] = if salt.is_empty() { &[0u8; 32] } else { salt };
+    HmacSha256::mac(salt, ikm)
+}
+
+/// Performs the HKDF-Expand step.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (the RFC 5869 limit).
+pub fn expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF output limit exceeded");
+    let mut okm = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter: u8 = 1;
+    while okm.len() < len {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        t = h.finalize().to_vec();
+        let take = (len - okm.len()).min(32);
+        okm.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    okm
+}
+
+/// One-call HKDF: extract then expand.
+///
+/// # Example
+///
+/// ```
+/// let key = cres_crypto::hkdf::derive(b"salt", b"device-root-key", b"evidence-chain", 32);
+/// assert_eq!(key.len(), 32);
+/// ```
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = hex::decode("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b").unwrap();
+        let salt = hex::decode("000102030405060708090a0b0c").unwrap();
+        let info = hex::decode("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (empty salt and info).
+    #[test]
+    fn rfc5869_case3_empty_salt_info() {
+        let ikm = [0x0b; 22];
+        let okm = derive(b"", &ikm, b"", 42);
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn distinct_info_distinct_keys() {
+        let a = derive(b"s", b"root", b"purpose-a", 32);
+        let b = derive(b"s", b"root", b"purpose-b", 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn long_output_is_deterministic() {
+        let a = derive(b"s", b"root", b"x", 100);
+        let b = derive(b"s", b"root", b"x", 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        // prefix property: shorter derivation is a prefix of longer
+        let c = derive(b"s", b"root", b"x", 40);
+        assert_eq!(&a[..40], &c[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output limit")]
+    fn over_limit_panics() {
+        let prk = extract(b"", b"ikm");
+        let _ = expand(&prk, b"", 255 * 32 + 1);
+    }
+}

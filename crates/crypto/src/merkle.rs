@@ -1,0 +1,224 @@
+//! Merkle trees with inclusion proofs.
+//!
+//! The forensic evidence store periodically seals a batch of evidence
+//! records under a Merkle root so that an auditor can verify any single
+//! record's inclusion without replaying the whole chain. Leaves and interior
+//! nodes are domain-separated (`0x00` / `0x01` prefixes) to prevent
+//! second-preimage splicing attacks.
+
+use crate::sha2::Sha256;
+
+/// A 32-byte node hash.
+pub type NodeHash = [u8; 32];
+
+/// A Merkle tree over a list of byte-string leaves.
+///
+/// # Example
+///
+/// ```
+/// use cres_crypto::merkle::MerkleTree;
+/// let leaves: Vec<&[u8]> = vec![b"a", b"b", b"c"];
+/// let tree = MerkleTree::build(leaves.iter().copied());
+/// let proof = tree.prove(1).unwrap();
+/// assert!(MerkleTree::verify(&tree.root(), b"b", &proof));
+/// assert!(!MerkleTree::verify(&tree.root(), b"x", &proof));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    // levels[0] = leaf hashes, levels.last() = [root]
+    levels: Vec<Vec<NodeHash>>,
+}
+
+/// One step of an inclusion proof: the sibling hash and which side it is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling node's hash.
+    pub sibling: NodeHash,
+    /// True when the sibling is on the right of the path node.
+    pub sibling_on_right: bool,
+}
+
+/// An inclusion proof from a leaf to the root.
+pub type InclusionProof = Vec<ProofStep>;
+
+fn hash_leaf(data: &[u8]) -> NodeHash {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(data);
+    h.finalize()
+}
+
+fn hash_node(left: &NodeHash, right: &NodeHash) -> NodeHash {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaves. An odd node at any level is
+    /// promoted by pairing it with itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `leaves` is empty — an empty tree has no meaningful root.
+    pub fn build<'a>(leaves: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        let leaf_hashes: Vec<NodeHash> = leaves.into_iter().map(hash_leaf).collect();
+        assert!(!leaf_hashes.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = vec![leaf_hashes];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left);
+                next.push(hash_node(left, right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root hash.
+    pub fn root(&self) -> NodeHash {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Produces an inclusion proof for leaf `index`, or `None` when out of
+    /// range.
+    pub fn prove(&self, index: usize) -> Option<InclusionProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut proof = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
+            let sibling = *level.get(sibling_idx).unwrap_or(&level[idx]);
+            proof.push(ProofStep {
+                sibling,
+                sibling_on_right: idx.is_multiple_of(2),
+            });
+            idx /= 2;
+        }
+        Some(proof)
+    }
+
+    /// Verifies that `leaf_data` is included under `root` via `proof`.
+    #[must_use]
+    pub fn verify(root: &NodeHash, leaf_data: &[u8], proof: &InclusionProof) -> bool {
+        let mut acc = hash_leaf(leaf_data);
+        for step in proof {
+            acc = if step.sibling_on_right {
+                hash_node(&acc, &step.sibling)
+            } else {
+                hash_node(&step.sibling, &acc)
+            };
+        }
+        &acc == root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = MerkleTree::build([b"only".as_slice()]);
+        assert_eq!(tree.leaf_count(), 1);
+        let proof = tree.prove(0).unwrap();
+        assert!(proof.is_empty());
+        assert!(MerkleTree::verify(&tree.root(), b"only", &proof));
+    }
+
+    #[test]
+    fn all_proofs_verify_various_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let data = leaves(n);
+            let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+            for (i, leaf) in data.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(
+                    MerkleTree::verify(&tree.root(), leaf, &proof),
+                    "n={n} leaf={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+        let proof = tree.prove(3).unwrap();
+        assert!(!MerkleTree::verify(&tree.root(), b"leaf-4", &proof));
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_root() {
+        let data = leaves(4);
+        let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+        let proof = tree.prove(0).unwrap();
+        let mut bad_root = tree.root();
+        bad_root[0] ^= 1;
+        assert!(!MerkleTree::verify(&bad_root, b"leaf-0", &proof));
+    }
+
+    #[test]
+    fn proof_fails_when_tampered() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+        let mut proof = tree.prove(2).unwrap();
+        proof[1].sibling[5] ^= 1;
+        assert!(!MerkleTree::verify(&tree.root(), b"leaf-2", &proof));
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let data = leaves(3);
+        let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+        assert!(tree.prove(3).is_none());
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let base = leaves(6);
+        let tree = MerkleTree::build(base.iter().map(|v| v.as_slice()));
+        for i in 0..6 {
+            let mut changed = base.clone();
+            changed[i][0] ^= 1;
+            let t2 = MerkleTree::build(changed.iter().map(|v| v.as_slice()));
+            assert_ne!(tree.root(), t2.root(), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn leaf_interior_domain_separation() {
+        // A tree over [h] where h encodes an interior node must not equal
+        // the parent of that interior node — the 0x00/0x01 prefixes prevent
+        // the classic splice.
+        let a = hash_leaf(b"a");
+        let b = hash_leaf(b"b");
+        let interior = hash_node(&a, &b);
+        let tree_over_interior = MerkleTree::build([interior.as_slice()]);
+        let two_leaf_tree = MerkleTree::build([b"a".as_slice(), b"b".as_slice()]);
+        assert_ne!(tree_over_interior.root(), two_leaf_tree.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_tree_panics() {
+        let _ = MerkleTree::build(std::iter::empty::<&[u8]>());
+    }
+}

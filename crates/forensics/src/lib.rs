@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Cyber forensics over the SSM's evidence export.
+//!
+//! The paper's motivation for evidence continuity is *forensics*: "to gain
+//! evidence of the security breach to effectively evaluate, improve and
+//! deploy active response and mitigation strategies". This crate is the
+//! analyst's side of that loop:
+//!
+//! * [`timeline`] — reconstructs an attack timeline from an evidence
+//!   export, segments it into phases and measures **coverage** against
+//!   ground truth (the E6 metric),
+//! * [`report`] — generates a breach report: chain-integrity verdict,
+//!   incident inventory, response/recovery audit and the reconstructed
+//!   timeline, rendered as text.
+
+pub mod report;
+pub mod timeline;
+
+pub use report::BreachReport;
+pub use timeline::{Phase, Timeline, TimelineEntry};

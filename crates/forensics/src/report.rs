@@ -1,0 +1,191 @@
+//! Breach report generation.
+
+use crate::timeline::{Phase, Timeline};
+use cres_ssm::{ChainError, EvidenceRecord, EvidenceStore};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A generated breach report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BreachReport {
+    /// Chain-integrity verdict (`None` = intact, `Some` = first failure).
+    pub integrity_failure: Option<String>,
+    /// Total evidence records examined.
+    pub total_records: usize,
+    /// Record counts per category.
+    pub by_category: BTreeMap<String, usize>,
+    /// Extracted incident payload lines.
+    pub incidents: Vec<String>,
+    /// Extracted response payload lines with their outcomes.
+    pub responses: Vec<String>,
+    /// Whether a completed recovery is on record.
+    pub recovered: bool,
+    /// The reconstructed timeline.
+    pub timeline: Timeline,
+}
+
+impl BreachReport {
+    /// Generates a report from an evidence export, verifying the chain
+    /// under `key` first.
+    pub fn generate(key: &[u8], records: &[EvidenceRecord]) -> Self {
+        let integrity_failure = match EvidenceStore::verify_export(key, records) {
+            Ok(()) => None,
+            Err(e @ ChainError::BadMac(_))
+            | Err(e @ ChainError::BrokenLink(_))
+            | Err(e @ ChainError::BadSequence { .. }) => Some(e.to_string()),
+        };
+        let mut by_category: BTreeMap<String, usize> = BTreeMap::new();
+        for r in records {
+            *by_category.entry(r.category.clone()).or_default() += 1;
+        }
+        let incidents = records
+            .iter()
+            .filter(|r| r.category == "incident")
+            .map(|r| r.payload.clone())
+            .collect();
+        let responses = records
+            .iter()
+            .filter(|r| r.category == "response")
+            .map(|r| r.payload.clone())
+            .collect();
+        let recovered = records
+            .iter()
+            .any(|r| r.category == "recovery" && r.payload.starts_with("completed"));
+        BreachReport {
+            integrity_failure,
+            total_records: records.len(),
+            by_category,
+            incidents,
+            responses,
+            recovered,
+            timeline: Timeline::reconstruct(records),
+        }
+    }
+
+    /// True when the chain verified intact.
+    pub fn chain_intact(&self) -> bool {
+        self.integrity_failure.is_none()
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("==== CRES BREACH REPORT ====\n");
+        out.push_str(&format!(
+            "chain integrity : {}\n",
+            match &self.integrity_failure {
+                None => "INTACT".to_string(),
+                Some(e) => format!("VIOLATED ({e})"),
+            }
+        ));
+        out.push_str(&format!("records         : {}\n", self.total_records));
+        for (cat, n) in &self.by_category {
+            out.push_str(&format!("  {cat:<14}: {n}\n"));
+        }
+        out.push_str(&format!("incidents       : {}\n", self.incidents.len()));
+        for i in &self.incidents {
+            out.push_str(&format!("  - {i}\n"));
+        }
+        out.push_str(&format!("responses       : {}\n", self.responses.len()));
+        for r in &self.responses {
+            out.push_str(&format!("  - {r}\n"));
+        }
+        out.push_str(&format!(
+            "recovery        : {}\n",
+            if self.recovered { "COMPLETED" } else { "NOT COMPLETED" }
+        ));
+        out.push_str("---- timeline ----\n");
+        out.push_str(&self.timeline.render());
+        out
+    }
+
+    /// Number of attack-phase entries — a quick "how much of the attack did
+    /// we capture" figure.
+    pub fn attack_entries(&self) -> usize {
+        self.timeline.in_phase(Phase::Attack).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_sim::SimTime;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::at_cycle(c)
+    }
+
+    fn store() -> EvidenceStore {
+        let mut s = EvidenceStore::new(b"report-key");
+        s.append(t(1), "bus-policy", "ok");
+        s.append(t(50), "cfi", "illegal edge");
+        s.append(t(51), "incident", "#0 CodeInjection severity=Critical");
+        s.append(t(60), "response", "KillTask(task#1): executed");
+        s.append(t(100), "recovery", "started: restart");
+        s.append(t(200), "recovery", "completed; observation window quiet");
+        s
+    }
+
+    #[test]
+    fn intact_chain_reports_intact() {
+        let s = store();
+        let report = BreachReport::generate(b"report-key", s.records());
+        assert!(report.chain_intact());
+        assert_eq!(report.total_records, 6);
+        assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.responses.len(), 1);
+        assert!(report.recovered);
+        assert_eq!(report.by_category["recovery"], 2);
+        assert_eq!(report.attack_entries(), 1);
+    }
+
+    #[test]
+    fn tampered_chain_reports_violation() {
+        let mut s = store();
+        s.records_mut_for_attack()[2].payload = "#0 Nothing happened".into();
+        let report = BreachReport::generate(b"report-key", s.records());
+        assert!(!report.chain_intact());
+        assert!(report.integrity_failure.as_ref().unwrap().contains("record 2"));
+    }
+
+    #[test]
+    fn wrong_key_reports_violation() {
+        let s = store();
+        let report = BreachReport::generate(b"wrong", s.records());
+        assert!(!report.chain_intact());
+    }
+
+    #[test]
+    fn incomplete_recovery_is_flagged() {
+        let mut s = EvidenceStore::new(b"k");
+        s.append(t(1), "incident", "#0 Exfiltration severity=Critical");
+        s.append(t(2), "recovery", "started: rollback");
+        let report = BreachReport::generate(b"k", s.records());
+        assert!(!report.recovered);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let s = store();
+        let text = BreachReport::generate(b"report-key", s.records()).render();
+        for needle in [
+            "CRES BREACH REPORT",
+            "INTACT",
+            "CodeInjection",
+            "KillTask",
+            "COMPLETED",
+            "timeline",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn empty_export_renders() {
+        let report = BreachReport::generate(b"k", &[]);
+        assert!(report.chain_intact());
+        assert_eq!(report.total_records, 0);
+        assert!(!report.recovered);
+        assert!(report.render().contains("records         : 0"));
+    }
+}

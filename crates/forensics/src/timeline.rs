@@ -1,0 +1,237 @@
+//! Attack-timeline reconstruction from evidence records.
+
+use cres_sim::SimTime;
+use cres_ssm::EvidenceRecord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which phase of the incident lifecycle an entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Before the first classified incident.
+    PreIncident,
+    /// From the first incident until the first response action.
+    Attack,
+    /// From the first response until recovery starts.
+    Response,
+    /// From recovery start until recovery completion.
+    Recovery,
+    /// After recovery completed.
+    PostRecovery,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One reconstructed timeline entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Evidence sequence number.
+    pub seq: u64,
+    /// Source category (monitor name, `"incident"`, `"response"`, …).
+    pub category: String,
+    /// Payload text.
+    pub detail: String,
+    /// Assigned lifecycle phase.
+    pub phase: Phase,
+}
+
+/// A reconstructed timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Reconstructs a timeline from an evidence export (assumed
+    /// chain-verified by the caller; see
+    /// [`cres_ssm::EvidenceStore::verify_export`]).
+    pub fn reconstruct(records: &[EvidenceRecord]) -> Self {
+        let first_incident = records.iter().find(|r| r.category == "incident").map(|r| r.at);
+        let first_response = records.iter().find(|r| r.category == "response").map(|r| r.at);
+        let recovery_start = records
+            .iter()
+            .find(|r| r.category == "recovery" && r.payload.starts_with("started"))
+            .map(|r| r.at);
+        let recovery_end = records
+            .iter()
+            .find(|r| r.category == "recovery" && r.payload.starts_with("completed"))
+            .map(|r| r.at);
+
+        let phase_of = |at: SimTime| -> Phase {
+            if let Some(end) = recovery_end {
+                if at > end {
+                    return Phase::PostRecovery;
+                }
+            }
+            if let Some(start) = recovery_start {
+                if at >= start {
+                    return Phase::Recovery;
+                }
+            }
+            if let Some(resp) = first_response {
+                if at >= resp {
+                    return Phase::Response;
+                }
+            }
+            if let Some(inc) = first_incident {
+                if at >= inc {
+                    return Phase::Attack;
+                }
+            }
+            Phase::PreIncident
+        };
+
+        let entries = records
+            .iter()
+            .map(|r| TimelineEntry {
+                at: r.at,
+                seq: r.seq,
+                category: r.category.clone(),
+                detail: r.payload.clone(),
+                phase: phase_of(r.at),
+            })
+            .collect();
+        Timeline { entries }
+    }
+
+    /// All entries in chain order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Entries in a given phase.
+    pub fn in_phase(&self, phase: Phase) -> impl Iterator<Item = &TimelineEntry> {
+        self.entries.iter().filter(move |e| e.phase == phase)
+    }
+
+    /// The span `(first, last)` of the timeline, `None` when empty.
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        Some((self.entries.first()?.at, self.entries.last()?.at))
+    }
+
+    /// **The E6 metric.** Fraction of ground-truth attack instants that
+    /// have at least one evidence entry within `tolerance` cycles.
+    pub fn coverage(&self, ground_truth: &[SimTime], tolerance: u64) -> f64 {
+        if ground_truth.is_empty() {
+            return 1.0;
+        }
+        let covered = ground_truth
+            .iter()
+            .filter(|t| {
+                self.entries.iter().any(|e| {
+                    e.at.cycle().abs_diff(t.cycle()) <= tolerance
+                })
+            })
+            .count();
+        covered as f64 / ground_truth.len() as f64
+    }
+
+    /// Renders the timeline as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut current_phase: Option<Phase> = None;
+        for e in &self.entries {
+            if current_phase != Some(e.phase) {
+                out.push_str(&format!("--- {} ---\n", e.phase));
+                current_phase = Some(e.phase);
+            }
+            out.push_str(&format!("  {} #{:<4} [{}] {}\n", e.at, e.seq, e.category, e.detail));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_ssm::EvidenceStore;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::at_cycle(c)
+    }
+
+    /// Builds a realistic evidence export covering a full lifecycle.
+    fn lifecycle_store() -> EvidenceStore {
+        let mut s = EvidenceStore::new(b"k");
+        s.append(t(10), "bus-policy", "benign read");
+        s.append(t(20), "bus-policy", "benign write");
+        s.append(t(100), "cfi", "illegal edge bb0 -> bb7");
+        s.append(t(101), "incident", "#0 CodeInjection severity=Critical");
+        s.append(t(110), "cfi", "illegal edge bb7 -> bb9");
+        s.append(t(120), "response", "KillTask(task#1): executed");
+        s.append(t(125), "response", "EnterDegradedMode: executed");
+        s.append(t(200), "recovery", "started: restart from clean image");
+        s.append(t(300), "recovery", "completed; observation window quiet");
+        s.append(t(400), "bus-policy", "benign read");
+        s
+    }
+
+    #[test]
+    fn phases_are_assigned_correctly() {
+        let s = lifecycle_store();
+        let tl = Timeline::reconstruct(s.records());
+        // the detection at t=100 precedes the incident record at t=101 and
+        // is therefore classified pre-incident; phases are keyed off the
+        // incident/response/recovery records
+        assert_eq!(tl.in_phase(Phase::PreIncident).count(), 3);
+        assert_eq!(tl.in_phase(Phase::Attack).count(), 2); // incident, cfi
+        assert_eq!(tl.in_phase(Phase::Response).count(), 2);
+        assert_eq!(tl.in_phase(Phase::Recovery).count(), 2);
+        assert_eq!(tl.in_phase(Phase::PostRecovery).count(), 1);
+    }
+
+    #[test]
+    fn span_and_order() {
+        let s = lifecycle_store();
+        let tl = Timeline::reconstruct(s.records());
+        assert_eq!(tl.span(), Some((t(10), t(400))));
+        assert_eq!(tl.entries().len(), 10);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline::reconstruct(&[]);
+        assert!(tl.entries().is_empty());
+        assert_eq!(tl.span(), None);
+        assert_eq!(tl.coverage(&[], 10), 1.0);
+    }
+
+    #[test]
+    fn no_incident_means_all_preincident() {
+        let mut s = EvidenceStore::new(b"k");
+        s.append(t(1), "bus-policy", "x");
+        s.append(t(2), "sensor", "y");
+        let tl = Timeline::reconstruct(s.records());
+        assert!(tl.entries().iter().all(|e| e.phase == Phase::PreIncident));
+    }
+
+    #[test]
+    fn coverage_full_and_partial() {
+        let s = lifecycle_store();
+        let tl = Timeline::reconstruct(s.records());
+        // ground truth: attack steps at 100 and 110 — both evidenced
+        assert_eq!(tl.coverage(&[t(100), t(110)], 5), 1.0);
+        // an unobserved step at t=5000
+        let c = tl.coverage(&[t(100), t(110), t(5000)], 5);
+        assert!((c - 2.0 / 3.0).abs() < 1e-9);
+        // zero coverage for a wiped store
+        let empty = Timeline::reconstruct(&[]);
+        assert_eq!(empty.coverage(&[t(100)], 5), 0.0);
+    }
+
+    #[test]
+    fn render_contains_phases_and_details() {
+        let s = lifecycle_store();
+        let tl = Timeline::reconstruct(s.records());
+        let text = tl.render();
+        for needle in ["PreIncident", "Attack", "Response", "Recovery", "PostRecovery", "illegal edge", "KillTask"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Monitor event types and the [`ResourceMonitor`] trait.
+
+use cres_policy::DetectionCapability;
+use cres_sim::SimTime;
+use cres_soc::addr::{MasterId, RegionId};
+use cres_soc::task::TaskId;
+use cres_soc::Soc;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How serious an observation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Routine telemetry.
+    Info,
+    /// Unusual but possibly benign.
+    Warning,
+    /// Strong indication of malicious activity.
+    Alert,
+    /// Unambiguous compromise or safety hazard.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// What resource an event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Subject {
+    /// A bus master.
+    Master(MasterId),
+    /// A software task.
+    Task(TaskId),
+    /// A memory region.
+    Region(RegionId),
+    /// The network interface.
+    Network,
+    /// Physical sensor by index.
+    Sensor(usize),
+    /// The environmental block.
+    Environment,
+    /// The platform as a whole.
+    Platform,
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::Master(m) => write!(f, "master:{m}"),
+            Subject::Task(t) => write!(f, "task:{t}"),
+            Subject::Region(r) => write!(f, "{r}"),
+            Subject::Network => write!(f, "network"),
+            Subject::Sensor(i) => write!(f, "sensor:{i}"),
+            Subject::Environment => write!(f, "environment"),
+            Subject::Platform => write!(f, "platform"),
+        }
+    }
+}
+
+/// One observation reported to the system security manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorEvent {
+    /// When the observation was made.
+    pub at: SimTime,
+    /// Name of the reporting monitor.
+    pub monitor: String,
+    /// The detection capability that produced it.
+    pub capability: DetectionCapability,
+    /// Severity band.
+    pub severity: Severity,
+    /// The resource concerned.
+    pub subject: Subject,
+    /// Human/forensic detail line.
+    pub detail: String,
+}
+
+impl MonitorEvent {
+    /// Convenience constructor.
+    pub fn new(
+        at: SimTime,
+        monitor: &str,
+        capability: DetectionCapability,
+        severity: Severity,
+        subject: Subject,
+        detail: impl Into<String>,
+    ) -> Self {
+        MonitorEvent {
+            at,
+            monitor: monitor.to_string(),
+            capability,
+            severity,
+            subject,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for MonitorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} {} — {}",
+            self.at, self.severity, self.monitor, self.subject, self.detail
+        )
+    }
+}
+
+/// An active runtime resource monitor.
+///
+/// Monitors are driven periodically by the platform: `sample` inspects the
+/// SoC (mutably — sampling a sensor consumes its noise stream, polling the
+/// bus tap advances a cursor) and returns any new observations.
+pub trait ResourceMonitor {
+    /// Stable monitor name (appears in events and forensic records).
+    fn name(&self) -> &str;
+
+    /// The Table-I detection capability this monitor realises.
+    fn capability(&self) -> DetectionCapability;
+
+    /// Inspects the SoC and returns new observations.
+    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent>;
+
+    /// Approximate cost of one sample in bus cycles — used by the
+    /// monitoring-overhead experiment (E8). Default: 2 cycles.
+    fn sample_cost(&self) -> u64 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(Severity::Critical > Severity::Alert);
+        assert!(Severity::Alert > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn event_display_is_informative() {
+        let e = MonitorEvent::new(
+            SimTime::at_cycle(42),
+            "bus",
+            DetectionCapability::BusPolicing,
+            Severity::Alert,
+            Subject::Master(MasterId::DMA),
+            "out-of-policy read",
+        );
+        let s = e.to_string();
+        assert!(s.contains("@42"));
+        assert!(s.contains("Alert"));
+        assert!(s.contains("DMA"));
+        assert!(s.contains("out-of-policy read"));
+    }
+
+    #[test]
+    fn subject_display_variants() {
+        assert_eq!(Subject::Network.to_string(), "network");
+        assert_eq!(Subject::Sensor(3).to_string(), "sensor:3");
+        assert_eq!(Subject::Platform.to_string(), "platform");
+        assert_eq!(Subject::Task(TaskId(1)).to_string(), "task:task#1");
+    }
+}

@@ -1,0 +1,507 @@
+//! I/O and physical-domain monitors: network, sensor, environment and
+//! watchdog.
+
+use crate::anomaly::{Ewma, WindowStats};
+use crate::event::{MonitorEvent, ResourceMonitor, Severity, Subject};
+use cres_policy::DetectionCapability;
+use cres_sim::SimTime;
+use cres_soc::periph::PacketKind;
+use cres_soc::Soc;
+
+/// Flood, signature and exfiltration detection on the NIC taps.
+#[derive(Debug, Clone)]
+pub struct NetworkMonitor {
+    rx_cursor: usize,
+    tx_cursor: usize,
+    /// Ingress packets per sample above this are a flood.
+    flood_threshold: u32,
+    rate_baseline: Ewma,
+    exfil_bytes_threshold: u64,
+}
+
+impl NetworkMonitor {
+    /// Creates a monitor alarming at `flood_threshold` ingress packets per
+    /// sample and `exfil_bytes_threshold` anomalous outbound bytes per
+    /// sample.
+    pub fn new(flood_threshold: u32, exfil_bytes_threshold: u64) -> Self {
+        assert!(flood_threshold > 0);
+        NetworkMonitor {
+            rx_cursor: 0,
+            tx_cursor: 0,
+            flood_threshold,
+            rate_baseline: Ewma::new(0.2),
+            exfil_bytes_threshold,
+        }
+    }
+}
+
+impl ResourceMonitor for NetworkMonitor {
+    fn name(&self) -> &str {
+        "network"
+    }
+
+    fn capability(&self) -> DetectionCapability {
+        // Rate is the headline capability; signature events carry their own
+        // capability tag below.
+        DetectionCapability::NetworkRate
+    }
+
+    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+        let rx = soc.nic.rx_log();
+        let new_rx = &rx[self.rx_cursor.min(rx.len())..];
+        self.rx_cursor = rx.len();
+
+        // Rate: ingress volume this sample vs threshold and baseline.
+        let count = new_rx.len() as u32;
+        if count > self.flood_threshold {
+            events.push(MonitorEvent::new(
+                now,
+                self.name(),
+                DetectionCapability::NetworkRate,
+                Severity::Alert,
+                Subject::Network,
+                format!(
+                    "ingress flood: {count} packets this sample (threshold {}, baseline {:.1})",
+                    self.flood_threshold,
+                    self.rate_baseline.mean()
+                ),
+            ));
+        }
+        self.rate_baseline.update(f64::from(count));
+
+        // Signature: malformed ingress.
+        let malformed = new_rx.iter().filter(|p| p.kind == PacketKind::Malformed).count();
+        if malformed > 0 {
+            events.push(MonitorEvent::new(
+                now,
+                self.name(),
+                DetectionCapability::NetworkSignature,
+                Severity::Alert,
+                Subject::Network,
+                format!("{malformed} malformed packets matched exploit signatures"),
+            ));
+        }
+
+        // Exfiltration: anomalous outbound volume.
+        let tx = soc.nic.tx_log();
+        let new_tx = &tx[self.tx_cursor.min(tx.len())..];
+        self.tx_cursor = tx.len();
+        let exfil_bytes: u64 = new_tx
+            .iter()
+            .filter(|p| p.kind == PacketKind::Exfil)
+            .map(|p| u64::from(p.len))
+            .sum();
+        if exfil_bytes > self.exfil_bytes_threshold {
+            events.push(MonitorEvent::new(
+                now,
+                self.name(),
+                DetectionCapability::NetworkSignature,
+                Severity::Critical,
+                Subject::Network,
+                format!("outbound exfiltration: {exfil_bytes} bytes off-profile"),
+            ));
+        }
+        events
+    }
+
+    fn sample_cost(&self) -> u64 {
+        4
+    }
+}
+
+/// Per-sensor plausibility configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SensorEnvelope {
+    /// Physically plausible minimum.
+    pub min: f64,
+    /// Physically plausible maximum.
+    pub max: f64,
+    /// Largest plausible change between consecutive samples.
+    pub max_step: f64,
+}
+
+/// Sensor plausibility: range, rate-of-change, stuck-at and drift.
+#[derive(Debug, Clone)]
+pub struct SensorMonitor {
+    sensor_idx: usize,
+    envelope: SensorEnvelope,
+    baseline: Ewma,
+    window: WindowStats,
+    last: Option<f64>,
+}
+
+impl SensorMonitor {
+    /// Creates a monitor for sensor `sensor_idx` with the given envelope.
+    pub fn new(sensor_idx: usize, envelope: SensorEnvelope) -> Self {
+        assert!(envelope.min < envelope.max, "bad envelope");
+        SensorMonitor {
+            sensor_idx,
+            envelope,
+            baseline: Ewma::new(0.05),
+            window: WindowStats::new(16),
+            last: None,
+        }
+    }
+}
+
+impl ResourceMonitor for SensorMonitor {
+    fn name(&self) -> &str {
+        "sensor-plausibility"
+    }
+
+    fn capability(&self) -> DetectionCapability {
+        DetectionCapability::SensorPlausibility
+    }
+
+    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
+        let value = soc.read_sensor(self.sensor_idx, now);
+        let subject = Subject::Sensor(self.sensor_idx);
+        let mut events = Vec::new();
+
+        if value < self.envelope.min || value > self.envelope.max || !value.is_finite() {
+            events.push(MonitorEvent::new(
+                now,
+                self.name(),
+                self.capability(),
+                Severity::Critical,
+                subject,
+                format!(
+                    "reading {value:.3} outside physical envelope [{}, {}]",
+                    self.envelope.min, self.envelope.max
+                ),
+            ));
+        }
+        if let Some(last) = self.last {
+            let step = (value - last).abs();
+            if step > self.envelope.max_step {
+                events.push(MonitorEvent::new(
+                    now,
+                    self.name(),
+                    self.capability(),
+                    Severity::Alert,
+                    subject,
+                    format!("implausible step {step:.3} (max {})", self.envelope.max_step),
+                ));
+            }
+        }
+        if self.baseline.warmed_up() {
+            let z = self.baseline.z_score(value);
+            if z.abs() > 8.0 {
+                events.push(MonitorEvent::new(
+                    now,
+                    self.name(),
+                    self.capability(),
+                    Severity::Alert,
+                    subject,
+                    format!("drift from baseline: z={z:.1}"),
+                ));
+            }
+        }
+        if self.window.is_full() && self.window.variance() == 0.0 {
+            events.push(MonitorEvent::new(
+                now,
+                self.name(),
+                self.capability(),
+                Severity::Alert,
+                subject,
+                "stuck-at: zero variance over window".to_string(),
+            ));
+        }
+        self.baseline.update(value);
+        self.window.push(value);
+        self.last = Some(value);
+        events
+    }
+
+    fn sample_cost(&self) -> u64 {
+        3
+    }
+}
+
+/// Voltage / clock / temperature envelope monitoring.
+#[derive(Debug, Clone)]
+pub struct EnvMonitor {
+    voltage: (f64, f64),
+    clock_mhz: (f64, f64),
+    temp_c: (f64, f64),
+}
+
+impl Default for EnvMonitor {
+    fn default() -> Self {
+        EnvMonitor {
+            voltage: (3.0, 3.6),
+            clock_mhz: (90.0, 110.0),
+            temp_c: (-10.0, 85.0),
+        }
+    }
+}
+
+impl EnvMonitor {
+    /// Creates a monitor with explicit envelopes.
+    pub fn new(voltage: (f64, f64), clock_mhz: (f64, f64), temp_c: (f64, f64)) -> Self {
+        EnvMonitor {
+            voltage,
+            clock_mhz,
+            temp_c,
+        }
+    }
+}
+
+impl ResourceMonitor for EnvMonitor {
+    fn name(&self) -> &str {
+        "environment"
+    }
+
+    fn capability(&self) -> DetectionCapability {
+        DetectionCapability::Environmental
+    }
+
+    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
+        let r = soc.read_env(now);
+        let mut events = Vec::new();
+        let mut check = |name: &str, value: f64, (lo, hi): (f64, f64), severity: Severity| {
+            if value < lo || value > hi {
+                events.push(MonitorEvent::new(
+                    now,
+                    "environment",
+                    DetectionCapability::Environmental,
+                    severity,
+                    Subject::Environment,
+                    format!("{name} {value:.2} outside [{lo}, {hi}] — possible fault injection"),
+                ));
+            }
+        };
+        check("voltage", r.voltage, self.voltage, Severity::Critical);
+        check("clock", r.clock_mhz, self.clock_mhz, Severity::Critical);
+        check("temperature", r.temp_c, self.temp_c, Severity::Alert);
+        events
+    }
+}
+
+/// Watchdog liveness — the passive baseline's only "detector".
+#[derive(Debug, Clone, Default)]
+pub struct WatchdogMonitor;
+
+impl WatchdogMonitor {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        WatchdogMonitor
+    }
+}
+
+impl ResourceMonitor for WatchdogMonitor {
+    fn name(&self) -> &str {
+        "watchdog"
+    }
+
+    fn capability(&self) -> DetectionCapability {
+        DetectionCapability::WatchdogLiveness
+    }
+
+    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
+        if soc.watchdog.fire_and_rearm(now) {
+            vec![MonitorEvent::new(
+                now,
+                self.name(),
+                self.capability(),
+                Severity::Critical,
+                Subject::Platform,
+                "watchdog expired: system unresponsive".to_string(),
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn sample_cost(&self) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_sim::SimDuration;
+    use cres_soc::periph::{EnvTamper, Packet, Sensor, SensorSpoof};
+    use cres_soc::soc::SocBuilder;
+
+    fn soc() -> Soc {
+        SocBuilder::with_standard_layout(3)
+            .sensor(Sensor::new("freq", 50.0, 0.05, 100_000, 0.002))
+            .build()
+    }
+
+    fn pkt(at: u64, kind: PacketKind, len: u32) -> Packet {
+        Packet {
+            src: 7,
+            dst: 1,
+            len,
+            kind,
+            at: SimTime::at_cycle(at),
+        }
+    }
+
+    #[test]
+    fn quiet_network_is_silent() {
+        let mut s = soc();
+        let mut mon = NetworkMonitor::new(50, 10_000);
+        for i in 0..10 {
+            s.nic.deliver(pkt(i, PacketKind::Command, 64));
+        }
+        let events = mon.sample(&mut s, SimTime::at_cycle(100));
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn flood_detected() {
+        let mut s = soc();
+        let mut mon = NetworkMonitor::new(50, 10_000);
+        mon.sample(&mut s, SimTime::ZERO); // establish baseline
+        for i in 0..500 {
+            s.nic.deliver(pkt(i, PacketKind::Command, 64));
+        }
+        let events = mon.sample(&mut s, SimTime::at_cycle(100));
+        assert!(events.iter().any(|e| e.detail.contains("flood")));
+    }
+
+    #[test]
+    fn malformed_signature_detected() {
+        let mut s = soc();
+        let mut mon = NetworkMonitor::new(50, 10_000);
+        s.nic.deliver(pkt(0, PacketKind::Malformed, 64));
+        let events = mon.sample(&mut s, SimTime::at_cycle(10));
+        assert!(events.iter().any(|e| e.detail.contains("malformed")));
+        assert!(events
+            .iter()
+            .any(|e| e.capability == DetectionCapability::NetworkSignature));
+    }
+
+    #[test]
+    fn exfiltration_detected_even_quarantine_missed() {
+        let mut s = soc();
+        let mut mon = NetworkMonitor::new(50, 1_000);
+        for i in 0..10 {
+            s.nic.send(pkt(i, PacketKind::Exfil, 4096));
+        }
+        let events = mon.sample(&mut s, SimTime::at_cycle(10));
+        assert!(events.iter().any(|e| e.severity == Severity::Critical
+            && e.detail.contains("exfiltration")));
+    }
+
+    #[test]
+    fn telemetry_tx_is_not_exfil() {
+        let mut s = soc();
+        let mut mon = NetworkMonitor::new(50, 1_000);
+        for i in 0..10 {
+            s.nic.send(pkt(i, PacketKind::Telemetry, 4096));
+        }
+        assert!(mon.sample(&mut s, SimTime::at_cycle(10)).is_empty());
+    }
+
+    #[test]
+    fn honest_sensor_is_silent() {
+        let mut s = soc();
+        let mut mon = SensorMonitor::new(
+            0,
+            SensorEnvelope {
+                min: 45.0,
+                max: 55.0,
+                max_step: 1.0,
+            },
+        );
+        for i in 0..100 {
+            let events = mon.sample(&mut s, SimTime::at_cycle(i * 1000));
+            assert!(events.is_empty(), "step {i}: {events:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_envelope_sensor_is_critical() {
+        let mut s = soc();
+        s.sensors[0].spoof(SensorSpoof::Fixed(62.0));
+        let mut mon = SensorMonitor::new(
+            0,
+            SensorEnvelope {
+                min: 45.0,
+                max: 55.0,
+                max_step: 1.0,
+            },
+        );
+        let events = mon.sample(&mut s, SimTime::ZERO);
+        assert!(events.iter().any(|e| e.severity == Severity::Critical));
+    }
+
+    #[test]
+    fn stuck_sensor_detected() {
+        let mut s = soc();
+        s.sensors[0].spoof(SensorSpoof::Fixed(50.0)); // inside envelope, but frozen
+        let mut mon = SensorMonitor::new(
+            0,
+            SensorEnvelope {
+                min: 45.0,
+                max: 55.0,
+                max_step: 1.0,
+            },
+        );
+        let mut stuck = false;
+        for i in 0..40 {
+            let events = mon.sample(&mut s, SimTime::at_cycle(i * 1000));
+            stuck |= events.iter().any(|e| e.detail.contains("stuck-at"));
+        }
+        assert!(stuck, "frozen sensor never flagged");
+    }
+
+    #[test]
+    fn sudden_jump_detected_as_step() {
+        let mut s = soc();
+        let mut mon = SensorMonitor::new(
+            0,
+            SensorEnvelope {
+                min: 0.0,
+                max: 100.0,
+                max_step: 0.5,
+            },
+        );
+        mon.sample(&mut s, SimTime::ZERO);
+        s.sensors[0].spoof(SensorSpoof::Fixed(80.0)); // in range but a huge jump
+        let events = mon.sample(&mut s, SimTime::at_cycle(1000));
+        assert!(events.iter().any(|e| e.detail.contains("implausible step")));
+    }
+
+    #[test]
+    fn env_monitor_nominal_silent_glitch_critical() {
+        let mut s = soc();
+        let mut mon = EnvMonitor::default();
+        assert!(mon.sample(&mut s, SimTime::ZERO).is_empty());
+        s.env.tamper(EnvTamper::VoltageGlitch(1.1));
+        let events = mon.sample(&mut s, SimTime::at_cycle(1));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].severity, Severity::Critical);
+        assert!(events[0].detail.contains("voltage"));
+    }
+
+    #[test]
+    fn env_monitor_thermal_alert() {
+        let mut s = soc();
+        let mut mon = EnvMonitor::default();
+        s.env.tamper(EnvTamper::Thermal(120.0));
+        let events = mon.sample(&mut s, SimTime::ZERO);
+        assert!(events.iter().any(|e| e.detail.contains("temperature")));
+    }
+
+    #[test]
+    fn watchdog_monitor_fires_once_per_expiry() {
+        let mut s = SocBuilder::with_standard_layout(0)
+            .watchdog_timeout(SimDuration::cycles(100))
+            .build();
+        let mut mon = WatchdogMonitor::new();
+        assert!(mon.sample(&mut s, SimTime::at_cycle(50)).is_empty());
+        let events = mon.sample(&mut s, SimTime::at_cycle(150));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].severity, Severity::Critical);
+        // rearmed: silent immediately after
+        assert!(mon.sample(&mut s, SimTime::at_cycle(200)).is_empty());
+        assert!(!mon.sample(&mut s, SimTime::at_cycle(300)).is_empty());
+    }
+}

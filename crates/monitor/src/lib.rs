@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Active Runtime Resource Monitors — the paper's second microarchitectural
+//! characteristic.
+//!
+//! > "Active runtime resource monitors shall actively monitor resource
+//! > specific behaviour to detect malicious activity and report it to the
+//! > System Security Manager. … These active monitors shall generate
+//! > fine-grained resource specific information."
+//!
+//! Each monitor is a hardware-probe model attached to one resource class.
+//! Monitors *sample* — the platform drives them on a configurable period —
+//! and emit [`MonitorEvent`]s the SSM ingests. The set implemented here
+//! covers the Detect row of Table I:
+//!
+//! | Monitor | Capability |
+//! |---|---|
+//! | [`BusPolicyMonitor`] | bus transaction policing |
+//! | [`MemoryGuardMonitor`] | illegal-access detection on protected regions |
+//! | [`CfiMonitor`] | static & dynamic control-flow integrity |
+//! | [`SyscallMonitor`] | syscall-sequence anomaly detection |
+//! | [`NetworkMonitor`] | flood, signature and exfiltration detection |
+//! | [`SensorMonitor`] | sensor plausibility (range/rate/stuck-at) |
+//! | [`EnvMonitor`] | voltage/clock/temperature envelopes |
+//! | [`TaintMonitor`] | DIFT-style information-flow tracking |
+//! | [`WatchdogMonitor`] | liveness (the passive baseline's only detector) |
+//!
+//! [`anomaly`] provides the streaming statistics (EWMA, CUSUM, windowed
+//! variance) the behavioural monitors share.
+
+pub mod anomaly;
+pub mod bus_mon;
+pub mod event;
+pub mod exec_mon;
+pub mod io_mon;
+pub mod taint;
+
+pub use bus_mon::{AccessWindow, BusPolicyMonitor, MemoryGuardMonitor};
+pub use event::{MonitorEvent, ResourceMonitor, Severity, Subject};
+pub use exec_mon::{CfiMonitor, SyscallMonitor};
+pub use io_mon::{EnvMonitor, NetworkMonitor, SensorMonitor, WatchdogMonitor};
+pub use taint::TaintMonitor;

@@ -1,0 +1,230 @@
+//! Dynamic information-flow (taint) tracking over bus transactions.
+//!
+//! The region-granular model of the DIFT hardware the paper's landscape
+//! cites (ARMHEx \[21\], Dover \[20\]): configured **source** regions hold
+//! secrets; a master that reads a tainted region becomes tainted; a
+//! tainted master's writes taint the regions they touch; taint reaching a
+//! configured **sink** region (an egress surface such as peripheral MMIO)
+//! raises an alert. Taint on masters ages out after a configurable TTL so
+//! a long-lived core is not tainted forever by one old read.
+//!
+//! This monitor sees only transaction *metadata* — like its hardware
+//! counterparts it tracks possibility of flow, not byte equality, trading
+//! false positives for zero payload inspection.
+
+use crate::event::{MonitorEvent, ResourceMonitor, Severity, Subject};
+use cres_policy::DetectionCapability;
+use cres_sim::{SimDuration, SimTime};
+use cres_soc::addr::{BusOp, MasterId, RegionId};
+use cres_soc::bus::{TxnCursor, TxnOutcome};
+use cres_soc::Soc;
+use std::collections::HashMap;
+
+/// The information-flow monitor.
+#[derive(Debug, Clone)]
+pub struct TaintMonitor {
+    sources: Vec<RegionId>,
+    sinks: Vec<RegionId>,
+    ttl: SimDuration,
+    cursor: TxnCursor,
+    tainted_masters: HashMap<MasterId, SimTime>,
+    tainted_regions: HashMap<RegionId, SimTime>,
+    flows_flagged: u64,
+}
+
+impl TaintMonitor {
+    /// Creates a monitor with the given source/sink regions and a master
+    /// taint TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a region is both source and sink (the flow would be
+    /// trivially self-alerting) or the TTL is zero.
+    pub fn new(sources: Vec<RegionId>, sinks: Vec<RegionId>, ttl: SimDuration) -> Self {
+        assert!(!ttl.is_zero(), "taint TTL must be non-zero");
+        for s in &sources {
+            assert!(!sinks.contains(s), "region {s} is both source and sink");
+        }
+        TaintMonitor {
+            sources,
+            sinks,
+            ttl,
+            cursor: TxnCursor::default(),
+            tainted_masters: HashMap::new(),
+            tainted_regions: HashMap::new(),
+            flows_flagged: 0,
+        }
+    }
+
+    /// Total source→sink flows flagged.
+    pub fn flows_flagged(&self) -> u64 {
+        self.flows_flagged
+    }
+
+    /// True when `master` carries live taint at `now`.
+    pub fn is_master_tainted(&self, master: MasterId, now: SimTime) -> bool {
+        self.tainted_masters
+            .get(&master)
+            .is_some_and(|since| now.saturating_since(*since) <= self.ttl)
+    }
+
+    fn region_tainted(&self, region: RegionId, at: SimTime) -> bool {
+        self.sources.contains(&region)
+            || self
+                .tainted_regions
+                .get(&region)
+                .is_some_and(|since| at.saturating_since(*since) <= self.ttl)
+    }
+}
+
+impl ResourceMonitor for TaintMonitor {
+    fn name(&self) -> &str {
+        "info-flow"
+    }
+
+    fn capability(&self) -> DetectionCapability {
+        DetectionCapability::InformationFlow
+    }
+
+    fn sample(&mut self, soc: &mut Soc, _now: SimTime) -> Vec<MonitorEvent> {
+        let (records, _) = soc.bus.poll(&mut self.cursor);
+        let mut events = Vec::new();
+        for rec in records {
+            if !matches!(rec.outcome, TxnOutcome::Granted) {
+                continue;
+            }
+            let Some(region) = rec.region else { continue };
+            match rec.op {
+                BusOp::Read | BusOp::Exec => {
+                    if self.region_tainted(region, rec.at) {
+                        self.tainted_masters.insert(rec.master, rec.at);
+                    }
+                }
+                BusOp::Write => {
+                    if self.is_master_tainted(rec.master, rec.at) {
+                        if self.sinks.contains(&region) {
+                            self.flows_flagged += 1;
+                            events.push(MonitorEvent::new(
+                                rec.at,
+                                self.name(),
+                                self.capability(),
+                                Severity::Critical,
+                                Subject::Master(rec.master),
+                                format!(
+                                    "secret-tainted {} wrote egress sink {region} at {}",
+                                    rec.master, rec.addr
+                                ),
+                            ));
+                        } else {
+                            self.tainted_regions.insert(region, rec.at);
+                        }
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    fn sample_cost(&self) -> u64 {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_soc::addr::{Addr, Perms};
+    use cres_soc::soc::SocBuilder;
+
+    fn soc() -> Soc {
+        SocBuilder::new()
+            .region("secret", Addr(0x1000), 0x100, Perms::rw())
+            .region("scratch", Addr(0x2000), 0x100, Perms::rw())
+            .region("egress", Addr(0x3000), 0x100, Perms::rw())
+            .build()
+    }
+
+    fn monitor(soc: &Soc) -> TaintMonitor {
+        let r = |n: &str| soc.mem.region_by_name(n).unwrap().id();
+        TaintMonitor::new(
+            vec![r("secret")],
+            vec![r("egress")],
+            SimDuration::cycles(10_000),
+        )
+    }
+
+    fn t(c: u64) -> SimTime {
+        SimTime::at_cycle(c)
+    }
+
+    #[test]
+    fn direct_source_to_sink_flow_flagged() {
+        let mut s = soc();
+        let mut m = monitor(&s);
+        s.bus.read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem).unwrap();
+        s.bus.write(t(2), MasterId::CPU0, Addr(0x3000), &[0; 16], &mut s.mem).unwrap();
+        let events = m.sample(&mut s, t(3));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].severity, Severity::Critical);
+        assert!(events[0].detail.contains("egress sink"));
+        assert_eq!(m.flows_flagged(), 1);
+    }
+
+    #[test]
+    fn indirect_flow_through_staging_region_flagged() {
+        let mut s = soc();
+        let mut m = monitor(&s);
+        // CPU0 stages the secret in scratch; CPU1 ships it out later
+        s.bus.read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem).unwrap();
+        s.bus.write(t(2), MasterId::CPU0, Addr(0x2000), &[0; 16], &mut s.mem).unwrap();
+        s.bus.read(t(3), MasterId::CPU1, Addr(0x2000), 16, &s.mem).unwrap();
+        s.bus.write(t(4), MasterId::CPU1, Addr(0x3000), &[0; 16], &mut s.mem).unwrap();
+        let events = m.sample(&mut s, t(5));
+        assert_eq!(events.len(), 1, "laundering through scratch missed");
+        assert_eq!(events[0].subject, Subject::Master(MasterId::CPU1));
+    }
+
+    #[test]
+    fn clean_traffic_is_silent() {
+        let mut s = soc();
+        let mut m = monitor(&s);
+        // untainted master moving scratch data out is fine
+        s.bus.read(t(1), MasterId::CPU0, Addr(0x2000), 16, &s.mem).unwrap();
+        s.bus.write(t(2), MasterId::CPU0, Addr(0x3000), &[0; 16], &mut s.mem).unwrap();
+        assert!(m.sample(&mut s, t(3)).is_empty());
+    }
+
+    #[test]
+    fn taint_ages_out() {
+        let mut s = soc();
+        let mut m = monitor(&s);
+        s.bus.read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem).unwrap();
+        m.sample(&mut s, t(2));
+        assert!(m.is_master_tainted(MasterId::CPU0, t(2)));
+        // write to the sink long after the TTL
+        s.bus
+            .write(t(50_000), MasterId::CPU0, Addr(0x3000), &[0; 16], &mut s.mem)
+            .unwrap();
+        assert!(m.sample(&mut s, t(50_001)).is_empty(), "stale taint still alerts");
+        assert!(!m.is_master_tainted(MasterId::CPU0, t(50_000)));
+    }
+
+    #[test]
+    fn denied_reads_do_not_taint() {
+        let mut s = soc();
+        let secret = s.mem.region_by_name("secret").unwrap().id();
+        s.mem.revoke(MasterId::CPU1, secret);
+        let mut m = monitor(&s);
+        let _ = s.bus.read(t(1), MasterId::CPU1, Addr(0x1000), 16, &s.mem);
+        s.bus.write(t(2), MasterId::CPU1, Addr(0x3000), &[0; 16], &mut s.mem).unwrap();
+        assert!(m.sample(&mut s, t(3)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "both source and sink")]
+    fn overlapping_source_sink_panics() {
+        let s = soc();
+        let r = s.mem.region_by_name("secret").unwrap().id();
+        TaintMonitor::new(vec![r], vec![r], SimDuration::cycles(10));
+    }
+}

@@ -1,0 +1,185 @@
+//! Asset inventory: the first step of IDENTIFY.
+//!
+//! "Asset management … involves detailed understanding of an application
+//! use case and respective deployment scenario" (§III-1). An
+//! [`AssetInventory`] decomposes the deployment into typed assets with
+//! criticality and exposure, from which the STRIDE model generates threats.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of thing an asset is — drives threat generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssetKind {
+    /// A physical input (sensor).
+    Sensor,
+    /// A physical output (actuator).
+    Actuator,
+    /// Executable firmware (a boot stage or task binary).
+    Firmware,
+    /// Cryptographic key material.
+    KeyMaterial,
+    /// A network interface.
+    NetworkInterface,
+    /// A memory region holding sensitive data.
+    SensitiveMemory,
+    /// A running software task.
+    Task,
+    /// Audit/evidence data.
+    AuditLog,
+}
+
+impl AssetKind {
+    /// All asset kinds.
+    pub const ALL: [AssetKind; 8] = [
+        AssetKind::Sensor,
+        AssetKind::Actuator,
+        AssetKind::Firmware,
+        AssetKind::KeyMaterial,
+        AssetKind::NetworkInterface,
+        AssetKind::SensitiveMemory,
+        AssetKind::Task,
+        AssetKind::AuditLog,
+    ];
+}
+
+impl fmt::Display for AssetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// How exposed an asset is to adversaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Exposure {
+    /// Only reachable with physical access.
+    Physical,
+    /// Reachable from local software.
+    Local,
+    /// Reachable over the network.
+    Remote,
+}
+
+/// One asset in the deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Asset {
+    /// Unique identifier within the inventory.
+    pub id: u32,
+    /// Human-readable name.
+    pub name: String,
+    /// Asset kind.
+    pub kind: AssetKind,
+    /// Mission criticality 1 (low) ..= 5 (safety-critical).
+    pub criticality: u8,
+    /// Adversarial exposure.
+    pub exposure: Exposure,
+}
+
+/// The asset inventory for a deployment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AssetInventory {
+    assets: Vec<Asset>,
+}
+
+impl AssetInventory {
+    /// Creates an empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an asset and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when criticality is outside `1..=5`.
+    pub fn add(&mut self, name: &str, kind: AssetKind, criticality: u8, exposure: Exposure) -> u32 {
+        assert!(
+            (1..=5).contains(&criticality),
+            "criticality must be 1..=5, got {criticality}"
+        );
+        let id = self.assets.len() as u32;
+        self.assets.push(Asset {
+            id,
+            name: name.to_string(),
+            kind,
+            criticality,
+            exposure,
+        });
+        id
+    }
+
+    /// All assets.
+    pub fn assets(&self) -> &[Asset] {
+        &self.assets
+    }
+
+    /// Looks an asset up by id.
+    pub fn get(&self, id: u32) -> Option<&Asset> {
+        self.assets.get(id as usize)
+    }
+
+    /// Assets of a given kind.
+    pub fn of_kind(&self, kind: AssetKind) -> impl Iterator<Item = &Asset> {
+        self.assets.iter().filter(move |a| a.kind == kind)
+    }
+
+    /// A representative inventory for the smart-substation scenario used by
+    /// examples and experiments.
+    pub fn substation_example() -> Self {
+        let mut inv = AssetInventory::new();
+        inv.add("grid frequency sensor", AssetKind::Sensor, 5, Exposure::Physical);
+        inv.add("breaker actuator", AssetKind::Actuator, 5, Exposure::Local);
+        inv.add("protection-relay task", AssetKind::Task, 5, Exposure::Local);
+        inv.add("telemetry task", AssetKind::Task, 2, Exposure::Remote);
+        inv.add("application firmware", AssetKind::Firmware, 4, Exposure::Remote);
+        inv.add("device root key", AssetKind::KeyMaterial, 5, Exposure::Local);
+        inv.add("station bus NIC", AssetKind::NetworkInterface, 4, Exposure::Remote);
+        inv.add("measurement buffer", AssetKind::SensitiveMemory, 3, Exposure::Local);
+        inv.add("security event log", AssetKind::AuditLog, 4, Exposure::Local);
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut inv = AssetInventory::new();
+        let id = inv.add("s1", AssetKind::Sensor, 3, Exposure::Remote);
+        assert_eq!(inv.get(id).unwrap().name, "s1");
+        assert!(inv.get(99).is_none());
+        assert_eq!(inv.assets().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "criticality must be 1..=5")]
+    fn bad_criticality_panics() {
+        AssetInventory::new().add("x", AssetKind::Task, 0, Exposure::Local);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let inv = AssetInventory::substation_example();
+        assert_eq!(inv.of_kind(AssetKind::Task).count(), 2);
+        assert_eq!(inv.of_kind(AssetKind::Sensor).count(), 1);
+    }
+
+    #[test]
+    fn substation_example_covers_all_kinds() {
+        let inv = AssetInventory::substation_example();
+        for kind in AssetKind::ALL {
+            assert!(
+                inv.of_kind(kind).count() > 0,
+                "substation example missing {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn exposure_ordering() {
+        assert!(Exposure::Remote > Exposure::Local);
+        assert!(Exposure::Local > Exposure::Physical);
+    }
+}

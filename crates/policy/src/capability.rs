@@ -1,0 +1,146 @@
+//! The shared capability vocabulary.
+//!
+//! Detection and response capabilities name the concrete mechanisms the
+//! monitor and response crates implement. The policy layer speaks in these
+//! terms when deriving mitigations from threats, and the platform reports
+//! its installed capability set in the same terms — which is what makes the
+//! Table I coverage check (E2) and the threat-coverage matrix mechanical.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A detection mechanism the platform can deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DetectionCapability {
+    /// Bus transaction policing against an access-window policy.
+    BusPolicing,
+    /// Illegal memory access detection (MPU denials).
+    MemoryGuard,
+    /// Control-flow integrity over task basic-block graphs.
+    ControlFlowIntegrity,
+    /// Syscall-sequence anomaly detection.
+    SyscallSequence,
+    /// Network rate / flood detection.
+    NetworkRate,
+    /// Network payload-class (signature) detection.
+    NetworkSignature,
+    /// Sensor plausibility and drift detection.
+    SensorPlausibility,
+    /// Voltage / clock / temperature envelope monitoring.
+    Environmental,
+    /// Boot-time measurement and attestation.
+    BootMeasurement,
+    /// Dynamic information-flow (taint) tracking from secret regions to
+    /// egress sinks (ARMHEx/DIFT-class).
+    InformationFlow,
+    /// Watchdog liveness (the passive baseline's only detector).
+    WatchdogLiveness,
+}
+
+impl DetectionCapability {
+    /// Every capability, in stable order.
+    pub const ALL: [DetectionCapability; 11] = [
+        DetectionCapability::BusPolicing,
+        DetectionCapability::MemoryGuard,
+        DetectionCapability::ControlFlowIntegrity,
+        DetectionCapability::SyscallSequence,
+        DetectionCapability::NetworkRate,
+        DetectionCapability::NetworkSignature,
+        DetectionCapability::SensorPlausibility,
+        DetectionCapability::Environmental,
+        DetectionCapability::BootMeasurement,
+        DetectionCapability::InformationFlow,
+        DetectionCapability::WatchdogLiveness,
+    ];
+}
+
+impl fmt::Display for DetectionCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A response or recovery countermeasure the platform can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResponseCapability {
+    /// Gate a bus master off the interconnect (physical isolation).
+    IsolateMaster,
+    /// Kill a compromised task.
+    KillTask,
+    /// Restart a task from a clean state.
+    RestartTask,
+    /// Quarantine the network interface.
+    QuarantineNetwork,
+    /// Rate-limit network ingress.
+    RateLimit,
+    /// Zeroise key material.
+    ZeroizeKeys,
+    /// Roll firmware back to the previous slot.
+    Rollback,
+    /// Recover from the golden image.
+    GoldenRecovery,
+    /// Reboot the system (the passive baseline's response).
+    Reboot,
+    /// Enter graceful degradation, shedding non-critical load.
+    DegradedMode,
+    /// Lock actuators in a safe position.
+    ActuatorLockout,
+}
+
+impl ResponseCapability {
+    /// Every capability, in stable order.
+    pub const ALL: [ResponseCapability; 11] = [
+        ResponseCapability::IsolateMaster,
+        ResponseCapability::KillTask,
+        ResponseCapability::RestartTask,
+        ResponseCapability::QuarantineNetwork,
+        ResponseCapability::RateLimit,
+        ResponseCapability::ZeroizeKeys,
+        ResponseCapability::Rollback,
+        ResponseCapability::GoldenRecovery,
+        ResponseCapability::Reboot,
+        ResponseCapability::DegradedMode,
+        ResponseCapability::ActuatorLockout,
+    ];
+
+    /// True for *active* countermeasures in the paper's sense — targeted
+    /// action against the compromised resource, as opposed to the passive
+    /// whole-system reset.
+    pub fn is_active(self) -> bool {
+        !matches!(self, ResponseCapability::Reboot)
+    }
+}
+
+impl fmt::Display for ResponseCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_are_complete_and_unique() {
+        let d: std::collections::HashSet<_> = DetectionCapability::ALL.iter().collect();
+        assert_eq!(d.len(), DetectionCapability::ALL.len());
+        let r: std::collections::HashSet<_> = ResponseCapability::ALL.iter().collect();
+        assert_eq!(r.len(), ResponseCapability::ALL.len());
+    }
+
+    #[test]
+    fn reboot_is_the_only_passive_response() {
+        let passive: Vec<_> = ResponseCapability::ALL
+            .iter()
+            .filter(|c| !c.is_active())
+            .collect();
+        assert_eq!(passive, vec![&ResponseCapability::Reboot]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(DetectionCapability::BusPolicing.to_string(), "BusPolicing");
+        assert_eq!(ResponseCapability::KillTask.to_string(), "KillTask");
+    }
+}

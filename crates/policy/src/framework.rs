@@ -1,0 +1,247 @@
+//! Figure 1 as a data model: the three regulatory frameworks and their
+//! association.
+//!
+//! The paper's Figure 1 shows the NIST Risk Management Framework process
+//! steps, the five NIST CSF core security functions and the four NCSC NIS
+//! security principles side by side. Experiment E1 renders this model and
+//! the tests pin the associations the paper's Table I relies on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five NIST Cybersecurity Framework core functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CsfFunction {
+    /// Develop organisational understanding of cyber risk.
+    Identify,
+    /// Safeguards to ensure delivery of critical services.
+    Protect,
+    /// Discover cybersecurity events as they occur.
+    Detect,
+    /// Act on detected incidents.
+    Respond,
+    /// Restore capabilities impaired by incidents.
+    Recover,
+}
+
+impl CsfFunction {
+    /// All functions in framework order.
+    pub const ALL: [CsfFunction; 5] = [
+        CsfFunction::Identify,
+        CsfFunction::Protect,
+        CsfFunction::Detect,
+        CsfFunction::Respond,
+        CsfFunction::Recover,
+    ];
+
+    /// The operational security activities Figure 1/Table I associates with
+    /// this function.
+    pub fn activities(self) -> &'static [&'static str] {
+        match self {
+            CsfFunction::Identify => &["Asset Management"],
+            CsfFunction::Protect => &[
+                "Awareness Control",
+                "Data Protection",
+                "Protect Technology",
+                "Manage & Adopt",
+            ],
+            CsfFunction::Detect => &[
+                "Event Discovery",
+                "Discover & Determine",
+                "Continuous Monitoring",
+                "Detect Anomalies",
+                "Alert Events",
+            ],
+            CsfFunction::Respond => &["Response Planning"],
+            CsfFunction::Recover => &[
+                "Recovery Planning",
+                "Repair and Update",
+                "Improve and Train",
+                "Communicate",
+                "Evidence Collection",
+            ],
+        }
+    }
+}
+
+impl fmt::Display for CsfFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The four NCSC NIS security principles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NisPrinciple {
+    /// Principle A: managing security risks.
+    ManagingSecurityRisks,
+    /// Principle B: protecting against cyber attack.
+    ProtectingAgainstCyberAttack,
+    /// Principle C: detecting cyber security incidents.
+    DetectingCyberSecurityIncidents,
+    /// Principle D: minimising the impact of incidents.
+    MinimisingImpactOfIncidents,
+}
+
+impl NisPrinciple {
+    /// All principles in order.
+    pub const ALL: [NisPrinciple; 4] = [
+        NisPrinciple::ManagingSecurityRisks,
+        NisPrinciple::ProtectingAgainstCyberAttack,
+        NisPrinciple::DetectingCyberSecurityIncidents,
+        NisPrinciple::MinimisingImpactOfIncidents,
+    ];
+
+    /// The CSF functions Table I associates with this principle. Note the
+    /// 4→5 fan-out: *minimising impact* covers both Respond and Recover.
+    pub fn csf_functions(self) -> &'static [CsfFunction] {
+        match self {
+            NisPrinciple::ManagingSecurityRisks => &[CsfFunction::Identify],
+            NisPrinciple::ProtectingAgainstCyberAttack => &[CsfFunction::Protect],
+            NisPrinciple::DetectingCyberSecurityIncidents => &[CsfFunction::Detect],
+            NisPrinciple::MinimisingImpactOfIncidents => {
+                &[CsfFunction::Respond, CsfFunction::Recover]
+            }
+        }
+    }
+
+    /// Human-readable name as used in the paper.
+    pub fn title(self) -> &'static str {
+        match self {
+            NisPrinciple::ManagingSecurityRisks => "Managing Security Risks",
+            NisPrinciple::ProtectingAgainstCyberAttack => "Protecting against Cyber attack",
+            NisPrinciple::DetectingCyberSecurityIncidents => {
+                "Detecting Cyber Security Incidents"
+            }
+            NisPrinciple::MinimisingImpactOfIncidents => {
+                "Minimising the impact of cyber security incidents"
+            }
+        }
+    }
+}
+
+impl fmt::Display for NisPrinciple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.title())
+    }
+}
+
+/// The NIST RMF process steps (the left column of Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RmfStep {
+    /// Prepare to execute the RMF.
+    Prepare,
+    /// Categorise the system and information.
+    Categorize,
+    /// Select controls.
+    Select,
+    /// Implement controls.
+    Implement,
+    /// Assess controls.
+    Assess,
+    /// Authorise the system.
+    Authorize,
+    /// Continuously monitor controls.
+    Monitor,
+}
+
+impl RmfStep {
+    /// All steps in lifecycle order.
+    pub const ALL: [RmfStep; 7] = [
+        RmfStep::Prepare,
+        RmfStep::Categorize,
+        RmfStep::Select,
+        RmfStep::Implement,
+        RmfStep::Assess,
+        RmfStep::Authorize,
+        RmfStep::Monitor,
+    ];
+}
+
+/// Renders the Figure 1 model as indented text (used by experiment E1).
+pub fn render_figure1() -> String {
+    let mut out = String::new();
+    out.push_str("NIST RMF process: ");
+    let steps: Vec<String> = RmfStep::ALL.iter().map(|s| format!("{s:?}")).collect();
+    out.push_str(&steps.join(" -> "));
+    out.push('\n');
+    for principle in NisPrinciple::ALL {
+        out.push_str(&format!("NIS: {}\n", principle.title()));
+        for func in principle.csf_functions() {
+            out.push_str(&format!("  CSF: {func}\n"));
+            for act in func.activities() {
+                out.push_str(&format!("    - {act}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn four_principles_cover_all_five_functions() {
+        let covered: HashSet<CsfFunction> = NisPrinciple::ALL
+            .iter()
+            .flat_map(|p| p.csf_functions().iter().copied())
+            .collect();
+        assert_eq!(covered.len(), 5);
+        for f in CsfFunction::ALL {
+            assert!(covered.contains(&f), "{f} uncovered");
+        }
+    }
+
+    #[test]
+    fn minimising_impact_fans_out_to_respond_and_recover() {
+        assert_eq!(
+            NisPrinciple::MinimisingImpactOfIncidents.csf_functions(),
+            &[CsfFunction::Respond, CsfFunction::Recover]
+        );
+    }
+
+    #[test]
+    fn each_function_has_activities() {
+        for f in CsfFunction::ALL {
+            assert!(!f.activities().is_empty(), "{f} has no activities");
+        }
+    }
+
+    #[test]
+    fn recover_includes_evidence_collection() {
+        // The paper's key addition to RECOVER over pure reliability.
+        assert!(CsfFunction::Recover
+            .activities()
+            .contains(&"Evidence Collection"));
+    }
+
+    #[test]
+    fn functions_are_disjoint_across_principles() {
+        let mut seen = HashSet::new();
+        for p in NisPrinciple::ALL {
+            for f in p.csf_functions() {
+                assert!(seen.insert(*f), "{f} mapped to two principles");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_renders_completely() {
+        let text = render_figure1();
+        for p in NisPrinciple::ALL {
+            assert!(text.contains(p.title()));
+        }
+        for f in CsfFunction::ALL {
+            assert!(text.contains(&format!("{f:?}")));
+        }
+        assert!(text.contains("Prepare"));
+        assert!(text.contains("Continuous Monitoring"));
+    }
+
+    #[test]
+    fn rmf_has_seven_steps() {
+        assert_eq!(RmfStep::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! The IDENTIFY function: frameworks, assets, threat modelling and the
+//! derived requirement mapping.
+//!
+//! This crate is the paper's §II and §III rendered as data and code:
+//!
+//! * [`framework`] — **Figure 1**: the core security functions, principles
+//!   and activities of NIST RMF, NIST CSF and NCSC NIS,
+//! * [`assets`] — asset inventory for a deployment,
+//! * [`stride`] — STRIDE threat modelling with likelihood × impact risk
+//!   scoring,
+//! * [`capability`] — the shared vocabulary of detection and response
+//!   capabilities the rest of the workspace implements,
+//! * [`mapping`] — **Table I**: NIS principles ↔ CSF functions ↔
+//!   operational requirements ↔ derived embedded requirements ↔ the
+//!   security landscape ↔ *the module in this workspace that implements
+//!   each requirement* (checked by tests, printed by experiment E2).
+
+pub mod assets;
+pub mod capability;
+pub mod framework;
+pub mod mapping;
+pub mod stride;
+
+pub use assets::{Asset, AssetInventory, AssetKind};
+pub use capability::{DetectionCapability, ResponseCapability};
+pub use framework::{CsfFunction, NisPrinciple};
+pub use stride::{RiskLevel, StrideCategory, Threat, ThreatModel};

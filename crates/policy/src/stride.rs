@@ -1,0 +1,364 @@
+//! STRIDE threat modelling with likelihood × impact risk scoring.
+//!
+//! Table I names STRIDE among the risk/threat assessment methods under
+//! IDENTIFY. The generator enumerates the STRIDE categories applicable to
+//! each asset kind, scores them from exposure (likelihood) and criticality
+//! (impact), and maps each threat to the detection and response
+//! capabilities that mitigate it — producing the deployment's required
+//! capability set.
+
+use crate::assets::{Asset, AssetInventory, AssetKind, Exposure};
+use crate::capability::{DetectionCapability, ResponseCapability};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The STRIDE threat categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StrideCategory {
+    /// Pretending to be something/someone else.
+    Spoofing,
+    /// Unauthorised modification.
+    Tampering,
+    /// Denying having performed an action (no evidence trail).
+    Repudiation,
+    /// Exposure of confidential information.
+    InformationDisclosure,
+    /// Denial of service.
+    DenialOfService,
+    /// Gaining capabilities without authorisation.
+    ElevationOfPrivilege,
+}
+
+impl StrideCategory {
+    /// All six categories.
+    pub const ALL: [StrideCategory; 6] = [
+        StrideCategory::Spoofing,
+        StrideCategory::Tampering,
+        StrideCategory::Repudiation,
+        StrideCategory::InformationDisclosure,
+        StrideCategory::DenialOfService,
+        StrideCategory::ElevationOfPrivilege,
+    ];
+
+    /// Which categories apply to an asset kind.
+    pub fn applicable_to(kind: AssetKind) -> &'static [StrideCategory] {
+        use StrideCategory::*;
+        match kind {
+            AssetKind::Sensor => &[Spoofing, Tampering, DenialOfService],
+            AssetKind::Actuator => &[Tampering, DenialOfService, ElevationOfPrivilege],
+            AssetKind::Firmware => &[Tampering, ElevationOfPrivilege, Repudiation],
+            AssetKind::KeyMaterial => &[InformationDisclosure, Tampering],
+            AssetKind::NetworkInterface => &[
+                Spoofing,
+                DenialOfService,
+                InformationDisclosure,
+                Tampering,
+            ],
+            AssetKind::SensitiveMemory => &[InformationDisclosure, Tampering],
+            AssetKind::Task => &[ElevationOfPrivilege, Tampering, DenialOfService],
+            AssetKind::AuditLog => &[Repudiation, Tampering],
+        }
+    }
+
+    /// Detection capabilities that can observe this threat category against
+    /// the given asset kind.
+    pub fn detections(self, kind: AssetKind) -> Vec<DetectionCapability> {
+        use DetectionCapability::*;
+        match (self, kind) {
+            (StrideCategory::Spoofing, AssetKind::Sensor) => vec![SensorPlausibility],
+            (StrideCategory::Spoofing, _) => vec![NetworkSignature, NetworkRate],
+            (StrideCategory::Tampering, AssetKind::Firmware) => {
+                vec![BootMeasurement, MemoryGuard]
+            }
+            (StrideCategory::Tampering, AssetKind::AuditLog) => vec![MemoryGuard, BusPolicing],
+            (StrideCategory::Tampering, AssetKind::Sensor) => {
+                vec![SensorPlausibility, Environmental]
+            }
+            (StrideCategory::Tampering, _) => vec![MemoryGuard, BusPolicing],
+            (StrideCategory::Repudiation, _) => vec![BusPolicing, BootMeasurement],
+            (StrideCategory::InformationDisclosure, _) => {
+                vec![BusPolicing, MemoryGuard, InformationFlow]
+            }
+            (StrideCategory::DenialOfService, AssetKind::NetworkInterface) => {
+                vec![NetworkRate]
+            }
+            (StrideCategory::DenialOfService, _) => vec![WatchdogLiveness, NetworkRate],
+            (StrideCategory::ElevationOfPrivilege, _) => {
+                vec![ControlFlowIntegrity, SyscallSequence]
+            }
+        }
+    }
+
+    /// Response capabilities that mitigate this category against the kind.
+    pub fn responses(self, kind: AssetKind) -> Vec<ResponseCapability> {
+        use ResponseCapability::*;
+        match (self, kind) {
+            (StrideCategory::Spoofing, AssetKind::Sensor) => vec![DegradedMode, ActuatorLockout],
+            (StrideCategory::Spoofing, _) => vec![QuarantineNetwork],
+            (StrideCategory::Tampering, AssetKind::Firmware) => {
+                vec![Rollback, GoldenRecovery]
+            }
+            (StrideCategory::Tampering, AssetKind::KeyMaterial) => vec![ZeroizeKeys],
+            (StrideCategory::Tampering, _) => vec![IsolateMaster, RestartTask],
+            (StrideCategory::Repudiation, _) => vec![DegradedMode],
+            (StrideCategory::InformationDisclosure, AssetKind::KeyMaterial) => {
+                vec![ZeroizeKeys, IsolateMaster]
+            }
+            (StrideCategory::InformationDisclosure, _) => {
+                vec![IsolateMaster, QuarantineNetwork]
+            }
+            (StrideCategory::DenialOfService, AssetKind::NetworkInterface) => {
+                vec![RateLimit, QuarantineNetwork]
+            }
+            (StrideCategory::DenialOfService, _) => vec![RestartTask, DegradedMode],
+            (StrideCategory::ElevationOfPrivilege, _) => vec![KillTask, IsolateMaster],
+        }
+    }
+}
+
+impl fmt::Display for StrideCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Qualitative risk bands from the 1–25 score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RiskLevel {
+    /// Score 1–4.
+    Low,
+    /// Score 5–9.
+    Medium,
+    /// Score 10–15.
+    High,
+    /// Score 16–25.
+    Critical,
+}
+
+impl RiskLevel {
+    /// Bands a raw 1–25 score.
+    pub fn from_score(score: u8) -> RiskLevel {
+        match score {
+            0..=4 => RiskLevel::Low,
+            5..=9 => RiskLevel::Medium,
+            10..=15 => RiskLevel::High,
+            _ => RiskLevel::Critical,
+        }
+    }
+}
+
+/// One identified threat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Threat {
+    /// Threat identifier.
+    pub id: u32,
+    /// Asset id the threat applies to.
+    pub asset: u32,
+    /// STRIDE category.
+    pub category: StrideCategory,
+    /// Likelihood 1–5 (derived from exposure).
+    pub likelihood: u8,
+    /// Impact 1–5 (the asset's criticality).
+    pub impact: u8,
+}
+
+impl Threat {
+    /// Risk score = likelihood × impact (1–25).
+    pub fn score(&self) -> u8 {
+        self.likelihood * self.impact
+    }
+
+    /// Banded risk level.
+    pub fn level(&self) -> RiskLevel {
+        RiskLevel::from_score(self.score())
+    }
+}
+
+/// A complete threat model: every applicable (asset, category) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreatModel {
+    threats: Vec<Threat>,
+}
+
+fn likelihood(exposure: Exposure) -> u8 {
+    match exposure {
+        Exposure::Physical => 2,
+        Exposure::Local => 3,
+        Exposure::Remote => 5,
+    }
+}
+
+impl ThreatModel {
+    /// Generates the threat model for an inventory.
+    pub fn generate(inventory: &AssetInventory) -> Self {
+        let mut threats = Vec::new();
+        for asset in inventory.assets() {
+            for category in StrideCategory::applicable_to(asset.kind) {
+                threats.push(Threat {
+                    id: threats.len() as u32,
+                    asset: asset.id,
+                    category: *category,
+                    likelihood: likelihood(asset.exposure),
+                    impact: asset.criticality,
+                });
+            }
+        }
+        ThreatModel { threats }
+    }
+
+    /// All threats.
+    pub fn threats(&self) -> &[Threat] {
+        &self.threats
+    }
+
+    /// Threats sorted by descending risk score (the prioritisation step).
+    pub fn prioritized(&self) -> Vec<&Threat> {
+        let mut v: Vec<&Threat> = self.threats.iter().collect();
+        v.sort_by(|a, b| b.score().cmp(&a.score()).then(a.id.cmp(&b.id)));
+        v
+    }
+
+    /// The union of detection capabilities the model requires.
+    pub fn required_detections(&self, inventory: &AssetInventory) -> BTreeSet<DetectionCapability> {
+        self.threats
+            .iter()
+            .filter_map(|t| inventory.get(t.asset).map(|a| (t, a)))
+            .flat_map(|(t, a): (&Threat, &Asset)| t.category.detections(a.kind))
+            .collect()
+    }
+
+    /// The union of response capabilities the model requires.
+    pub fn required_responses(&self, inventory: &AssetInventory) -> BTreeSet<ResponseCapability> {
+        self.threats
+            .iter()
+            .filter_map(|t| inventory.get(t.asset).map(|a| (t, a)))
+            .flat_map(|(t, a): (&Threat, &Asset)| t.category.responses(a.kind))
+            .collect()
+    }
+
+    /// Fraction of threats for which at least one required detection is in
+    /// `installed` — the coverage number E2/E3 report per configuration.
+    pub fn detection_coverage(
+        &self,
+        inventory: &AssetInventory,
+        installed: &BTreeSet<DetectionCapability>,
+    ) -> f64 {
+        if self.threats.is_empty() {
+            return 1.0;
+        }
+        let covered = self
+            .threats
+            .iter()
+            .filter(|t| {
+                let Some(asset) = inventory.get(t.asset) else {
+                    return false;
+                };
+                t.category
+                    .detections(asset.kind)
+                    .iter()
+                    .any(|d| installed.contains(d))
+            })
+            .count();
+        covered as f64 / self.threats.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (AssetInventory, ThreatModel) {
+        let inv = AssetInventory::substation_example();
+        let tm = ThreatModel::generate(&inv);
+        (inv, tm)
+    }
+
+    #[test]
+    fn every_asset_gets_its_applicable_threats() {
+        let (inv, tm) = model();
+        for asset in inv.assets() {
+            let expected = StrideCategory::applicable_to(asset.kind).len();
+            let got = tm.threats().iter().filter(|t| t.asset == asset.id).count();
+            assert_eq!(got, expected, "asset {}", asset.name);
+        }
+    }
+
+    #[test]
+    fn scores_and_levels() {
+        let t = Threat {
+            id: 0,
+            asset: 0,
+            category: StrideCategory::Tampering,
+            likelihood: 5,
+            impact: 5,
+        };
+        assert_eq!(t.score(), 25);
+        assert_eq!(t.level(), RiskLevel::Critical);
+        assert_eq!(RiskLevel::from_score(1), RiskLevel::Low);
+        assert_eq!(RiskLevel::from_score(6), RiskLevel::Medium);
+        assert_eq!(RiskLevel::from_score(12), RiskLevel::High);
+    }
+
+    #[test]
+    fn prioritized_is_descending() {
+        let (_, tm) = model();
+        let p = tm.prioritized();
+        for w in p.windows(2) {
+            assert!(w[0].score() >= w[1].score());
+        }
+        assert_eq!(p.len(), tm.threats().len());
+    }
+
+    #[test]
+    fn remote_exposure_raises_likelihood() {
+        let mut inv = AssetInventory::new();
+        inv.add("remote", AssetKind::Task, 3, Exposure::Remote);
+        inv.add("physical", AssetKind::Task, 3, Exposure::Physical);
+        let tm = ThreatModel::generate(&inv);
+        let remote_max = tm.threats().iter().filter(|t| t.asset == 0).map(Threat::score).max();
+        let physical_max = tm.threats().iter().filter(|t| t.asset == 1).map(Threat::score).max();
+        assert!(remote_max > physical_max);
+    }
+
+    #[test]
+    fn substation_requires_rich_capability_set() {
+        let (inv, tm) = model();
+        let det = tm.required_detections(&inv);
+        let resp = tm.required_responses(&inv);
+        // the paper's point: a realistic CI deployment needs nearly the
+        // full active capability set
+        assert!(det.contains(&DetectionCapability::SensorPlausibility));
+        assert!(det.contains(&DetectionCapability::ControlFlowIntegrity));
+        assert!(det.contains(&DetectionCapability::BootMeasurement));
+        assert!(resp.contains(&ResponseCapability::IsolateMaster));
+        assert!(resp.contains(&ResponseCapability::GoldenRecovery));
+        assert!(resp.contains(&ResponseCapability::ZeroizeKeys));
+        assert!(det.len() >= 8, "detections: {det:?}");
+        assert!(resp.len() >= 8, "responses: {resp:?}");
+    }
+
+    #[test]
+    fn coverage_full_vs_watchdog_only() {
+        let (inv, tm) = model();
+        let full: BTreeSet<_> = DetectionCapability::ALL.into_iter().collect();
+        assert_eq!(tm.detection_coverage(&inv, &full), 1.0);
+        // the passive baseline's only detector
+        let watchdog_only: BTreeSet<_> =
+            [DetectionCapability::WatchdogLiveness].into_iter().collect();
+        let c = tm.detection_coverage(&inv, &watchdog_only);
+        assert!(c < 0.5, "watchdog-only coverage should be poor, got {c}");
+        let none = BTreeSet::new();
+        assert_eq!(tm.detection_coverage(&inv, &none), 0.0);
+    }
+
+    #[test]
+    fn every_category_has_mitigations_for_every_kind() {
+        for kind in AssetKind::ALL {
+            for cat in StrideCategory::applicable_to(kind) {
+                assert!(!cat.detections(kind).is_empty(), "{cat}/{kind} undetectable");
+                assert!(!cat.responses(kind).is_empty(), "{cat}/{kind} unmitigable");
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The recovery backend trait: how countermeasures reach firmware and keys.
+//!
+//! The response manager is deliberately ignorant of the boot and TEE
+//! crates' types; the platform implements [`RecoveryBackend`] over its real
+//! `cres_boot::UpdateEngine` and `cres_tee::Tee`, while tests use
+//! [`NullRecoveryBackend`].
+
+/// Recovery operations the response manager can invoke.
+pub trait RecoveryBackend {
+    /// Rolls firmware back to the previous slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when rollback is impossible (e.g. no
+    /// fallback slot).
+    fn rollback_firmware(&mut self) -> Result<(), String>;
+
+    /// Reflashes from the golden image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on failure.
+    fn golden_recovery(&mut self) -> Result<(), String>;
+
+    /// Zeroises key material.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on failure.
+    fn zeroize_keys(&mut self) -> Result<(), String>;
+}
+
+/// A backend that succeeds at everything while recording call counts —
+/// for unit tests and configurations without firmware/key subsystems.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecoveryBackend {
+    /// Number of rollback calls.
+    pub rollbacks: u32,
+    /// Number of golden-recovery calls.
+    pub golden: u32,
+    /// Number of zeroise calls.
+    pub zeroized: u32,
+}
+
+impl NullRecoveryBackend {
+    /// Creates a zeroed backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RecoveryBackend for NullRecoveryBackend {
+    fn rollback_firmware(&mut self) -> Result<(), String> {
+        self.rollbacks += 1;
+        Ok(())
+    }
+
+    fn golden_recovery(&mut self) -> Result<(), String> {
+        self.golden += 1;
+        Ok(())
+    }
+
+    fn zeroize_keys(&mut self) -> Result<(), String> {
+        self.zeroized += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_backend_counts_calls() {
+        let mut b = NullRecoveryBackend::new();
+        b.rollback_firmware().unwrap();
+        b.zeroize_keys().unwrap();
+        b.zeroize_keys().unwrap();
+        assert_eq!(b.rollbacks, 1);
+        assert_eq!(b.golden, 0);
+        assert_eq!(b.zeroized, 2);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! The Active Response Manager — the paper's third microarchitectural
+//! characteristic.
+//!
+//! > "An active response manager shall be responsible for implementing
+//! > response and recovery … It shall actively enforce and execute the
+//! > response and recovery strategies initiated by the system security
+//! > manager. … a compromised resource can be physically isolated from the
+//! > system. This would allow opportunities to gracefully degrade the
+//! > system functionality while maintaining critical services."
+//!
+//! * [`backend`] — the [`backend::RecoveryBackend`] trait through which
+//!   firmware rollback / golden recovery / key zeroisation reach the boot
+//!   and TEE subsystems (the platform crate wires the real one),
+//! * [`manager`] — [`manager::ResponseManager`]: executes
+//!   [`cres_ssm::ResponseAction`] plans against the SoC, tracks what was
+//!   done for the evidence loop, and owns graceful degradation
+//!   (suspend-and-resume of non-critical tasks).
+
+pub mod backend;
+pub mod manager;
+
+pub use backend::{NullRecoveryBackend, RecoveryBackend};
+pub use manager::{ActionOutcome, ExecutedAction, ResponseManager};

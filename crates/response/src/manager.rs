@@ -1,0 +1,485 @@
+//! The response manager: plan execution and graceful degradation.
+
+use crate::backend::RecoveryBackend;
+use cres_sim::{SimDuration, SimTime};
+use cres_soc::addr::MasterId;
+use cres_soc::task::{Criticality, TaskId, TaskState};
+use cres_soc::Soc;
+use cres_ssm::{ResponseAction, ResponsePlan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Result of executing one action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionOutcome {
+    /// The countermeasure took effect.
+    Success,
+    /// Execution was attempted and failed.
+    Failed(String),
+    /// The action did not apply (e.g. unknown task).
+    Skipped(String),
+}
+
+impl ActionOutcome {
+    /// True for [`ActionOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, ActionOutcome::Success)
+    }
+}
+
+impl fmt::Display for ActionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionOutcome::Success => write!(f, "success"),
+            ActionOutcome::Failed(why) => write!(f, "failed: {why}"),
+            ActionOutcome::Skipped(why) => write!(f, "skipped: {why}"),
+        }
+    }
+}
+
+/// An executed countermeasure, for the evidence loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutedAction {
+    /// When it executed.
+    pub at: SimTime,
+    /// The action.
+    pub action: ResponseAction,
+    /// What happened.
+    pub outcome: ActionOutcome,
+}
+
+/// The active response manager.
+#[derive(Debug, Clone)]
+pub struct ResponseManager {
+    reboot_duration: SimDuration,
+    executed: Vec<ExecutedAction>,
+    degraded: bool,
+    suspended_by_degrade: Vec<TaskId>,
+    distrusted_sensors: HashSet<usize>,
+    isolated: HashSet<MasterId>,
+}
+
+impl ResponseManager {
+    /// Creates a manager whose system reboots take `reboot_duration`.
+    pub fn new(reboot_duration: SimDuration) -> Self {
+        ResponseManager {
+            reboot_duration,
+            executed: Vec::new(),
+            degraded: false,
+            suspended_by_degrade: Vec::new(),
+            distrusted_sensors: HashSet::new(),
+            isolated: HashSet::new(),
+        }
+    }
+
+    /// The configured reboot latency.
+    pub fn reboot_duration(&self) -> SimDuration {
+        self.reboot_duration
+    }
+
+    /// Everything executed so far.
+    pub fn executed(&self) -> &[ExecutedAction] {
+        &self.executed
+    }
+
+    /// True while in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// True when sensor `idx` has been marked untrustworthy.
+    pub fn is_distrusted(&self, idx: usize) -> bool {
+        self.distrusted_sensors.contains(&idx)
+    }
+
+    /// Masters currently isolated by countermeasures.
+    pub fn isolated_masters(&self) -> impl Iterator<Item = MasterId> + '_ {
+        self.isolated.iter().copied()
+    }
+
+    /// Executes a full plan in order. Execution continues past failures —
+    /// a failed rollback must not prevent network quarantine.
+    pub fn execute_plan(
+        &mut self,
+        plan: &ResponsePlan,
+        now: SimTime,
+        soc: &mut Soc,
+        backend: &mut dyn RecoveryBackend,
+    ) -> Vec<ExecutedAction> {
+        plan.actions
+            .iter()
+            .map(|action| self.execute(*action, now, soc, backend))
+            .collect()
+    }
+
+    /// Executes one countermeasure.
+    pub fn execute(
+        &mut self,
+        action: ResponseAction,
+        now: SimTime,
+        soc: &mut Soc,
+        backend: &mut dyn RecoveryBackend,
+    ) -> ExecutedAction {
+        let outcome = match action {
+            ResponseAction::IsolateMaster(m) => {
+                if m == MasterId::SSM {
+                    ActionOutcome::Skipped("refusing to isolate the SSM".into())
+                } else {
+                    soc.bus.gate(m);
+                    soc.mem.revoke_all(m);
+                    if m.is_app_core() {
+                        if let Some(core) = soc.cores.iter_mut().find(|c| c.master() == m) {
+                            core.halt();
+                        }
+                    }
+                    self.isolated.insert(m);
+                    ActionOutcome::Success
+                }
+            }
+            ResponseAction::KillTask(t) => match soc.task_mut(t) {
+                Some(task) => {
+                    task.kill();
+                    ActionOutcome::Success
+                }
+                None => ActionOutcome::Skipped(format!("no such task {t}")),
+            },
+            ResponseAction::RestartTask(t) => match soc.task_mut(t) {
+                Some(task) => {
+                    task.restart();
+                    ActionOutcome::Success
+                }
+                None => ActionOutcome::Skipped(format!("no such task {t}")),
+            },
+            ResponseAction::QuarantineNetwork => {
+                soc.nic.quarantine();
+                ActionOutcome::Success
+            }
+            ResponseAction::RateLimitNetwork(limit) => {
+                soc.nic.set_rate_limit(limit);
+                ActionOutcome::Success
+            }
+            ResponseAction::ZeroizeKeys => match backend.zeroize_keys() {
+                Ok(()) => ActionOutcome::Success,
+                Err(e) => ActionOutcome::Failed(e),
+            },
+            ResponseAction::RollbackFirmware => match backend.rollback_firmware() {
+                Ok(()) => {
+                    soc.reboot_all_cores(now, self.reboot_duration);
+                    ActionOutcome::Success
+                }
+                Err(e) => ActionOutcome::Failed(e),
+            },
+            ResponseAction::GoldenRecovery => match backend.golden_recovery() {
+                Ok(()) => {
+                    soc.reboot_all_cores(now, self.reboot_duration);
+                    ActionOutcome::Success
+                }
+                Err(e) => ActionOutcome::Failed(e),
+            },
+            ResponseAction::RebootSystem => {
+                soc.reboot_all_cores(now, self.reboot_duration);
+                ActionOutcome::Success
+            }
+            ResponseAction::EnterDegradedMode => {
+                self.enter_degraded(soc);
+                ActionOutcome::Success
+            }
+            ResponseAction::LockActuators => {
+                for a in &mut soc.actuators {
+                    a.lockout();
+                }
+                ActionOutcome::Success
+            }
+            ResponseAction::DistrustSensor(idx) => {
+                if idx < soc.sensors.len() {
+                    self.distrusted_sensors.insert(idx);
+                    ActionOutcome::Success
+                } else {
+                    ActionOutcome::Skipped(format!("no sensor {idx}"))
+                }
+            }
+        };
+        let record = ExecutedAction {
+            at: now,
+            action,
+            outcome,
+        };
+        self.executed.push(record.clone());
+        record
+    }
+
+    fn enter_degraded(&mut self, soc: &mut Soc) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        for id in soc.task_ids() {
+            let Some(task) = soc.task_mut(id) else { continue };
+            if task.criticality() < Criticality::Critical && task.state() == TaskState::Running {
+                task.suspend();
+                self.suspended_by_degrade.push(id);
+            }
+        }
+    }
+
+    /// Leaves degraded mode, resuming the tasks it suspended.
+    pub fn exit_degraded(&mut self, soc: &mut Soc) {
+        if !self.degraded {
+            return;
+        }
+        self.degraded = false;
+        for id in self.suspended_by_degrade.drain(..) {
+            if let Some(task) = soc.task_mut(id) {
+                task.resume();
+            }
+        }
+    }
+
+    /// Restores an isolated master (post-recovery, after reprovisioning its
+    /// grants at the platform level).
+    pub fn lift_isolation(&mut self, master: MasterId, soc: &mut Soc) {
+        if self.isolated.remove(&master) {
+            soc.bus.ungate(master);
+            if master.is_app_core() {
+                if let Some(core) = soc.cores.iter_mut().find(|c| c.master() == master) {
+                    core.resume(SimTime::ZERO);
+                }
+            }
+        }
+    }
+
+    /// Restores network service (lifts quarantine and rate limits).
+    pub fn restore_network(&mut self, soc: &mut Soc) {
+        soc.nic.release();
+        soc.nic.clear_rate_limit();
+    }
+
+    /// Restores trust in a sensor after recalibration.
+    pub fn restore_sensor_trust(&mut self, idx: usize) {
+        self.distrusted_sensors.remove(&idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::NullRecoveryBackend;
+    use cres_soc::addr::Addr;
+    use cres_soc::periph::{Actuator, Sensor};
+    use cres_soc::soc::{layout, SocBuilder};
+    use cres_soc::task::{control_loop_program, Task};
+
+    fn soc() -> Soc {
+        let mut soc = SocBuilder::with_standard_layout(5)
+            .sensor(Sensor::new("s0", 10.0, 1.0, 1000, 0.01))
+            .actuator(Actuator::new("valve", 0.0, 100.0))
+            .build();
+        let critical = Task::new(
+            TaskId(1),
+            "relay",
+            control_loop_program(layout::FLASH_A.0, layout::SRAM.0, layout::PERIPH.0),
+            Criticality::Critical,
+        );
+        let best_effort = Task::new(
+            TaskId(2),
+            "telemetry",
+            control_loop_program(
+                layout::FLASH_A.0.offset(0x1000),
+                layout::SRAM.0.offset(0x1000),
+                layout::PERIPH.0.offset(0x100),
+            ),
+            Criticality::BestEffort,
+        );
+        soc.add_task(critical, 0);
+        soc.add_task(best_effort, 1);
+        soc
+    }
+
+    fn mgr() -> ResponseManager {
+        ResponseManager::new(SimDuration::cycles(50_000))
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn isolate_master_gates_revokes_and_halts() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        let rec = m.execute(ResponseAction::IsolateMaster(MasterId::CPU1), t0(), &mut soc, &mut b);
+        assert!(rec.outcome.is_success());
+        assert!(soc.bus.is_gated(MasterId::CPU1));
+        assert!(!soc.cores[1].is_running(t0()));
+        // memory fully revoked
+        assert!(soc.mem.read(MasterId::CPU1, Addr(0x2000_0000), 4).is_err());
+        assert_eq!(m.isolated_masters().collect::<Vec<_>>(), vec![MasterId::CPU1]);
+    }
+
+    #[test]
+    fn ssm_isolation_refused() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        let rec = m.execute(ResponseAction::IsolateMaster(MasterId::SSM), t0(), &mut soc, &mut b);
+        assert!(matches!(rec.outcome, ActionOutcome::Skipped(_)));
+        assert!(!soc.bus.is_gated(MasterId::SSM));
+    }
+
+    #[test]
+    fn kill_and_restart_task() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::KillTask(TaskId(1)), t0(), &mut soc, &mut b);
+        assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Killed);
+        m.execute(ResponseAction::RestartTask(TaskId(1)), t0(), &mut soc, &mut b);
+        assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Running);
+        // unknown task is skipped, not an error
+        let rec = m.execute(ResponseAction::KillTask(TaskId(99)), t0(), &mut soc, &mut b);
+        assert!(matches!(rec.outcome, ActionOutcome::Skipped(_)));
+    }
+
+    #[test]
+    fn network_countermeasures() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::QuarantineNetwork, t0(), &mut soc, &mut b);
+        assert!(soc.nic.is_quarantined());
+        m.execute(ResponseAction::RateLimitNetwork(8), t0(), &mut soc, &mut b);
+        assert!(soc.nic.is_rate_limited());
+        m.restore_network(&mut soc);
+        assert!(!soc.nic.is_quarantined());
+        assert!(!soc.nic.is_rate_limited());
+    }
+
+    #[test]
+    fn degraded_mode_sheds_only_noncritical_tasks() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::EnterDegradedMode, t0(), &mut soc, &mut b);
+        assert!(m.is_degraded());
+        assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Running, "critical survives");
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Suspended, "best-effort shed");
+        m.exit_degraded(&mut soc);
+        assert!(!m.is_degraded());
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Running);
+    }
+
+    #[test]
+    fn degraded_mode_is_idempotent() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::EnterDegradedMode, t0(), &mut soc, &mut b);
+        m.execute(ResponseAction::EnterDegradedMode, t0(), &mut soc, &mut b);
+        m.exit_degraded(&mut soc);
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Running);
+    }
+
+    #[test]
+    fn reboot_darkens_cores_for_duration() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::RebootSystem, t0(), &mut soc, &mut b);
+        assert!(!soc.cores[0].is_running(SimTime::at_cycle(1_000)));
+        assert!(soc.cores[0].is_running(SimTime::at_cycle(50_000)));
+    }
+
+    #[test]
+    fn recovery_actions_reach_backend_and_reboot() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::RollbackFirmware, t0(), &mut soc, &mut b);
+        m.execute(ResponseAction::GoldenRecovery, SimTime::at_cycle(100_000), &mut soc, &mut b);
+        m.execute(ResponseAction::ZeroizeKeys, SimTime::at_cycle(100_000), &mut soc, &mut b);
+        assert_eq!((b.rollbacks, b.golden, b.zeroized), (1, 1, 1));
+        assert!(!soc.cores[0].is_running(SimTime::at_cycle(100_001)));
+    }
+
+    #[test]
+    fn failed_backend_is_reported_not_panicked() {
+        struct FailingBackend;
+        impl RecoveryBackend for FailingBackend {
+            fn rollback_firmware(&mut self) -> Result<(), String> {
+                Err("no fallback slot".into())
+            }
+            fn golden_recovery(&mut self) -> Result<(), String> {
+                Ok(())
+            }
+            fn zeroize_keys(&mut self) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let mut soc = soc();
+        let mut m = mgr();
+        let rec = m.execute(ResponseAction::RollbackFirmware, t0(), &mut soc, &mut FailingBackend);
+        assert!(matches!(rec.outcome, ActionOutcome::Failed(_)));
+        // failed rollback must not reboot
+        assert!(soc.cores[0].is_running(SimTime::at_cycle(1)));
+    }
+
+    #[test]
+    fn actuator_lockout_and_sensor_distrust() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::LockActuators, t0(), &mut soc, &mut b);
+        assert!(soc.actuators[0].is_locked_out());
+        m.execute(ResponseAction::DistrustSensor(0), t0(), &mut soc, &mut b);
+        assert!(m.is_distrusted(0));
+        let rec = m.execute(ResponseAction::DistrustSensor(9), t0(), &mut soc, &mut b);
+        assert!(matches!(rec.outcome, ActionOutcome::Skipped(_)));
+        m.restore_sensor_trust(0);
+        assert!(!m.is_distrusted(0));
+    }
+
+    #[test]
+    fn plan_execution_continues_past_failures() {
+        struct FailingBackend;
+        impl RecoveryBackend for FailingBackend {
+            fn rollback_firmware(&mut self) -> Result<(), String> {
+                Err("flash write error".into())
+            }
+            fn golden_recovery(&mut self) -> Result<(), String> {
+                Ok(())
+            }
+            fn zeroize_keys(&mut self) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let mut soc = soc();
+        let mut m = mgr();
+        let plan = ResponsePlan {
+            incident: 1,
+            actions: vec![
+                ResponseAction::RollbackFirmware,
+                ResponseAction::QuarantineNetwork,
+            ],
+        };
+        let results = m.execute_plan(&plan, t0(), &mut soc, &mut FailingBackend);
+        assert_eq!(results.len(), 2);
+        assert!(!results[0].outcome.is_success());
+        assert!(results[1].outcome.is_success());
+        assert!(soc.nic.is_quarantined());
+        assert_eq!(m.executed().len(), 2);
+    }
+
+    #[test]
+    fn lift_isolation_restores_master() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::IsolateMaster(MasterId::CPU1), t0(), &mut soc, &mut b);
+        m.lift_isolation(MasterId::CPU1, &mut soc);
+        assert!(!soc.bus.is_gated(MasterId::CPU1));
+        assert!(soc.cores[1].is_running(t0()));
+        assert_eq!(m.isolated_masters().count(), 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Streaming statistics used by experiment harnesses and monitors.
+//!
+//! Provides Welford online mean/variance ([`Running`]), a fixed-bucket
+//! [`Histogram`] with percentile queries, and a windowed min/max/mean
+//! [`Summary`] convenience for report tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use cres_sim::stats::Running;
+/// let mut r = Running::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     r.push(x);
+/// }
+/// assert!((r.mean() - 5.0).abs() < 1e-12);
+/// assert!((r.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than one observation).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (0 for fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Running {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN)
+        )
+    }
+}
+
+/// A histogram over `u64` values with caller-defined bucket boundaries.
+///
+/// Boundaries are upper bounds: a value `v` lands in the first bucket whose
+/// bound is `>= v`; values beyond the last bound land in an overflow bucket.
+///
+/// # Example
+///
+/// ```
+/// use cres_sim::stats::Histogram;
+/// let mut h = Histogram::new(&[10, 100, 1000]);
+/// h.record(5);
+/// h.record(50);
+/// h.record(5000);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_counts(), &[1, 1, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Creates a histogram with exponential bounds `base, base*2, ...` of
+    /// the given length.
+    pub fn exponential(base: u64, buckets: usize) -> Self {
+        assert!(base > 0 && buckets > 0);
+        let bounds: Vec<u64> = (0..buckets)
+            .map(|i| base.saturating_mul(1u64 << i.min(62)))
+            .collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = match self.bounds.binary_search(&v) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        self.counts[idx.min(self.bounds.len())] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile: the upper bound of the bucket containing the
+    /// `q`-quantile observation (`q` in `[0, 1]`). Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    u64::MAX
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// A compact min/mean/max summary row, convenient for printed tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: u64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl From<&Running> for Summary {
+    fn from(r: &Running) -> Self {
+        Summary {
+            n: r.count(),
+            min: r.min().unwrap_or(0.0),
+            mean: r.mean(),
+            max: r.max().unwrap_or(0.0),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.2} mean={:.2} max={:.2}",
+            self.n, self.min, self.mean, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_empty_is_defined() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn running_matches_naive_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((r.mean() - mean).abs() < 1e-9);
+        assert!((r.population_variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 0.7).collect();
+        let mut all = Running::new();
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.push(x);
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - all.population_variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = Running::new();
+        let mut b = Running::new();
+        b.push(3.0);
+        a.merge(&b); // empty += nonempty
+        assert_eq!(a.count(), 1);
+        let empty = Running::new();
+        a.merge(&empty); // nonempty += empty
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_assignment() {
+        let mut h = Histogram::new(&[10, 20]);
+        h.record(10); // exact bound lands in its bucket
+        h.record(11);
+        h.record(21);
+        assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(&[1, 2, 4, 8, 16, 32]);
+        for v in 1..=32 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(32));
+        let median = h.quantile(0.5).unwrap();
+        assert!(median == 16, "median bucket bound was {median}");
+    }
+
+    #[test]
+    fn histogram_empty_quantile_none() {
+        let h = Histogram::new(&[1]);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_bounds() {
+        Histogram::new(&[5, 5]);
+    }
+
+    #[test]
+    fn exponential_bounds_grow() {
+        let h = Histogram::exponential(10, 4);
+        let mut h2 = h.clone();
+        h2.record(15);
+        assert_eq!(h2.bucket_counts()[1], 1);
+    }
+
+    #[test]
+    fn summary_from_running() {
+        let mut r = Running::new();
+        r.push(1.0);
+        r.push(3.0);
+        let s = Summary::from(&r);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(!s.to_string().is_empty());
+    }
+}

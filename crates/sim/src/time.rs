@@ -1,0 +1,243 @@
+//! Simulated time: cycle-granular instants and durations.
+//!
+//! The SoC substrate is cycle-approximate, so the base unit of simulated
+//! time is one clock cycle of the reference clock. Experiment harnesses that
+//! want wall-clock-like units convert through a configured clock frequency
+//! (see [`SimDuration::as_micros_at`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, measured in clock cycles since simulation
+/// start.
+///
+/// `SimTime` is totally ordered and starts at [`SimTime::ZERO`]. Adding a
+/// [`SimDuration`] yields a later instant; subtracting two instants yields
+/// the duration between them.
+///
+/// # Example
+///
+/// ```
+/// use cres_sim::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::cycles(40);
+/// assert_eq!(t.cycle(), 40);
+/// assert_eq!(t - SimTime::at_cycle(15), SimDuration::cycles(25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, measured in clock cycles.
+///
+/// # Example
+///
+/// ```
+/// use cres_sim::SimDuration;
+/// assert_eq!(SimDuration::cycles(3) * 4, SimDuration::cycles(12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant at the given absolute cycle count.
+    pub const fn at_cycle(cycle: u64) -> Self {
+        SimTime(cycle)
+    }
+
+    /// Returns the absolute cycle count of this instant.
+    pub const fn cycle(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since an earlier instant, saturating to
+    /// zero if `earlier` is actually later.
+    pub const fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns `self + d`, saturating at [`SimTime::MAX`] instead of
+    /// overflowing.
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration spanning `n` clock cycles.
+    pub const fn cycles(n: u64) -> Self {
+        SimDuration(n)
+    }
+
+    /// Returns the number of cycles in this duration.
+    pub const fn as_cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Returns true if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Converts to microseconds assuming the given clock frequency in MHz.
+    ///
+    /// Used only for presentation in experiment reports.
+    pub fn as_micros_at(self, clock_mhz: u64) -> f64 {
+        assert!(clock_mhz > 0, "clock frequency must be non-zero");
+        self.0 as f64 / clock_mhz as f64
+    }
+
+    /// Saturating duration subtraction.
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for SimDuration {
+    fn from(n: u64) -> Self {
+        SimDuration(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::at_cycle(100);
+        let d = SimDuration::cycles(42);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn ordering_matches_cycle_counts() {
+        assert!(SimTime::at_cycle(1) < SimTime::at_cycle(2));
+        assert!(SimDuration::cycles(5) > SimDuration::cycles(4));
+        assert_eq!(SimTime::ZERO, SimTime::at_cycle(0));
+    }
+
+    #[test]
+    fn saturating_ops_do_not_panic() {
+        assert_eq!(
+            SimTime::at_cycle(5).saturating_since(SimTime::at_cycle(9)),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::cycles(1)), SimTime::MAX);
+        assert_eq!(
+            SimDuration::cycles(3).saturating_sub(SimDuration::cycles(7)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime underflow")]
+    fn underflow_panics() {
+        let _ = SimTime::at_cycle(1) - SimDuration::cycles(2);
+    }
+
+    #[test]
+    fn scalar_mul_div() {
+        assert_eq!(SimDuration::cycles(6) * 7, SimDuration::cycles(42));
+        assert_eq!(SimDuration::cycles(42) / 6, SimDuration::cycles(7));
+    }
+
+    #[test]
+    fn micros_conversion_uses_clock() {
+        // 1000 cycles at 100 MHz = 10 us.
+        assert!((SimDuration::cycles(1000).as_micros_at(100) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(SimTime::at_cycle(7).to_string(), "@7");
+        assert_eq!(SimDuration::cycles(7).to_string(), "7cy");
+    }
+}

@@ -1,0 +1,183 @@
+//! Bounded in-simulation trace recording.
+//!
+//! A [`TraceBuffer`] is the substrate's equivalent of an on-chip trace
+//! macrocell: a bounded ring of timestamped entries with overflow
+//! accounting and a [`TraceBuffer::wipe`] method modelling an attacker (or
+//! crash handler) erasing a log held in unprotected memory. The platform's
+//! wipeable audit trail is the UART console log and its tamper-evident one
+//! is the SSM's hash-chained store; this buffer is the general-purpose
+//! debug-trace utility available to harness code.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When the entry was recorded.
+    pub at: SimTime,
+    /// Producer subsystem, e.g. `"bus"` or `"ssm"`.
+    pub source: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// A bounded ring buffer of trace entries.
+///
+/// When full, the oldest entry is evicted; `dropped()` counts evictions so
+/// forensic tooling can tell a quiet system from an overflowing one.
+///
+/// # Example
+///
+/// ```
+/// use cres_sim::{TraceBuffer, SimTime};
+/// let mut t = TraceBuffer::with_capacity(2);
+/// t.record(SimTime::at_cycle(1), "bus", "read 0x1000");
+/// t.record(SimTime::at_cycle(2), "bus", "write 0x2000");
+/// t.record(SimTime::at_cycle(3), "bus", "read 0x3000");
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer capacity must be non-zero");
+        TraceBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an entry, evicting the oldest when full.
+    pub fn record(&mut self, at: SimTime, source: &str, message: impl Into<String>) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            source: source.to_string(),
+            message: message.into(),
+        });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Returns retained entries from `source` only.
+    pub fn from_source<'a>(&'a self, source: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.source == source)
+    }
+
+    /// Erases all retained entries — this models an attacker (or a panic
+    /// handler) wiping a log that lives in unprotected memory. The
+    /// `dropped` counter is also cleared: a thorough attacker leaves no
+    /// residue.
+    pub fn wipe(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceBuffer {
+    type Item = &'a TraceEntry;
+    type IntoIter = std::collections::vec_deque::Iter<'a, TraceEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::at_cycle(c)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tb = TraceBuffer::with_capacity(10);
+        tb.record(t(1), "a", "one");
+        tb.record(t(2), "b", "two");
+        let msgs: Vec<_> = tb.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn eviction_keeps_newest() {
+        let mut tb = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            tb.record(t(i), "s", format!("m{i}"));
+        }
+        assert_eq!(tb.len(), 3);
+        assert_eq!(tb.dropped(), 2);
+        assert_eq!(tb.iter().next().unwrap().message, "m2");
+    }
+
+    #[test]
+    fn source_filter() {
+        let mut tb = TraceBuffer::with_capacity(10);
+        tb.record(t(1), "bus", "x");
+        tb.record(t(2), "net", "y");
+        tb.record(t(3), "bus", "z");
+        assert_eq!(tb.from_source("bus").count(), 2);
+        assert_eq!(tb.from_source("net").count(), 1);
+        assert_eq!(tb.from_source("cpu").count(), 0);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut tb = TraceBuffer::with_capacity(2);
+        for i in 0..4 {
+            tb.record(t(i), "s", "m");
+        }
+        tb.wipe();
+        assert!(tb.is_empty());
+        assert_eq!(tb.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        TraceBuffer::with_capacity(0);
+    }
+
+    #[test]
+    fn into_iterator_works() {
+        let mut tb = TraceBuffer::with_capacity(4);
+        tb.record(t(1), "s", "m");
+        let n = (&tb).into_iter().count();
+        assert_eq!(n, 1);
+    }
+}

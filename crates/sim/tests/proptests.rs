@@ -1,0 +1,112 @@
+//! Property tests for the simulation kernel: event ordering, RNG bounds and
+//! statistics invariants.
+
+use cres_sim::stats::{Histogram, Running};
+use cres_sim::{DetRng, SimDuration, SimTime, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn events_fire_in_nondecreasing_time_order(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim: Simulator<Vec<u64>> = Simulator::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::at_cycle(t), move |w: &mut Vec<u64>, sim| {
+                w.push(sim.now().cycle());
+            });
+        }
+        let mut world = Vec::new();
+        sim.run_to_completion(&mut world, 10_000);
+        prop_assert_eq!(world.len(), times.len());
+        prop_assert!(world.windows(2).all(|w| w[0] <= w[1]), "{world:?}");
+    }
+
+    #[test]
+    fn equal_time_events_fire_in_schedule_order(n in 1usize..60) {
+        let mut sim: Simulator<Vec<usize>> = Simulator::new();
+        for i in 0..n {
+            sim.schedule_at(SimTime::at_cycle(42), move |w: &mut Vec<usize>, _| w.push(i));
+        }
+        let mut world = Vec::new();
+        sim.run_to_completion(&mut world, 1_000);
+        prop_assert_eq!(world, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_never_fires_past_horizon(
+        times in proptest::collection::vec(0u64..10_000, 1..50),
+        horizon in 0u64..10_000
+    ) {
+        let mut sim: Simulator<Vec<u64>> = Simulator::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::at_cycle(t), move |w: &mut Vec<u64>, sim| {
+                w.push(sim.now().cycle());
+            });
+        }
+        let mut world = Vec::new();
+        sim.run_until(&mut world, SimTime::at_cycle(horizon));
+        prop_assert!(world.iter().all(|&t| t <= horizon));
+        let expected = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(world.len(), expected);
+    }
+
+    #[test]
+    fn rng_range_is_uniformly_bounded(seed: u64, low in 0u64..1000, span in 1u64..1000) {
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..100 {
+            let v = rng.range_u64(low, low + span);
+            prop_assert!(v >= low && v < low + span);
+        }
+    }
+
+    #[test]
+    fn rng_fork_streams_are_independent_of_consumption(seed: u64, pre in 0usize..16) {
+        // forking after consuming N values must not equal forking after N+1
+        let mut a = DetRng::seed_from(seed);
+        let mut b = DetRng::seed_from(seed);
+        for _ in 0..pre {
+            a.next_u64();
+            b.next_u64();
+        }
+        let fa = a.fork("x").next_u64();
+        b.next_u64();
+        let fb = b.fork("x").next_u64();
+        prop_assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn running_merge_is_order_insensitive(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut forward = Running::new();
+        let mut backward = Running::new();
+        for &x in &xs {
+            forward.push(x);
+        }
+        for &x in xs.iter().rev() {
+            backward.push(x);
+        }
+        prop_assert!((forward.mean() - backward.mean()).abs() < 1e-6);
+        prop_assert!(
+            (forward.population_variance() - backward.population_variance()).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_total(values in proptest::collection::vec(0u64..100_000, 0..200)) {
+        let mut h = Histogram::exponential(1, 16);
+        for &v in &values {
+            h.record(v);
+        }
+        let total: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(total, values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t = SimTime::at_cycle(a);
+        let d = SimDuration::cycles(b);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+}

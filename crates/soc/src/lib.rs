@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Simulated multi-processor system-on-chip substrate.
+//!
+//! The paper's microarchitectural claims are about *topology*: who can
+//! observe which resource, who can isolate whom, and which memory a
+//! compromised general-purpose core can reach. This crate models exactly
+//! that, cycle-approximately, with no pretence of ISA-level fidelity:
+//!
+//! * [`addr`] — physical addresses, masters, regions and permission flags,
+//! * [`mem`] — the memory map and MPU-style per-master permission matrix,
+//! * [`bus`] — the interconnect: checked transactions, a tap ring buffer
+//!   that resource monitors sample, per-master gating (the response
+//!   manager's "physically isolate a compromised resource" lever),
+//! * [`task`] — workload model: tasks as basic-block graphs emitting memory
+//!   traffic, with control-flow edges the CFI monitor checks,
+//! * [`cpu`] — processing elements that run tasks,
+//! * [`periph`] — UART, NIC, sensors, actuators, watchdog, environmental
+//!   (voltage/clock/temperature) sensors, OTP fuses and a DMA engine,
+//! * [`soc`] — the assembled [`soc::Soc`] with a builder.
+//!
+//! The substrate is deliberately passive: it never schedules its own events.
+//! The platform crate (`cres-platform`) owns the discrete-event loop and
+//! calls into `Soc` methods from events, which keeps every layer below the
+//! platform unit-testable without a simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use cres_soc::soc::SocBuilder;
+//! use cres_soc::addr::{Addr, MasterId, Perms};
+//! use cres_sim::SimTime;
+//!
+//! let mut soc = SocBuilder::new()
+//!     .region("sram", Addr(0x2000_0000), 0x1000, Perms::rw())
+//!     .build();
+//! let cpu = MasterId::CPU0;
+//! let r = soc.bus.write(SimTime::ZERO, cpu, Addr(0x2000_0010), &[1, 2, 3], &mut soc.mem);
+//! assert!(r.is_ok());
+//! ```
+
+pub mod addr;
+pub mod bus;
+pub mod cpu;
+pub mod mem;
+pub mod periph;
+pub mod soc;
+pub mod task;
+
+pub use addr::{Addr, AddrRange, BusOp, MasterId, Perms, RegionId};
+pub use bus::{Bus, BusError, TxnRecord};
+pub use soc::{Soc, SocBuilder};

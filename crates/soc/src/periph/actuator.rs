@@ -1,0 +1,175 @@
+//! Actuators with a safety envelope.
+//!
+//! Critical-infrastructure damage happens at the actuator. The model
+//! enforces a hard safety envelope (an interlock the attacker must stay
+//! inside to remain stealthy) and records every command for forensics.
+
+use cres_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One actuation command.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Commanded set-point.
+    pub value: f64,
+    /// When the command was issued.
+    pub at: SimTime,
+    /// Whether the interlock accepted it.
+    pub accepted: bool,
+}
+
+/// A set-point actuator with min/max interlock.
+#[derive(Debug, Clone)]
+pub struct Actuator {
+    name: String,
+    min: f64,
+    max: f64,
+    position: f64,
+    history: Vec<Command>,
+    rejected: u64,
+    locked_out: bool,
+}
+
+impl Actuator {
+    /// Creates an actuator with the given safety envelope, initially at the
+    /// midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max` or either bound is non-finite.
+    pub fn new(name: &str, min: f64, max: f64) -> Self {
+        assert!(min.is_finite() && max.is_finite() && min < max, "bad envelope");
+        Actuator {
+            name: name.to_string(),
+            min,
+            max,
+            position: (min + max) / 2.0,
+            history: Vec::new(),
+            rejected: 0,
+            locked_out: false,
+        }
+    }
+
+    /// Actuator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current position.
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// The safety envelope `(min, max)`.
+    pub fn envelope(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// Issues a command. Returns true when the command was applied
+    /// (inside the envelope and not locked out).
+    pub fn command(&mut self, at: SimTime, value: f64) -> bool {
+        let accepted = !self.locked_out && value.is_finite() && value >= self.min && value <= self.max;
+        self.history.push(Command {
+            value,
+            at,
+            accepted,
+        });
+        if accepted {
+            self.position = value;
+        } else {
+            self.rejected += 1;
+        }
+        accepted
+    }
+
+    /// Locks the actuator in its current position (fail-safe
+    /// countermeasure: a compromised controller can no longer move it).
+    pub fn lockout(&mut self) {
+        self.locked_out = true;
+    }
+
+    /// Releases a lockout.
+    pub fn release(&mut self) {
+        self.locked_out = false;
+    }
+
+    /// True while locked out.
+    pub fn is_locked_out(&self) -> bool {
+        self.locked_out
+    }
+
+    /// Full command history (forensic record).
+    pub fn history(&self) -> &[Command] {
+        &self.history
+    }
+
+    /// Count of rejected commands.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valve() -> Actuator {
+        Actuator::new("breaker", 0.0, 100.0)
+    }
+
+    #[test]
+    fn starts_at_midpoint() {
+        assert_eq!(valve().position(), 50.0);
+    }
+
+    #[test]
+    fn in_envelope_command_applies() {
+        let mut a = valve();
+        assert!(a.command(SimTime::ZERO, 75.0));
+        assert_eq!(a.position(), 75.0);
+    }
+
+    #[test]
+    fn out_of_envelope_rejected() {
+        let mut a = valve();
+        assert!(!a.command(SimTime::ZERO, 150.0));
+        assert!(!a.command(SimTime::ZERO, -1.0));
+        assert!(!a.command(SimTime::ZERO, f64::NAN));
+        assert_eq!(a.position(), 50.0);
+        assert_eq!(a.rejected(), 3);
+    }
+
+    #[test]
+    fn boundary_values_accepted() {
+        let mut a = valve();
+        assert!(a.command(SimTime::ZERO, 0.0));
+        assert!(a.command(SimTime::ZERO, 100.0));
+    }
+
+    #[test]
+    fn lockout_freezes_position() {
+        let mut a = valve();
+        a.command(SimTime::ZERO, 30.0);
+        a.lockout();
+        assert!(!a.command(SimTime::ZERO, 60.0));
+        assert_eq!(a.position(), 30.0);
+        a.release();
+        assert!(a.command(SimTime::ZERO, 60.0));
+    }
+
+    #[test]
+    fn history_records_everything() {
+        let mut a = valve();
+        a.command(SimTime::at_cycle(1), 10.0);
+        a.command(SimTime::at_cycle(2), 999.0);
+        assert_eq!(a.history().len(), 2);
+        assert!(a.history()[0].accepted);
+        assert!(!a.history()[1].accepted);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad envelope")]
+    fn inverted_envelope_panics() {
+        Actuator::new("bad", 10.0, 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The interrupt controller: prioritised lines with enable masking.
+//!
+//! Peripherals raise lines; the highest-priority pending-and-enabled line is
+//! what a core would vector to. Countermeasures use the mask: quarantining
+//! the NIC also masks its interrupt so a flood cannot livelock the cores
+//! (classic interrupt-storm DoS).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Interrupt lines on the platform, in descending priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IrqLine {
+    /// Watchdog pre-reset warning (highest priority).
+    Watchdog,
+    /// Environmental sensor out-of-envelope latch.
+    Environment,
+    /// DMA transfer completion.
+    DmaDone,
+    /// NIC packet received.
+    NicRx,
+    /// Sensor sample ready.
+    SensorReady,
+    /// UART transmit-buffer empty (lowest priority).
+    UartTx,
+}
+
+impl IrqLine {
+    /// All lines, highest priority first.
+    pub const ALL: [IrqLine; 6] = [
+        IrqLine::Watchdog,
+        IrqLine::Environment,
+        IrqLine::DmaDone,
+        IrqLine::NicRx,
+        IrqLine::SensorReady,
+        IrqLine::UartTx,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            IrqLine::Watchdog => 0,
+            IrqLine::Environment => 1,
+            IrqLine::DmaDone => 2,
+            IrqLine::NicRx => 3,
+            IrqLine::SensorReady => 4,
+            IrqLine::UartTx => 5,
+        }
+    }
+}
+
+impl fmt::Display for IrqLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The interrupt controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrqController {
+    pending: u8,
+    enabled: u8,
+    raised_counts: [u32; 6],
+    spurious_masked: u32,
+}
+
+impl Default for IrqController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IrqController {
+    /// Creates a controller with every line enabled and none pending.
+    pub fn new() -> Self {
+        IrqController {
+            pending: 0,
+            enabled: 0x3F,
+            raised_counts: [0; 6],
+            spurious_masked: 0,
+        }
+    }
+
+    /// Raises a line. Raising an already-pending line is idempotent;
+    /// raising a masked line is counted but latched anyway (level
+    /// semantics: it fires if later unmasked).
+    pub fn raise(&mut self, line: IrqLine) {
+        if !self.is_enabled(line) {
+            self.spurious_masked += 1;
+        }
+        self.pending |= 1 << line.bit();
+        self.raised_counts[line.bit() as usize] += 1;
+    }
+
+    /// Acknowledges (clears) a pending line.
+    pub fn acknowledge(&mut self, line: IrqLine) {
+        self.pending &= !(1 << line.bit());
+    }
+
+    /// True when `line` is latched pending (masked or not).
+    pub fn is_pending(&self, line: IrqLine) -> bool {
+        self.pending & (1 << line.bit()) != 0
+    }
+
+    /// True when `line` is enabled.
+    pub fn is_enabled(&self, line: IrqLine) -> bool {
+        self.enabled & (1 << line.bit()) != 0
+    }
+
+    /// Masks (disables) a line.
+    pub fn mask(&mut self, line: IrqLine) {
+        self.enabled &= !(1 << line.bit());
+    }
+
+    /// Unmasks (enables) a line.
+    pub fn unmask(&mut self, line: IrqLine) {
+        self.enabled |= 1 << line.bit();
+    }
+
+    /// The highest-priority line that is both pending and enabled — what a
+    /// core would vector to next. `None` when nothing is deliverable.
+    pub fn next_deliverable(&self) -> Option<IrqLine> {
+        IrqLine::ALL
+            .into_iter()
+            .find(|l| self.is_pending(*l) && self.is_enabled(*l))
+    }
+
+    /// Lifetime raise count for a line (interrupt-storm telemetry).
+    pub fn raise_count(&self, line: IrqLine) -> u32 {
+        self.raised_counts[line.bit() as usize]
+    }
+
+    /// How many raises arrived while the line was masked.
+    pub fn masked_raises(&self) -> u32 {
+        self.spurious_masked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_controller_is_quiet() {
+        let c = IrqController::new();
+        assert_eq!(c.next_deliverable(), None);
+        for l in IrqLine::ALL {
+            assert!(!c.is_pending(l));
+            assert!(c.is_enabled(l));
+        }
+    }
+
+    #[test]
+    fn raise_ack_cycle() {
+        let mut c = IrqController::new();
+        c.raise(IrqLine::NicRx);
+        assert!(c.is_pending(IrqLine::NicRx));
+        assert_eq!(c.next_deliverable(), Some(IrqLine::NicRx));
+        c.acknowledge(IrqLine::NicRx);
+        assert!(!c.is_pending(IrqLine::NicRx));
+        assert_eq!(c.next_deliverable(), None);
+        assert_eq!(c.raise_count(IrqLine::NicRx), 1);
+    }
+
+    #[test]
+    fn priority_order_is_respected() {
+        let mut c = IrqController::new();
+        c.raise(IrqLine::UartTx);
+        c.raise(IrqLine::NicRx);
+        c.raise(IrqLine::Watchdog);
+        assert_eq!(c.next_deliverable(), Some(IrqLine::Watchdog));
+        c.acknowledge(IrqLine::Watchdog);
+        assert_eq!(c.next_deliverable(), Some(IrqLine::NicRx));
+        c.acknowledge(IrqLine::NicRx);
+        assert_eq!(c.next_deliverable(), Some(IrqLine::UartTx));
+    }
+
+    #[test]
+    fn masked_line_latches_but_does_not_deliver() {
+        let mut c = IrqController::new();
+        c.mask(IrqLine::NicRx);
+        c.raise(IrqLine::NicRx);
+        assert!(c.is_pending(IrqLine::NicRx));
+        assert_eq!(c.next_deliverable(), None);
+        assert_eq!(c.masked_raises(), 1);
+        // unmasking delivers the latched interrupt (level semantics)
+        c.unmask(IrqLine::NicRx);
+        assert_eq!(c.next_deliverable(), Some(IrqLine::NicRx));
+    }
+
+    #[test]
+    fn raising_is_idempotent() {
+        let mut c = IrqController::new();
+        c.raise(IrqLine::DmaDone);
+        c.raise(IrqLine::DmaDone);
+        assert_eq!(c.raise_count(IrqLine::DmaDone), 2);
+        c.acknowledge(IrqLine::DmaDone);
+        assert!(!c.is_pending(IrqLine::DmaDone), "one ack clears the level");
+    }
+
+    #[test]
+    fn storm_counting_supports_dos_detection() {
+        let mut c = IrqController::new();
+        for _ in 0..10_000 {
+            c.raise(IrqLine::NicRx);
+            c.acknowledge(IrqLine::NicRx);
+        }
+        assert_eq!(c.raise_count(IrqLine::NicRx), 10_000);
+    }
+}

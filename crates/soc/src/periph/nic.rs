@@ -1,0 +1,269 @@
+//! The network interface: packet queues, rate accounting and quarantine.
+//!
+//! The NIC is both a service surface (telemetry out, commands in) and an
+//! attack surface (floods, malformed packets, exfiltration). The response
+//! manager's network countermeasures act here: quarantine drops everything,
+//! rate-limiting caps ingress per window.
+
+use cres_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Coarse packet classes — enough for signature and rate monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Outbound measurement/telemetry traffic.
+    Telemetry,
+    /// Inbound control commands.
+    Command,
+    /// Firmware update transfer.
+    Update,
+    /// Structurally malformed traffic (fuzzing / exploit attempts).
+    Malformed,
+    /// Bulk outbound data inconsistent with the device profile
+    /// (exfiltration).
+    Exfil,
+}
+
+/// A network packet (metadata-level model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Source node address.
+    pub src: u16,
+    /// Destination node address.
+    pub dst: u16,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Traffic class.
+    pub kind: PacketKind,
+    /// When the packet entered the NIC.
+    pub at: SimTime,
+}
+
+/// Aggregate NIC counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NicStats {
+    /// Packets accepted into the RX queue.
+    pub rx_accepted: u64,
+    /// Packets dropped at ingress (quarantine, rate limit or overflow).
+    pub rx_dropped: u64,
+    /// Packets transmitted.
+    pub tx_sent: u64,
+    /// Packets refused at egress (quarantine).
+    pub tx_blocked: u64,
+}
+
+/// The network interface controller.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    rx_queue: VecDeque<Packet>,
+    rx_capacity: usize,
+    /// Metadata log of every ingress attempt (accepted or dropped) — the
+    /// tap a hardware network probe would expose to a monitor.
+    rx_log: Vec<Packet>,
+    tx_log: Vec<Packet>,
+    stats: NicStats,
+    quarantined: bool,
+    /// `Some(max packets per window)` when rate limiting is active.
+    rate_limit: Option<u32>,
+    window_start: SimTime,
+    window_len: u64,
+    window_count: u32,
+}
+
+impl Default for Nic {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+impl Nic {
+    /// Window length (cycles) over which the rate limit applies.
+    pub const WINDOW_CYCLES: u64 = 10_000;
+
+    /// Creates a NIC with an RX queue of `rx_capacity` packets.
+    pub fn new(rx_capacity: usize) -> Self {
+        Nic {
+            rx_queue: VecDeque::new(),
+            rx_capacity: rx_capacity.max(1),
+            rx_log: Vec::new(),
+            tx_log: Vec::new(),
+            stats: NicStats::default(),
+            quarantined: false,
+            rate_limit: None,
+            window_start: SimTime::ZERO,
+            window_len: Self::WINDOW_CYCLES,
+            window_count: 0,
+        }
+    }
+
+    /// Delivers an inbound packet from the network. Returns true when the
+    /// packet was accepted into the RX queue.
+    pub fn deliver(&mut self, packet: Packet) -> bool {
+        self.rx_log.push(packet);
+        if self.quarantined {
+            self.stats.rx_dropped += 1;
+            return false;
+        }
+        if let Some(limit) = self.rate_limit {
+            if packet.at.saturating_since(self.window_start).as_cycles() >= self.window_len {
+                self.window_start = packet.at;
+                self.window_count = 0;
+            }
+            if self.window_count >= limit {
+                self.stats.rx_dropped += 1;
+                return false;
+            }
+            self.window_count += 1;
+        }
+        if self.rx_queue.len() >= self.rx_capacity {
+            self.stats.rx_dropped += 1;
+            return false;
+        }
+        self.rx_queue.push_back(packet);
+        self.stats.rx_accepted += 1;
+        true
+    }
+
+    /// Pops the next received packet, if any.
+    pub fn receive(&mut self) -> Option<Packet> {
+        self.rx_queue.pop_front()
+    }
+
+    /// Transmits a packet. Returns false when quarantined.
+    pub fn send(&mut self, packet: Packet) -> bool {
+        if self.quarantined {
+            self.stats.tx_blocked += 1;
+            return false;
+        }
+        self.tx_log.push(packet);
+        self.stats.tx_sent += 1;
+        true
+    }
+
+    /// All packets transmitted so far (the "wire" an exfil monitor taps).
+    pub fn tx_log(&self) -> &[Packet] {
+        &self.tx_log
+    }
+
+    /// Metadata of every ingress attempt, accepted or dropped (the probe a
+    /// rate/signature monitor taps).
+    pub fn rx_log(&self) -> &[Packet] {
+        &self.rx_log
+    }
+
+    /// Number of packets waiting in the RX queue.
+    pub fn rx_pending(&self) -> usize {
+        self.rx_queue.len()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// Quarantines the NIC: all ingress and egress dropped.
+    pub fn quarantine(&mut self) {
+        self.quarantined = true;
+    }
+
+    /// Lifts quarantine.
+    pub fn release(&mut self) {
+        self.quarantined = false;
+    }
+
+    /// True while quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Applies an ingress rate limit of `max_per_window` packets per
+    /// [`Nic::WINDOW_CYCLES`].
+    pub fn set_rate_limit(&mut self, max_per_window: u32) {
+        self.rate_limit = Some(max_per_window);
+    }
+
+    /// Removes the ingress rate limit.
+    pub fn clear_rate_limit(&mut self) {
+        self.rate_limit = None;
+    }
+
+    /// True while a rate limit is active.
+    pub fn is_rate_limited(&self) -> bool {
+        self.rate_limit.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(at: u64, kind: PacketKind) -> Packet {
+        Packet {
+            src: 1,
+            dst: 2,
+            len: 64,
+            kind,
+            at: SimTime::at_cycle(at),
+        }
+    }
+
+    #[test]
+    fn deliver_and_receive_fifo() {
+        let mut nic = Nic::new(8);
+        assert!(nic.deliver(pkt(0, PacketKind::Command)));
+        assert!(nic.deliver(pkt(1, PacketKind::Telemetry)));
+        assert_eq!(nic.rx_pending(), 2);
+        assert_eq!(nic.receive().unwrap().kind, PacketKind::Command);
+        assert_eq!(nic.receive().unwrap().kind, PacketKind::Telemetry);
+        assert!(nic.receive().is_none());
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut nic = Nic::new(2);
+        assert!(nic.deliver(pkt(0, PacketKind::Command)));
+        assert!(nic.deliver(pkt(1, PacketKind::Command)));
+        assert!(!nic.deliver(pkt(2, PacketKind::Command)));
+        assert_eq!(nic.stats().rx_dropped, 1);
+        assert_eq!(nic.stats().rx_accepted, 2);
+    }
+
+    #[test]
+    fn quarantine_blocks_both_directions() {
+        let mut nic = Nic::new(8);
+        nic.quarantine();
+        assert!(!nic.deliver(pkt(0, PacketKind::Command)));
+        assert!(!nic.send(pkt(0, PacketKind::Telemetry)));
+        assert_eq!(nic.stats().tx_blocked, 1);
+        nic.release();
+        assert!(nic.deliver(pkt(1, PacketKind::Command)));
+        assert!(nic.send(pkt(1, PacketKind::Telemetry)));
+    }
+
+    #[test]
+    fn rate_limit_caps_window() {
+        let mut nic = Nic::new(100);
+        nic.set_rate_limit(3);
+        for i in 0..5 {
+            nic.deliver(pkt(i, PacketKind::Command));
+        }
+        assert_eq!(nic.stats().rx_accepted, 3);
+        assert_eq!(nic.stats().rx_dropped, 2);
+        // next window resets the budget
+        for i in 0..2 {
+            assert!(nic.deliver(pkt(Nic::WINDOW_CYCLES + i, PacketKind::Command)));
+        }
+        nic.clear_rate_limit();
+        assert!(!nic.is_rate_limited());
+    }
+
+    #[test]
+    fn tx_log_records_sent_packets() {
+        let mut nic = Nic::new(8);
+        nic.send(pkt(5, PacketKind::Exfil));
+        assert_eq!(nic.tx_log().len(), 1);
+        assert_eq!(nic.tx_log()[0].kind, PacketKind::Exfil);
+        assert_eq!(nic.stats().tx_sent, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! One-time-programmable fuses and monotonic counters.
+//!
+//! OTP is the hardware root of the chain of trust: the boot ROM's public-key
+//! fingerprint and the anti-rollback counters live here. Write-once and
+//! monotonicity are enforced by construction — the two properties whose
+//! absence enables the downgrade attacks of §IV (experiment E10).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from fuse operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OtpError {
+    /// The named fuse word was already programmed.
+    AlreadyProgrammed(String),
+    /// Attempted to decrease a monotonic counter.
+    CounterRegression {
+        /// Counter name.
+        name: String,
+        /// Current value.
+        current: u64,
+        /// Rejected new value.
+        attempted: u64,
+    },
+}
+
+impl fmt::Display for OtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OtpError::AlreadyProgrammed(n) => write!(f, "fuse {n:?} already programmed"),
+            OtpError::CounterRegression {
+                name,
+                current,
+                attempted,
+            } => write!(
+                f,
+                "monotonic counter {name:?} cannot go from {current} to {attempted}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OtpError {}
+
+/// The OTP fuse bank.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OtpFuses {
+    words: HashMap<String, Vec<u8>>,
+    counters: HashMap<String, u64>,
+}
+
+impl OtpFuses {
+    /// Creates an unprogrammed fuse bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Programs a named fuse word. Each word can be written exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtpError::AlreadyProgrammed`] on a second write.
+    pub fn program(&mut self, name: &str, data: &[u8]) -> Result<(), OtpError> {
+        if self.words.contains_key(name) {
+            return Err(OtpError::AlreadyProgrammed(name.to_string()));
+        }
+        self.words.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    /// Reads a programmed fuse word.
+    pub fn read(&self, name: &str) -> Option<&[u8]> {
+        self.words.get(name).map(Vec::as_slice)
+    }
+
+    /// Current value of a monotonic counter (0 when never advanced).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Advances a monotonic counter to `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OtpError::CounterRegression`] when `value` is below the
+    /// current value (equal is a no-op and allowed).
+    pub fn advance_counter(&mut self, name: &str, value: u64) -> Result<(), OtpError> {
+        let current = self.counter(name);
+        if value < current {
+            return Err(OtpError::CounterRegression {
+                name: name.to_string(),
+                current,
+                attempted: value,
+            });
+        }
+        self.counters.insert(name.to_string(), value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_once_read_many() {
+        let mut otp = OtpFuses::new();
+        otp.program("root_key_hash", &[1, 2, 3]).unwrap();
+        assert_eq!(otp.read("root_key_hash"), Some([1, 2, 3].as_slice()));
+        assert_eq!(otp.read("root_key_hash"), Some([1, 2, 3].as_slice()));
+        assert_eq!(otp.read("missing"), None);
+    }
+
+    #[test]
+    fn double_program_rejected() {
+        let mut otp = OtpFuses::new();
+        otp.program("k", &[1]).unwrap();
+        assert_eq!(
+            otp.program("k", &[2]),
+            Err(OtpError::AlreadyProgrammed("k".into()))
+        );
+        // original value intact
+        assert_eq!(otp.read("k"), Some([1].as_slice()));
+    }
+
+    #[test]
+    fn counters_only_advance() {
+        let mut otp = OtpFuses::new();
+        assert_eq!(otp.counter("arb"), 0);
+        otp.advance_counter("arb", 3).unwrap();
+        otp.advance_counter("arb", 3).unwrap(); // equal is fine
+        otp.advance_counter("arb", 7).unwrap();
+        assert_eq!(otp.counter("arb"), 7);
+        let err = otp.advance_counter("arb", 5).unwrap_err();
+        assert!(matches!(err, OtpError::CounterRegression { current: 7, attempted: 5, .. }));
+        assert_eq!(otp.counter("arb"), 7);
+    }
+
+    #[test]
+    fn counters_are_independent() {
+        let mut otp = OtpFuses::new();
+        otp.advance_counter("a", 5).unwrap();
+        otp.advance_counter("b", 1).unwrap();
+        assert_eq!(otp.counter("a"), 5);
+        assert_eq!(otp.counter("b"), 1);
+    }
+}

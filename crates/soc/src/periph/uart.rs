@@ -1,0 +1,90 @@
+//! A console UART: line-oriented transmit log.
+//!
+//! The baseline platform writes its security log lines here — in
+//! general-purpose memory, where an attacker can wipe them. Experiment E6
+//! contrasts this with the SSM's hash-chained evidence store.
+
+use serde::{Deserialize, Serialize};
+
+/// A transmit-only UART with a bounded line log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uart {
+    lines: Vec<String>,
+    capacity: usize,
+    tx_bytes: u64,
+}
+
+impl Default for Uart {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl Uart {
+    /// Creates a UART retaining at most `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        Uart {
+            lines: Vec::new(),
+            capacity: capacity.max(1),
+            tx_bytes: 0,
+        }
+    }
+
+    /// Transmits one line.
+    pub fn write_line(&mut self, line: impl Into<String>) {
+        let line = line.into();
+        self.tx_bytes += line.len() as u64 + 1;
+        if self.lines.len() == self.capacity {
+            self.lines.remove(0);
+        }
+        self.lines.push(line);
+    }
+
+    /// Retained lines, oldest first.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Total bytes ever transmitted (monotone even across wipes).
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Erases the retained log — what a post-compromise attacker does to
+    /// cover their tracks.
+    pub fn wipe(&mut self) {
+        self.lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_accumulate_in_order() {
+        let mut u = Uart::new(10);
+        u.write_line("boot ok");
+        u.write_line("net up");
+        assert_eq!(u.lines(), &["boot ok".to_string(), "net up".to_string()]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut u = Uart::new(2);
+        u.write_line("a");
+        u.write_line("b");
+        u.write_line("c");
+        assert_eq!(u.lines(), &["b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn wipe_clears_lines_but_not_counter() {
+        let mut u = Uart::new(4);
+        u.write_line("evidence");
+        let bytes = u.tx_bytes();
+        u.wipe();
+        assert!(u.lines().is_empty());
+        assert_eq!(u.tx_bytes(), bytes);
+    }
+}

@@ -1,0 +1,130 @@
+//! The hardware watchdog: the canonical *passive* countermeasure.
+//!
+//! The paper's critique of the state of the art is precisely that systems
+//! "curtail such attacks using system reboot and reset" — i.e. the watchdog
+//! is their only response path. The baseline platform configuration relies
+//! on it; the CRES configuration keeps it as a backstop behind active
+//! response.
+
+use cres_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A kick-or-reset watchdog timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watchdog {
+    timeout: SimDuration,
+    last_kick: SimTime,
+    enabled: bool,
+    fires: u32,
+}
+
+impl Watchdog {
+    /// Creates an enabled watchdog with the given timeout, kicked at t=0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn new(timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "watchdog timeout must be non-zero");
+        Watchdog {
+            timeout,
+            last_kick: SimTime::ZERO,
+            enabled: true,
+            fires: 0,
+        }
+    }
+
+    /// Services the watchdog.
+    pub fn kick(&mut self, now: SimTime) {
+        self.last_kick = now;
+    }
+
+    /// True when the watchdog would fire at `now`.
+    pub fn expired(&self, now: SimTime) -> bool {
+        self.enabled && now.saturating_since(self.last_kick) >= self.timeout
+    }
+
+    /// Acknowledges a firing: records it and rearms from `now`. Returns
+    /// true when a firing actually occurred.
+    pub fn fire_and_rearm(&mut self, now: SimTime) -> bool {
+        if !self.expired(now) {
+            return false;
+        }
+        self.fires += 1;
+        self.last_kick = now;
+        true
+    }
+
+    /// Number of times the watchdog has fired.
+    pub fn fire_count(&self) -> u32 {
+        self.fires
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Disables the watchdog (some attacks do exactly this first).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Re-enables the watchdog.
+    pub fn enable(&mut self, now: SimTime) {
+        self.enabled = true;
+        self.last_kick = now;
+    }
+
+    /// True while enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::at_cycle(c)
+    }
+
+    #[test]
+    fn kicked_watchdog_does_not_expire() {
+        let mut w = Watchdog::new(SimDuration::cycles(100));
+        w.kick(t(50));
+        assert!(!w.expired(t(149)));
+        assert!(w.expired(t(150)));
+    }
+
+    #[test]
+    fn fire_and_rearm_counts() {
+        let mut w = Watchdog::new(SimDuration::cycles(10));
+        assert!(!w.fire_and_rearm(t(5)));
+        assert!(w.fire_and_rearm(t(10)));
+        assert_eq!(w.fire_count(), 1);
+        // rearmed: not expired immediately after
+        assert!(!w.expired(t(15)));
+        assert!(w.fire_and_rearm(t(20)));
+        assert_eq!(w.fire_count(), 2);
+    }
+
+    #[test]
+    fn disabled_watchdog_never_fires() {
+        let mut w = Watchdog::new(SimDuration::cycles(10));
+        w.disable();
+        assert!(!w.expired(t(1_000_000)));
+        assert!(!w.fire_and_rearm(t(1_000_000)));
+        w.enable(t(1_000_000));
+        assert!(w.is_enabled());
+        assert!(!w.expired(t(1_000_005)));
+        assert!(w.expired(t(1_000_010)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_timeout_panics() {
+        Watchdog::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,215 @@
+//! The platform health state machine.
+//!
+//! `Healthy → Suspicious → Compromised → Degraded → Recovering → Healthy`:
+//! incidents push the state toward `Compromised`, countermeasure execution
+//! moves it to `Degraded` (services shed) or `Recovering` (repair in
+//! progress), and a completed recovery with a quiet observation window
+//! returns it to `Healthy`. Experiments use the recorded transition history
+//! to compute time-in-state availability.
+
+use cres_monitor::Severity;
+use cres_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The platform health states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Nominal operation.
+    Healthy,
+    /// Warnings observed; heightened monitoring.
+    Suspicious,
+    /// Confirmed incident; active threat present.
+    Compromised,
+    /// Operating with reduced functionality (critical services only).
+    Degraded,
+    /// Repair/restore in progress.
+    Recovering,
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The health tracker with transition history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemHealth {
+    state: HealthState,
+    history: Vec<(SimTime, HealthState)>,
+}
+
+impl Default for SystemHealth {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemHealth {
+    /// Creates a healthy tracker.
+    pub fn new() -> Self {
+        SystemHealth {
+            state: HealthState::Healthy,
+            history: vec![(SimTime::ZERO, HealthState::Healthy)],
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Full transition history `(when, entered state)`.
+    pub fn history(&self) -> &[(SimTime, HealthState)] {
+        &self.history
+    }
+
+    fn transition(&mut self, at: SimTime, to: HealthState) {
+        if self.state != to {
+            self.state = to;
+            self.history.push((at, to));
+        }
+    }
+
+    /// Records that an incident of `severity` was classified.
+    pub fn on_incident(&mut self, at: SimTime, severity: Severity) {
+        let next = match (self.state, severity) {
+            (_, Severity::Critical) => HealthState::Compromised,
+            (HealthState::Healthy, _) => HealthState::Suspicious,
+            (HealthState::Suspicious, _) => HealthState::Compromised,
+            (s, _) => s,
+        };
+        self.transition(at, next);
+    }
+
+    /// Records that degradation countermeasures took effect.
+    pub fn on_degraded(&mut self, at: SimTime) {
+        self.transition(at, HealthState::Degraded);
+    }
+
+    /// Records that recovery actions started.
+    pub fn on_recovery_started(&mut self, at: SimTime) {
+        self.transition(at, HealthState::Recovering);
+    }
+
+    /// Records that recovery completed and the observation window was
+    /// quiet.
+    pub fn on_recovered(&mut self, at: SimTime) {
+        self.transition(at, HealthState::Healthy);
+    }
+
+    /// Cycles spent in `state` up to `now`. Transitions after `now` are
+    /// ignored and the open segment is clamped at `now`, so querying at any
+    /// instant partitions exactly `now` cycles across the states.
+    pub fn time_in(&self, state: HealthState, now: SimTime) -> u64 {
+        let mut total = 0u64;
+        for pair in self.history.windows(2) {
+            let (start, s) = pair[0];
+            let (end, _) = pair[1];
+            if s == state {
+                total += end.min(now).saturating_since(start).as_cycles();
+            }
+        }
+        if let Some(&(start, s)) = self.history.last() {
+            if s == state {
+                total += now.saturating_since(start).as_cycles();
+            }
+        }
+        total
+    }
+
+    /// Fraction of time up to `now` spent in [`HealthState::Healthy`] or
+    /// [`HealthState::Degraded`] (i.e. delivering at least critical
+    /// services).
+    pub fn service_availability(&self, now: SimTime) -> f64 {
+        let total = now.cycle().max(1);
+        let up = self.time_in(HealthState::Healthy, now) + self.time_in(HealthState::Degraded, now);
+        up as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::at_cycle(c)
+    }
+
+    #[test]
+    fn starts_healthy() {
+        let h = SystemHealth::new();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.history().len(), 1);
+    }
+
+    #[test]
+    fn warning_escalation_ladder() {
+        let mut h = SystemHealth::new();
+        h.on_incident(t(10), Severity::Alert);
+        assert_eq!(h.state(), HealthState::Suspicious);
+        h.on_incident(t(20), Severity::Alert);
+        assert_eq!(h.state(), HealthState::Compromised);
+    }
+
+    #[test]
+    fn critical_jumps_straight_to_compromised() {
+        let mut h = SystemHealth::new();
+        h.on_incident(t(10), Severity::Critical);
+        assert_eq!(h.state(), HealthState::Compromised);
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut h = SystemHealth::new();
+        h.on_incident(t(100), Severity::Critical);
+        h.on_degraded(t(150));
+        h.on_recovery_started(t(300));
+        h.on_recovered(t(500));
+        assert_eq!(h.state(), HealthState::Healthy);
+        let states: Vec<HealthState> = h.history().iter().map(|(_, s)| *s).collect();
+        assert_eq!(
+            states,
+            vec![
+                HealthState::Healthy,
+                HealthState::Compromised,
+                HealthState::Degraded,
+                HealthState::Recovering,
+                HealthState::Healthy
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_same_state_not_recorded() {
+        let mut h = SystemHealth::new();
+        h.on_incident(t(10), Severity::Critical);
+        h.on_incident(t(20), Severity::Critical);
+        h.on_incident(t(30), Severity::Critical);
+        assert_eq!(h.history().len(), 2);
+    }
+
+    #[test]
+    fn time_accounting() {
+        let mut h = SystemHealth::new();
+        h.on_incident(t(100), Severity::Critical); // healthy 0..100
+        h.on_recovery_started(t(150)); // compromised 100..150
+        h.on_recovered(t(200)); // recovering 150..200, healthy 200..300
+        let now = t(300);
+        assert_eq!(h.time_in(HealthState::Healthy, now), 200);
+        assert_eq!(h.time_in(HealthState::Compromised, now), 50);
+        assert_eq!(h.time_in(HealthState::Recovering, now), 50);
+        assert_eq!(h.time_in(HealthState::Degraded, now), 0);
+    }
+
+    #[test]
+    fn availability_counts_degraded_as_up() {
+        let mut h = SystemHealth::new();
+        h.on_incident(t(100), Severity::Critical);
+        h.on_degraded(t(120));
+        // healthy 100 + degraded 80 out of 200
+        let a = h.service_availability(t(200));
+        assert!((a - 0.9).abs() < 1e-9, "availability {a}");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! The Independent Active Runtime System Security Manager — the paper's
+//! first and central microarchitectural characteristic.
+//!
+//! > "An independent active runtime system security manager shall be
+//! > responsible for protection, detection, response and recovery security
+//! > functions … It shall continuously monitor system resources, use
+//! > gathered information to detect benign or malicious system behaviour,
+//! > respond to detected malicious activities by deploying active
+//! > countermeasures and recover the system back to its healthy state. It
+//! > is crucial that the system security manager must be physically
+//! > independent and isolated."
+//!
+//! * [`evidence`] — the **hash-chained evidence store**: every accepted
+//!   observation is folded into an HMAC chain keyed from SSM-private
+//!   memory, giving the *continuity of data stream* the paper says no
+//!   existing mechanism provides (experiment E6),
+//! * [`correlate`] — the correlation engine turning raw monitor events into
+//!   classified [`correlate::Incident`]s (threshold, sequence and
+//!   immediate rules; ablation A1),
+//! * [`health`] — the platform health state machine
+//!   (Healthy → Suspicious → Compromised → Degraded → Recovering),
+//! * [`planner`] — maps incidents to [`planner::ResponsePlan`]s under an
+//!   active (CRES) or passive (reboot-only baseline) policy,
+//! * [`ssm`] — [`ssm::SystemSecurityManager`] assembling the four.
+
+pub mod correlate;
+pub mod evidence;
+pub mod health;
+pub mod planner;
+pub mod ssm;
+
+pub use correlate::{CorrelationConfig, CorrelationEngine, Incident, IncidentKind};
+pub use evidence::{ChainError, EvidenceRecord, EvidenceStore};
+pub use health::{HealthState, SystemHealth};
+pub use planner::{PlannerMode, ResponseAction, ResponsePlan, ResponsePlanner};
+pub use ssm::{SsmConfig, SsmDeployment, SystemSecurityManager};

@@ -1,0 +1,157 @@
+//! Property tests for the SSM: the evidence chain's tamper-evidence is the
+//! load-bearing security property of the whole reproduction, so it gets
+//! adversarial fuzzing.
+
+use cres_sim::SimTime;
+use cres_ssm::{EvidenceStore, HealthState, SystemHealth};
+use proptest::prelude::*;
+
+fn build_store(key: &[u8], entries: &[(u64, String)]) -> EvidenceStore {
+    let mut s = EvidenceStore::new(key);
+    for (at, payload) in entries {
+        s.append(SimTime::at_cycle(*at), "m", payload);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_honest_chain_verifies(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        entries in proptest::collection::vec((0u64..1_000_000, ".{0,40}"), 0..60)
+    ) {
+        let s = build_store(&key, &entries);
+        prop_assert!(s.verify().is_ok());
+        prop_assert!(EvidenceStore::verify_export(&key, s.records()).is_ok());
+    }
+
+    #[test]
+    fn any_payload_tamper_is_detected(
+        entries in proptest::collection::vec((0u64..1_000, "[a-z]{1,20}"), 1..40),
+        victim in any::<prop::sample::Index>()
+    ) {
+        let mut s = build_store(b"key", &entries);
+        let idx = victim.index(entries.len());
+        s.records_mut_for_attack()[idx].payload.push('!');
+        prop_assert!(s.verify().is_err());
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_macs_is_detected(
+        entries in proptest::collection::vec((0u64..1_000, "[a-z]{1,20}"), 1..40),
+        victim in any::<prop::sample::Index>(),
+        byte in 0usize..32,
+        bit in 0u8..8
+    ) {
+        let mut s = build_store(b"key", &entries);
+        let idx = victim.index(entries.len());
+        s.records_mut_for_attack()[idx].mac[byte] ^= 1 << bit;
+        prop_assert!(s.verify().is_err());
+    }
+
+    #[test]
+    fn any_interior_deletion_is_detected(
+        entries in proptest::collection::vec((0u64..1_000, "[a-z]{1,20}"), 2..40),
+        victim in any::<prop::sample::Index>()
+    ) {
+        let mut s = build_store(b"key", &entries);
+        let idx = victim.index(entries.len() - 1); // never the last record
+        s.records_mut_for_attack().remove(idx);
+        prop_assert!(s.verify().is_err(), "deleting record {idx} went unnoticed");
+    }
+
+    #[test]
+    fn any_swap_is_detected(
+        entries in proptest::collection::vec((0u64..1_000, "[a-z]{1,20}"), 2..40),
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>()
+    ) {
+        let mut s = build_store(b"key", &entries);
+        let (i, j) = (a.index(entries.len()), b.index(entries.len()));
+        prop_assume!(i != j);
+        s.records_mut_for_attack().swap(i, j);
+        prop_assert!(s.verify().is_err());
+    }
+
+    #[test]
+    fn wrong_key_never_verifies_nonempty_chain(
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        other in proptest::collection::vec(any::<u8>(), 1..32),
+        entries in proptest::collection::vec((0u64..1_000, "[a-z]{1,10}"), 1..20)
+    ) {
+        prop_assume!(key != other);
+        let s = build_store(&key, &entries);
+        prop_assert!(EvidenceStore::verify_export(&other, s.records()).is_err());
+    }
+
+    #[test]
+    fn inclusion_proofs_verify_for_every_record(
+        entries in proptest::collection::vec((0u64..1_000, "[a-z]{1,10}"), 1..30)
+    ) {
+        let mut s = build_store(b"key", &entries);
+        let root = s.seal();
+        for i in 0..entries.len() as u64 {
+            let (proof, r) = s.prove_inclusion(i).unwrap();
+            prop_assert_eq!(r, root);
+            prop_assert!(EvidenceStore::verify_inclusion(
+                &s.records()[i as usize],
+                &proof,
+                &root
+            ));
+        }
+    }
+
+    #[test]
+    fn availability_is_a_fraction(
+        transitions in proptest::collection::vec((1u64..1_000_000, 0u8..4), 0..30),
+        horizon in 1u64..2_000_000
+    ) {
+        let mut h = SystemHealth::new();
+        let mut ts: Vec<_> = transitions;
+        ts.sort_by_key(|(t, _)| *t);
+        for (t, kind) in ts {
+            let at = SimTime::at_cycle(t);
+            match kind {
+                0 => h.on_incident(at, cres_monitor::Severity::Critical),
+                1 => h.on_degraded(at),
+                2 => h.on_recovery_started(at),
+                _ => h.on_recovered(at),
+            }
+        }
+        let a = h.service_availability(SimTime::at_cycle(horizon));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&a), "availability {a}");
+    }
+
+    #[test]
+    fn time_in_states_partitions_the_horizon(
+        transitions in proptest::collection::vec((1u64..100_000, 0u8..4), 0..20)
+    ) {
+        let mut h = SystemHealth::new();
+        let mut ts: Vec<_> = transitions;
+        ts.sort_by_key(|(t, _)| *t);
+        let horizon = 200_000u64;
+        for (t, kind) in ts {
+            let at = SimTime::at_cycle(t);
+            match kind {
+                0 => h.on_incident(at, cres_monitor::Severity::Alert),
+                1 => h.on_degraded(at),
+                2 => h.on_recovery_started(at),
+                _ => h.on_recovered(at),
+            }
+        }
+        let now = SimTime::at_cycle(horizon);
+        let total: u64 = [
+            HealthState::Healthy,
+            HealthState::Suspicious,
+            HealthState::Compromised,
+            HealthState::Degraded,
+            HealthState::Recovering,
+        ]
+        .iter()
+        .map(|s| h.time_in(*s, now))
+        .sum();
+        prop_assert_eq!(total, horizon);
+    }
+}

@@ -1,0 +1,164 @@
+//! The secure-storage trusted application.
+//!
+//! Keys live inside the TEE; the normal world gets opaque handles and
+//! *operations* (MAC, seal/unseal), never key bytes. The only paths that
+//! return raw key material are (a) the secure world itself and (b) the
+//! side-channel extraction modelled in [`crate::tee::Tee`] — which is the
+//! point of experiment E7.
+
+use cres_crypto::aead::Aead;
+use cres_crypto::ct::zeroize;
+use cres_crypto::hmac::HmacSha256;
+use cres_crypto::CryptoError;
+use std::collections::HashMap;
+
+/// The keystore TA state.
+#[derive(Debug, Clone, Default)]
+pub struct Keystore {
+    keys: HashMap<String, Vec<u8>>,
+    zeroized: bool,
+}
+
+impl Keystore {
+    /// Creates an empty keystore.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or replaces) a key.
+    pub fn store(&mut self, name: &str, key: &[u8]) {
+        self.zeroized = false;
+        self.keys.insert(name.to_string(), key.to_vec());
+    }
+
+    /// True when a key with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.keys.contains_key(name)
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// MACs `data` under the named key without exposing it.
+    ///
+    /// Returns `None` for unknown keys.
+    pub fn mac(&self, name: &str, data: &[u8]) -> Option<[u8; 32]> {
+        self.keys.get(name).map(|k| HmacSha256::mac(k, data))
+    }
+
+    /// Seals `data` under the named key (AEAD).
+    ///
+    /// Returns `None` for unknown keys.
+    pub fn seal(&self, name: &str, nonce: &[u8; 12], data: &[u8]) -> Option<Vec<u8>> {
+        self.keys.get(name).map(|k| Aead::new(k).seal(nonce, b"keystore-seal", data))
+    }
+
+    /// Unseals data sealed by [`Keystore::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] on tamper or wrong key;
+    /// unknown names yield the same error (no key-existence oracle).
+    pub fn unseal(
+        &self,
+        name: &str,
+        nonce: &[u8; 12],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        match self.keys.get(name) {
+            Some(k) => Aead::new(k).open(nonce, b"keystore-seal", sealed),
+            None => Err(CryptoError::VerificationFailed),
+        }
+    }
+
+    /// Raw key export — callable only by the secure world / SSM (enforced
+    /// by [`crate::tee::Tee`], which does not route this to normal-world
+    /// sessions).
+    pub(crate) fn export(&self, name: &str) -> Option<&[u8]> {
+        self.keys.get(name).map(Vec::as_slice)
+    }
+
+    /// Zeroises every key (the key-zeroisation countermeasure).
+    pub fn zeroize_all(&mut self) {
+        for (_, key) in self.keys.iter_mut() {
+            zeroize(key);
+        }
+        self.keys.clear();
+        self.zeroized = true;
+    }
+
+    /// True when the keystore was zeroised and not since repopulated.
+    pub fn was_zeroized(&self) -> bool {
+        self.zeroized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_without_exposure() {
+        let mut ks = Keystore::new();
+        ks.store("evidence", b"secret-key");
+        let tag = ks.mac("evidence", b"record").unwrap();
+        assert_eq!(tag, HmacSha256::mac(b"secret-key", b"record"));
+        assert!(ks.mac("unknown", b"record").is_none());
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let mut ks = Keystore::new();
+        ks.store("storage", b"k");
+        let nonce = [7u8; 12];
+        let sealed = ks.seal("storage", &nonce, b"config blob").unwrap();
+        assert_eq!(ks.unseal("storage", &nonce, &sealed).unwrap(), b"config blob");
+    }
+
+    #[test]
+    fn unseal_wrong_key_or_name_fails_identically() {
+        let mut ks = Keystore::new();
+        ks.store("a", b"key-a");
+        ks.store("b", b"key-b");
+        let nonce = [0u8; 12];
+        let sealed = ks.seal("a", &nonce, b"data").unwrap();
+        assert_eq!(
+            ks.unseal("b", &nonce, &sealed),
+            Err(CryptoError::VerificationFailed)
+        );
+        assert_eq!(
+            ks.unseal("missing", &nonce, &sealed),
+            Err(CryptoError::VerificationFailed)
+        );
+    }
+
+    #[test]
+    fn zeroize_destroys_keys() {
+        let mut ks = Keystore::new();
+        ks.store("k1", b"a");
+        ks.store("k2", b"b");
+        assert_eq!(ks.len(), 2);
+        ks.zeroize_all();
+        assert!(ks.is_empty());
+        assert!(ks.was_zeroized());
+        assert!(ks.mac("k1", b"x").is_none());
+        // storing again clears the flag
+        ks.store("k3", b"c");
+        assert!(!ks.was_zeroized());
+    }
+
+    #[test]
+    fn export_is_crate_private_and_correct() {
+        let mut ks = Keystore::new();
+        ks.store("root", b"device-root");
+        assert_eq!(ks.export("root"), Some(b"device-root".as_slice()));
+        assert_eq!(ks.export("nope"), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Signed trusted-application manifests.
+//!
+//! A TA ships as a manifest (name, version, payload hash) signed by the TEE
+//! vendor. The *downgrade* weakness of commercial TEEs is that the
+//! signature proves authenticity but not freshness: an old, vulnerable TA
+//! verifies forever. [`crate::tee::Tee`] enforces version monotonicity only
+//! when rollback protection is enabled.
+
+use cres_crypto::rsa::{RsaKeypair, RsaPrivateKey, RsaPublicKey};
+use cres_crypto::sha2::Sha256;
+use cres_crypto::CryptoError;
+
+/// A trusted-application manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaManifest {
+    /// TA name, e.g. `"keystore"`.
+    pub name: String,
+    /// TA version; higher fixes vulnerabilities in lower.
+    pub version: u32,
+    /// SHA-256 of the TA payload.
+    pub payload_hash: [u8; 32],
+    /// Vendor signature over the fields above.
+    pub signature: Vec<u8>,
+}
+
+impl TaManifest {
+    /// The byte string the vendor signs.
+    pub fn signed_bytes(name: &str, version: u32, payload_hash: &[u8; 32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(name.len() + 40);
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
+        out.extend_from_slice(payload_hash);
+        out
+    }
+
+    /// Verifies the vendor signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] on mismatch.
+    pub fn verify(&self, key: &RsaPublicKey) -> Result<(), CryptoError> {
+        key.verify(
+            &Self::signed_bytes(&self.name, self.version, &self.payload_hash),
+            &self.signature,
+        )
+    }
+}
+
+/// The vendor-side TA signing tool.
+#[derive(Debug, Clone)]
+pub struct TaSigner {
+    key: RsaPrivateKey,
+}
+
+impl TaSigner {
+    /// Creates a signer from the vendor keypair.
+    pub fn new(keypair: &RsaKeypair) -> Self {
+        TaSigner {
+            key: keypair.private.clone(),
+        }
+    }
+
+    /// Builds and signs a manifest for `payload`.
+    pub fn sign(&self, name: &str, version: u32, payload: &[u8]) -> TaManifest {
+        let payload_hash = Sha256::digest(payload);
+        let signature = self
+            .key
+            .sign(&TaManifest::signed_bytes(name, version, &payload_hash));
+        TaManifest {
+            name: name.to_string(),
+            version,
+            payload_hash,
+            signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_crypto::drbg::HmacDrbg;
+    use cres_crypto::rsa::generate_keypair;
+
+    fn keypair(seed: &[u8]) -> RsaKeypair {
+        let mut d = HmacDrbg::new(seed, b"ta");
+        generate_keypair(512, &mut d).unwrap()
+    }
+
+    #[test]
+    fn signed_manifest_verifies() {
+        let kp = keypair(b"vendor");
+        let m = TaSigner::new(&kp).sign("keystore", 2, b"ta code");
+        assert!(m.verify(&kp.public).is_ok());
+        assert_eq!(m.name, "keystore");
+        assert_eq!(m.version, 2);
+    }
+
+    #[test]
+    fn tampered_fields_fail() {
+        let kp = keypair(b"vendor");
+        let m = TaSigner::new(&kp).sign("keystore", 2, b"ta code");
+        let mut newer = m.clone();
+        newer.version = 3;
+        assert!(newer.verify(&kp.public).is_err());
+        let mut renamed = m.clone();
+        renamed.name = "attest".into();
+        assert!(renamed.verify(&kp.public).is_err());
+    }
+
+    #[test]
+    fn wrong_vendor_fails() {
+        let kp = keypair(b"vendor");
+        let evil = keypair(b"evil");
+        let m = TaSigner::new(&evil).sign("keystore", 9, b"backdoor");
+        assert!(m.verify(&kp.public).is_err());
+    }
+
+    #[test]
+    fn old_version_still_verifies() {
+        // This IS the vulnerability: signatures do not expire.
+        let kp = keypair(b"vendor");
+        let signer = TaSigner::new(&kp);
+        let v1 = signer.sign("keystore", 1, b"vulnerable");
+        let _v2 = signer.sign("keystore", 2, b"fixed");
+        assert!(v1.verify(&kp.public).is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! The full attack gauntlet against all three platform topologies: a
+//! compact reproduction of the paper's core comparison in one table.
+//!
+//! Run: `cargo run --release --example attack_gauntlet`
+
+use cres::attacks::{
+    AttackInjector, CodeInjectionAttack, DebugPortAttack, ExfilAttack, FaultInjectionAttack,
+    FirmwareTamperAttack, MalformedTrafficAttack, MemoryProbeAttack, NetworkFloodAttack,
+    SensorSpoofAttack, SyscallAnomalyAttack,
+};
+use cres::platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres::sim::{SimDuration, SimTime};
+use cres::soc::addr::MasterId;
+use cres::soc::periph::{EnvTamper, SensorSpoof};
+use cres::soc::soc::layout;
+use cres::soc::task::{BlockId, Syscall, TaskId};
+
+fn gauntlet() -> Vec<(&'static str, Box<dyn AttackInjector>)> {
+    vec![
+        ("code-injection", Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)) as Box<dyn AttackInjector>),
+        ("memory-probe", Box::new(MemoryProbeAttack::new(MasterId::CPU1, vec![layout::SSM_PRIVATE.0, layout::TEE_SECURE.0]))),
+        ("firmware-tamper", Box::new(FirmwareTamperAttack::new(MasterId::CPU0, layout::FLASH_A.0.offset(0x800)))),
+        ("debug-port", Box::new(DebugPortAttack::new(vec![layout::SRAM.0, layout::TEE_SECURE.0]))),
+        ("network-flood", Box::new(NetworkFloodAttack::new(300, 6))),
+        ("exploit-traffic", Box::new(MalformedTrafficAttack::new(5, 3))),
+        ("exfiltration", Box::new(ExfilAttack::new(4096, 4))),
+        ("sensor-spoof", Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.0)))),
+        ("fault-injection", Box::new(FaultInjectionAttack::new(EnvTamper::VoltageGlitch(1.0)))),
+        ("syscall-anomaly", Box::new(SyscallAnomalyAttack::new(TaskId(1), vec![Syscall::PrivEscalate], 2))),
+    ]
+}
+
+fn run_cell(profile: PlatformProfile, attack_idx: usize) -> &'static str {
+    let injector = gauntlet().swap_remove(attack_idx).1;
+    let scenario = Scenario::quiet(SimDuration::cycles(600_000)).attack(
+        SimTime::at_cycle(250_000),
+        SimDuration::cycles(4_000),
+        injector,
+    );
+    let report = ScenarioRunner::new(PlatformConfig::new(profile, 808)).run(scenario);
+    if report.attacks[0].detected() {
+        "DETECTED"
+    } else {
+        "missed"
+    }
+}
+
+fn main() {
+    println!("=== attack gauntlet x platform topology ===\n");
+    println!(
+        "{:<18} {:<16} {:<16} {:<16}",
+        "attack", "CyberResilient", "TeeShared", "PassiveTrust"
+    );
+    println!("{}", "-".repeat(68));
+    let n = gauntlet().len();
+    for i in 0..n {
+        let name = gauntlet()[i].0;
+        println!(
+            "{:<18} {:<16} {:<16} {:<16}",
+            name,
+            run_cell(PlatformProfile::CyberResilient, i),
+            run_cell(PlatformProfile::TeeShared, i),
+            run_cell(PlatformProfile::PassiveTrust, i),
+        );
+    }
+    println!("{}", "-".repeat(68));
+    println!(
+        "\nTeeShared detects like CRES (same monitors) — its weakness is the\n\
+         shared-resource security subsystem (see experiment E7), not the\n\
+         monitor set. PassiveTrust is blind to everything the watchdog\n\
+         cannot see."
+    );
+}

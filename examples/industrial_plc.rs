@@ -1,0 +1,93 @@
+//! Industrial PLC firmware-supply-chain scenario: field update, downgrade
+//! attempt and ransomware-style corruption with automatic recovery.
+//!
+//! Walks the full firmware lifecycle the paper's RECOVER function covers:
+//! a legitimate v2 update rolls forward; an attacker's replay of the
+//! genuinely-signed-but-vulnerable v1 is refused by the anti-rollback
+//! counter; corruption of the active slot is caught by boot verification
+//! and healed by the A/B fallback after the boot-attempt budget.
+//!
+//! Run: `cargo run --release --example industrial_plc`
+
+use cres::boot::{FirmwareImage, UpdateError};
+use cres::platform::{Platform, PlatformConfig, PlatformProfile};
+
+fn active_version(p: &Platform) -> String {
+    FirmwareImage::from_bytes(p.slots.active_bytes(), p.vendor_public.modulus_len())
+        .ok()
+        .and_then(|img| img.verify(&p.vendor_public).ok().map(|_| img.header.version))
+        .map_or("UNBOOTABLE".into(), |v| format!("v{v}"))
+}
+
+fn main() {
+    println!("=== industrial PLC firmware lifecycle ===\n");
+    let mut p = Platform::new(PlatformConfig::new(PlatformProfile::CyberResilient, 77));
+    println!("factory state          : {} in slot {}", active_version(&p), p.slots.active());
+
+    // 1. Legitimate roll-forward update to v2.
+    let v2 = p.signer.sign("app", 2, 2, b"PLC firmware v2 (CVE fixed)").to_bytes();
+    p.update.stage(&mut p.slots, v2);
+    p.update
+        .commit(&mut p.slots, p.chain.rom(), &p.vendor_public, &mut p.arb)
+        .expect("v2 verifies");
+    println!("after OTA update       : {} in slot {}", active_version(&p), p.slots.active());
+
+    // 2. Downgrade attempt: the attacker owns the update channel and
+    //    replays the old, genuinely signed v1.
+    let v1_replay = p.signer.sign("app", 1, 1, b"PLC firmware v1 (vulnerable)").to_bytes();
+    p.update.stage(&mut p.slots, v1_replay);
+    match p
+        .update
+        .commit(&mut p.slots, p.chain.rom(), &p.vendor_public, &mut p.arb)
+    {
+        Err(UpdateError::Verify(e)) => println!("downgrade replay       : REFUSED ({e})"),
+        other => println!("downgrade replay       : unexpectedly {other:?}"),
+    }
+    println!("still running          : {}", active_version(&p));
+
+    // 3. Ransomware corrupts the active slot in place.
+    let active = p.slots.active();
+    let mut bytes = p.slots.active_bytes().to_vec();
+    for b in bytes.iter_mut().skip(100).take(64) {
+        *b = 0x66;
+    }
+    p.slots.write_slot(active, bytes);
+    println!("after corruption       : {}", active_version(&p));
+
+    // 4. The boot-attempt budget triggers automatic rollback to slot A.
+    let mut boots = 0;
+    loop {
+        boots += 1;
+        let sig_len = p.vendor_public.modulus_len();
+        let image_ok = FirmwareImage::from_bytes(p.slots.active_bytes(), sig_len)
+            .ok()
+            .is_some_and(|img| img.verify(&p.vendor_public).is_ok());
+        if image_ok {
+            p.update.record_boot_success();
+            break;
+        }
+        match p.update.record_boot_failure(&mut p.slots) {
+            Ok(rolled_back) => {
+                println!(
+                    "boot attempt {boots}         : verification FAILED{}",
+                    if rolled_back { " -> auto-rollback" } else { "" }
+                );
+            }
+            Err(e) => {
+                println!("boot attempt {boots}         : {e}; invoking golden recovery");
+                p.update.recover_golden(&mut p.slots);
+            }
+        }
+        assert!(boots < 10, "recovery did not converge");
+    }
+    println!("recovered              : {} in slot {}", active_version(&p), p.slots.active());
+    let (updates, rollbacks, golden) = p.update.counters();
+    println!(
+        "\nlifetime counters      : {updates} updates, {rollbacks} rollbacks, {golden} golden recoveries"
+    );
+    println!(
+        "\nThe anti-rollback fuse blocked the signed-replay downgrade (the §IV\n\
+         attack), and A/B redundancy turned a bricking corruption into a\n\
+         bounded number of failed boots."
+    );
+}

@@ -1,0 +1,72 @@
+//! Authenticated M2M telemetry under a man-in-the-middle.
+//!
+//! A substation controller streams grid-frequency telemetry to a control
+//! centre over a hostile network segment. The channel key lives in the TEE
+//! keystore — neither endpoint's rich-OS code ever sees it. The MITM
+//! tampers, forges and replays; every manipulation is rejected, and the
+//! rejection counters are exactly the signal a network monitor escalates.
+//!
+//! Run: `cargo run --release --example secure_telemetry`
+
+use cres::platform::comms::{mitm_forge, mitm_tamper, SecureChannel};
+use cres::platform::{Platform, PlatformConfig, PlatformProfile};
+use cres::sim::SimTime;
+
+fn main() {
+    println!("=== authenticated telemetry vs man-in-the-middle ===\n");
+    let mut platform = Platform::new(PlatformConfig::new(PlatformProfile::CyberResilient, 555));
+
+    // Provision the channel key through the keystore TA.
+    let session = platform.tee.open_session("keystore").unwrap();
+    platform
+        .tee
+        .store_key(session, "m2m-telemetry", b"per-link channel key")
+        .unwrap();
+    let mut device = SecureChannel::new(session, "m2m-telemetry");
+    let mut control_centre = SecureChannel::new(session, "m2m-telemetry");
+
+    // Honest traffic.
+    println!("-- honest link --");
+    for step in 0..5u64 {
+        let reading = platform.soc.read_sensor(0, SimTime::at_cycle(step * 10_000));
+        let payload = format!("grid_freq={reading:.4}");
+        let msg = device.send(&platform.tee, payload.as_bytes()).unwrap();
+        let received = control_centre.receive(&platform.tee, &msg).unwrap();
+        println!("  seq {}: {}", msg.seq, String::from_utf8_lossy(&received));
+    }
+
+    // The attacker on the wire.
+    println!("\n-- man-in-the-middle --");
+    let genuine = device
+        .send(&platform.tee, b"grid_freq=50.0021")
+        .unwrap();
+
+    let tampered = mitm_tamper(&genuine, b"grid_freq=61.5000");
+    println!(
+        "  tampered reading    : {:?}",
+        control_centre.receive(&platform.tee, &tampered).unwrap_err()
+    );
+
+    let forged = mitm_forge(genuine.seq + 1, b"cmd=OPEN_BREAKER", b"guessed key");
+    println!(
+        "  forged command      : {:?}",
+        control_centre.receive(&platform.tee, &forged).unwrap_err()
+    );
+
+    // genuine message passes, then its replay is refused
+    control_centre.receive(&platform.tee, &genuine).unwrap();
+    println!(
+        "  replayed message    : {:?}",
+        control_centre.receive(&platform.tee, &genuine).unwrap_err()
+    );
+
+    let (accepted, bad_tag, replays) = control_centre.stats();
+    println!(
+        "\ncontrol-centre stats: {accepted} accepted, {bad_tag} bad tags, {replays} replays"
+    );
+    println!(
+        "\nEvery manipulation was rejected without the endpoints ever holding\n\
+         the key — it stayed in the TEE keystore, where a key-zeroisation\n\
+         countermeasure can destroy it the moment the SSM declares compromise."
+    );
+}

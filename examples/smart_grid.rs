@@ -1,0 +1,90 @@
+//! Smart-grid substation scenario: the paper's motivating critical
+//! infrastructure deployment.
+//!
+//! A protection-relay controller is hit by a coordinated campaign — a
+//! station-bus flood, then spoofing of the grid-frequency sensor that feeds
+//! the breaker logic. The cyber-resilient platform rate-limits the flood,
+//! distrusts the sensor, locks the breaker in a safe state and keeps the
+//! relay loop serving throughout; the passive baseline never notices.
+//!
+//! Run: `cargo run --release --example smart_grid`
+
+use cres::attacks::{NetworkFloodAttack, SensorSpoofAttack};
+use cres::platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres::policy::{AssetInventory, ThreatModel};
+use cres::sim::{SimDuration, SimTime};
+use cres::soc::periph::SensorSpoof;
+
+fn campaign(duration: u64) -> Scenario {
+    Scenario::quiet(SimDuration::cycles(duration))
+        .attack(
+            SimTime::at_cycle(250_000),
+            SimDuration::cycles(3_000),
+            Box::new(NetworkFloodAttack::new(400, 12)),
+        )
+        .attack(
+            SimTime::at_cycle(700_000),
+            SimDuration::cycles(1_000),
+            // the attacker reports 61.5 Hz on a 50 Hz grid to trip breakers
+            Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))),
+        )
+}
+
+fn main() {
+    println!("=== smart-grid substation under attack ===\n");
+
+    // IDENTIFY first (the paper's step 1): what does the STRIDE model say
+    // this deployment needs?
+    let inventory = AssetInventory::substation_example();
+    let threats = ThreatModel::generate(&inventory);
+    println!(
+        "threat model: {} assets, {} threats; top risk:",
+        inventory.assets().len(),
+        threats.threats().len()
+    );
+    let top = threats.prioritized()[0];
+    let asset = inventory.get(top.asset).unwrap();
+    println!(
+        "  {} against {:?} — likelihood {} x impact {} = score {} ({:?})\n",
+        top.category,
+        asset.name,
+        top.likelihood,
+        top.impact,
+        top.score(),
+        top.level()
+    );
+
+    let duration = 1_200_000;
+    for profile in [PlatformProfile::CyberResilient, PlatformProfile::PassiveTrust] {
+        let report = ScenarioRunner::new(PlatformConfig::new(profile, 2030)).run(campaign(duration));
+        let quiet = ScenarioRunner::new(PlatformConfig::new(profile, 2030))
+            .run(Scenario::quiet(SimDuration::cycles(duration)));
+        println!("--- {profile} ---");
+        println!(
+            "  flood detected        : {}",
+            report.attacks[0].detected()
+        );
+        println!(
+            "  sensor spoof detected : {}",
+            report.attacks[1].detected()
+        );
+        println!(
+            "  relay throughput      : {:.1}% of attack-free",
+            100.0 * report.critical_steps as f64 / quiet.critical_steps.max(1) as f64
+        );
+        println!("  reboots               : {}", report.reboots);
+        println!(
+            "  evidence              : {} records, chain {}",
+            report.evidence_len,
+            if report.evidence_chain_ok { "intact" } else { "BROKEN" }
+        );
+        println!("  final health          : {}\n", report.final_health);
+    }
+    println!(
+        "The CRES platform detects both campaign stages, answers with\n\
+         rate-limiting and sensor distrust + breaker lockout (never a global\n\
+         reboot), and keeps the protection relay at full service. The passive\n\
+         platform also keeps running — blind, with a spoofed frequency input\n\
+         feeding its breaker logic."
+    );
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # cres — a cyber-resilient embedded system platform
+//!
+//! Facade crate for the CRES workspace: a from-scratch Rust reproduction of
+//! *"Establishing Cyber Resilience in Embedded Systems for Securing
+//! Next-Generation Critical Infrastructure"* (Siddiqui, Hagan, Sezer —
+//! IEEE SOCC 2019).
+//!
+//! The paper proposes three microarchitectural characteristics for cyber
+//! resilient embedded systems; this workspace implements all three on a
+//! simulated MPSoC, plus every substrate they need and the passive
+//! baseline they are compared against:
+//!
+//! | Characteristic | Crate |
+//! |---|---|
+//! | Independent active runtime **System Security Manager** | [`ssm`] |
+//! | **Active Runtime Resource Monitors** | [`monitor`] |
+//! | **Active Response Manager** | [`response`] |
+//!
+//! Substrates: [`sim`] (deterministic DES kernel), [`crypto`] (from-scratch
+//! SHA-2/HMAC/AES/RSA/Merkle), [`soc`] (MPSoC: bus, MPU, cores,
+//! peripherals), [`boot`] (secure/measured boot + A/B update), [`tee`]
+//! (trusted execution environment), [`policy`] (STRIDE threat modelling +
+//! the paper's Table I), [`attacks`] (ground-truth attack injectors),
+//! [`forensics`] (timeline reconstruction + breach reports) and
+//! [`platform`] (the assembled system + scenario runner).
+//!
+//! # Example
+//!
+//! ```
+//! use cres::platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+//! use cres::sim::SimDuration;
+//!
+//! let config = PlatformConfig::new(PlatformProfile::CyberResilient, 7);
+//! let report = ScenarioRunner::new(config).run(Scenario::quiet(SimDuration::cycles(150_000)));
+//! assert!(report.boot_ok);
+//! assert_eq!(report.total_incidents, 0);
+//! ```
+
+pub use cres_attacks as attacks;
+pub use cres_boot as boot;
+pub use cres_crypto as crypto;
+pub use cres_forensics as forensics;
+pub use cres_monitor as monitor;
+pub use cres_platform as platform;
+pub use cres_policy as policy;
+pub use cres_response as response;
+pub use cres_sim as sim;
+pub use cres_soc as soc;
+pub use cres_ssm as ssm;
+pub use cres_tee as tee;

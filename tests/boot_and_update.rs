@@ -1,0 +1,98 @@
+//! Cross-crate integration of the boot chain, update engine, OTP counters
+//! and the platform's recovery plumbing.
+
+use cres::boot::{BootOutcome, FirmwareImage, Slot, UpdateError};
+use cres::platform::{Platform, PlatformConfig, PlatformProfile};
+
+fn platform() -> Platform {
+    Platform::new(PlatformConfig::new(PlatformProfile::CyberResilient, 909))
+}
+
+#[test]
+fn factory_platform_boots_with_measured_pcrs() {
+    let p = platform();
+    assert!(p.boot_report.booted());
+    assert_eq!(p.boot_report.stages.len(), 2); // bootloader + app
+    // PCR0 (ROM), PCR1 (bootloader), PCR2 (app) all extended
+    assert_ne!(p.boot_report.pcrs[0], [0u8; 32]);
+    assert_ne!(p.boot_report.pcrs[1], [0u8; 32]);
+    assert_ne!(p.boot_report.pcrs[2], [0u8; 32]);
+}
+
+#[test]
+fn ota_update_then_reboot_reproduces_different_pcrs() {
+    let mut p = platform();
+    let before = p.boot_report.pcrs;
+    let v2 = p.signer.sign("app", 2, 2, b"app v2").to_bytes();
+    p.update.stage(&mut p.slots, v2);
+    p.update
+        .commit(&mut p.slots, p.chain.rom(), &p.vendor_public, &mut p.arb)
+        .unwrap();
+    // reboot: re-run the chain over the new active slot
+    let sig_len = p.vendor_public.modulus_len();
+    let bl = FirmwareImage::from_bytes(p.bootloader_bytes(), sig_len).unwrap();
+    let app = FirmwareImage::from_bytes(p.slots.active_bytes(), sig_len).unwrap();
+    let report = p.chain.boot(&[&bl, &app], &mut p.arb);
+    assert!(report.booted());
+    assert_ne!(report.pcrs[2], before[2], "app PCR must change with the image");
+    assert_eq!(report.pcrs[1], before[1], "bootloader PCR unchanged");
+}
+
+#[test]
+fn downgrade_blocked_after_update_via_platform_arb() {
+    let mut p = platform();
+    let v3 = p.signer.sign("app", 3, 3, b"app v3").to_bytes();
+    p.update.stage(&mut p.slots, v3);
+    p.update
+        .commit(&mut p.slots, p.chain.rom(), &p.vendor_public, &mut p.arb)
+        .unwrap();
+    // replay factory v1 through the update path
+    let v1 = p.signer.sign("app", 1, 1, b"app v1 replay").to_bytes();
+    p.update.stage(&mut p.slots, v1);
+    let err = p
+        .update
+        .commit(&mut p.slots, p.chain.rom(), &p.vendor_public, &mut p.arb)
+        .unwrap_err();
+    assert!(matches!(err, UpdateError::Verify(_)));
+    // booting the staged v1 directly also fails
+    let sig_len = p.vendor_public.modulus_len();
+    let staged = FirmwareImage::from_bytes(p.slots.slot(p.slots.active().other()), sig_len).unwrap();
+    let report = p.chain.boot(&[&staged], &mut p.arb);
+    assert_eq!(report.outcome, BootOutcome::FailedAt(0));
+}
+
+#[test]
+fn golden_recovery_restores_bootable_factory_state() {
+    let mut p = platform();
+    p.slots.write_slot(Slot::A, b"destroyed".to_vec());
+    p.slots.write_slot(Slot::B, b"destroyed".to_vec());
+    p.update.recover_golden(&mut p.slots);
+    let sig_len = p.vendor_public.modulus_len();
+    let app = FirmwareImage::from_bytes(p.slots.active_bytes(), sig_len).unwrap();
+    assert!(app.verify(&p.vendor_public).is_ok());
+    assert_eq!(app.header.version, 1);
+}
+
+#[test]
+fn otp_root_key_fingerprint_fused_once() {
+    let mut p = platform();
+    let fp = p.soc.otp.read("root_key_fp").unwrap().to_vec();
+    assert_eq!(fp, p.vendor_public.fingerprint());
+    // refusing a second programming attempt
+    assert!(p.soc.otp.program("root_key_fp", &[0u8; 8]).is_err());
+}
+
+#[test]
+fn tee_attestation_covers_boot_measurements() {
+    let p = platform();
+    let mut measurement = Vec::new();
+    for pcr in &p.boot_report.pcrs {
+        measurement.extend_from_slice(pcr);
+    }
+    let quote = p.tee.attest(&measurement);
+    assert!(p.tee.verify_attestation(&measurement, &quote));
+    // a downgraded boot path would change the PCRs and fail the quote
+    let mut other = measurement.clone();
+    other[40] ^= 1;
+    assert!(!p.tee.verify_attestation(&other, &quote));
+}

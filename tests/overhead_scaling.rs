@@ -1,0 +1,79 @@
+//! E8's scaling law, pinned as assertions: monitoring overhead falls with
+//! the sampling period while detection latency grows with it, and the
+//! monitor stack never costs critical-task throughput.
+
+use cres::attacks::CodeInjectionAttack;
+use cres::platform::{PlatformConfig, PlatformProfile, RunReport, Scenario, ScenarioRunner};
+use cres::sim::{SimDuration, SimTime};
+use cres::soc::task::{BlockId, TaskId};
+
+const DURATION: u64 = 600_000;
+
+fn run_with_period(period: u64) -> RunReport {
+    let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, 17);
+    config.monitor_period = SimDuration::cycles(period);
+    let scenario = Scenario::quiet(SimDuration::cycles(DURATION)).attack(
+        SimTime::at_cycle(300_000),
+        SimDuration::cycles(8_000),
+        Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 2)),
+    );
+    ScenarioRunner::new(config).run(scenario)
+}
+
+#[test]
+fn overhead_falls_as_period_grows() {
+    let fast = run_with_period(1_000);
+    let mid = run_with_period(10_000);
+    let slow = run_with_period(100_000);
+    assert!(
+        fast.monitor_overhead_cycles > mid.monitor_overhead_cycles,
+        "{} !> {}",
+        fast.monitor_overhead_cycles,
+        mid.monitor_overhead_cycles
+    );
+    assert!(mid.monitor_overhead_cycles > slow.monitor_overhead_cycles);
+    // even the fastest sampling stays cheap (< 5% of the run)
+    assert!((fast.monitor_overhead_cycles as f64) < 0.05 * DURATION as f64);
+}
+
+#[test]
+fn detection_latency_is_bounded_by_the_sampling_period() {
+    for period in [2_000u64, 10_000, 50_000] {
+        let report = run_with_period(period);
+        let latency = report.attacks[0]
+            .detection_latency
+            .unwrap_or_else(|| panic!("missed at period {period}"));
+        // the hijacked edge executes within one task step (< ~500 cycles);
+        // classification waits for at most ~2 sampling boundaries plus the
+        // attack's own step interval
+        assert!(
+            latency <= 2 * period + 10_000,
+            "period {period}: latency {latency}"
+        );
+    }
+}
+
+#[test]
+fn monitoring_never_costs_relay_throughput() {
+    let fast = run_with_period(1_000);
+    let slow = run_with_period(100_000);
+    let ratio = fast.critical_steps as f64 / slow.critical_steps as f64;
+    assert!(
+        (0.98..=1.02).contains(&ratio),
+        "sampling rate changed relay throughput: {ratio}"
+    );
+}
+
+#[test]
+fn baseline_overhead_is_minimal_and_blind() {
+    let config = PlatformConfig::new(PlatformProfile::PassiveTrust, 17);
+    let scenario = Scenario::quiet(SimDuration::cycles(DURATION)).attack(
+        SimTime::at_cycle(300_000),
+        SimDuration::cycles(8_000),
+        Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 2)),
+    );
+    let report = ScenarioRunner::new(config).run(scenario);
+    let cres = run_with_period(5_000);
+    assert!(report.monitor_overhead_cycles < cres.monitor_overhead_cycles / 5);
+    assert!(!report.attacks[0].detected());
+}

@@ -1,0 +1,76 @@
+//! Randomised soak: across seeds and attack mixes, the platform-wide
+//! invariants hold — the evidence chain always verifies, availability stays
+//! a valid fraction, the attack is detected, and identical runs agree.
+
+use cres::platform::{PlatformConfig, PlatformProfile, RunReport, Scenario, ScenarioRunner};
+use cres::sim::{SimDuration, SimTime};
+
+const ATTACK_MIX: [&str; 5] = [
+    "network-flood",
+    "memory-probe",
+    "sensor-spoof",
+    "exfiltration",
+    "code-injection",
+];
+
+fn build_attack(name: &str) -> Box<dyn cres::attacks::AttackInjector> {
+    use cres::attacks::*;
+    use cres::soc::addr::MasterId;
+    use cres::soc::periph::SensorSpoof;
+    use cres::soc::soc::layout;
+    use cres::soc::task::{BlockId, TaskId};
+    match name {
+        "network-flood" => Box::new(NetworkFloodAttack::new(250, 5)),
+        "memory-probe" => Box::new(MemoryProbeAttack::new(
+            MasterId::CPU1,
+            vec![layout::SSM_PRIVATE.0, layout::TEE_SECURE.0],
+        )),
+        "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(60.0))),
+        "exfiltration" => Box::new(ExfilAttack::new(4_096, 4)),
+        "code-injection" => Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 2)),
+        _ => unreachable!(),
+    }
+}
+
+fn run(seed: u64) -> RunReport {
+    let attack = ATTACK_MIX[(seed % ATTACK_MIX.len() as u64) as usize];
+    let scenario = Scenario::quiet(SimDuration::cycles(500_000)).attack(
+        SimTime::at_cycle(150_000 + (seed % 7) * 10_000),
+        SimDuration::cycles(3_000 + (seed % 3) * 2_000),
+        build_attack(attack),
+    );
+    ScenarioRunner::new(PlatformConfig::new(PlatformProfile::CyberResilient, seed)).run(scenario)
+}
+
+#[test]
+fn invariants_hold_across_seeds_and_attack_mixes() {
+    for seed in 0..10u64 {
+        let report = run(seed);
+        assert!(report.boot_ok, "seed {seed}: boot failed");
+        assert!(report.evidence_chain_ok, "seed {seed}: chain broken");
+        assert!(
+            (0.0..=1.0).contains(&report.availability),
+            "seed {seed}: availability {}",
+            report.availability
+        );
+        assert!(
+            (0.0..=1.0).contains(&report.evidence_coverage),
+            "seed {seed}: coverage {}",
+            report.evidence_coverage
+        );
+        assert!(
+            report.attacks[0].detected(),
+            "seed {seed}: {} missed",
+            report.attacks[0].name
+        );
+        assert!(report.critical_steps > 500, "seed {seed}: relay starved");
+        assert!(report.evidence_seals >= 1, "seed {seed}: never sealed");
+    }
+}
+
+#[test]
+fn soak_runs_are_reproducible() {
+    for seed in [3u64, 8] {
+        assert_eq!(run(seed), run(seed), "seed {seed} diverged");
+    }
+}
