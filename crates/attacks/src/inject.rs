@@ -42,6 +42,28 @@ pub enum AttackKind {
     SystemHang,
 }
 
+impl AttackKind {
+    /// Every variant, for exhaustive sweeps and coverage tests. Keep in
+    /// declaration order; the compiler cannot enforce completeness here, so
+    /// `tests` below pins the count.
+    pub const ALL: [AttackKind; 14] = [
+        AttackKind::CodeInjection,
+        AttackKind::MemoryProbe,
+        AttackKind::FirmwareTamper,
+        AttackKind::Downgrade,
+        AttackKind::DmaExfil,
+        AttackKind::DebugIntrusion,
+        AttackKind::NetworkFlood,
+        AttackKind::ExploitTraffic,
+        AttackKind::Exfiltration,
+        AttackKind::SensorSpoof,
+        AttackKind::FaultInjection,
+        AttackKind::LogWipe,
+        AttackKind::SyscallAnomaly,
+        AttackKind::SystemHang,
+    ];
+}
+
 impl fmt::Display for AttackKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
@@ -113,5 +135,31 @@ mod tests {
     fn kind_display() {
         assert_eq!(AttackKind::CodeInjection.to_string(), "CodeInjection");
         assert_eq!(AttackKind::LogWipe.to_string(), "LogWipe");
+    }
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in AttackKind::ALL {
+            assert!(seen.insert(kind), "{kind:?} listed twice in ALL");
+        }
+        // exhaustiveness canary: extending the enum must extend ALL too
+        let count = |kind: AttackKind| match kind {
+            AttackKind::CodeInjection
+            | AttackKind::MemoryProbe
+            | AttackKind::FirmwareTamper
+            | AttackKind::Downgrade
+            | AttackKind::DmaExfil
+            | AttackKind::DebugIntrusion
+            | AttackKind::NetworkFlood
+            | AttackKind::ExploitTraffic
+            | AttackKind::Exfiltration
+            | AttackKind::SensorSpoof
+            | AttackKind::FaultInjection
+            | AttackKind::LogWipe
+            | AttackKind::SyscallAnomaly
+            | AttackKind::SystemHang => 1,
+        };
+        assert_eq!(AttackKind::ALL.iter().map(|&k| count(k)).sum::<i32>(), 14);
     }
 }

@@ -1,8 +1,6 @@
 //! The concrete attack injectors.
 
-use crate::inject::{
-    AttackEffect, AttackInjector, AttackKind, AttackStepResult, AttackTargets,
-};
+use crate::inject::{AttackEffect, AttackInjector, AttackKind, AttackStepResult, AttackTargets};
 use cres_policy::DetectionCapability;
 use cres_sim::SimTime;
 use cres_soc::addr::{Addr, MasterId};
@@ -219,7 +217,11 @@ impl AttackInjector for FirmwareTamperAttack {
             description: format!(
                 "implant write at {} — bus {}; active slot corrupted",
                 self.flash_addr,
-                if bus_result.is_ok() { "granted" } else { "denied" }
+                if bus_result.is_ok() {
+                    "granted"
+                } else {
+                    "denied"
+                }
             ),
             achieved: bus_result.is_ok() || targets.slots.is_some(),
             effects: vec![],
@@ -278,7 +280,9 @@ impl AttackInjector for DowngradeAttack {
                 slots.write_slot(inactive, self.old_image.clone());
                 slots.set_active(inactive);
                 AttackStepResult {
-                    description: format!("staged old signed image into slot {inactive} and flipped active"),
+                    description: format!(
+                        "staged old signed image into slot {inactive} and flipped active"
+                    ),
                     achieved: true,
                     effects: vec![],
                 }
@@ -381,7 +385,10 @@ impl AttackInjector for DmaExfilAttack {
                 at: now,
             });
             AttackStepResult {
-                description: format!("exfil of staged secret over NIC: {}", if sent { "sent" } else { "blocked" }),
+                description: format!(
+                    "exfil of staged secret over NIC: {}",
+                    if sent { "sent" } else { "blocked" }
+                ),
                 achieved: sent && self.copies_done > 0,
                 effects: vec![],
             }
@@ -439,7 +446,10 @@ impl AttackInjector for DebugPortAttack {
         let soc = &mut *targets.soc;
         let r = soc.bus.read(now, MasterId::DEBUG, addr, 16, &soc.mem);
         AttackStepResult {
-            description: format!("debug port read at {addr}: {}", if r.is_ok() { "ok" } else { "denied" }),
+            description: format!(
+                "debug port read at {addr}: {}",
+                if r.is_ok() { "ok" } else { "denied" }
+            ),
             achieved: r.is_ok(),
             effects: vec![],
         }
@@ -650,7 +660,11 @@ impl AttackInjector for ExfilAttack {
             description: format!(
                 "exfil burst {} bytes: {}",
                 self.bytes_per_step,
-                if sent { "sent" } else { "blocked by quarantine" }
+                if sent {
+                    "sent"
+                } else {
+                    "blocked by quarantine"
+                }
             ),
             achieved: sent,
             effects: vec![],
@@ -828,14 +842,20 @@ impl AttackInjector for LogWipeAttack {
             let base = region.range().start;
             let len = region.range().len.min(256);
             let zeros = vec![0u8; len as usize];
-            soc.bus.write(now, self.master, base, &zeros, &mut soc.mem).is_ok()
+            soc.bus
+                .write(now, self.master, base, &zeros, &mut soc.mem)
+                .is_ok()
         } else {
             false
         };
         AttackStepResult {
             description: format!(
                 "console log wiped; app_log region {}",
-                if wiped_region { "zeroed" } else { "write denied" }
+                if wiped_region {
+                    "zeroed"
+                } else {
+                    "write denied"
+                }
             ),
             achieved: true,
             effects: vec![],
@@ -893,9 +913,15 @@ impl AttackInjector for SyscallAnomalyAttack {
     ) -> AttackStepResult {
         self.times.push(now);
         AttackStepResult {
-            description: format!("{} issued off-profile syscalls {:?}", self.victim, self.sequence),
+            description: format!(
+                "{} issued off-profile syscalls {:?}",
+                self.victim, self.sequence
+            ),
             achieved: true,
-            effects: vec![AttackEffect::SyscallsEmitted(self.victim, self.sequence.clone())],
+            effects: vec![AttackEffect::SyscallsEmitted(
+                self.victim,
+                self.sequence.clone(),
+            )],
         }
     }
 
@@ -967,9 +993,9 @@ impl AttackInjector for SystemHangAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cres_soc::periph::Sensor;
     use cres_soc::soc::{layout, SocBuilder};
     use cres_soc::task::{control_loop_program, Criticality, Task};
-    use cres_soc::periph::Sensor;
     use cres_soc::Soc;
 
     fn soc() -> Soc {
@@ -992,7 +1018,11 @@ mod tests {
         let mut out = Vec::new();
         for step in 0..attack.steps() {
             let mut targets = AttackTargets { soc, slots: None };
-            out.push(attack.inject_step(step, SimTime::at_cycle(u64::from(step) * 100), &mut targets));
+            out.push(attack.inject_step(
+                step,
+                SimTime::at_cycle(u64::from(step) * 100),
+                &mut targets,
+            ));
         }
         out
     }
@@ -1073,11 +1103,20 @@ mod tests {
     fn exfil_blocked_by_quarantine() {
         let mut s = soc();
         let mut a = ExfilAttack::new(4096, 3);
-        let mut targets = AttackTargets { soc: &mut s, slots: None };
+        let mut targets = AttackTargets {
+            soc: &mut s,
+            slots: None,
+        };
         assert!(a.inject_step(0, SimTime::ZERO, &mut targets).achieved);
         s.nic.quarantine();
-        let mut targets = AttackTargets { soc: &mut s, slots: None };
-        assert!(!a.inject_step(1, SimTime::at_cycle(1), &mut targets).achieved);
+        let mut targets = AttackTargets {
+            soc: &mut s,
+            slots: None,
+        };
+        assert!(
+            !a.inject_step(1, SimTime::at_cycle(1), &mut targets)
+                .achieved
+        );
         assert_eq!(a.bytes_exfiltrated(), 4096);
     }
 
@@ -1123,11 +1162,7 @@ mod tests {
     fn dma_exfil_two_phases() {
         let mut s = soc();
         // allow DMA everything (default grants) — copy succeeds
-        let mut a = DmaExfilAttack::new(
-            layout::TEE_SECURE.0,
-            layout::SRAM.0.offset(0x2000),
-            32,
-        );
+        let mut a = DmaExfilAttack::new(layout::TEE_SECURE.0, layout::SRAM.0.offset(0x2000), 32);
         let results = run_all(&mut a, &mut s);
         assert!(results[0].achieved, "{}", results[0].description);
         assert!(results[1].achieved);
@@ -1136,11 +1171,7 @@ mod tests {
         let mut s2 = soc();
         let tee_region = s2.mem.region_by_name("tee_secure").unwrap().id();
         s2.mem.revoke(MasterId::DMA, tee_region);
-        let mut a2 = DmaExfilAttack::new(
-            layout::TEE_SECURE.0,
-            layout::SRAM.0.offset(0x2000),
-            32,
-        );
+        let mut a2 = DmaExfilAttack::new(layout::TEE_SECURE.0, layout::SRAM.0.offset(0x2000), 32);
         let results = run_all(&mut a2, &mut s2);
         assert!(!results[0].achieved);
     }
@@ -1170,10 +1201,18 @@ mod tests {
             Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(0.0))),
             Box::new(FaultInjectionAttack::new(EnvTamper::ClockSkew(250.0))),
             Box::new(LogWipeAttack::new(MasterId::CPU0)),
-            Box::new(SyscallAnomalyAttack::new(TaskId(1), vec![Syscall::PrivEscalate], 1)),
+            Box::new(SyscallAnomalyAttack::new(
+                TaskId(1),
+                vec![Syscall::PrivEscalate],
+                1,
+            )),
         ];
         for a in &attacks {
-            assert!(!a.detectable_by().is_empty(), "{} lacks ground truth", a.name());
+            assert!(
+                !a.detectable_by().is_empty(),
+                "{} lacks ground truth",
+                a.name()
+            );
             assert!(a.steps() > 0, "{} has no steps", a.name());
         }
         // names unique

@@ -51,9 +51,9 @@ pub fn ta_downgrade(tee: &mut Tee, old_manifest: TaManifest) -> TeeAttackOutcome
         Ok(()) => TeeAttackOutcome::Succeeded(format!(
             "downgraded TA {name:?} to vulnerable version {version}"
         )),
-        Err(TeeError::Downgrade { installed, offered }) => TeeAttackOutcome::Blocked(format!(
-            "rollback protection held: {offered} < {installed}"
-        )),
+        Err(TeeError::Downgrade { installed, offered }) => {
+            TeeAttackOutcome::Blocked(format!("rollback protection held: {offered} < {installed}"))
+        }
         Err(e) => TeeAttackOutcome::Blocked(format!("install rejected: {e}")),
     }
 }

@@ -1,11 +1,11 @@
 //! A4 — boot-time cost: verified + measured boot vs unverified load,
 //! across image sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cres_boot::{BootChain, BootPolicy, BootRom, ImageSigner, MemArbCounters};
 use cres_crypto::drbg::HmacDrbg;
 use cres_crypto::rsa::generate_keypair;
 use cres_crypto::sha2::Sha256;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_boot(c: &mut Criterion) {
@@ -23,15 +23,21 @@ fn bench_boot(c: &mut Criterion) {
         let payload = vec![0xA5u8; size];
         let image = signer.sign("app", 1, 1, &payload);
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("verified_measured", size), &image, |b, image| {
-            b.iter(|| {
-                let mut arb = MemArbCounters::new();
-                black_box(chain.boot(&[image], &mut arb).booted())
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("hash_only", size), &payload, |b, payload| {
-            b.iter(|| black_box(Sha256::digest(payload)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("verified_measured", size),
+            &image,
+            |b, image| {
+                b.iter(|| {
+                    let mut arb = MemArbCounters::new();
+                    black_box(chain.boot(&[image], &mut arb).booted())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("hash_only", size),
+            &payload,
+            |b, payload| b.iter(|| black_box(Sha256::digest(payload))),
+        );
     }
     g.finish();
 }

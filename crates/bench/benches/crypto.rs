@@ -1,7 +1,6 @@
 //! A3 — crypto substrate throughput: SHA-256/512, HMAC, AES-CTR, AEAD,
 //! RSA sign/verify and Merkle proofs across input sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cres_crypto::aead::Aead;
 use cres_crypto::aes::Aes;
 use cres_crypto::drbg::HmacDrbg;
@@ -10,6 +9,7 @@ use cres_crypto::merkle::MerkleTree;
 use cres_crypto::modes::ctr_xor;
 use cres_crypto::rsa::generate_keypair;
 use cres_crypto::sha2::{Sha256, Sha512};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 const SIZES: [usize; 4] = [64, 1024, 16 * 1024, 64 * 1024];
@@ -74,8 +74,9 @@ fn bench_rsa(c: &mut Criterion) {
 fn bench_merkle(c: &mut Criterion) {
     let mut g = c.benchmark_group("merkle");
     for leaves in [16usize, 256, 4096] {
-        let items: Vec<Vec<u8>> =
-            (0..leaves).map(|i| format!("record-{i}").into_bytes()).collect();
+        let items: Vec<Vec<u8>> = (0..leaves)
+            .map(|i| format!("record-{i}").into_bytes())
+            .collect();
         g.bench_with_input(BenchmarkId::new("build", leaves), &items, |b, items| {
             b.iter(|| MerkleTree::build(items.iter().map(|v| v.as_slice())))
         });
@@ -87,5 +88,11 @@ fn bench_merkle(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hashes, bench_ciphers, bench_rsa, bench_merkle);
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_ciphers,
+    bench_rsa,
+    bench_merkle
+);
 criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! A2 — evidence-chain cost: append throughput, full-chain verification and
 //! Merkle sealing across chain lengths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cres_sim::SimTime;
 use cres_ssm::EvidenceStore;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn store_with(n: u64) -> EvidenceStore {

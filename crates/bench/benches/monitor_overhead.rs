@@ -1,13 +1,13 @@
 //! E8 companion — wall-clock cost of the monitor sampling pipeline itself:
 //! one full sample-all pass over a busy SoC, per monitor-set size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cres_monitor::bus_mon::AccessWindow;
 use cres_monitor::{BusPolicyMonitor, MemoryGuardMonitor, NetworkMonitor, ResourceMonitor};
 use cres_sim::SimTime;
 use cres_soc::addr::{Addr, MasterId};
 use cres_soc::soc::SocBuilder;
 use cres_soc::Soc;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn busy_soc() -> Soc {
@@ -15,9 +15,13 @@ fn busy_soc() -> Soc {
     // generate a burst of traffic for the taps
     for i in 0..2_000u64 {
         let addr = Addr(0x2000_0000 + (i % 0x1000));
-        let _ = soc
-            .bus
-            .write(SimTime::at_cycle(i), MasterId::CPU0, addr, &[0u8; 8], &mut soc.mem);
+        let _ = soc.bus.write(
+            SimTime::at_cycle(i),
+            MasterId::CPU0,
+            addr,
+            &[0u8; 8],
+            &mut soc.mem,
+        );
     }
     soc
 }
@@ -35,7 +39,10 @@ fn monitor_set(soc: &Soc, n: usize) -> Vec<Box<dyn ResourceMonitor>> {
             }],
             true,
         )),
-        Box::new(MemoryGuardMonitor::new(vec![r("ssm_private")], vec![r("flash_a")])),
+        Box::new(MemoryGuardMonitor::new(
+            vec![r("ssm_private")],
+            vec![r("flash_a")],
+        )),
         Box::new(NetworkMonitor::new(64, 4096)),
     ];
     all.into_iter().take(n).collect()

@@ -2,15 +2,18 @@
 //! platform life under each profile (the "how expensive is resilience in
 //! the simulator" number).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
 use cres_sim::SimDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("platform_slice");
     g.sample_size(10);
-    for profile in [PlatformProfile::CyberResilient, PlatformProfile::PassiveTrust] {
+    for profile in [
+        PlatformProfile::CyberResilient,
+        PlatformProfile::PassiveTrust,
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{profile}")),
             &profile,

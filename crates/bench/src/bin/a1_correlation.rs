@@ -14,7 +14,8 @@
 
 use cres_bench::scenarios::build;
 use cres_monitor::{MonitorEvent, Severity, Subject};
-use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
+use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_policy::DetectionCapability;
 use cres_sim::{SimDuration, SimTime};
 use cres_soc::addr::MasterId;
@@ -41,7 +42,10 @@ fn noise_fp_count(enabled: bool) -> (u64, bool) {
     // 50 sparse denials, far apart (outside any correlation window)
     for i in 0..50u64 {
         let at = i * 500_000;
-        if engine.ingest(SimTime::at_cycle(at), &deny(at), HealthState::Healthy).is_some() {
+        if engine
+            .ingest(SimTime::at_cycle(at), &deny(at), HealthState::Healthy)
+            .is_some()
+        {
             fp += 1;
         }
     }
@@ -64,7 +68,10 @@ fn main() {
 
     println!("-- engine-level: 50 sparse benign denials + 1 genuine burst --");
     let widths = [14, 18, 18];
-    cres_bench::row(&[&"correlation", &"false positives", &"burst caught"], &widths);
+    cres_bench::row(
+        &[&"correlation", &"false positives", &"burst caught"],
+        &widths,
+    );
     cres_bench::rule(&widths);
     for enabled in [true, false] {
         let (fp, burst) = noise_fp_count(enabled);
@@ -81,17 +88,36 @@ fn main() {
 
     println!("\n-- platform-level: code-injection detection latency --");
     let widths = [14, 10, 12, 14, 10];
-    cres_bench::row(&[&"correlation", &"events", &"incidents", &"det latency", &"reboots"], &widths);
+    cres_bench::row(
+        &[
+            &"correlation",
+            &"events",
+            &"incidents",
+            &"det latency",
+            &"reboots",
+        ],
+        &widths,
+    );
     cres_bench::rule(&widths);
+    // Both ablation arms are independent runs: fan out via the engine.
+    let mut platform_campaign = Campaign::new(build);
     for enabled in [true, false] {
         let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, 55);
         config.correlation_enabled = enabled;
-        let scenario = Scenario::quiet(SimDuration::cycles(1_000_000)).attack(
+        let spec = ScenarioSpec::quiet(SimDuration::cycles(1_000_000)).attack(
+            "code-injection",
             SimTime::at_cycle(500_000),
             SimDuration::cycles(5_000),
-            build("code-injection"),
         );
-        let report = ScenarioRunner::new(config).run(scenario);
+        platform_campaign.submit(
+            format!("correlation={}", if enabled { "on" } else { "off" }),
+            config,
+            spec,
+        );
+    }
+    let summary = platform_campaign.run_parallel(default_jobs());
+    for (enabled, result) in [true, false].into_iter().zip(&summary.results) {
+        let report = &result.report;
         cres_bench::row(
             &[
                 &if enabled { "on (CRES)" } else { "off (raw)" },
@@ -114,4 +140,5 @@ fn main() {
          engine fires only on the clustered burst — at identical latency for\n\
          genuinely critical events."
     );
+    summary.print_aggregate("a1");
 }

@@ -6,7 +6,10 @@
 use cres_policy::framework::{render_figure1, CsfFunction, NisPrinciple};
 
 fn main() {
-    cres_bench::banner("E1 (Figure 1)", "Core security functions, principles and activities");
+    cres_bench::banner(
+        "E1 (Figure 1)",
+        "Core security functions, principles and activities",
+    );
     print!("{}", render_figure1());
     println!();
     println!("association check:");

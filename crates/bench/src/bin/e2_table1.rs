@@ -30,7 +30,9 @@ fn main() {
     let inv = AssetInventory::substation_example();
     let tm = ThreatModel::generate(&inv);
     let full: BTreeSet<_> = DetectionCapability::ALL.into_iter().collect();
-    let watchdog_only: BTreeSet<_> = [DetectionCapability::WatchdogLiveness].into_iter().collect();
+    let watchdog_only: BTreeSet<_> = [DetectionCapability::WatchdogLiveness]
+        .into_iter()
+        .collect();
     println!(
         "substation threat model: {} threats over {} assets",
         tm.threats().len(),

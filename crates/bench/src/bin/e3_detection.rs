@@ -2,13 +2,22 @@
 //! baseline (claim C1: existing defences are passive and miss attacks; the
 //! active monitor set sees them).
 //!
+//! All `attack × seed × profile` cells are independent simulations, so the
+//! sweep is submitted to the campaign engine and fanned out across
+//! `CRES_JOBS` workers (default: all cores).
+//!
 //! Run: `cargo run --release -p cres-bench --bin e3_detection`
 
 use cres_bench::scenarios::{build, GAUNTLET};
-use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
+use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
 
 const SEEDS: [u64; 3] = [11, 42, 1979];
+const PROFILES: [PlatformProfile; 2] = [
+    PlatformProfile::CyberResilient,
+    PlatformProfile::PassiveTrust,
+];
 
 struct Cell {
     detected: u32,
@@ -40,17 +49,14 @@ impl Cell {
     }
 }
 
-fn run_one(profile: PlatformProfile, seed: u64, attack: &str) -> (bool, Option<u64>, u32) {
-    let config = PlatformConfig::new(profile, seed);
-    // long enough that even the watchdog path (timeout 500k) resolves
-    let scenario = Scenario::quiet(SimDuration::cycles(1_000_000)).attack(
+/// One cell's scenario: quiet background plus the named attack.
+/// Long enough that even the watchdog path (timeout 500k) resolves.
+fn cell_spec(attack: &str) -> ScenarioSpec {
+    ScenarioSpec::quiet(SimDuration::cycles(1_000_000)).attack(
+        attack,
         SimTime::at_cycle(200_000),
         SimDuration::cycles(4_000),
-        build(attack),
-    );
-    let report = ScenarioRunner::new(config).run(scenario);
-    let a = &report.attacks[0];
-    (a.detected(), a.detection_latency, a.steps_achieved)
+    )
 }
 
 fn main() {
@@ -58,6 +64,27 @@ fn main() {
         "E3",
         "Detection rate & latency per attack class (CRES vs passive baseline)",
     );
+
+    let mut attacks: Vec<&str> = GAUNTLET.to_vec();
+    attacks.push("syscall-anomaly");
+    attacks.push("system-hang");
+
+    // Submission order mirrors the old sequential loop nest
+    // (attack, seed, profile) so results can be consumed positionally.
+    let mut campaign = Campaign::new(build);
+    for attack in &attacks {
+        for seed in SEEDS {
+            for profile in PROFILES {
+                campaign.submit(
+                    format!("{attack}/{profile}/{seed}"),
+                    PlatformConfig::new(profile, seed),
+                    cell_spec(attack),
+                );
+            }
+        }
+    }
+    let summary = campaign.run_parallel(default_jobs());
+
     let widths = [18, 12, 12, 12, 12, 10];
     cres_bench::row(
         &[
@@ -72,9 +99,7 @@ fn main() {
     );
     cres_bench::rule(&widths);
 
-    let mut attacks: Vec<&str> = GAUNTLET.to_vec();
-    attacks.push("syscall-anomaly");
-    attacks.push("system-hang");
+    let mut results = summary.results.iter();
     let mut cres_total = 0u32;
     let mut passive_total = 0u32;
     let mut runs_total = 0u32;
@@ -82,22 +107,23 @@ fn main() {
         let mut cres = Cell::new();
         let mut passive = Cell::new();
         let mut cres_wins = 0u32;
-        for seed in SEEDS {
-            for (profile, cell) in [
-                (PlatformProfile::CyberResilient, &mut cres),
-                (PlatformProfile::PassiveTrust, &mut passive),
-            ] {
-                let (detected, latency, wins) = run_one(profile, seed, attack);
+        for _seed in SEEDS {
+            for profile in PROFILES {
+                let report = &results.next().expect("one result per cell").report;
+                let a = &report.attacks[0];
+                let cell = if profile == PlatformProfile::CyberResilient {
+                    cres_wins += a.steps_achieved;
+                    &mut cres
+                } else {
+                    &mut passive
+                };
                 cell.runs += 1;
-                if detected {
+                if a.detected() {
                     cell.detected += 1;
                 }
-                if let Some(l) = latency {
+                if let Some(l) = a.detection_latency {
                     cell.latency_sum += l;
                     cell.latency_n += 1;
-                }
-                if profile == PlatformProfile::CyberResilient {
-                    cres_wins += wins;
                 }
             }
         }
@@ -126,4 +152,5 @@ fn main() {
          hang-class events via its watchdog; the active monitor set detects\n\
          every class with latency bounded by the sampling period."
     );
+    summary.print_timing("e3");
 }

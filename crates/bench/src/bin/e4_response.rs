@@ -4,78 +4,104 @@
 //! critical services").
 //!
 //! All three rows run the **same monitors** (full CRES detection); only the
-//! planner differs, isolating the response variable.
+//! planner differs, isolating the response variable. The quiet baselines
+//! and attack runs for every planner/seed cell are independent, so the
+//! whole grid goes through the campaign engine (`CRES_JOBS` workers).
 //!
 //! Run: `cargo run --release -p cres-bench --bin e4_response`
 
 use cres_bench::scenarios::build;
-use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
+use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
 use cres_ssm::PlannerMode;
 
 const DURATION: u64 = 1_500_000;
 const SEEDS: [u64; 3] = [5, 77, 3003];
 
-fn scenario() -> Scenario {
+fn attack_spec() -> ScenarioSpec {
     // A sustained multi-vector campaign: flood, exploit traffic, sensor
     // spoof and repeated code injection.
-    Scenario::quiet(SimDuration::cycles(DURATION))
+    ScenarioSpec::quiet(SimDuration::cycles(DURATION))
         .attack(
+            "network-flood",
             SimTime::at_cycle(200_000),
             SimDuration::cycles(3_000),
-            build("network-flood"),
         )
         .attack(
+            "exploit-traffic",
             SimTime::at_cycle(400_000),
             SimDuration::cycles(10_000),
-            build("exploit-traffic"),
         )
         .attack(
+            "sensor-spoof",
             SimTime::at_cycle(600_000),
             SimDuration::cycles(1_000),
-            build("sensor-spoof"),
         )
         .attack(
+            "code-injection",
             SimTime::at_cycle(800_000),
             SimDuration::cycles(20_000),
-            build("code-injection"),
         )
 }
+
+const PLANNERS: [(&str, PlannerMode); 3] = [
+    ("Active (CRES)", PlannerMode::Active),
+    ("Reboot-only (passive)", PlannerMode::PassiveRebootOnly),
+    ("No response", PlannerMode::None),
+];
 
 fn main() {
     cres_bench::banner(
         "E4",
         "Service continuity under multi-vector attack: response policy comparison",
     );
+
+    // Submission order: (planner, seed, quiet-then-attack). The quiet run
+    // supplies the relay-throughput denominator for its attack twin.
+    let mut campaign = Campaign::new(build);
+    for (label, planner) in PLANNERS {
+        for seed in SEEDS {
+            let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, seed);
+            config.planner_override = Some(planner);
+            campaign.submit(
+                format!("{label}/quiet/{seed}"),
+                config,
+                ScenarioSpec::quiet(SimDuration::cycles(DURATION)),
+            );
+            campaign.submit(format!("{label}/attack/{seed}"), config, attack_spec());
+        }
+    }
+    let summary = campaign.run_parallel(default_jobs());
+
     let widths = [22, 12, 14, 10, 12, 12];
     // "relay steps" = critical-task throughput vs an attack-free run of the
     // same policy; "healthy time" = fraction of the run the health state
     // machine reported Healthy/Degraded (it stays Compromised while attack
     // waves continue, regardless of service delivery).
     cres_bench::row(
-        &[&"response policy", &"relay steps", &"healthy time", &"reboots", &"wins", &"detected"],
+        &[
+            &"response policy",
+            &"relay steps",
+            &"healthy time",
+            &"reboots",
+            &"wins",
+            &"detected",
+        ],
         &widths,
     );
     cres_bench::rule(&widths);
 
-    // Per-seed quiet baselines for the relay-throughput denominator.
-    let mut rows: Vec<(String, f64, f64, f64, f64, f64)> = Vec::new();
-    for (label, planner) in [
-        ("Active (CRES)", PlannerMode::Active),
-        ("Reboot-only (passive)", PlannerMode::PassiveRebootOnly),
-        ("No response", PlannerMode::None),
-    ] {
+    let mut results = summary.results.iter();
+    for (label, _planner) in PLANNERS {
         let mut avail = 0.0;
         let mut ratio = 0.0;
         let mut reboots = 0.0;
         let mut wins = 0.0;
         let mut detected = 0.0;
-        for seed in SEEDS {
-            let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, seed);
-            config.planner_override = Some(planner);
-            let quiet = ScenarioRunner::new(config)
-                .run(Scenario::quiet(SimDuration::cycles(DURATION)));
-            let report = ScenarioRunner::new(config).run(scenario());
+        for _seed in SEEDS {
+            let quiet = &results.next().expect("quiet run per cell").report;
+            let report = &results.next().expect("attack run per cell").report;
             avail += report.availability;
             ratio += report.critical_steps as f64 / quiet.critical_steps.max(1) as f64;
             reboots += f64::from(report.reboots);
@@ -83,24 +109,14 @@ fn main() {
             detected += report.detection_rate();
         }
         let n = SEEDS.len() as f64;
-        rows.push((
-            label.to_string(),
-            avail / n,
-            ratio / n,
-            reboots / n,
-            wins / n,
-            detected / n,
-        ));
-    }
-    for (label, avail, ratio, reboots, wins, detected) in &rows {
         cres_bench::row(
             &[
-                label,
-                &cres_bench::pct(*ratio),
-                &cres_bench::pct(*avail),
-                &format!("{reboots:.1}"),
-                &format!("{wins:.1}"),
-                &cres_bench::pct(*detected),
+                &label,
+                &cres_bench::pct(ratio / n),
+                &cres_bench::pct(avail / n),
+                &format!("{:.1}", reboots / n),
+                &format!("{:.1}", wins / n),
+                &cres_bench::pct(detected / n),
             ],
             &widths,
         );
@@ -112,4 +128,5 @@ fn main() {
          reboots), reboot-only pays the reboot duty cycle in relay steps, and\n\
          no-response lets attacker wins run unchecked."
     );
+    summary.print_aggregate("e4");
 }

@@ -42,7 +42,10 @@ fn active_image(platform: &Platform) -> Option<FirmwareImage> {
 fn fresh_platform_with_v2() -> Platform {
     let mut p = Platform::new(PlatformConfig::new(PlatformProfile::CyberResilient, 404));
     // Field update to v2 first, so there is history to roll back to.
-    let v2 = p.signer.sign("app", 2, 2, b"CRES application firmware v2").to_bytes();
+    let v2 = p
+        .signer
+        .sign("app", 2, 2, b"CRES application firmware v2")
+        .to_bytes();
     p.update.stage(&mut p.slots, v2);
     p.update
         .commit(&mut p.slots, p.chain.rom(), &p.vendor_public, &mut p.arb)
@@ -117,7 +120,10 @@ fn main() {
     {
         let mut p = fresh_platform_with_v2();
         corrupt_active_slot(&mut p);
-        let v3 = p.signer.sign("app", 3, 3, b"CRES application firmware v3 (fixed)").to_bytes();
+        let v3 = p
+            .signer
+            .sign("app", 3, 3, b"CRES application firmware v3 (fixed)")
+            .to_bytes();
         let v3_len = v3.len() as u64;
         p.update.stage(&mut p.slots, v3);
         let commit = p
@@ -134,7 +140,10 @@ fn main() {
     }
 
     let widths = [18, 10, 10, 12, 52];
-    cres_bench::row(&[&"path", &"recovers", &"version", &"latency", &"notes"], &widths);
+    cres_bench::row(
+        &[&"path", &"recovers", &"version", &"latency", &"notes"],
+        &widths,
+    );
     cres_bench::rule(&widths);
     for r in &results {
         cres_bench::row(

@@ -6,35 +6,37 @@
 //! GPP-reachable memory (console + app_log) and dies with the wipe; the
 //! CRES SSM's hash-chained store — keyed and held in physically isolated
 //! memory — survives, and tampering with a shared-deployment store is at
-//! least *detectable*.
+//! least *detectable*. Both profile runs are independent and go through
+//! the campaign engine.
 //!
 //! Run: `cargo run --release -p cres-bench --bin e6_evidence`
 
 use cres_bench::scenarios::build;
-use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
+use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
 
-fn staged_intrusion(duration: u64) -> Scenario {
-    Scenario::quiet(SimDuration::cycles(duration))
+fn staged_intrusion(duration: u64) -> ScenarioSpec {
+    ScenarioSpec::quiet(SimDuration::cycles(duration))
         .attack(
+            "memory-probe",
             SimTime::at_cycle(200_000),
             SimDuration::cycles(5_000),
-            build("memory-probe"),
         )
         .attack(
+            "code-injection",
             SimTime::at_cycle(350_000),
             SimDuration::cycles(8_000),
-            build("code-injection"),
         )
         .attack(
+            "exfiltration",
             SimTime::at_cycle(500_000),
             SimDuration::cycles(5_000),
-            build("exfiltration"),
         )
         .attack(
+            "log-wipe",
             SimTime::at_cycle(650_000),
             SimDuration::cycles(1_000),
-            build("log-wipe"),
         )
 }
 
@@ -44,6 +46,20 @@ fn main() {
         "Evidence continuity once trust is broken (staged intrusion ending in log wipe)",
     );
     let duration = 900_000;
+    let profiles = [
+        PlatformProfile::CyberResilient,
+        PlatformProfile::PassiveTrust,
+    ];
+
+    let mut campaign = Campaign::new(build);
+    for profile in profiles {
+        let mut config = PlatformConfig::new(profile, 99);
+        // the baseline has no SSM evidence store at all
+        config.evidence_enabled = profile == PlatformProfile::CyberResilient;
+        campaign.submit(profile.to_string(), config, staged_intrusion(duration));
+    }
+    let summary = campaign.run_parallel(default_jobs());
+
     let widths = [16, 14, 14, 12, 14, 14];
     cres_bench::row(
         &[
@@ -57,16 +73,17 @@ fn main() {
         &widths,
     );
     cres_bench::rule(&widths);
-    for profile in [PlatformProfile::CyberResilient, PlatformProfile::PassiveTrust] {
-        let mut config = PlatformConfig::new(profile, 99);
-        // the baseline has no SSM evidence store at all
-        config.evidence_enabled = profile == PlatformProfile::CyberResilient;
-        let report = ScenarioRunner::new(config).run(staged_intrusion(duration));
+    for (profile, result) in profiles.iter().zip(&summary.results) {
+        let report = &result.report;
         cres_bench::row(
             &[
                 &profile.to_string(),
                 &report.evidence_len,
-                &if report.evidence_chain_ok { "intact" } else { "BROKEN" },
+                &if report.evidence_chain_ok {
+                    "intact"
+                } else {
+                    "BROKEN"
+                },
                 &cres_bench::pct(report.evidence_coverage),
                 &report.console_lines,
                 &report.total_incidents,
@@ -82,4 +99,5 @@ fn main() {
          probe, the injection, the exfiltration AND the wipe attempt itself,\n\
          and still verifies end-to-end."
     );
+    summary.print_timing("e6");
 }

@@ -2,18 +2,24 @@
 //! the security subsystem itself against the isolated-SSM topology vs the
 //! shared-resource TEE topology.
 //!
-//! Four instruments:
+//! Four direct instruments:
 //! 1. microarchitectural key extraction from the TEE (Spectre/Meltdown
 //!    class),
 //! 2. trusted-application downgrade (Project Zero's TrustZone attack),
 //! 3. a bus-level probe of SSM-private memory from a compromised app core,
 //! 4. an evidence-store wipe from the GPP.
 //!
+//! Plus a runtime sweep through the campaign engine: a DMA-exfiltration
+//! scenario against both topologies across several seeds, confirming the
+//! table's structural story dynamically.
+//!
 //! Run: `cargo run --release -p cres-bench --bin e7_isolation`
 
 use cres_attacks::tee_attacks::{shared_cache_key_extraction, ta_downgrade};
+use cres_bench::scenarios::build;
+use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{Platform, PlatformConfig, PlatformProfile};
-use cres_sim::SimTime;
+use cres_sim::{SimDuration, SimTime};
 use cres_soc::addr::MasterId;
 use cres_soc::soc::layout;
 use cres_tee::TaSigner;
@@ -30,7 +36,11 @@ fn attack_platform(profile: PlatformProfile) -> Vec<String> {
 
     // 1. side-channel key extraction
     let r = shared_cache_key_extraction(&mut p.tee, "device-root");
-    outcomes.push(if r.succeeded() { "EXTRACTED".into() } else { "blocked".into() });
+    outcomes.push(if r.succeeded() {
+        "EXTRACTED".into()
+    } else {
+        "blocked".into()
+    });
 
     // 2. TA downgrade: attacker replays the genuinely-signed v1 keystore.
     // Rollback protection is a *TEE software* property; the attack here
@@ -44,16 +54,16 @@ fn attack_platform(profile: PlatformProfile) -> Vec<String> {
         ta_downgrade(&mut p.tee, old_ta)
     } else {
         // shared/commercial deployment without rollback protection
-        let mut weak = cres_tee::Tee::new(
-            p.tee.deployment(),
-            vendor.public.clone(),
-            false,
-        );
+        let mut weak = cres_tee::Tee::new(p.tee.deployment(), vendor.public.clone(), false);
         weak.install_ta(TaSigner::new(&vendor).sign("keystore", 2, b"keystore TA v2"))
             .unwrap();
         ta_downgrade(&mut weak, old_ta)
     };
-    outcomes.push(if downgrade.succeeded() { "DOWNGRADED".into() } else { "blocked".into() });
+    outcomes.push(if downgrade.succeeded() {
+        "DOWNGRADED".into()
+    } else {
+        "blocked".into()
+    });
 
     // 3. bus probe of SSM-private memory from app core CPU1
     let now = SimTime::at_cycle(1);
@@ -104,7 +114,14 @@ fn main() {
         .collect();
 
     let widths = [30, 26, 26];
-    cres_bench::row(&[&"attack on security subsystem", &"isolated (CRES)", &"shared (TEE-style)"], &widths);
+    cres_bench::row(
+        &[
+            &"attack on security subsystem",
+            &"isolated (CRES)",
+            &"shared (TEE-style)",
+        ],
+        &widths,
+    );
     cres_bench::rule(&widths);
     for r in &rows {
         cres_bench::row(&[&r.attack, &r.isolated, &r.shared], &widths);
@@ -115,4 +132,70 @@ fn main() {
          physical resources succeeds against the TEE-style deployment and is\n\
          structurally impossible against the physically isolated SSM."
     );
+
+    // Runtime confirmation: the same topological story told dynamically —
+    // a DMA exfiltration campaign against both deployments, fanned out
+    // over seeds by the campaign engine.
+    println!("\n-- runtime: dma-exfil campaign, isolated vs shared deployment --");
+    const SWEEP_SEEDS: [u64; 3] = [7, 21, 2024];
+    let profiles = [PlatformProfile::CyberResilient, PlatformProfile::TeeShared];
+    let mut campaign = Campaign::new(build);
+    for profile in profiles {
+        for seed in SWEEP_SEEDS {
+            campaign.submit(
+                format!("dma-exfil/{profile}/{seed}"),
+                PlatformConfig::new(profile, seed),
+                ScenarioSpec::quiet(SimDuration::cycles(800_000)).attack(
+                    "dma-exfil",
+                    SimTime::at_cycle(200_000),
+                    SimDuration::cycles(4_000),
+                ),
+            );
+        }
+    }
+    let summary = campaign.run_parallel(default_jobs());
+    let widths = [16, 12, 14, 14];
+    cres_bench::row(
+        &[
+            &"deployment",
+            &"detected",
+            &"mean latency",
+            &"attacker wins",
+        ],
+        &widths,
+    );
+    cres_bench::rule(&widths);
+    for (index, profile) in profiles.iter().enumerate() {
+        let reports = summary.results[index * SWEEP_SEEDS.len()..(index + 1) * SWEEP_SEEDS.len()]
+            .iter()
+            .map(|r| &r.report);
+        let mut detected = 0u32;
+        let mut latency_sum = 0u64;
+        let mut latency_n = 0u64;
+        let mut wins = 0u32;
+        for report in reports {
+            let a = &report.attacks[0];
+            if a.detected() {
+                detected += 1;
+            }
+            if let Some(l) = a.detection_latency {
+                latency_sum += l;
+                latency_n += 1;
+            }
+            wins += report.attacker_wins;
+        }
+        cres_bench::row(
+            &[
+                &profile.to_string(),
+                &format!("{detected}/{}", SWEEP_SEEDS.len()),
+                &latency_sum
+                    .checked_div(latency_n)
+                    .map_or("—".to_string(), |mean| format!("{mean}cy")),
+                &wins,
+            ],
+            &widths,
+        );
+    }
+    cres_bench::rule(&widths);
+    summary.print_aggregate("e7");
 }

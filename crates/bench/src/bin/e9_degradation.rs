@@ -4,10 +4,15 @@
 //! everything (attacker operates freely) or, when it does react, takes the
 //! whole system down.
 //!
+//! The escalation ladder is submitted to the campaign engine: every
+//! `(k, profile)` rung is an independent run, and the k = 0 rungs double
+//! as the quiet relay-throughput baselines.
+//!
 //! Run: `cargo run --release -p cres-bench --bin e9_degradation`
 
 use cres_bench::scenarios::build;
-use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
+use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
 
 const DURATION: u64 = 1_200_000;
@@ -21,13 +26,13 @@ const CAMPAIGN: [&str; 5] = [
     "code-injection",
 ];
 
-fn scenario(k: usize) -> Scenario {
-    let mut s = Scenario::quiet(SimDuration::cycles(DURATION));
+fn spec(k: usize) -> ScenarioSpec {
+    let mut s = ScenarioSpec::quiet(SimDuration::cycles(DURATION));
     for (i, name) in CAMPAIGN.iter().take(k).enumerate() {
         s = s.attack(
+            *name,
             SimTime::at_cycle(200_000 + 150_000 * i as u64),
             SimDuration::cycles(5_000),
-            build(name),
         );
     }
     s
@@ -38,6 +43,30 @@ fn main() {
         "E9",
         "Graceful degradation: critical-service delivery under progressive compromise",
     );
+
+    let mut campaign = Campaign::new(build);
+    for k in 0..=CAMPAIGN.len() {
+        for profile in [
+            PlatformProfile::CyberResilient,
+            PlatformProfile::PassiveTrust,
+        ] {
+            campaign.submit(
+                format!("k={k}/{profile}"),
+                PlatformConfig::new(profile, 31),
+                spec(k),
+            );
+        }
+    }
+    let summary = campaign.run_parallel(default_jobs());
+    // results are (k, profile)-ordered pairs; rung 0 is the quiet baseline
+    let pair = |k: usize| {
+        (
+            &summary.results[2 * k].report,
+            &summary.results[2 * k + 1].report,
+        )
+    };
+    let (quiet_cres, quiet_passive) = pair(0);
+
     let widths = [12, 16, 16, 14, 14, 16];
     cres_bench::row(
         &[
@@ -52,23 +81,18 @@ fn main() {
     );
     cres_bench::rule(&widths);
 
-    let quiet_cres = ScenarioRunner::new(PlatformConfig::new(PlatformProfile::CyberResilient, 31))
-        .run(scenario(0));
-    let quiet_passive = ScenarioRunner::new(PlatformConfig::new(PlatformProfile::PassiveTrust, 31))
-        .run(scenario(0));
-
     for k in 0..=CAMPAIGN.len() {
-        let cres = ScenarioRunner::new(PlatformConfig::new(PlatformProfile::CyberResilient, 31))
-            .run(scenario(k));
-        let passive = ScenarioRunner::new(PlatformConfig::new(PlatformProfile::PassiveTrust, 31))
-            .run(scenario(k));
+        let (cres, passive) = pair(k);
         cres_bench::row(
             &[
                 &k,
                 &cres_bench::pct(
                     cres.critical_steps as f64 / quiet_cres.critical_steps.max(1) as f64,
                 ),
-                &format!("{}/{k}", cres.attacks.iter().filter(|a| a.detected()).count()),
+                &format!(
+                    "{}/{k}",
+                    cres.attacks.iter().filter(|a| a.detected()).count()
+                ),
                 &cres.attacker_wins,
                 &cres_bench::pct(
                     passive.critical_steps as f64 / quiet_passive.critical_steps.max(1) as f64,
@@ -86,4 +110,5 @@ fn main() {
          every attack step succeeds unchecked, which is the paper's point:\n\
          availability without detection is not resilience."
     );
+    summary.print_aggregate("e9");
 }

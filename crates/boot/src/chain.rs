@@ -83,11 +83,7 @@ impl BootChain {
     /// Attempts to boot through `images` in chain order (bootloader first).
     /// Measures each *verified* stage into the PCR bank; a failed stage is
     /// not measured and aborts the chain.
-    pub fn boot(
-        &self,
-        images: &[&FirmwareImage],
-        arb: &mut dyn ArbCounters,
-    ) -> BootReport {
+    pub fn boot(&self, images: &[&FirmwareImage], arb: &mut dyn ArbCounters) -> BootReport {
         let mut pcrs = PcrBank::new();
         pcrs.extend(index::ROM, &self.rom_measurement);
         let mut stages = Vec::with_capacity(images.len());

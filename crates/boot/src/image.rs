@@ -280,7 +280,10 @@ mod tests {
 
     #[test]
     fn garbage_inputs_are_rejected_cleanly() {
-        assert_eq!(FirmwareImage::from_bytes(b"", 64), Err(ImageError::Truncated));
+        assert_eq!(
+            FirmwareImage::from_bytes(b"", 64),
+            Err(ImageError::Truncated)
+        );
         assert_eq!(
             FirmwareImage::from_bytes(b"XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX", 64),
             Err(ImageError::BadMagic)
@@ -308,8 +311,7 @@ mod tests {
     fn empty_payload_is_valid() {
         let kp = keypair();
         let img = ImageSigner::new(&kp).sign("bl", 1, 0, b"");
-        let parsed =
-            FirmwareImage::from_bytes(&img.to_bytes(), kp.public.modulus_len()).unwrap();
+        let parsed = FirmwareImage::from_bytes(&img.to_bytes(), kp.public.modulus_len()).unwrap();
         assert!(parsed.verify(&kp.public).is_ok());
         assert!(parsed.payload.is_empty());
     }

@@ -129,7 +129,11 @@ mod tests {
         a.extend(0, &m2);
         b.extend(0, &m2);
         b.extend(0, &m1);
-        assert_ne!(a.read(0), b.read(0), "PCR extension must be order sensitive");
+        assert_ne!(
+            a.read(0),
+            b.read(0),
+            "PCR extension must be order sensitive"
+        );
         assert_ne!(a.read(0), [0u8; 32]);
     }
 
@@ -161,12 +165,32 @@ mod tests {
         let mut b = PcrBank::new();
         b.extend(index::APP, &[9u8; 32]);
         let q = b.quote(b"attest-key", b"nonce-1");
-        assert!(PcrBank::verify_quote(&b.snapshot(), b"attest-key", b"nonce-1", &q));
-        assert!(!PcrBank::verify_quote(&b.snapshot(), b"attest-key", b"nonce-2", &q));
-        assert!(!PcrBank::verify_quote(&b.snapshot(), b"wrong-key", b"nonce-1", &q));
+        assert!(PcrBank::verify_quote(
+            &b.snapshot(),
+            b"attest-key",
+            b"nonce-1",
+            &q
+        ));
+        assert!(!PcrBank::verify_quote(
+            &b.snapshot(),
+            b"attest-key",
+            b"nonce-2",
+            &q
+        ));
+        assert!(!PcrBank::verify_quote(
+            &b.snapshot(),
+            b"wrong-key",
+            b"nonce-1",
+            &q
+        ));
         // different PCR state → quote mismatch
         let fresh = PcrBank::new();
-        assert!(!PcrBank::verify_quote(&fresh.snapshot(), b"attest-key", b"nonce-1", &q));
+        assert!(!PcrBank::verify_quote(
+            &fresh.snapshot(),
+            b"attest-key",
+            b"nonce-1",
+            &q
+        ));
     }
 
     #[test]

@@ -197,7 +197,10 @@ mod tests {
         let v1 = signer.sign("app", 1, 1, b"fw-v1-vulnerable");
         assert_eq!(
             rom.verify_stage(&v1, &kp.public, &mut arb),
-            Err(VerifyError::Rollback { image: 1, minimum: 2 })
+            Err(VerifyError::Rollback {
+                image: 1,
+                minimum: 2
+            })
         );
     }
 

@@ -270,7 +270,9 @@ mod tests {
     #[test]
     fn roll_forward_update() {
         let mut f = fixture();
-        let v2 = ImageSigner::new(&f.kp).sign("app", 2, 2, b"fw v2").to_bytes();
+        let v2 = ImageSigner::new(&f.kp)
+            .sign("app", 2, 2, b"fw v2")
+            .to_bytes();
         let staged = f.engine.stage(&mut f.store, v2);
         assert_eq!(staged, Slot::B);
         assert_eq!(f.store.active(), Slot::A, "not switched until commit");
@@ -300,23 +302,34 @@ mod tests {
         let mut f = fixture();
         let signer = ImageSigner::new(&f.kp);
         // go to sv=3 first
-        f.engine.stage(&mut f.store, signer.sign("app", 3, 3, b"v3").to_bytes());
-        f.engine.commit(&mut f.store, &f.rom, &f.kp.public, &mut f.arb).unwrap();
+        f.engine
+            .stage(&mut f.store, signer.sign("app", 3, 3, b"v3").to_bytes());
+        f.engine
+            .commit(&mut f.store, &f.rom, &f.kp.public, &mut f.arb)
+            .unwrap();
         // stage genuinely-signed older image
-        f.engine.stage(&mut f.store, signer.sign("app", 2, 2, b"v2").to_bytes());
+        f.engine
+            .stage(&mut f.store, signer.sign("app", 2, 2, b"v2").to_bytes());
         let err = f
             .engine
             .commit(&mut f.store, &f.rom, &f.kp.public, &mut f.arb)
             .unwrap_err();
-        assert!(matches!(err, UpdateError::Verify(VerifyError::Rollback { .. })));
+        assert!(matches!(
+            err,
+            UpdateError::Verify(VerifyError::Rollback { .. })
+        ));
     }
 
     #[test]
     fn auto_rollback_after_repeated_failures() {
         let mut f = fixture();
-        let v2 = ImageSigner::new(&f.kp).sign("app", 2, 2, b"v2-buggy").to_bytes();
+        let v2 = ImageSigner::new(&f.kp)
+            .sign("app", 2, 2, b"v2-buggy")
+            .to_bytes();
         f.engine.stage(&mut f.store, v2);
-        f.engine.commit(&mut f.store, &f.rom, &f.kp.public, &mut f.arb).unwrap();
+        f.engine
+            .commit(&mut f.store, &f.rom, &f.kp.public, &mut f.arb)
+            .unwrap();
         assert_eq!(f.store.active(), Slot::B);
         // two failures: still on B
         assert!(!f.engine.record_boot_failure(&mut f.store).unwrap());
@@ -333,7 +346,9 @@ mod tests {
         let mut f = fixture();
         let v2 = ImageSigner::new(&f.kp).sign("app", 2, 2, b"v2").to_bytes();
         f.engine.stage(&mut f.store, v2);
-        f.engine.commit(&mut f.store, &f.rom, &f.kp.public, &mut f.arb).unwrap();
+        f.engine
+            .commit(&mut f.store, &f.rom, &f.kp.public, &mut f.arb)
+            .unwrap();
         f.engine.record_boot_failure(&mut f.store).unwrap();
         f.engine.record_boot_failure(&mut f.store).unwrap();
         f.engine.record_boot_success();
@@ -364,8 +379,8 @@ mod tests {
         assert_eq!(f.store.active_bytes(), f.store.golden());
         assert_eq!(f.engine.counters().2, 1);
         // recovered image verifies
-        let img = FirmwareImage::from_bytes(f.store.active_bytes(), f.kp.public.modulus_len())
-            .unwrap();
+        let img =
+            FirmwareImage::from_bytes(f.store.active_bytes(), f.kp.public.modulus_len()).unwrap();
         assert!(img.verify(&f.kp.public).is_ok());
     }
 

@@ -1,0 +1,445 @@
+//! The parallel campaign engine: fan independent `(config, scenario)`
+//! simulations out across a worker pool.
+//!
+//! Every experiment that sweeps `(profile, seed, scenario)` cells runs
+//! fully independent simulations — each builds its own [`Platform`] and
+//! consumes its own [`Scenario`] — so wall-clock should scale with cores,
+//! not with the number of cells. The sim kernel stays single-threaded *per
+//! run*; parallelism is strictly *across* runs, which is why parallel
+//! output is bit-identical to the sequential path (proved by
+//! `tests/campaign_determinism.rs`).
+//!
+//! [`Scenario`] itself holds `Box<dyn AttackInjector>` state and cannot be
+//! built ahead of time and shipped to a worker, so jobs carry a
+//! [`ScenarioSpec`] — duration, workload knobs and *named* attacks with
+//! their timing — and each worker materialises the concrete scenario
+//! locally through the campaign's injector builder (the experiment
+//! binaries pass `cres_bench::scenarios::build`).
+//!
+//! ```
+//! use cres_platform::campaign::{Campaign, ScenarioSpec};
+//! use cres_platform::config::{PlatformConfig, PlatformProfile};
+//! use cres_attacks::NetworkFloodAttack;
+//! use cres_sim::{SimDuration, SimTime};
+//!
+//! let mut campaign = Campaign::new(|name: &str| match name {
+//!     "network-flood" => Box::new(NetworkFloodAttack::new(300, 4)) as _,
+//!     other => panic!("unknown attack {other}"),
+//! });
+//! for seed in [1, 2] {
+//!     campaign.submit(
+//!         format!("flood/{seed}"),
+//!         PlatformConfig::new(PlatformProfile::CyberResilient, seed),
+//!         ScenarioSpec::quiet(SimDuration::cycles(200_000)).attack(
+//!             "network-flood",
+//!             SimTime::at_cycle(50_000),
+//!             SimDuration::cycles(3_000),
+//!         ),
+//!     );
+//! }
+//! let summary = campaign.run_parallel(2);
+//! assert_eq!(summary.results.len(), 2);
+//! assert!(summary.results.iter().all(|r| r.report.attacks[0].detected()));
+//! ```
+
+use crate::config::PlatformConfig;
+use crate::metrics::RunReport;
+use crate::runner::{Scenario, ScenarioRunner};
+use cres_attacks::AttackInjector;
+use cres_sim::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A named attack plus its schedule, materialised per worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackTemplate {
+    /// Injector name, resolved through the campaign's builder.
+    pub name: String,
+    /// When the first step fires.
+    pub start: SimTime,
+    /// Interval between steps.
+    pub step_interval: SimDuration,
+}
+
+/// A buildable description of a [`Scenario`]: everything `Scenario` holds
+/// except live injector state, so it is `Clone + Send` and can cross into
+/// a worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Named attacks to schedule.
+    pub attacks: Vec<AttackTemplate>,
+    /// Period of benign background traffic (None = no traffic).
+    pub benign_packet_period: Option<SimDuration>,
+    /// Pre-deployment syscall-model training rounds.
+    pub training_rounds: u32,
+    /// Install the default three-task workload.
+    pub default_workload: bool,
+}
+
+impl ScenarioSpec {
+    /// An attack-free spec with [`Scenario::quiet`]'s defaults.
+    pub fn quiet(duration: SimDuration) -> Self {
+        let quiet = Scenario::quiet(duration);
+        ScenarioSpec {
+            duration,
+            attacks: Vec::new(),
+            benign_packet_period: quiet.benign_packet_period,
+            training_rounds: quiet.training_rounds,
+            default_workload: quiet.default_workload,
+        }
+    }
+
+    /// Adds a named attack starting at `start` with one step per
+    /// `step_interval`.
+    pub fn attack(
+        mut self,
+        name: impl Into<String>,
+        start: SimTime,
+        step_interval: SimDuration,
+    ) -> Self {
+        self.attacks.push(AttackTemplate {
+            name: name.into(),
+            start,
+            step_interval,
+        });
+        self
+    }
+
+    /// Builds the concrete runnable scenario, resolving attack names
+    /// through `build`.
+    pub fn materialise(&self, build: &dyn Fn(&str) -> Box<dyn AttackInjector>) -> Scenario {
+        let mut scenario = Scenario {
+            duration: self.duration,
+            attacks: Vec::new(),
+            benign_packet_period: self.benign_packet_period,
+            training_rounds: self.training_rounds,
+            default_workload: self.default_workload,
+        };
+        for template in &self.attacks {
+            scenario = scenario.attack(
+                template.start,
+                template.step_interval,
+                build(&template.name),
+            );
+        }
+        scenario
+    }
+}
+
+/// One campaign cell: a platform configuration plus the scenario to run on
+/// it.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display label for timing output (e.g. `"code-injection/cres/42"`).
+    pub label: String,
+    /// Full platform configuration (profile, seed and ablation knobs).
+    pub config: PlatformConfig,
+    /// The scenario description.
+    pub spec: ScenarioSpec,
+}
+
+/// A completed job: the report plus how long the run took on its worker.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's label.
+    pub label: String,
+    /// The scored run.
+    pub report: RunReport,
+    /// Wall-clock time this single run took.
+    pub wall: Duration,
+}
+
+/// All results of a campaign, in submission order, with timing aggregates.
+#[derive(Debug)]
+pub struct CampaignSummary {
+    /// Per-job results, index-aligned with submission order.
+    pub results: Vec<JobResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time for the whole campaign.
+    pub total_wall: Duration,
+}
+
+impl CampaignSummary {
+    /// Sum of per-job wall times: what a sequential loop would have cost.
+    pub fn sequential_equivalent(&self) -> Duration {
+        self.results.iter().map(|r| r.wall).sum()
+    }
+
+    /// Aggregate speedup over the sequential-equivalent cost.
+    pub fn speedup(&self) -> f64 {
+        let total = self.total_wall.as_secs_f64();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.sequential_equivalent().as_secs_f64() / total
+    }
+
+    /// Prints per-run wall times plus the aggregate line the BENCH
+    /// trajectory records.
+    pub fn print_timing(&self, id: &str) {
+        println!(
+            "\n[{id}] campaign timing ({} jobs on {} threads):",
+            self.results.len(),
+            self.threads
+        );
+        for result in &self.results {
+            println!(
+                "  {:<40} {:>9.1} ms",
+                result.label,
+                result.wall.as_secs_f64() * 1e3
+            );
+        }
+        self.print_aggregate(id);
+    }
+
+    /// Prints only the aggregate speedup line.
+    pub fn print_aggregate(&self, id: &str) {
+        println!(
+            "[{id}] {} jobs on {} threads: wall {:.2}s, sequential-equivalent {:.2}s, speedup {:.2}x",
+            self.results.len(),
+            self.threads,
+            self.total_wall.as_secs_f64(),
+            self.sequential_equivalent().as_secs_f64(),
+            self.speedup(),
+        );
+    }
+}
+
+/// A batch of independent scenario runs plus the injector builder that
+/// materialises named attacks inside each worker.
+pub struct Campaign<B>
+where
+    B: Fn(&str) -> Box<dyn AttackInjector> + Sync,
+{
+    builder: B,
+    jobs: Vec<Job>,
+}
+
+impl<B> Campaign<B>
+where
+    B: Fn(&str) -> Box<dyn AttackInjector> + Sync,
+{
+    /// Creates an empty campaign over an injector builder.
+    pub fn new(builder: B) -> Self {
+        Campaign {
+            builder,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Queues a job; returns its index (results come back in submission
+    /// order, so the index addresses the matching [`JobResult`]).
+    pub fn submit(
+        &mut self,
+        label: impl Into<String>,
+        config: PlatformConfig,
+        spec: ScenarioSpec,
+    ) -> usize {
+        self.jobs.push(Job {
+            label: label.into(),
+            config,
+            spec,
+        });
+        self.jobs.len() - 1
+    }
+
+    /// Queued job count.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every job on the calling thread, in submission order.
+    pub fn run_sequential(self) -> CampaignSummary {
+        let start = Instant::now();
+        let results = self
+            .jobs
+            .iter()
+            .map(|job| run_job(job, &self.builder))
+            .collect();
+        CampaignSummary {
+            results,
+            threads: 1,
+            total_wall: start.elapsed(),
+        }
+    }
+
+    /// Fans the jobs out across `threads` scoped workers.
+    ///
+    /// Work-stealing is a shared atomic cursor over the job list: each
+    /// worker claims the next unclaimed index until the list is drained, so
+    /// a slow cell never idles the other workers. Results are written back
+    /// into submission-order slots, making the output independent of
+    /// completion order — byte-identical to [`Campaign::run_sequential`].
+    pub fn run_parallel(self, threads: usize) -> CampaignSummary {
+        let threads = threads.max(1).min(self.jobs.len().max(1));
+        if threads <= 1 {
+            return self.run_sequential();
+        }
+        let start = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobResult>>> =
+            self.jobs.iter().map(|_| Mutex::new(None)).collect();
+        let jobs = &self.jobs;
+        let builder = &self.builder;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let result = run_job(job, builder);
+                    *slots[index].lock().expect("campaign slot poisoned") = Some(result);
+                });
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("campaign slot poisoned")
+                    .expect("worker pool drained every job")
+            })
+            .collect();
+        CampaignSummary {
+            results,
+            threads,
+            total_wall: start.elapsed(),
+        }
+    }
+}
+
+fn run_job<B>(job: &Job, builder: &B) -> JobResult
+where
+    B: Fn(&str) -> Box<dyn AttackInjector> + Sync,
+{
+    let start = Instant::now();
+    let scenario = job.spec.materialise(&|name| builder(name));
+    let report = ScenarioRunner::new(job.config).run(scenario);
+    JobResult {
+        label: job.label.clone(),
+        report,
+        wall: start.elapsed(),
+    }
+}
+
+/// Worker count for experiment sweeps: `CRES_JOBS` when set and nonzero,
+/// otherwise the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(value) = std::env::var("CRES_JOBS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("ignoring invalid CRES_JOBS={value:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformProfile;
+    use cres_attacks::{NetworkFloodAttack, SensorSpoofAttack};
+    use cres_soc::periph::SensorSpoof;
+
+    fn test_builder(name: &str) -> Box<dyn AttackInjector> {
+        match name {
+            "network-flood" => Box::new(NetworkFloodAttack::new(300, 4)),
+            "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))),
+            other => panic!("unknown test attack {other:?}"),
+        }
+    }
+
+    fn small_campaign() -> Campaign<fn(&str) -> Box<dyn AttackInjector>> {
+        let mut campaign = Campaign::new(test_builder as fn(&str) -> Box<dyn AttackInjector>);
+        for (index, seed) in [3u64, 4, 5, 6].into_iter().enumerate() {
+            let spec = if index % 2 == 0 {
+                ScenarioSpec::quiet(SimDuration::cycles(150_000)).attack(
+                    "network-flood",
+                    SimTime::at_cycle(40_000),
+                    SimDuration::cycles(2_000),
+                )
+            } else {
+                ScenarioSpec::quiet(SimDuration::cycles(150_000))
+            };
+            campaign.submit(
+                format!("job/{seed}"),
+                PlatformConfig::new(PlatformProfile::CyberResilient, seed),
+                spec,
+            );
+        }
+        campaign
+    }
+
+    #[test]
+    fn parallel_matches_sequential_in_submission_order() {
+        let sequential = small_campaign().run_sequential();
+        let parallel = small_campaign().run_parallel(4);
+        assert_eq!(sequential.results.len(), parallel.results.len());
+        for (a, b) in sequential.results.iter().zip(&parallel.results) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.report, b.report, "parallel diverged for {}", a.label);
+        }
+    }
+
+    #[test]
+    fn spec_materialises_the_same_scenario_shape() {
+        let spec = ScenarioSpec::quiet(SimDuration::cycles(100_000)).attack(
+            "sensor-spoof",
+            SimTime::at_cycle(10_000),
+            SimDuration::cycles(1_000),
+        );
+        let scenario = spec.materialise(&test_builder);
+        assert_eq!(scenario.duration, spec.duration);
+        assert_eq!(scenario.attacks.len(), 1);
+        assert_eq!(scenario.attacks[0].start, SimTime::at_cycle(10_000));
+        assert_eq!(scenario.attacks[0].injector.name(), "sensor-spoof");
+        let quiet = Scenario::quiet(SimDuration::cycles(100_000));
+        assert_eq!(scenario.benign_packet_period, quiet.benign_packet_period);
+        assert_eq!(scenario.training_rounds, quiet.training_rounds);
+        assert_eq!(scenario.default_workload, quiet.default_workload);
+    }
+
+    #[test]
+    fn summary_speedup_uses_sequential_equivalent() {
+        let summary = CampaignSummary {
+            results: vec![
+                JobResult {
+                    label: "a".into(),
+                    report: dummy_report(),
+                    wall: Duration::from_millis(30),
+                },
+                JobResult {
+                    label: "b".into(),
+                    report: dummy_report(),
+                    wall: Duration::from_millis(30),
+                },
+            ],
+            threads: 2,
+            total_wall: Duration::from_millis(30),
+        };
+        assert_eq!(summary.sequential_equivalent(), Duration::from_millis(60));
+        assert!((summary.speedup() - 2.0).abs() < 1e-9);
+    }
+
+    fn dummy_report() -> RunReport {
+        ScenarioRunner::new(PlatformConfig::new(PlatformProfile::PassiveTrust, 1))
+            .run(Scenario::quiet(SimDuration::cycles(5_000)))
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let summary = small_campaign().run_parallel(0);
+        assert_eq!(summary.results.len(), 4);
+        assert_eq!(summary.threads, 1);
+    }
+}

@@ -96,7 +96,11 @@ impl SecureChannel {
     /// a key-zeroisation countermeasure).
     pub fn send(&mut self, tee: &Tee, payload: &[u8]) -> Result<AuthMessage, TeeError> {
         let seq = self.next_seq;
-        let tag = tee.mac_with_key(self.session, &self.key_name, &Self::message_bytes(seq, payload))?;
+        let tag = tee.mac_with_key(
+            self.session,
+            &self.key_name,
+            &Self::message_bytes(seq, payload),
+        )?;
         self.next_seq += 1;
         Ok(AuthMessage {
             seq,
@@ -244,7 +248,10 @@ mod tests {
         let m0 = tx.send(&tee, b"a").unwrap();
         let m1 = tx.send(&tee, b"b").unwrap();
         rx.receive(&tee, &m1).unwrap();
-        assert!(matches!(rx.receive(&tee, &m0), Err(RejectReason::Replay { .. })));
+        assert!(matches!(
+            rx.receive(&tee, &m0),
+            Err(RejectReason::Replay { .. })
+        ));
     }
 
     #[test]

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn profile_display() {
-        assert_eq!(PlatformProfile::CyberResilient.to_string(), "CyberResilient");
+        assert_eq!(
+            PlatformProfile::CyberResilient.to_string(),
+            "CyberResilient"
+        );
         assert_eq!(PlatformProfile::ALL.len(), 3);
     }
 }

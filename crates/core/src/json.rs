@@ -1,0 +1,686 @@
+//! Hand-rolled JSON encoding/decoding for [`RunReport`].
+//!
+//! The workspace's `serde` is an offline marker shim (see
+//! `crates/shim-serde`), so real serialization lives here: a small writer
+//! plus a recursive-descent parser covering exactly the JSON subset the
+//! report schema emits. Round-tripping is lossless — integers are kept as
+//! text until typed extraction (no `f64` detour for `u64` fields) and
+//! floats are written with Rust's shortest round-trip formatting.
+
+use crate::config::PlatformProfile;
+use crate::metrics::{AttackOutcomeReport, RunReport};
+use cres_attacks::AttackKind;
+use cres_sim::SimTime;
+use cres_ssm::HealthState;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A decode failure: what went wrong and roughly where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+type Result<T> = std::result::Result<T, JsonError>;
+
+fn err<T>(message: impl Into<String>) -> Result<T> {
+    Err(JsonError(message.into()))
+}
+
+// ---------------------------------------------------------------- values
+
+/// Parsed JSON. Numbers stay textual so integer extraction is exact.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(String),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(&b) => Ok(b),
+            None => err(format!("unexpected end of input at byte {}", self.pos)),
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        let got = self.peek()?;
+        if got != byte {
+            return err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::String(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return err(format!("empty number at byte {start}"));
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        // validate now so extraction can't fail on garbage like "1.2.3"
+        if text.parse::<f64>().is_err() {
+            return err(format!("malformed number {text:?} at byte {start}"));
+        }
+        Ok(Value::Number(text.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError(format!("bad \\u escape {hex:?}")))?;
+                            self.pos += 4;
+                            // the writer never emits surrogate pairs (it only
+                            // escapes control chars), so reject them here
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return err(format!("unsupported code point {code:#x}")),
+                            }
+                        }
+                        other => return err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // copy the full UTF-8 sequence starting at b
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    let Some(chunk) = self.bytes.get(start..start + len) else {
+                        return err("truncated utf-8 sequence");
+                    };
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| JsonError("invalid utf-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return err(format!("expected ',' or ']', found {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return err(format!("expected ',' or '}}', found {:?}", other as char)),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse(text: &str) -> Result<Value> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return err(format!("trailing input at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `f64` with Rust's shortest round-trip formatting, made self-describing:
+/// integral values gain a `.0` so the reader can tell floats from ints.
+fn write_f64(out: &mut String, v: f64) {
+    let text = format!("{v}");
+    out.push_str(&text);
+    if !text.contains(['.', 'e', 'E', 'n', 'i']) {
+        out.push_str(".0");
+    }
+}
+
+// ------------------------------------------------------------ extraction
+
+fn as_object(value: &Value) -> Result<&BTreeMap<String, Value>> {
+    match value {
+        Value::Object(fields) => Ok(fields),
+        other => err(format!("expected object, found {}", other.type_name())),
+    }
+}
+
+fn field<'v>(fields: &'v BTreeMap<String, Value>, name: &str) -> Result<&'v Value> {
+    fields
+        .get(name)
+        .ok_or_else(|| JsonError(format!("missing field {name:?}")))
+}
+
+fn get_u64(fields: &BTreeMap<String, Value>, name: &str) -> Result<u64> {
+    match field(fields, name)? {
+        Value::Number(text) => text
+            .parse()
+            .map_err(|_| JsonError(format!("field {name:?}: {text:?} is not a u64"))),
+        other => err(format!(
+            "field {name:?}: expected number, found {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn get_u32(fields: &BTreeMap<String, Value>, name: &str) -> Result<u32> {
+    u32::try_from(get_u64(fields, name)?)
+        .map_err(|_| JsonError(format!("field {name:?} out of u32 range")))
+}
+
+fn get_usize(fields: &BTreeMap<String, Value>, name: &str) -> Result<usize> {
+    usize::try_from(get_u64(fields, name)?)
+        .map_err(|_| JsonError(format!("field {name:?} out of usize range")))
+}
+
+fn get_f64(fields: &BTreeMap<String, Value>, name: &str) -> Result<f64> {
+    match field(fields, name)? {
+        Value::Number(text) => text
+            .parse()
+            .map_err(|_| JsonError(format!("field {name:?}: {text:?} is not a number"))),
+        other => err(format!(
+            "field {name:?}: expected number, found {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn get_bool(fields: &BTreeMap<String, Value>, name: &str) -> Result<bool> {
+    match field(fields, name)? {
+        Value::Bool(b) => Ok(*b),
+        other => err(format!(
+            "field {name:?}: expected bool, found {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn get_str<'v>(fields: &'v BTreeMap<String, Value>, name: &str) -> Result<&'v str> {
+    match field(fields, name)? {
+        Value::String(s) => Ok(s),
+        other => err(format!(
+            "field {name:?}: expected string, found {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn get_opt_u64(fields: &BTreeMap<String, Value>, name: &str) -> Result<Option<u64>> {
+    match field(fields, name)? {
+        Value::Null => Ok(None),
+        Value::Number(text) => text
+            .parse()
+            .map(Some)
+            .map_err(|_| JsonError(format!("field {name:?}: {text:?} is not a u64"))),
+        other => err(format!(
+            "field {name:?}: expected number or null, found {}",
+            other.type_name()
+        )),
+    }
+}
+
+// ----------------------------------------------------------- enum names
+
+fn profile_name(profile: PlatformProfile) -> &'static str {
+    match profile {
+        PlatformProfile::CyberResilient => "CyberResilient",
+        PlatformProfile::PassiveTrust => "PassiveTrust",
+        PlatformProfile::TeeShared => "TeeShared",
+    }
+}
+
+fn profile_from(name: &str) -> Result<PlatformProfile> {
+    Ok(match name {
+        "CyberResilient" => PlatformProfile::CyberResilient,
+        "PassiveTrust" => PlatformProfile::PassiveTrust,
+        "TeeShared" => PlatformProfile::TeeShared,
+        other => return err(format!("unknown profile {other:?}")),
+    })
+}
+
+fn health_name(health: HealthState) -> &'static str {
+    match health {
+        HealthState::Healthy => "Healthy",
+        HealthState::Suspicious => "Suspicious",
+        HealthState::Compromised => "Compromised",
+        HealthState::Degraded => "Degraded",
+        HealthState::Recovering => "Recovering",
+    }
+}
+
+fn health_from(name: &str) -> Result<HealthState> {
+    Ok(match name {
+        "Healthy" => HealthState::Healthy,
+        "Suspicious" => HealthState::Suspicious,
+        "Compromised" => HealthState::Compromised,
+        "Degraded" => HealthState::Degraded,
+        "Recovering" => HealthState::Recovering,
+        other => return err(format!("unknown health state {other:?}")),
+    })
+}
+
+fn attack_kind_from(name: &str) -> Result<AttackKind> {
+    AttackKind::ALL
+        .into_iter()
+        .find(|kind| kind.to_string() == name)
+        .map_or_else(|| err(format!("unknown attack kind {name:?}")), Ok)
+}
+
+// ------------------------------------------------------------- encoding
+
+impl AttackOutcomeReport {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        write_string(out, &self.name);
+        let _ = write!(out, ",\"kind\":\"{}\"", self.kind);
+        match self.first_injection {
+            Some(t) => {
+                let _ = write!(out, ",\"first_injection\":{}", t.cycle());
+            }
+            None => out.push_str(",\"first_injection\":null"),
+        }
+        match self.detected_at {
+            Some(t) => {
+                let _ = write!(out, ",\"detected_at\":{}", t.cycle());
+            }
+            None => out.push_str(",\"detected_at\":null"),
+        }
+        match self.detection_latency {
+            Some(l) => {
+                let _ = write!(out, ",\"detection_latency\":{l}");
+            }
+            None => out.push_str(",\"detection_latency\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"matching_incidents\":{},\"steps_achieved\":{},\"steps_executed\":{}}}",
+            self.matching_incidents, self.steps_achieved, self.steps_executed
+        );
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let fields = as_object(value)?;
+        Ok(AttackOutcomeReport {
+            name: get_str(fields, "name")?.to_string(),
+            kind: attack_kind_from(get_str(fields, "kind")?)?,
+            first_injection: get_opt_u64(fields, "first_injection")?.map(SimTime::at_cycle),
+            detected_at: get_opt_u64(fields, "detected_at")?.map(SimTime::at_cycle),
+            detection_latency: get_opt_u64(fields, "detection_latency")?,
+            matching_incidents: get_u32(fields, "matching_incidents")?,
+            steps_achieved: get_u32(fields, "steps_achieved")?,
+            steps_executed: get_u32(fields, "steps_executed")?,
+        })
+    }
+}
+
+impl RunReport {
+    /// Encodes the report as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"profile\":\"{}\",\"seed\":{},\"duration_cycles\":{},\"boot_ok\":{}",
+            profile_name(self.profile),
+            self.seed,
+            self.duration_cycles,
+            self.boot_ok
+        );
+        out.push_str(",\"attacks\":[");
+        for (index, attack) in self.attacks.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            attack.write_json(&mut out);
+        }
+        out.push(']');
+        let _ = write!(
+            out,
+            ",\"total_events\":{},\"total_incidents\":{}",
+            self.total_events, self.total_incidents
+        );
+        out.push_str(",\"availability\":");
+        write_f64(&mut out, self.availability);
+        let _ = write!(
+            out,
+            ",\"final_health\":\"{}\",\"critical_steps\":{},\"evidence_len\":{},\
+             \"evidence_chain_ok\":{},\"evidence_seals\":{}",
+            health_name(self.final_health),
+            self.critical_steps,
+            self.evidence_len,
+            self.evidence_chain_ok,
+            self.evidence_seals
+        );
+        out.push_str(",\"evidence_coverage\":");
+        write_f64(&mut out, self.evidence_coverage);
+        let _ = write!(
+            out,
+            ",\"console_lines\":{},\"monitor_overhead_cycles\":{},\"reboots\":{},\
+             \"attacker_wins\":{}}}",
+            self.console_lines, self.monitor_overhead_cycles, self.reboots, self.attacker_wins
+        );
+        out
+    }
+
+    /// Decodes a report written by [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<Self> {
+        let value = parse(text)?;
+        let fields = as_object(&value)?;
+        let attacks = match field(fields, "attacks")? {
+            Value::Array(items) => items
+                .iter()
+                .map(AttackOutcomeReport::from_value)
+                .collect::<Result<Vec<_>>>()?,
+            other => {
+                return err(format!(
+                    "field \"attacks\": expected array, found {}",
+                    other.type_name()
+                ))
+            }
+        };
+        Ok(RunReport {
+            profile: profile_from(get_str(fields, "profile")?)?,
+            seed: get_u64(fields, "seed")?,
+            duration_cycles: get_u64(fields, "duration_cycles")?,
+            boot_ok: get_bool(fields, "boot_ok")?,
+            attacks,
+            total_events: get_u64(fields, "total_events")?,
+            total_incidents: get_u64(fields, "total_incidents")?,
+            availability: get_f64(fields, "availability")?,
+            final_health: health_from(get_str(fields, "final_health")?)?,
+            critical_steps: get_u64(fields, "critical_steps")?,
+            evidence_len: get_usize(fields, "evidence_len")?,
+            evidence_chain_ok: get_bool(fields, "evidence_chain_ok")?,
+            evidence_seals: get_usize(fields, "evidence_seals")?,
+            evidence_coverage: get_f64(fields, "evidence_coverage")?,
+            console_lines: get_usize(fields, "console_lines")?,
+            monitor_overhead_cycles: get_u64(fields, "monitor_overhead_cycles")?,
+            reboots: get_u32(fields, "reboots")?,
+            attacker_wins: get_u32(fields, "attacker_wins")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            profile: PlatformProfile::TeeShared,
+            seed: u64::MAX - 7, // would be lossy through an f64 detour
+            duration_cycles: 1_000_000,
+            boot_ok: true,
+            attacks: vec![
+                AttackOutcomeReport {
+                    name: "dma-exfil \"quoted\"\nline".into(),
+                    kind: AttackKind::DmaExfil,
+                    first_injection: Some(SimTime::at_cycle(200_000)),
+                    detected_at: Some(SimTime::at_cycle(201_500)),
+                    detection_latency: Some(1_500),
+                    matching_incidents: 3,
+                    steps_achieved: 1,
+                    steps_executed: 9,
+                },
+                AttackOutcomeReport {
+                    name: "log-wipe".into(),
+                    kind: AttackKind::LogWipe,
+                    first_injection: None,
+                    detected_at: None,
+                    detection_latency: None,
+                    matching_incidents: 0,
+                    steps_achieved: 0,
+                    steps_executed: 0,
+                },
+            ],
+            total_events: 421,
+            total_incidents: 17,
+            availability: 0.987_654_321,
+            final_health: HealthState::Recovering,
+            critical_steps: 1_234,
+            evidence_len: 99,
+            evidence_chain_ok: false,
+            evidence_seals: 4,
+            evidence_coverage: 1.0,
+            console_lines: 56,
+            monitor_overhead_cycles: 31_337,
+            reboots: 2,
+            attacker_wins: 1,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_losslessly() {
+        let report = sample_report();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).expect("decode");
+        assert_eq!(report, back);
+        // and the encoding itself is stable
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn whole_floats_survive() {
+        let mut report = sample_report();
+        report.availability = 1.0;
+        report.evidence_coverage = 0.0;
+        let back = RunReport::from_json(&report.to_json()).expect("decode");
+        assert_eq!(back.availability, 1.0);
+        assert_eq!(back.evidence_coverage, 0.0);
+    }
+
+    #[test]
+    fn decode_accepts_whitespace_and_reordered_fields() {
+        let report = sample_report();
+        // reordering is free because the decoder goes through a map
+        let pretty = report
+            .to_json()
+            .replace(",\"seed\"", ",\n  \"seed\"")
+            .replace(",\"attacks\"", ",\n  \"attacks\"");
+        assert_eq!(RunReport::from_json(&pretty).expect("decode"), report);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,2]",
+            "{\"profile\":\"NoSuchProfile\"}",
+            "{\"profile\":\"CyberResilient\"}", // missing fields
+            "nullx",
+        ] {
+            assert!(RunReport::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+        let report = sample_report();
+        let trailing = format!("{} x", report.to_json());
+        assert!(RunReport::from_json(&trailing).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut out = String::new();
+        write_string(&mut out, "tab\there \"q\" back\\slash\nnew \u{1} 日本");
+        let value = parse(&out).expect("parse");
+        assert_eq!(
+            value,
+            Value::String("tab\there \"q\" back\\slash\nnew \u{1} 日本".into())
+        );
+    }
+
+    #[test]
+    fn attack_kind_names_all_resolve() {
+        for kind in AttackKind::ALL {
+            assert_eq!(attack_kind_from(&kind.to_string()).expect("resolves"), kind);
+        }
+        assert!(attack_kind_from("NotAnAttack").is_err());
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`runner`] — the discrete-event scenario runner driving workload,
 //!   monitors, attacks and the detect→respond→recover loop,
 //! * [`metrics`] — the [`metrics::RunReport`] experiments consume,
+//! * [`campaign`] — the parallel campaign engine fanning independent
+//!   scenario runs across a scoped worker pool with deterministic,
+//!   submission-ordered results,
 //! * [`comms`] — TEE-keyed authenticated M2M telemetry (tamper, forgery
 //!   and replay rejection — the paper's §III-4 MITM concern).
 //!
@@ -36,13 +39,16 @@
 //! assert!(report.evidence_chain_ok);
 //! ```
 
+pub mod campaign;
 pub mod comms;
 pub mod config;
+pub mod json;
 pub mod metrics;
 pub mod platform;
 pub mod provision;
 pub mod runner;
 
+pub use campaign::{Campaign, CampaignSummary, Job, JobResult, ScenarioSpec};
 pub use comms::{AuthMessage, RejectReason, SecureChannel};
 pub use config::{PlatformConfig, PlatformProfile};
 pub use metrics::{AttackOutcomeReport, RunReport};

@@ -197,24 +197,17 @@ mod tests {
 
     #[test]
     fn every_attack_kind_has_matching_incidents() {
-        for kind in [
-            AttackKind::CodeInjection,
-            AttackKind::MemoryProbe,
-            AttackKind::FirmwareTamper,
-            AttackKind::Downgrade,
-            AttackKind::DmaExfil,
-            AttackKind::DebugIntrusion,
-            AttackKind::NetworkFlood,
-            AttackKind::ExploitTraffic,
-            AttackKind::Exfiltration,
-            AttackKind::SensorSpoof,
-            AttackKind::FaultInjection,
-            AttackKind::LogWipe,
-            AttackKind::SyscallAnomaly,
-            AttackKind::SystemHang,
-        ] {
+        for kind in AttackKind::ALL {
             assert!(!matching_incident_kinds(kind).is_empty(), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn report_serializes_and_round_trips() {
+        let r = report(vec![outcome(Some(150)), outcome(None)]);
+        let json = r.to_json();
+        assert!(json.contains("\"profile\":\"CyberResilient\""));
+        assert_eq!(RunReport::from_json(&json).expect("decode"), r);
     }
 
     #[test]

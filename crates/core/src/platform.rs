@@ -133,8 +133,10 @@ impl Platform {
 
         // Load firmware into simulated flash for bus-level realism.
         let app = slots.active_bytes().to_vec();
-        soc.mem
-            .write_unchecked(layout::BOOT_ROM.0, &bootloader[..bootloader.len().min(0x1_0000)]);
+        soc.mem.write_unchecked(
+            layout::BOOT_ROM.0,
+            &bootloader[..bootloader.len().min(0x1_0000)],
+        );
         soc.mem
             .write_unchecked(layout::FLASH_A.0, &app[..app.len().min(0x4_0000)]);
         soc.otp
@@ -189,10 +191,17 @@ impl Platform {
             critical_steps: 0,
             reboots: 0,
         };
-        platform.log_console(SimTime::ZERO, &format!(
-            "boot: {}",
-            if platform.boot_report.booted() { "ok" } else { "FAILED" }
-        ));
+        platform.log_console(
+            SimTime::ZERO,
+            &format!(
+                "boot: {}",
+                if platform.boot_report.booted() {
+                    "ok"
+                } else {
+                    "FAILED"
+                }
+            ),
+        );
         // The measured-boot result is the first evidence record: PCR values
         // commit to the exact boot path.
         let pcr_summary: Vec<String> = platform.boot_report.pcrs[..3]
@@ -204,7 +213,11 @@ impl Platform {
             "boot",
             &format!(
                 "measured boot {}; pcr0..2 = {}",
-                if platform.boot_report.booted() { "verified" } else { "FAILED" },
+                if platform.boot_report.booted() {
+                    "verified"
+                } else {
+                    "FAILED"
+                },
                 pcr_summary.join(" ")
             ),
         );
@@ -256,29 +269,96 @@ impl Platform {
         // the log buffer and peripherals. Nothing else.
         for cpu in 0..4 {
             let m = MasterId::cpu(cpu);
-            windows.push(AccessWindow { master: m, region: r("flash_a"), read: true, write: false, exec: true });
-            windows.push(AccessWindow { master: m, region: r("flash_b"), read: true, write: false, exec: true });
-            windows.push(AccessWindow { master: m, region: r("boot_rom"), read: true, write: false, exec: true });
-            windows.push(AccessWindow { master: m, region: r("sram"), read: true, write: true, exec: true });
-            windows.push(AccessWindow { master: m, region: r("periph"), read: true, write: true, exec: false });
+            windows.push(AccessWindow {
+                master: m,
+                region: r("flash_a"),
+                read: true,
+                write: false,
+                exec: true,
+            });
+            windows.push(AccessWindow {
+                master: m,
+                region: r("flash_b"),
+                read: true,
+                write: false,
+                exec: true,
+            });
+            windows.push(AccessWindow {
+                master: m,
+                region: r("boot_rom"),
+                read: true,
+                write: false,
+                exec: true,
+            });
+            windows.push(AccessWindow {
+                master: m,
+                region: r("sram"),
+                read: true,
+                write: true,
+                exec: true,
+            });
+            windows.push(AccessWindow {
+                master: m,
+                region: r("periph"),
+                read: true,
+                write: true,
+                exec: false,
+            });
         }
         // Only the logger core writes the audit log; a wipe from any other
         // master is out-of-policy even though the MPU permits it.
         for m in [MasterId::CPU2, MasterId::SSM] {
-            windows.push(AccessWindow { master: m, region: r("app_log"), read: true, write: true, exec: false });
+            windows.push(AccessWindow {
+                master: m,
+                region: r("app_log"),
+                read: true,
+                write: true,
+                exec: false,
+            });
         }
         // SSM may touch everything (it is the observer).
         for name in [
-            "boot_rom", "flash_a", "flash_b", "flash_gold", "sram", "app_log", "tee_secure",
-            "periph", "ssm_private",
+            "boot_rom",
+            "flash_a",
+            "flash_b",
+            "flash_gold",
+            "sram",
+            "app_log",
+            "tee_secure",
+            "periph",
+            "ssm_private",
         ] {
-            windows.push(AccessWindow { master: MasterId::SSM, region: r(name), read: true, write: true, exec: true });
+            windows.push(AccessWindow {
+                master: MasterId::SSM,
+                region: r(name),
+                read: true,
+                write: true,
+                exec: true,
+            });
         }
         // DMA serves peripheral/SRAM transfers only.
-        windows.push(AccessWindow { master: MasterId::DMA, region: r("sram"), read: true, write: true, exec: false });
-        windows.push(AccessWindow { master: MasterId::DMA, region: r("periph"), read: true, write: true, exec: false });
+        windows.push(AccessWindow {
+            master: MasterId::DMA,
+            region: r("sram"),
+            read: true,
+            write: true,
+            exec: false,
+        });
+        windows.push(AccessWindow {
+            master: MasterId::DMA,
+            region: r("periph"),
+            read: true,
+            write: true,
+            exec: false,
+        });
         // NIC DMA lands packets in SRAM.
-        windows.push(AccessWindow { master: MasterId::NIC, region: r("sram"), read: true, write: true, exec: false });
+        windows.push(AccessWindow {
+            master: MasterId::NIC,
+            region: r("sram"),
+            read: true,
+            write: true,
+            exec: false,
+        });
 
         monitors.push(Box::new(BusPolicyMonitor::new(windows, true)));
         monitors.push(Box::new(MemoryGuardMonitor::new(
@@ -288,11 +368,19 @@ impl Platform {
         monitors.push(Box::new(NetworkMonitor::new(64, 2_048)));
         monitors.push(Box::new(SensorMonitor::new(
             0,
-            SensorEnvelope { min: 47.0, max: 53.0, max_step: 0.5 },
+            SensorEnvelope {
+                min: 47.0,
+                max: 53.0,
+                max_step: 0.5,
+            },
         )));
         monitors.push(Box::new(SensorMonitor::new(
             1,
-            SensorEnvelope { min: -10.0, max: 90.0, max_step: 8.0 },
+            SensorEnvelope {
+                min: -10.0,
+                max: 90.0,
+                max_step: 8.0,
+            },
         )));
         monitors.push(Box::new(EnvMonitor::default()));
         monitors.push(Box::new(TaintMonitor::new(
@@ -407,8 +495,7 @@ impl Platform {
             events.extend(m.sample(&mut self.soc, now));
         }
         if self.config.active_monitors() {
-            self.monitor_overhead_cycles +=
-                self.cfi.sample_cost() + self.syscall_mon.sample_cost();
+            self.monitor_overhead_cycles += self.cfi.sample_cost() + self.syscall_mon.sample_cost();
             events.extend(self.cfi.sample(&mut self.soc, now));
             events.extend(self.syscall_mon.sample(&mut self.soc, now));
         }
@@ -417,14 +504,19 @@ impl Platform {
 
     /// Feeds events to the SSM and executes any resulting plans. Returns
     /// the plans executed (the runner schedules recovery follow-ups).
-    pub fn ingest_and_respond(&mut self, now: SimTime, events: Vec<MonitorEvent>) -> Vec<ResponsePlan> {
+    pub fn ingest_and_respond(
+        &mut self,
+        now: SimTime,
+        events: Vec<MonitorEvent>,
+    ) -> Vec<ResponsePlan> {
         for e in &events {
             // The baseline's console audit log (wipeable); the SSM's chain
             // is written inside ingest().
             if e.severity >= cres_monitor::Severity::Warning {
-                self.soc
-                    .uart
-                    .write_line(format!("[{}] {} {}: {}", e.at, e.monitor, e.subject, e.detail));
+                self.soc.uart.write_line(format!(
+                    "[{}] {} {}: {}",
+                    e.at, e.monitor, e.subject, e.detail
+                ));
             }
         }
         let plans = self.ssm.ingest(now, &events);
@@ -483,7 +575,8 @@ impl Platform {
         for _ in 0..rounds {
             for &id in &ids {
                 if let Some(out) = self.soc.step_task(id, SimTime::ZERO) {
-                    self.syscall_mon.report_syscalls(SimTime::ZERO, id, &out.syscalls);
+                    self.syscall_mon
+                        .report_syscalls(SimTime::ZERO, id, &out.syscalls);
                 }
             }
         }
@@ -505,7 +598,10 @@ mod tests {
     fn platform(profile: PlatformProfile) -> Platform {
         let mut p = Platform::new(PlatformConfig::new(profile, 7));
         let program = control_loop_program(layout::FLASH_A.0, layout::SRAM.0, layout::PERIPH.0);
-        p.add_task(Task::new(TaskId(1), "relay", program, Criticality::Critical), 0);
+        p.add_task(
+            Task::new(TaskId(1), "relay", program, Criticality::Critical),
+            0,
+        );
         p.train_syscall_monitor(30);
         p
     }
@@ -528,11 +624,23 @@ mod tests {
     fn isolation_topology_enforced() {
         let p = platform(PlatformProfile::CyberResilient);
         // app cores cannot read SSM-private memory
-        assert!(p.soc.mem.read(MasterId::CPU0, layout::SSM_PRIVATE.0, 4).is_err());
-        assert!(p.soc.mem.read(MasterId::SSM, layout::SSM_PRIVATE.0, 4).is_ok());
+        assert!(p
+            .soc
+            .mem
+            .read(MasterId::CPU0, layout::SSM_PRIVATE.0, 4)
+            .is_err());
+        assert!(p
+            .soc
+            .mem
+            .read(MasterId::SSM, layout::SSM_PRIVATE.0, 4)
+            .is_ok());
         // shared profile: app core CAN reach it
         let shared = platform(PlatformProfile::TeeShared);
-        assert!(shared.soc.mem.read(MasterId::CPU0, layout::SSM_PRIVATE.0, 4).is_ok());
+        assert!(shared
+            .soc
+            .mem
+            .read(MasterId::CPU0, layout::SSM_PRIVATE.0, 4)
+            .is_ok());
     }
 
     #[test]
@@ -573,7 +681,10 @@ mod tests {
         assert!(!events.is_empty());
         let plans = p.ingest_and_respond(now, events);
         assert!(!plans.is_empty(), "no response to code injection");
-        assert_eq!(p.ssm.incidents()[0].kind, cres_ssm::IncidentKind::CodeInjection);
+        assert_eq!(
+            p.ssm.incidents()[0].kind,
+            cres_ssm::IncidentKind::CodeInjection
+        );
         assert!(p.ssm.evidence().verify().is_ok());
         assert!(p.response.is_degraded());
     }

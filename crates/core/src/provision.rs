@@ -53,7 +53,9 @@ pub fn provision(config: &PlatformConfig) -> Provisioned {
     let storage_key = hkdf::derive(b"cres", &device_root_key, b"tee-storage", 32);
 
     // Firmware: bootloader v1 and application v1 (security version 1).
-    let bootloader = signer.sign("bootloader", 1, 1, b"CRES bootloader v1").to_bytes();
+    let bootloader = signer
+        .sign("bootloader", 1, 1, b"CRES bootloader v1")
+        .to_bytes();
     let app_v1 = signer
         .sign("app", 1, 1, b"CRES application firmware v1")
         .to_bytes();
@@ -76,7 +78,8 @@ pub fn provision(config: &PlatformConfig) -> Provisioned {
     let session = tee.open_session("keystore").expect("session");
     tee.store_key(session, "device-root", &device_root_key)
         .expect("store root");
-    tee.store_key(session, "storage", &storage_key).expect("store storage");
+    tee.store_key(session, "storage", &storage_key)
+        .expect("store storage");
     tee.close_session(session);
 
     Provisioned {

@@ -176,7 +176,8 @@ impl ScenarioRunner {
                     )
                 });
                 if reboots {
-                    p.ssm.record_recovery_started(now, "reboot/rollback recovery");
+                    p.ssm
+                        .record_recovery_started(now, "reboot/rollback recovery");
                     let done = now + p.response.reboot_duration() + SimDuration::cycles(1);
                     sim.schedule_at(done, move |p: &mut Platform, _| {
                         p.update.record_boot_success();
@@ -410,9 +411,11 @@ mod tests {
                 Box::new(cres_attacks::SystemHangAttack::new()),
             )
         };
-        let passive =
-            ScenarioRunner::new(cfg(PlatformProfile::PassiveTrust)).run(scenario());
-        assert!(passive.attacks[0].detected(), "baseline watchdog missed the hang");
+        let passive = ScenarioRunner::new(cfg(PlatformProfile::PassiveTrust)).run(scenario());
+        assert!(
+            passive.attacks[0].detected(),
+            "baseline watchdog missed the hang"
+        );
         assert!(passive.reboots >= 1, "baseline never rebooted");
         // service resumed after the reboot: steps continued past the hang
         assert!(passive.critical_steps > 1_000);

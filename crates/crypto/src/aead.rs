@@ -122,7 +122,10 @@ mod tests {
             let mut bad = ct.clone();
             bad[i] ^= 1;
             assert!(
-                matches!(aead.open(&nonce, b"", &bad), Err(CryptoError::VerificationFailed)),
+                matches!(
+                    aead.open(&nonce, b"", &bad),
+                    Err(CryptoError::VerificationFailed)
+                ),
                 "byte {i}"
             );
         }
@@ -166,6 +169,9 @@ mod tests {
     fn deterministic_for_same_inputs() {
         let a = Aead::new(b"k");
         let b = Aead::new(b"k");
-        assert_eq!(a.seal(&[5u8; 12], b"x", b"y"), b.seal(&[5u8; 12], b"x", b"y"));
+        assert_eq!(
+            a.seal(&[5u8; 12], b"x", b"y"),
+            b.seal(&[5u8; 12], b"x", b"y")
+        );
     }
 }

@@ -322,9 +322,7 @@ impl BigUint {
             let numerator = (u64::from(u[j + n]) << 32) | u64::from(u[j + n - 1]);
             let mut qhat = numerator / v_top;
             let mut rhat = numerator % v_top;
-            while qhat >= 1u64 << 32
-                || qhat * v_next > (rhat << 32) + u64::from(u[j + n - 2])
-            {
+            while qhat >= 1u64 << 32 || qhat * v_next > (rhat << 32) + u64::from(u[j + n - 2]) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >= 1u64 << 32 {
@@ -481,18 +479,15 @@ impl PartialOrd for BigUint {
 
 impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.limbs
-            .len()
-            .cmp(&other.limbs.len())
-            .then_with(|| {
-                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
-                    match a.cmp(b) {
-                        Ordering::Equal => continue,
-                        ord => return ord,
-                    }
+        self.limbs.len().cmp(&other.limbs.len()).then_with(|| {
+            for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                match a.cmp(b) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
                 }
-                Ordering::Equal
-            })
+            }
+            Ordering::Equal
+        })
     }
 }
 
@@ -631,7 +626,12 @@ mod tests {
 
     #[test]
     fn mul_matches_u64() {
-        for (x, y) in [(0u64, 5u64), (3, 4), (0xffff_ffff, 0xffff_ffff), (123456789, 987654321)] {
+        for (x, y) in [
+            (0u64, 5u64),
+            (3, 4),
+            (0xffff_ffff, 0xffff_ffff),
+            (123456789, 987654321),
+        ] {
             let prod = x.checked_mul(y).expect("cases fit in u64");
             assert_eq!(b(x).mul(&b(y)), b(prod));
         }
@@ -660,7 +660,13 @@ mod tests {
 
     #[test]
     fn div_rem_matches_u64() {
-        for (x, y) in [(100u64, 7u64), (0, 5), (5, 5), (u64::MAX, 3), (1 << 40, 1 << 20)] {
+        for (x, y) in [
+            (100u64, 7u64),
+            (0, 5),
+            (5, 5),
+            (u64::MAX, 3),
+            (1 << 40, 1 << 20),
+        ] {
             let (q, r) = b(x).div_rem(&b(y));
             assert_eq!(q, b(x / y), "{x}/{y}");
             assert_eq!(r, b(x % y), "{x}%{y}");

@@ -73,7 +73,10 @@ impl std::fmt::Display for CryptoError {
             CryptoError::VerificationFailed => write!(f, "verification failed"),
             CryptoError::MalformedInput(what) => write!(f, "malformed input: {what}"),
             CryptoError::InvalidKeyLength { expected, got } => {
-                write!(f, "invalid key length: expected {expected}, got {got} bytes")
+                write!(
+                    f,
+                    "invalid key length: expected {expected}, got {got} bytes"
+                )
             }
             CryptoError::InvalidPadding => write!(f, "invalid padding"),
             CryptoError::PrimeGenerationFailed => write!(f, "prime generation failed"),

@@ -65,7 +65,10 @@ impl MerkleTree {
     /// Panics when `leaves` is empty — an empty tree has no meaningful root.
     pub fn build<'a>(leaves: impl IntoIterator<Item = &'a [u8]>) -> Self {
         let leaf_hashes: Vec<NodeHash> = leaves.into_iter().map(hash_leaf).collect();
-        assert!(!leaf_hashes.is_empty(), "Merkle tree needs at least one leaf");
+        assert!(
+            !leaf_hashes.is_empty(),
+            "Merkle tree needs at least one leaf"
+        );
         let mut levels = vec![leaf_hashes];
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
@@ -99,7 +102,11 @@ impl MerkleTree {
         let mut proof = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
+            let sibling_idx = if idx.is_multiple_of(2) {
+                idx + 1
+            } else {
+                idx - 1
+            };
             let sibling = *level.get(sibling_idx).unwrap_or(&level[idx]);
             proof.push(ProofStep {
                 sibling,

@@ -153,10 +153,7 @@ mod tests {
         let aes = Aes::new(&key).unwrap();
         let ct = cbc_encrypt(&aes, &iv, &pt);
         // our output = standard ciphertext block + one padding block
-        assert_eq!(
-            hex::encode(&ct[..16]),
-            "7649abac8119b246cee98e9b12e9197d"
-        );
+        assert_eq!(hex::encode(&ct[..16]), "7649abac8119b246cee98e9b12e9197d");
         assert_eq!(ct.len(), 32);
         assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt);
     }

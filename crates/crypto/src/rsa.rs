@@ -17,8 +17,8 @@ use crate::CryptoError;
 
 /// DER prefix for a SHA-256 DigestInfo (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key `(n, e)`.
@@ -99,7 +99,9 @@ impl RsaPublicKey {
         if s >= self.n {
             return Err(CryptoError::VerificationFailed);
         }
-        let em = s.mod_pow(&self.e, &self.n).to_bytes_be_padded(self.modulus_len);
+        let em = s
+            .mod_pow(&self.e, &self.n)
+            .to_bytes_be_padded(self.modulus_len);
         let expected = pkcs1_encode(message, self.modulus_len)?;
         if em == expected {
             Ok(())
@@ -123,7 +125,8 @@ impl RsaPrivateKey {
     pub fn sign(&self, message: &[u8]) -> Vec<u8> {
         let em = pkcs1_encode(message, self.modulus_len).expect("modulus large enough");
         let m = BigUint::from_bytes_be(&em);
-        m.mod_pow(&self.d, &self.n).to_bytes_be_padded(self.modulus_len)
+        m.mod_pow(&self.d, &self.n)
+            .to_bytes_be_padded(self.modulus_len)
     }
 }
 
@@ -360,8 +363,7 @@ mod tests {
     #[test]
     fn public_key_component_round_trip() {
         let kp = test_keypair();
-        let rebuilt =
-            RsaPublicKey::from_components(&kp.public.n_bytes(), &kp.public.e_bytes());
+        let rebuilt = RsaPublicKey::from_components(&kp.public.n_bytes(), &kp.public.e_bytes());
         assert_eq!(rebuilt, kp.public);
         let sig = kp.private.sign(b"x");
         assert!(rebuilt.verify(b"x", &sig).is_ok());

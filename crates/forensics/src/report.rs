@@ -92,7 +92,11 @@ impl BreachReport {
         }
         out.push_str(&format!(
             "recovery        : {}\n",
-            if self.recovered { "COMPLETED" } else { "NOT COMPLETED" }
+            if self.recovered {
+                "COMPLETED"
+            } else {
+                "NOT COMPLETED"
+            }
         ));
         out.push_str("---- timeline ----\n");
         out.push_str(&self.timeline.render());
@@ -145,7 +149,11 @@ mod tests {
         s.records_mut_for_attack()[2].payload = "#0 Nothing happened".into();
         let report = BreachReport::generate(b"report-key", s.records());
         assert!(!report.chain_intact());
-        assert!(report.integrity_failure.as_ref().unwrap().contains("record 2"));
+        assert!(report
+            .integrity_failure
+            .as_ref()
+            .unwrap()
+            .contains("record 2"));
     }
 
     #[test]

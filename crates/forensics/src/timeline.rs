@@ -52,8 +52,14 @@ impl Timeline {
     /// chain-verified by the caller; see
     /// [`cres_ssm::EvidenceStore::verify_export`]).
     pub fn reconstruct(records: &[EvidenceRecord]) -> Self {
-        let first_incident = records.iter().find(|r| r.category == "incident").map(|r| r.at);
-        let first_response = records.iter().find(|r| r.category == "response").map(|r| r.at);
+        let first_incident = records
+            .iter()
+            .find(|r| r.category == "incident")
+            .map(|r| r.at);
+        let first_response = records
+            .iter()
+            .find(|r| r.category == "response")
+            .map(|r| r.at);
         let recovery_start = records
             .iter()
             .find(|r| r.category == "recovery" && r.payload.starts_with("started"))
@@ -124,9 +130,9 @@ impl Timeline {
         let covered = ground_truth
             .iter()
             .filter(|t| {
-                self.entries.iter().any(|e| {
-                    e.at.cycle().abs_diff(t.cycle()) <= tolerance
-                })
+                self.entries
+                    .iter()
+                    .any(|e| e.at.cycle().abs_diff(t.cycle()) <= tolerance)
             })
             .count();
         covered as f64 / ground_truth.len() as f64
@@ -141,7 +147,10 @@ impl Timeline {
                 out.push_str(&format!("--- {} ---\n", e.phase));
                 current_phase = Some(e.phase);
             }
-            out.push_str(&format!("  {} #{:<4} [{}] {}\n", e.at, e.seq, e.category, e.detail));
+            out.push_str(&format!(
+                "  {} #{:<4} [{}] {}\n",
+                e.at, e.seq, e.category, e.detail
+            ));
         }
         out
     }
@@ -230,7 +239,15 @@ mod tests {
         let s = lifecycle_store();
         let tl = Timeline::reconstruct(s.records());
         let text = tl.render();
-        for needle in ["PreIncident", "Attack", "Response", "Recovery", "PostRecovery", "illegal edge", "KillTask"] {
+        for needle in [
+            "PreIncident",
+            "Attack",
+            "Response",
+            "Recovery",
+            "PostRecovery",
+            "illegal edge",
+            "KillTask",
+        ] {
             assert!(text.contains(needle), "missing {needle}");
         }
     }

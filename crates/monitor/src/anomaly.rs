@@ -265,7 +265,10 @@ mod tests {
         let mut c = Cusum::new(50.0, 1.0, 10.0);
         let noise = [0.5, -0.5, 0.8, -0.9, 0.2, -0.1];
         for i in 0..500 {
-            assert!(!c.update(50.0 + noise[i % noise.len()]), "noise fired at {i}");
+            assert!(
+                !c.update(50.0 + noise[i % noise.len()]),
+                "noise fired at {i}"
+            );
         }
         // small persistent drift of +2 units
         let mut fired = false;

@@ -234,9 +234,27 @@ mod tests {
         // CPU0 may use flash_a (rx), sram (rw) and periph (rw) only.
         let r = |name: &str| soc.mem.region_by_name(name).unwrap().id();
         vec![
-            AccessWindow { master: MasterId::CPU0, region: r("flash_a"), read: true, write: false, exec: true },
-            AccessWindow { master: MasterId::CPU0, region: r("sram"), read: true, write: true, exec: false },
-            AccessWindow { master: MasterId::CPU0, region: r("periph"), read: true, write: true, exec: false },
+            AccessWindow {
+                master: MasterId::CPU0,
+                region: r("flash_a"),
+                read: true,
+                write: false,
+                exec: true,
+            },
+            AccessWindow {
+                master: MasterId::CPU0,
+                region: r("sram"),
+                read: true,
+                write: true,
+                exec: false,
+            },
+            AccessWindow {
+                master: MasterId::CPU0,
+                region: r("periph"),
+                read: true,
+                write: true,
+                exec: false,
+            },
         ]
     }
 
@@ -246,8 +264,12 @@ mod tests {
         let mut mon = BusPolicyMonitor::new(windows_for_cpu0(&soc), true);
         let now = SimTime::ZERO;
         let sram = Addr(0x2000_0000);
-        soc.bus.write(now, MasterId::CPU0, sram, &[1, 2], &mut soc.mem).unwrap();
-        soc.bus.fetch(now, MasterId::CPU0, Addr(0x0800_0000), 16, &soc.mem).unwrap();
+        soc.bus
+            .write(now, MasterId::CPU0, sram, &[1, 2], &mut soc.mem)
+            .unwrap();
+        soc.bus
+            .fetch(now, MasterId::CPU0, Addr(0x0800_0000), 16, &soc.mem)
+            .unwrap();
         let events = mon.sample(&mut soc, now);
         assert!(events.is_empty(), "unexpected events: {events:?}");
     }
@@ -259,7 +281,13 @@ mod tests {
         // tee_secure is architecturally open by default grants, but NOT in
         // CPU0's mission policy — reconnaissance the MPU misses.
         soc.bus
-            .read(SimTime::ZERO, MasterId::CPU0, Addr(0x3000_0000), 16, &soc.mem)
+            .read(
+                SimTime::ZERO,
+                MasterId::CPU0,
+                Addr(0x3000_0000),
+                16,
+                &soc.mem,
+            )
             .unwrap();
         let events = mon.sample(&mut soc, SimTime::ZERO);
         assert_eq!(events.len(), 1);
@@ -274,9 +302,13 @@ mod tests {
         let ssm_region = soc.mem.region_by_name("ssm_private").unwrap().id();
         soc.mem.revoke(MasterId::CPU0, ssm_region);
         let mut mon = BusPolicyMonitor::new(windows_for_cpu0(&soc), true);
-        let _ = soc
-            .bus
-            .read(SimTime::ZERO, MasterId::CPU0, Addr(0x5000_0000), 16, &soc.mem);
+        let _ = soc.bus.read(
+            SimTime::ZERO,
+            MasterId::CPU0,
+            Addr(0x5000_0000),
+            16,
+            &soc.mem,
+        );
         let events = mon.sample(&mut soc, SimTime::ZERO);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].severity, Severity::Warning);
@@ -287,9 +319,13 @@ mod tests {
     fn debug_port_activity_always_alerts() {
         let mut soc = soc();
         let mut mon = BusPolicyMonitor::new(vec![], true);
-        let _ = soc
-            .bus
-            .read(SimTime::ZERO, MasterId::DEBUG, Addr(0x2000_0000), 4, &soc.mem);
+        let _ = soc.bus.read(
+            SimTime::ZERO,
+            MasterId::DEBUG,
+            Addr(0x2000_0000),
+            4,
+            &soc.mem,
+        );
         let events = mon.sample(&mut soc, SimTime::ZERO);
         assert_eq!(events.len(), 1);
         assert!(events[0].detail.contains("debug port"));
@@ -300,7 +336,13 @@ mod tests {
         let mut soc = soc();
         let mut mon = BusPolicyMonitor::new(windows_for_cpu0(&soc), true);
         soc.bus
-            .read(SimTime::ZERO, MasterId::CPU0, Addr(0x3000_0000), 4, &soc.mem)
+            .read(
+                SimTime::ZERO,
+                MasterId::CPU0,
+                Addr(0x3000_0000),
+                4,
+                &soc.mem,
+            )
             .unwrap();
         assert_eq!(mon.sample(&mut soc, SimTime::ZERO).len(), 1);
         assert!(mon.sample(&mut soc, SimTime::ZERO).is_empty());
@@ -316,12 +358,22 @@ mod tests {
         }
         let mut mon = MemoryGuardMonitor::new(vec![ssm], vec![flash_a]);
         // probe the guarded region (denied)
-        let _ = soc
-            .bus
-            .read(SimTime::ZERO, MasterId::CPU1, Addr(0x5000_0000), 8, &soc.mem);
+        let _ = soc.bus.read(
+            SimTime::ZERO,
+            MasterId::CPU1,
+            Addr(0x5000_0000),
+            8,
+            &soc.mem,
+        );
         // tamper with write-guarded flash (granted: rwx base perms)
         soc.bus
-            .write(SimTime::ZERO, MasterId::CPU1, Addr(0x0800_0000), &[0xEE], &mut soc.mem)
+            .write(
+                SimTime::ZERO,
+                MasterId::CPU1,
+                Addr(0x0800_0000),
+                &[0xEE],
+                &mut soc.mem,
+            )
             .unwrap();
         let events = mon.sample(&mut soc, SimTime::ZERO);
         assert_eq!(events.len(), 2);
@@ -337,7 +389,13 @@ mod tests {
         let ssm = soc.mem.region_by_name("ssm_private").unwrap().id();
         let mut mon = MemoryGuardMonitor::new(vec![ssm], vec![]);
         soc.bus
-            .write(SimTime::ZERO, MasterId::CPU0, Addr(0x2000_0000), &[1], &mut soc.mem)
+            .write(
+                SimTime::ZERO,
+                MasterId::CPU0,
+                Addr(0x2000_0000),
+                &[1],
+                &mut soc.mem,
+            )
             .unwrap();
         assert!(mon.sample(&mut soc, SimTime::ZERO).is_empty());
     }

@@ -275,7 +275,11 @@ mod tests {
         sm.report_syscalls(t(2), TaskId(1), &benign);
         assert!(drain(&mut sm).is_empty());
         // novel sequence: firmware write after sensor read
-        sm.report_syscalls(t(3), TaskId(1), &[Syscall::SensorRead, Syscall::FirmwareWrite]);
+        sm.report_syscalls(
+            t(3),
+            TaskId(1),
+            &[Syscall::SensorRead, Syscall::FirmwareWrite],
+        );
         let events = drain(&mut sm);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].severity, Severity::Alert);

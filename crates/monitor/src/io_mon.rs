@@ -71,7 +71,10 @@ impl ResourceMonitor for NetworkMonitor {
         self.rate_baseline.update(f64::from(count));
 
         // Signature: malformed ingress.
-        let malformed = new_rx.iter().filter(|p| p.kind == PacketKind::Malformed).count();
+        let malformed = new_rx
+            .iter()
+            .filter(|p| p.kind == PacketKind::Malformed)
+            .count();
         if malformed > 0 {
             events.push(MonitorEvent::new(
                 now,
@@ -181,7 +184,10 @@ impl ResourceMonitor for SensorMonitor {
                     self.capability(),
                     Severity::Alert,
                     subject,
-                    format!("implausible step {step:.3} (max {})", self.envelope.max_step),
+                    format!(
+                        "implausible step {step:.3} (max {})",
+                        self.envelope.max_step
+                    ),
                 ));
             }
         }
@@ -385,8 +391,9 @@ mod tests {
             s.nic.send(pkt(i, PacketKind::Exfil, 4096));
         }
         let events = mon.sample(&mut s, SimTime::at_cycle(10));
-        assert!(events.iter().any(|e| e.severity == Severity::Critical
-            && e.detail.contains("exfiltration")));
+        assert!(events
+            .iter()
+            .any(|e| e.severity == Severity::Critical && e.detail.contains("exfiltration")));
     }
 
     #[test]

@@ -161,8 +161,12 @@ mod tests {
     fn direct_source_to_sink_flow_flagged() {
         let mut s = soc();
         let mut m = monitor(&s);
-        s.bus.read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem).unwrap();
-        s.bus.write(t(2), MasterId::CPU0, Addr(0x3000), &[0; 16], &mut s.mem).unwrap();
+        s.bus
+            .read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem)
+            .unwrap();
+        s.bus
+            .write(t(2), MasterId::CPU0, Addr(0x3000), &[0; 16], &mut s.mem)
+            .unwrap();
         let events = m.sample(&mut s, t(3));
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].severity, Severity::Critical);
@@ -175,10 +179,18 @@ mod tests {
         let mut s = soc();
         let mut m = monitor(&s);
         // CPU0 stages the secret in scratch; CPU1 ships it out later
-        s.bus.read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem).unwrap();
-        s.bus.write(t(2), MasterId::CPU0, Addr(0x2000), &[0; 16], &mut s.mem).unwrap();
-        s.bus.read(t(3), MasterId::CPU1, Addr(0x2000), 16, &s.mem).unwrap();
-        s.bus.write(t(4), MasterId::CPU1, Addr(0x3000), &[0; 16], &mut s.mem).unwrap();
+        s.bus
+            .read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem)
+            .unwrap();
+        s.bus
+            .write(t(2), MasterId::CPU0, Addr(0x2000), &[0; 16], &mut s.mem)
+            .unwrap();
+        s.bus
+            .read(t(3), MasterId::CPU1, Addr(0x2000), 16, &s.mem)
+            .unwrap();
+        s.bus
+            .write(t(4), MasterId::CPU1, Addr(0x3000), &[0; 16], &mut s.mem)
+            .unwrap();
         let events = m.sample(&mut s, t(5));
         assert_eq!(events.len(), 1, "laundering through scratch missed");
         assert_eq!(events[0].subject, Subject::Master(MasterId::CPU1));
@@ -189,8 +201,12 @@ mod tests {
         let mut s = soc();
         let mut m = monitor(&s);
         // untainted master moving scratch data out is fine
-        s.bus.read(t(1), MasterId::CPU0, Addr(0x2000), 16, &s.mem).unwrap();
-        s.bus.write(t(2), MasterId::CPU0, Addr(0x3000), &[0; 16], &mut s.mem).unwrap();
+        s.bus
+            .read(t(1), MasterId::CPU0, Addr(0x2000), 16, &s.mem)
+            .unwrap();
+        s.bus
+            .write(t(2), MasterId::CPU0, Addr(0x3000), &[0; 16], &mut s.mem)
+            .unwrap();
         assert!(m.sample(&mut s, t(3)).is_empty());
     }
 
@@ -198,14 +214,25 @@ mod tests {
     fn taint_ages_out() {
         let mut s = soc();
         let mut m = monitor(&s);
-        s.bus.read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem).unwrap();
+        s.bus
+            .read(t(1), MasterId::CPU0, Addr(0x1000), 16, &s.mem)
+            .unwrap();
         m.sample(&mut s, t(2));
         assert!(m.is_master_tainted(MasterId::CPU0, t(2)));
         // write to the sink long after the TTL
         s.bus
-            .write(t(50_000), MasterId::CPU0, Addr(0x3000), &[0; 16], &mut s.mem)
+            .write(
+                t(50_000),
+                MasterId::CPU0,
+                Addr(0x3000),
+                &[0; 16],
+                &mut s.mem,
+            )
             .unwrap();
-        assert!(m.sample(&mut s, t(50_001)).is_empty(), "stale taint still alerts");
+        assert!(
+            m.sample(&mut s, t(50_001)).is_empty(),
+            "stale taint still alerts"
+        );
         assert!(!m.is_master_tainted(MasterId::CPU0, t(50_000)));
     }
 
@@ -216,7 +243,9 @@ mod tests {
         s.mem.revoke(MasterId::CPU1, secret);
         let mut m = monitor(&s);
         let _ = s.bus.read(t(1), MasterId::CPU1, Addr(0x1000), 16, &s.mem);
-        s.bus.write(t(2), MasterId::CPU1, Addr(0x3000), &[0; 16], &mut s.mem).unwrap();
+        s.bus
+            .write(t(2), MasterId::CPU1, Addr(0x3000), &[0; 16], &mut s.mem)
+            .unwrap();
         assert!(m.sample(&mut s, t(3)).is_empty());
     }
 

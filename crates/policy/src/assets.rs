@@ -127,15 +127,45 @@ impl AssetInventory {
     /// examples and experiments.
     pub fn substation_example() -> Self {
         let mut inv = AssetInventory::new();
-        inv.add("grid frequency sensor", AssetKind::Sensor, 5, Exposure::Physical);
+        inv.add(
+            "grid frequency sensor",
+            AssetKind::Sensor,
+            5,
+            Exposure::Physical,
+        );
         inv.add("breaker actuator", AssetKind::Actuator, 5, Exposure::Local);
         inv.add("protection-relay task", AssetKind::Task, 5, Exposure::Local);
         inv.add("telemetry task", AssetKind::Task, 2, Exposure::Remote);
-        inv.add("application firmware", AssetKind::Firmware, 4, Exposure::Remote);
-        inv.add("device root key", AssetKind::KeyMaterial, 5, Exposure::Local);
-        inv.add("station bus NIC", AssetKind::NetworkInterface, 4, Exposure::Remote);
-        inv.add("measurement buffer", AssetKind::SensitiveMemory, 3, Exposure::Local);
-        inv.add("security event log", AssetKind::AuditLog, 4, Exposure::Local);
+        inv.add(
+            "application firmware",
+            AssetKind::Firmware,
+            4,
+            Exposure::Remote,
+        );
+        inv.add(
+            "device root key",
+            AssetKind::KeyMaterial,
+            5,
+            Exposure::Local,
+        );
+        inv.add(
+            "station bus NIC",
+            AssetKind::NetworkInterface,
+            4,
+            Exposure::Remote,
+        );
+        inv.add(
+            "measurement buffer",
+            AssetKind::SensitiveMemory,
+            3,
+            Exposure::Local,
+        );
+        inv.add(
+            "security event log",
+            AssetKind::AuditLog,
+            4,
+            Exposure::Local,
+        );
         inv
     }
 }

@@ -110,9 +110,7 @@ impl NisPrinciple {
         match self {
             NisPrinciple::ManagingSecurityRisks => "Managing Security Risks",
             NisPrinciple::ProtectingAgainstCyberAttack => "Protecting against Cyber attack",
-            NisPrinciple::DetectingCyberSecurityIncidents => {
-                "Detecting Cyber Security Incidents"
-            }
+            NisPrinciple::DetectingCyberSecurityIncidents => "Detecting Cyber Security Incidents",
             NisPrinciple::MinimisingImpactOfIncidents => {
                 "Minimising the impact of cyber security incidents"
             }

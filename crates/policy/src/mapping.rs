@@ -116,10 +116,20 @@ pub fn table1() -> Vec<Table1Row> {
                 },
             ],
             landscape: vec![
-                s("STRIDE"), s("PASTA"), s("CVSS"), s("DREAD"), s("HARA"),
-                s("IEC 61508"), s("ISO 26262 (ASIL A-D)"), s("ISO/IEC 15408"),
-                s("Common Criteria"), s("FIPS 140-2"), s("ETSI TVRA"),
-                s("ISO/IEC 27005"), s("SAE J3061"), s("ISO/IEC 27001"),
+                s("STRIDE"),
+                s("PASTA"),
+                s("CVSS"),
+                s("DREAD"),
+                s("HARA"),
+                s("IEC 61508"),
+                s("ISO 26262 (ASIL A-D)"),
+                s("ISO/IEC 15408"),
+                s("Common Criteria"),
+                s("FIPS 140-2"),
+                s("ETSI TVRA"),
+                s("ISO/IEC 27005"),
+                s("SAE J3061"),
+                s("ISO/IEC 27001"),
             ],
         },
         Table1Row {
@@ -159,10 +169,19 @@ pub fn table1() -> Vec<Table1Row> {
                 },
             ],
             landscape: vec![
-                c("Root of Trust"), c("Trusted Technologies"), c("Secure boot"),
-                s("AES"), s("ECC"), s("RSA"), s("ECDSA"), s("SHA"), s("SSL"),
-                s("Digital Certificate"), s("Public-Private Key Infrastructure"),
-                c("ARM TrustZone"), c("Intel SGX"),
+                c("Root of Trust"),
+                c("Trusted Technologies"),
+                c("Secure boot"),
+                s("AES"),
+                s("ECC"),
+                s("RSA"),
+                s("ECDSA"),
+                s("SHA"),
+                s("SSL"),
+                s("Digital Certificate"),
+                s("Public-Private Key Infrastructure"),
+                c("ARM TrustZone"),
+                c("Intel SGX"),
             ],
         },
         Table1Row {
@@ -202,8 +221,13 @@ pub fn table1() -> Vec<Table1Row> {
             ],
             landscape: vec![
                 c("ARM Platform Security Architecture"),
-                c("GlobalPlatform"), c("ARM TEE"), c("QSEE"), c("Kinibi"),
-                a("Dover"), a("ARMHEx"), a("SECA"),
+                c("GlobalPlatform"),
+                c("ARM TEE"),
+                c("QSEE"),
+                c("Kinibi"),
+                a("Dover"),
+                a("ARMHEx"),
+                a("SECA"),
             ],
         },
         Table1Row {
@@ -257,7 +281,10 @@ pub fn table1() -> Vec<Table1Row> {
                 },
                 Requirement {
                     name: "Static and Dynamic Redundancy",
-                    implemented_by: &["cres_boot::update (golden image)", "cres_soc::cpu (multi-core)"],
+                    implemented_by: &[
+                        "cres_boot::update (golden image)",
+                        "cres_soc::cpu (multi-core)",
+                    ],
                 },
                 Requirement {
                     name: "System Monitoring",
@@ -269,9 +296,13 @@ pub fn table1() -> Vec<Table1Row> {
                 },
             ],
             landscape: vec![
-                c("Secure Firmware Update"), c("Over-the-air update"),
-                s("Single event upset"), s("Parity"), s("Error Correction Codes"),
-                c("Hardware/Software redundancy"), c("Process pairs"),
+                c("Secure Firmware Update"),
+                c("Over-the-air update"),
+                s("Single event upset"),
+                s("Parity"),
+                s("Error Correction Codes"),
+                c("Hardware/Software redundancy"),
+                c("Process pairs"),
                 c("Voltage, clock and temperature monitors"),
             ],
         },
@@ -374,10 +405,18 @@ mod tests {
         let mut seen = HashSet::new();
         for row in table1() {
             for req in &row.requirements {
-                assert!(seen.insert(req.name), "duplicate requirement {:?}", req.name);
+                assert!(
+                    seen.insert(req.name),
+                    "duplicate requirement {:?}",
+                    req.name
+                );
             }
         }
-        assert!(seen.len() >= 20, "expected a rich requirement set, got {}", seen.len());
+        assert!(
+            seen.len() >= 20,
+            "expected a rich requirement set, got {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -49,12 +49,9 @@ impl StrideCategory {
             AssetKind::Actuator => &[Tampering, DenialOfService, ElevationOfPrivilege],
             AssetKind::Firmware => &[Tampering, ElevationOfPrivilege, Repudiation],
             AssetKind::KeyMaterial => &[InformationDisclosure, Tampering],
-            AssetKind::NetworkInterface => &[
-                Spoofing,
-                DenialOfService,
-                InformationDisclosure,
-                Tampering,
-            ],
+            AssetKind::NetworkInterface => {
+                &[Spoofing, DenialOfService, InformationDisclosure, Tampering]
+            }
             AssetKind::SensitiveMemory => &[InformationDisclosure, Tampering],
             AssetKind::Task => &[ElevationOfPrivilege, Tampering, DenialOfService],
             AssetKind::AuditLog => &[Repudiation, Tampering],
@@ -316,8 +313,18 @@ mod tests {
         inv.add("remote", AssetKind::Task, 3, Exposure::Remote);
         inv.add("physical", AssetKind::Task, 3, Exposure::Physical);
         let tm = ThreatModel::generate(&inv);
-        let remote_max = tm.threats().iter().filter(|t| t.asset == 0).map(Threat::score).max();
-        let physical_max = tm.threats().iter().filter(|t| t.asset == 1).map(Threat::score).max();
+        let remote_max = tm
+            .threats()
+            .iter()
+            .filter(|t| t.asset == 0)
+            .map(Threat::score)
+            .max();
+        let physical_max = tm
+            .threats()
+            .iter()
+            .filter(|t| t.asset == 1)
+            .map(Threat::score)
+            .max();
         assert!(remote_max > physical_max);
     }
 
@@ -344,8 +351,9 @@ mod tests {
         let full: BTreeSet<_> = DetectionCapability::ALL.into_iter().collect();
         assert_eq!(tm.detection_coverage(&inv, &full), 1.0);
         // the passive baseline's only detector
-        let watchdog_only: BTreeSet<_> =
-            [DetectionCapability::WatchdogLiveness].into_iter().collect();
+        let watchdog_only: BTreeSet<_> = [DetectionCapability::WatchdogLiveness]
+            .into_iter()
+            .collect();
         let c = tm.detection_coverage(&inv, &watchdog_only);
         assert!(c < 0.5, "watchdog-only coverage should be poor, got {c}");
         let none = BTreeSet::new();
@@ -356,7 +364,10 @@ mod tests {
     fn every_category_has_mitigations_for_every_kind() {
         for kind in AssetKind::ALL {
             for cat in StrideCategory::applicable_to(kind) {
-                assert!(!cat.detections(kind).is_empty(), "{cat}/{kind} undetectable");
+                assert!(
+                    !cat.detections(kind).is_empty(),
+                    "{cat}/{kind} undetectable"
+                );
                 assert!(!cat.responses(kind).is_empty(), "{cat}/{kind} unmitigable");
             }
         }

@@ -215,7 +215,9 @@ impl ResponseManager {
         }
         self.degraded = true;
         for id in soc.task_ids() {
-            let Some(task) = soc.task_mut(id) else { continue };
+            let Some(task) = soc.task_mut(id) else {
+                continue;
+            };
             if task.criticality() < Criticality::Critical && task.state() == TaskState::Running {
                 task.suspend();
                 self.suspended_by_degrade.push(id);
@@ -309,13 +311,21 @@ mod tests {
         let mut soc = soc();
         let mut m = mgr();
         let mut b = NullRecoveryBackend::new();
-        let rec = m.execute(ResponseAction::IsolateMaster(MasterId::CPU1), t0(), &mut soc, &mut b);
+        let rec = m.execute(
+            ResponseAction::IsolateMaster(MasterId::CPU1),
+            t0(),
+            &mut soc,
+            &mut b,
+        );
         assert!(rec.outcome.is_success());
         assert!(soc.bus.is_gated(MasterId::CPU1));
         assert!(!soc.cores[1].is_running(t0()));
         // memory fully revoked
         assert!(soc.mem.read(MasterId::CPU1, Addr(0x2000_0000), 4).is_err());
-        assert_eq!(m.isolated_masters().collect::<Vec<_>>(), vec![MasterId::CPU1]);
+        assert_eq!(
+            m.isolated_masters().collect::<Vec<_>>(),
+            vec![MasterId::CPU1]
+        );
     }
 
     #[test]
@@ -323,7 +333,12 @@ mod tests {
         let mut soc = soc();
         let mut m = mgr();
         let mut b = NullRecoveryBackend::new();
-        let rec = m.execute(ResponseAction::IsolateMaster(MasterId::SSM), t0(), &mut soc, &mut b);
+        let rec = m.execute(
+            ResponseAction::IsolateMaster(MasterId::SSM),
+            t0(),
+            &mut soc,
+            &mut b,
+        );
         assert!(matches!(rec.outcome, ActionOutcome::Skipped(_)));
         assert!(!soc.bus.is_gated(MasterId::SSM));
     }
@@ -335,7 +350,12 @@ mod tests {
         let mut b = NullRecoveryBackend::new();
         m.execute(ResponseAction::KillTask(TaskId(1)), t0(), &mut soc, &mut b);
         assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Killed);
-        m.execute(ResponseAction::RestartTask(TaskId(1)), t0(), &mut soc, &mut b);
+        m.execute(
+            ResponseAction::RestartTask(TaskId(1)),
+            t0(),
+            &mut soc,
+            &mut b,
+        );
         assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Running);
         // unknown task is skipped, not an error
         let rec = m.execute(ResponseAction::KillTask(TaskId(99)), t0(), &mut soc, &mut b);
@@ -363,8 +383,16 @@ mod tests {
         let mut b = NullRecoveryBackend::new();
         m.execute(ResponseAction::EnterDegradedMode, t0(), &mut soc, &mut b);
         assert!(m.is_degraded());
-        assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Running, "critical survives");
-        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Suspended, "best-effort shed");
+        assert_eq!(
+            soc.task(TaskId(1)).unwrap().state(),
+            TaskState::Running,
+            "critical survives"
+        );
+        assert_eq!(
+            soc.task(TaskId(2)).unwrap().state(),
+            TaskState::Suspended,
+            "best-effort shed"
+        );
         m.exit_degraded(&mut soc);
         assert!(!m.is_degraded());
         assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Running);
@@ -397,8 +425,18 @@ mod tests {
         let mut m = mgr();
         let mut b = NullRecoveryBackend::new();
         m.execute(ResponseAction::RollbackFirmware, t0(), &mut soc, &mut b);
-        m.execute(ResponseAction::GoldenRecovery, SimTime::at_cycle(100_000), &mut soc, &mut b);
-        m.execute(ResponseAction::ZeroizeKeys, SimTime::at_cycle(100_000), &mut soc, &mut b);
+        m.execute(
+            ResponseAction::GoldenRecovery,
+            SimTime::at_cycle(100_000),
+            &mut soc,
+            &mut b,
+        );
+        m.execute(
+            ResponseAction::ZeroizeKeys,
+            SimTime::at_cycle(100_000),
+            &mut soc,
+            &mut b,
+        );
         assert_eq!((b.rollbacks, b.golden, b.zeroized), (1, 1, 1));
         assert!(!soc.cores[0].is_running(SimTime::at_cycle(100_001)));
     }
@@ -419,7 +457,12 @@ mod tests {
         }
         let mut soc = soc();
         let mut m = mgr();
-        let rec = m.execute(ResponseAction::RollbackFirmware, t0(), &mut soc, &mut FailingBackend);
+        let rec = m.execute(
+            ResponseAction::RollbackFirmware,
+            t0(),
+            &mut soc,
+            &mut FailingBackend,
+        );
         assert!(matches!(rec.outcome, ActionOutcome::Failed(_)));
         // failed rollback must not reboot
         assert!(soc.cores[0].is_running(SimTime::at_cycle(1)));
@@ -476,7 +519,12 @@ mod tests {
         let mut soc = soc();
         let mut m = mgr();
         let mut b = NullRecoveryBackend::new();
-        m.execute(ResponseAction::IsolateMaster(MasterId::CPU1), t0(), &mut soc, &mut b);
+        m.execute(
+            ResponseAction::IsolateMaster(MasterId::CPU1),
+            t0(),
+            &mut soc,
+            &mut b,
+        );
         m.lift_isolation(MasterId::CPU1, &mut soc);
         assert!(!soc.bus.is_gated(MasterId::CPU1));
         assert!(soc.cores[1].is_running(t0()));

@@ -1,0 +1,301 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment cannot reach crates.io, so the real criterion
+//! cannot be fetched. This crate keeps the workspace's `benches/` sources
+//! compiling and running unchanged by reimplementing the API subset they
+//! use: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `iter`/`iter_batched`, throughput
+//! annotation and sample-size hints.
+//!
+//! Measurement model (simpler than criterion's, same shape of output): each
+//! benchmark is warmed up briefly, then timed over `sample_size` samples of
+//! an adaptively chosen iteration batch, reporting the per-iteration mean
+//! of the fastest third of samples (robust against scheduler noise) plus
+//! derived throughput when annotated.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+            sample_size: 50,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group(name);
+        g.bench_function("", &mut f);
+        g.finish();
+    }
+}
+
+/// Throughput annotation for a group, used to derive rate output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, not acted on).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(4);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Benchmarks a closure by name.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(name, &b);
+        self
+    }
+
+    /// Ends the group (output is already printed; kept for API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let per_iter = b.per_iter();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => {
+                let mbps = n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  {mbps:>10.1} MiB/s")
+            }
+            Throughput::Elements(n) => {
+                let eps = n as f64 / per_iter.as_secs_f64();
+                format!("  {eps:>10.0} elem/s")
+            }
+        });
+        let label = if label.is_empty() {
+            self.name.clone()
+        } else {
+            label.to_string()
+        };
+        println!(
+            "{label:<28} {:>12}{}",
+            format_duration(per_iter),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    best_samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            best_samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` (criterion's `Bencher::iter`).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // warm up + pick a batch size targeting ~2ms per sample
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed() / batch);
+        }
+        samples.sort();
+        samples.truncate((self.sample_size / 3).max(1));
+        self.best_samples = samples;
+    }
+
+    /// Times `routine` over fresh state built by `setup` each sample
+    /// (criterion's `Bencher::iter_batched`).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        samples.truncate((self.sample_size / 3).max(1));
+        self.best_samples = samples;
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.best_samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.best_samples.iter().sum::<Duration>() / self.best_samples.len() as u32
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(64));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("noop", 64), &64u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                n * 2
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("batched");
+        g.sample_size(6);
+        let mut setups = 0u32;
+        g.bench_function("b", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 6);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

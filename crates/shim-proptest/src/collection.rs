@@ -1,0 +1,97 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::{Range, RangeInclusive};
+
+/// Size bounds for generated collections (half-open internally).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_excl: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            min: *r.start(),
+            max_excl: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of an element strategy.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// `Vec` strategy with a length drawn from `size` (proptest's
+/// `collection::vec`).
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_excl - self.size.min) as u64;
+        let len = self.size.min
+            + if span > 0 {
+                rng.below(span) as usize
+            } else {
+                0
+            };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::seeded(5);
+        let s = vec(any::<u8>(), 2..7);
+        let t = vec(any::<u8>(), 16..=16);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert_eq!(t.generate(&mut rng).len(), 16);
+        }
+    }
+
+    #[test]
+    fn nests() {
+        let mut rng = TestRng::seeded(6);
+        let s = vec(vec(any::<u8>(), 0..3), 1..4);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 4);
+        assert!(v.iter().all(|inner| inner.len() < 3));
+    }
+}

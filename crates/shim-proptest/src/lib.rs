@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment cannot reach crates.io, so the real proptest
+//! cannot be fetched. This crate reimplements the (small) subset of its API
+//! that the workspace's property suites use, so those suites run unchanged:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `x in strategy`
+//!   and `x: Type` parameter forms;
+//! * [`Strategy`] implemented for integer/float ranges, inclusive ranges,
+//!   regex-like string literals, 2-/3-tuples of strategies, and
+//!   [`collection::vec`];
+//! * [`any`] over an [`Arbitrary`] trait (ints, bool, byte arrays,
+//!   [`sample::Index`]);
+//! * `prop_map`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
+//!   `prop_assume!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — generation is fully deterministic (the RNG is
+//!   seeded from the test's module path and name), so a failing case
+//!   reproduces exactly on re-run;
+//! * `prop_assert*` panic immediately instead of collecting a minimal
+//!   counterexample;
+//! * string strategies support character classes (`[a-z]`), `.`, and
+//!   `{m,n}` repetition — the constructs the suites actually use.
+
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+
+mod macros;
+mod rng;
+
+pub use rng::TestRng;
+pub use strategy::{any, Any, Arbitrary, Just, Map, Strategy};
+
+/// Per-suite configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches real proptest's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}

@@ -1,0 +1,95 @@
+//! The `proptest!` macro family and `prop_assert*` assertions.
+
+/// Declares property tests (the subset of real proptest's macro grammar the
+/// suites use): an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(params) { body }` items, where each parameter is either
+/// `ident in strategy_expr` or `ident: Type` (the latter meaning
+/// `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Internal: expands one `fn` per recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr] $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0u32..__config.cases {
+                // a closure per case so `prop_assume!` can skip via `return`
+                let mut __one_case = || {
+                    $crate::__proptest_case! { __rng, [$($params)*] $body }
+                };
+                __one_case();
+            }
+        }
+        $crate::__proptest_fns! { [$cfg] $($rest)* }
+    };
+}
+
+/// Internal: binds the parameter list, then splices the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, [] $body:block) => { $body };
+    ($rng:ident, [$i:ident in $s:expr] $body:block) => {{
+        let $i = $crate::Strategy::generate(&($s), &mut $rng);
+        $body
+    }};
+    ($rng:ident, [$i:ident in $s:expr, $($rest:tt)*] $body:block) => {{
+        let $i = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_case! { $rng, [$($rest)*] $body }
+    }};
+    ($rng:ident, [$i:ident : $t:ty] $body:block) => {{
+        let $i = $crate::Strategy::generate(&$crate::any::<$t>(), &mut $rng);
+        $body
+    }};
+    ($rng:ident, [$i:ident : $t:ty, $($rest:tt)*] $body:block) => {{
+        let $i = $crate::Strategy::generate(&$crate::any::<$t>(), &mut $rng);
+        $crate::__proptest_case! { $rng, [$($rest)*] $body }
+    }};
+}
+
+/// Asserts a condition inside a property (panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current generated case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}

@@ -1,0 +1,9 @@
+//! One-stop import mirroring `proptest::prelude::*`.
+
+pub use crate::strategy::{any, Any, Arbitrary, Just, Map, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// The crate root under its conventional short alias, so paths like
+/// `prop::sample::Index` and `prop::collection::vec` resolve.
+pub use crate as prop;

@@ -1,0 +1,45 @@
+//! Sampling helpers (`prop::sample`).
+
+use crate::rng::TestRng;
+use crate::strategy::Arbitrary;
+
+/// An index into a collection whose length is only known at use time
+/// (proptest's `prop::sample::Index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Resolves against a collection of `len` elements, returning a value
+    /// in `[0, len)`. Panics when `len == 0`, matching real proptest.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = TestRng::seeded(9);
+        for _ in 0..200 {
+            let ix = Index::arbitrary(&mut rng);
+            assert!(ix.index(7) < 7);
+            assert_eq!(ix.index(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_panics() {
+        Index(3).index(0);
+    }
+}

@@ -1,0 +1,338 @@
+//! The [`Strategy`] trait and the built-in strategies the suites use.
+
+use crate::rng::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A value generator: the proptest `Strategy` trait minus shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Types with a canonical whole-domain strategy (proptest's `Arbitrary`).
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Whole-domain strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Constant strategy (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // finite, sign-symmetric: ample for test generation
+        (rng.unit_f64() * 2.0 - 1.0) * 1e9
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // span can be 2^64 for a full-domain range; sample via u128
+                let off = (u128::from(rng.next_u64()) * span) >> 64;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// String literals act as regex-like string strategies.
+///
+/// Supported subset (what the suites use): literal characters, `.`
+/// (printable ASCII), character classes with ranges (`[a-z0-9_]`), and
+/// `{m}` / `{m,n}` repetition of the preceding atom. Anything else panics
+/// at generation time with a clear message.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    AnyPrintable,
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::AnyPrintable => char::from(rng.range_u64(0x20, 0x7F) as u8),
+            Atom::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|(a, b)| *b as u64 - *a as u64 + 1).sum();
+                let mut pick = rng.below(total);
+                for (a, b) in ranges {
+                    let n = *b as u64 - *a as u64 + 1;
+                    if pick < n {
+                        return char::from_u32(*a as u32 + pick as u32).expect("class range");
+                    }
+                    pick -= n;
+                }
+                unreachable!("pick within total")
+            }
+        }
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let a = chars
+                        .next()
+                        .unwrap_or_else(|| bad(pattern, "unclosed class"));
+                    if a == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let b = chars
+                            .next()
+                            .unwrap_or_else(|| bad(pattern, "unclosed range"));
+                        ranges.push((a, b));
+                    } else {
+                        ranges.push((a, a));
+                    }
+                }
+                if ranges.is_empty() {
+                    bad(pattern, "empty class")
+                }
+                Atom::Class(ranges)
+            }
+            '.' => Atom::AnyPrintable,
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| bad(pattern, "dangling escape")),
+            ),
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                bad(pattern, "unsupported regex construct")
+            }
+            other => Atom::Literal(other),
+        };
+        // optional {m} / {m,n} repetition
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim()
+                        .parse()
+                        .unwrap_or_else(|_| bad(pattern, "bad repeat min")),
+                    n.trim()
+                        .parse()
+                        .unwrap_or_else(|_| bad(pattern, "bad repeat max")),
+                ),
+                None => {
+                    let m: u64 = spec
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| bad(pattern, "bad repeat"));
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if max > min {
+            min + rng.below(max - min + 1)
+        } else {
+            min
+        };
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+fn bad(pattern: &str, what: &str) -> ! {
+    panic!("shim-proptest string strategy {pattern:?}: {what} (only literals, '.', [a-z] classes and {{m,n}} repeats are supported)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seeded(1);
+        for _ in 0..500 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (3u8..=3).generate(&mut rng);
+            assert_eq!(w, 3);
+            let f = (-5.0f64..5.0).generate(&mut rng);
+            assert!((-5.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::seeded(2);
+        for _ in 0..200 {
+            let s = "[a-z]{1,16}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = ".{0,40}".generate(&mut rng);
+            assert!(t.len() <= 40);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+            let u = "x[0-9]{2}\\.y".generate(&mut rng);
+            assert_eq!(u.len(), 5);
+            assert!(u.starts_with('x') && u.ends_with(".y"));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::seeded(3);
+        let s = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    #[test]
+    fn tuples_and_arrays_generate() {
+        let mut rng = TestRng::seeded(4);
+        let (a, b) = (0u64..5, "[a-z]{3}").generate(&mut rng);
+        assert!(a < 5);
+        assert_eq!(b.len(), 3);
+        let bytes: [u8; 16] = <[u8; 16]>::arbitrary(&mut rng);
+        assert_eq!(bytes.len(), 16);
+    }
+}

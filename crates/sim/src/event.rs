@@ -136,7 +136,11 @@ impl<W> Simulator<W> {
         label: &'static str,
         action: impl FnOnce(&mut W, &mut Simulator<W>) + 'static,
     ) -> EventId {
-        assert!(at >= self.now, "cannot schedule event {label:?} in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule event {label:?} in the past ({at} < {})",
+            self.now
+        );
         let id = EventId(self.next_seq);
         self.queue.push(Scheduled {
             at,

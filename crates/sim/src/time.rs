@@ -24,7 +24,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(t.cycle(), 40);
 /// assert_eq!(t - SimTime::at_cycle(15), SimDuration::cycles(25));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in clock cycles.
@@ -35,7 +37,9 @@ pub struct SimTime(u64);
 /// use cres_sim::SimDuration;
 /// assert_eq!(SimDuration::cycles(3) * 4, SimDuration::cycles(12));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -210,7 +214,10 @@ mod tests {
             SimTime::at_cycle(5).saturating_since(SimTime::at_cycle(9)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::cycles(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::cycles(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::cycles(3).saturating_sub(SimDuration::cycles(7)),
             SimDuration::ZERO

@@ -178,7 +178,9 @@ impl Bus {
         mem: &MemoryMap,
     ) -> Result<Vec<u8>, BusError> {
         self.admit(at, master, BusOp::Read, addr, len, mem)?;
-        let data = mem.read(master, addr, len).expect("admitted read must succeed");
+        let data = mem
+            .read(master, addr, len)
+            .expect("admitted read must succeed");
         Ok(data)
     }
 
@@ -196,7 +198,8 @@ impl Bus {
         mem: &mut MemoryMap,
     ) -> Result<(), BusError> {
         self.admit(at, master, BusOp::Write, addr, data.len() as u64, mem)?;
-        mem.write(master, addr, data).expect("admitted write must succeed");
+        mem.write(master, addr, data)
+            .expect("admitted write must succeed");
         Ok(())
     }
 
@@ -231,7 +234,9 @@ impl Bus {
         let result: Result<(), BusError> = if self.gated.contains(&master) {
             Err(BusError::MasterGated(master))
         } else {
-            mem.check(master, op, addr, len).map(|_| ()).map_err(BusError::from)
+            mem.check(master, op, addr, len)
+                .map(|_| ())
+                .map_err(BusError::from)
         };
         let outcome = match &result {
             Ok(()) => TxnOutcome::Granted,
@@ -327,7 +332,9 @@ mod tests {
         let (mut bus, mut mem) = setup();
         bus.write(t0(), MasterId::CPU0, Addr(0x1010), &[9, 8, 7], &mut mem)
             .unwrap();
-        let data = bus.read(t0(), MasterId::CPU0, Addr(0x1010), 3, &mem).unwrap();
+        let data = bus
+            .read(t0(), MasterId::CPU0, Addr(0x1010), 3, &mem)
+            .unwrap();
         assert_eq!(data, vec![9, 8, 7]);
     }
 
@@ -339,7 +346,10 @@ mod tests {
         let mut cur = TxnCursor::default();
         let (recs, _) = bus.poll(&mut cur);
         assert_eq!(recs.len(), 1);
-        assert!(matches!(recs[0].outcome, TxnOutcome::Denied(BusError::PermissionDenied)));
+        assert!(matches!(
+            recs[0].outcome,
+            TxnOutcome::Denied(BusError::PermissionDenied)
+        ));
         assert_eq!(mem.read_unchecked(Addr(0x8000), 1), vec![0]);
     }
 
@@ -351,7 +361,9 @@ mod tests {
         let r = bus.read(t0(), MasterId::DMA, Addr(0x1000), 4, &mem);
         assert_eq!(r, Err(BusError::MasterGated(MasterId::DMA)));
         // other masters unaffected
-        assert!(bus.write(t0(), MasterId::CPU0, Addr(0x1000), &[1], &mut mem).is_ok());
+        assert!(bus
+            .write(t0(), MasterId::CPU0, Addr(0x1000), &[1], &mut mem)
+            .is_ok());
         bus.ungate(MasterId::DMA);
         assert!(bus.read(t0(), MasterId::DMA, Addr(0x1000), 4, &mem).is_ok());
     }
@@ -390,7 +402,8 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let (mut bus, mut mem) = setup();
-        bus.write(t0(), MasterId::CPU0, Addr(0x1000), &[0; 8], &mut mem).unwrap();
+        bus.write(t0(), MasterId::CPU0, Addr(0x1000), &[0; 8], &mut mem)
+            .unwrap();
         let _ = bus.write(t0(), MasterId::CPU0, Addr(0x8000), &[0; 4], &mut mem); // denied
         let s = bus.stats(MasterId::CPU0);
         assert_eq!(s.granted, 1);
@@ -403,7 +416,9 @@ mod tests {
     #[test]
     fn fetch_respects_exec_permission() {
         let (mut bus, mem) = setup();
-        assert!(bus.fetch(t0(), MasterId::CPU0, Addr(0x8000), 16, &mem).is_ok());
+        assert!(bus
+            .fetch(t0(), MasterId::CPU0, Addr(0x8000), 16, &mem)
+            .is_ok());
         assert_eq!(
             bus.fetch(t0(), MasterId::CPU0, Addr(0x1000), 16, &mem),
             Err(BusError::PermissionDenied)

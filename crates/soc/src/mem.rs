@@ -208,12 +208,7 @@ impl MemoryMap {
     /// # Errors
     ///
     /// Propagates [`MemError`] from the permission check.
-    pub fn read(
-        &self,
-        master: MasterId,
-        addr: Addr,
-        len: u64,
-    ) -> Result<Vec<u8>, MemError> {
+    pub fn read(&self, master: MasterId, addr: Addr, len: u64) -> Result<Vec<u8>, MemError> {
         let id = self.check(master, BusOp::Read, addr, len)?;
         let region = self.region(id);
         let off = (addr.0 - region.range.start.0) as usize;
@@ -225,12 +220,7 @@ impl MemoryMap {
     /// # Errors
     ///
     /// Propagates [`MemError`] from the permission check.
-    pub fn write(
-        &mut self,
-        master: MasterId,
-        addr: Addr,
-        data: &[u8],
-    ) -> Result<(), MemError> {
+    pub fn write(&mut self, master: MasterId, addr: Addr, data: &[u8]) -> Result<(), MemError> {
         let id = self.check(master, BusOp::Write, addr, data.len() as u64)?;
         let region = &mut self.regions[id.0 as usize];
         let off = (addr.0 - region.range.start.0) as usize;
@@ -288,8 +278,12 @@ mod tests {
     #[test]
     fn read_write_round_trip() {
         let mut m = map();
-        m.write(MasterId::CPU0, Addr(0x2000_0100), &[1, 2, 3]).unwrap();
-        assert_eq!(m.read(MasterId::CPU0, Addr(0x2000_0100), 3).unwrap(), vec![1, 2, 3]);
+        m.write(MasterId::CPU0, Addr(0x2000_0100), &[1, 2, 3])
+            .unwrap();
+        assert_eq!(
+            m.read(MasterId::CPU0, Addr(0x2000_0100), 3).unwrap(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -348,7 +342,9 @@ mod tests {
         m.grant(MasterId::CPU0, flash, Perms::rwx());
         // write still denied because base is rx
         assert!(m.write(MasterId::CPU0, Addr(0x0800_0000), &[0]).is_err());
-        assert!(m.check(MasterId::CPU0, BusOp::Exec, Addr(0x0800_0000), 4).is_ok());
+        assert!(m
+            .check(MasterId::CPU0, BusOp::Exec, Addr(0x0800_0000), 4)
+            .is_ok());
     }
 
     #[test]
@@ -378,10 +374,14 @@ mod tests {
     #[test]
     fn wipe_region_zeroises() {
         let mut m = map();
-        m.write(MasterId::CPU0, Addr(0x2000_0000), &[7; 16]).unwrap();
+        m.write(MasterId::CPU0, Addr(0x2000_0000), &[7; 16])
+            .unwrap();
         let sram = m.region_by_name("sram").unwrap().id();
         m.wipe_region(sram);
-        assert_eq!(m.read(MasterId::CPU0, Addr(0x2000_0000), 16).unwrap(), vec![0; 16]);
+        assert_eq!(
+            m.read(MasterId::CPU0, Addr(0x2000_0000), 16).unwrap(),
+            vec![0; 16]
+        );
     }
 
     #[test]
@@ -396,6 +396,8 @@ mod tests {
     #[test]
     fn zero_length_access_checks_mapping_only() {
         let m = map();
-        assert!(m.check(MasterId::CPU0, BusOp::Read, Addr(0x2000_0000), 0).is_ok());
+        assert!(m
+            .check(MasterId::CPU0, BusOp::Read, Addr(0x2000_0000), 0)
+            .is_ok());
     }
 }

@@ -38,7 +38,10 @@ impl Actuator {
     ///
     /// Panics if `min >= max` or either bound is non-finite.
     pub fn new(name: &str, min: f64, max: f64) -> Self {
-        assert!(min.is_finite() && max.is_finite() && min < max, "bad envelope");
+        assert!(
+            min.is_finite() && max.is_finite() && min < max,
+            "bad envelope"
+        );
         Actuator {
             name: name.to_string(),
             min,
@@ -68,7 +71,8 @@ impl Actuator {
     /// Issues a command. Returns true when the command was applied
     /// (inside the envelope and not locked out).
     pub fn command(&mut self, at: SimTime, value: f64) -> bool {
-        let accepted = !self.locked_out && value.is_finite() && value >= self.min && value <= self.max;
+        let accepted =
+            !self.locked_out && value.is_finite() && value >= self.min && value <= self.max;
         self.history.push(Command {
             value,
             at,

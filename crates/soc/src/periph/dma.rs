@@ -61,12 +61,7 @@ impl DmaEngine {
 
     /// Executes the next descriptor through the bus as [`MasterId::DMA`].
     /// Returns `None` when idle.
-    pub fn step(
-        &mut self,
-        now: SimTime,
-        bus: &mut Bus,
-        mem: &mut MemoryMap,
-    ) -> Option<DmaOutcome> {
+    pub fn step(&mut self, now: SimTime, bus: &mut Bus, mem: &mut MemoryMap) -> Option<DmaOutcome> {
         let desc = self.queue.pop_front()?;
         let data = match bus.read(now, MasterId::DMA, desc.src, desc.len, mem) {
             Ok(d) => d,
@@ -120,7 +115,10 @@ mod tests {
             dst: Addr(0x1080),
             len: 4,
         });
-        assert_eq!(dma.step(SimTime::ZERO, &mut bus, &mut mem), Some(DmaOutcome::Done));
+        assert_eq!(
+            dma.step(SimTime::ZERO, &mut bus, &mut mem),
+            Some(DmaOutcome::Done)
+        );
         assert_eq!(mem.read_unchecked(Addr(0x1080), 4), vec![1, 2, 3, 4]);
         assert_eq!(dma.completed(), 1);
     }
@@ -144,7 +142,10 @@ mod tests {
             len: 8,
         });
         let out = dma.step(SimTime::ZERO, &mut bus, &mut mem).unwrap();
-        assert!(matches!(out, DmaOutcome::ReadFault(BusError::PermissionDenied)));
+        assert!(matches!(
+            out,
+            DmaOutcome::ReadFault(BusError::PermissionDenied)
+        ));
         assert_eq!(dma.faulted(), 1);
     }
 
@@ -159,7 +160,10 @@ mod tests {
             len: 4,
         });
         let out = dma.step(SimTime::ZERO, &mut bus, &mut mem).unwrap();
-        assert!(matches!(out, DmaOutcome::ReadFault(BusError::MasterGated(_))));
+        assert!(matches!(
+            out,
+            DmaOutcome::ReadFault(BusError::MasterGated(_))
+        ));
     }
 
     #[test]
@@ -174,7 +178,10 @@ mod tests {
             len: 4,
         });
         let out = dma.step(SimTime::ZERO, &mut bus, &mut mem).unwrap();
-        assert!(matches!(out, DmaOutcome::WriteFault(BusError::PermissionDenied)));
+        assert!(matches!(
+            out,
+            DmaOutcome::WriteFault(BusError::PermissionDenied)
+        ));
     }
 
     #[test]
@@ -182,8 +189,16 @@ mod tests {
         let (mut bus, mut mem) = env();
         let mut dma = DmaEngine::new();
         mem.write_unchecked(Addr(0x1000), &[7]);
-        dma.program(DmaDescriptor { src: Addr(0x1000), dst: Addr(0x1001), len: 1 });
-        dma.program(DmaDescriptor { src: Addr(0x1001), dst: Addr(0x1002), len: 1 });
+        dma.program(DmaDescriptor {
+            src: Addr(0x1000),
+            dst: Addr(0x1001),
+            len: 1,
+        });
+        dma.program(DmaDescriptor {
+            src: Addr(0x1001),
+            dst: Addr(0x1002),
+            len: 1,
+        });
         assert_eq!(dma.pending(), 2);
         dma.step(SimTime::ZERO, &mut bus, &mut mem);
         dma.step(SimTime::ZERO, &mut bus, &mut mem);

@@ -133,7 +133,14 @@ mod tests {
         otp.advance_counter("arb", 7).unwrap();
         assert_eq!(otp.counter("arb"), 7);
         let err = otp.advance_counter("arb", 5).unwrap_err();
-        assert!(matches!(err, OtpError::CounterRegression { current: 7, attempted: 5, .. }));
+        assert!(matches!(
+            err,
+            OtpError::CounterRegression {
+                current: 7,
+                attempted: 5,
+                ..
+            }
+        ));
         assert_eq!(otp.counter("arb"), 7);
     }
 

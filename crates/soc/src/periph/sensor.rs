@@ -41,7 +41,13 @@ impl Sensor {
     /// # Panics
     ///
     /// Panics if `period_cycles` is zero.
-    pub fn new(name: &str, baseline: f64, amplitude: f64, period_cycles: u64, noise_std: f64) -> Self {
+    pub fn new(
+        name: &str,
+        baseline: f64,
+        amplitude: f64,
+        period_cycles: u64,
+        noise_std: f64,
+    ) -> Self {
         assert!(period_cycles > 0, "sensor period must be non-zero");
         Sensor {
             name: name.to_string(),
@@ -153,7 +159,10 @@ mod tests {
         });
         let early = s.read(SimTime::at_cycle(1_000), &mut rng);
         let late = s.read(SimTime::at_cycle(1_000_000), &mut rng);
-        assert!(late - early > 50.0, "drift should dominate: {early} → {late}");
+        assert!(
+            late - early > 50.0,
+            "drift should dominate: {early} → {late}"
+        );
     }
 
     #[test]

@@ -211,9 +211,24 @@ impl SocBuilder {
     pub fn with_standard_layout(seed: u64) -> Self {
         let mut b = SocBuilder::new().seed(seed);
         b = b
-            .region("boot_rom", layout::BOOT_ROM.0, layout::BOOT_ROM.1, Perms::rx())
-            .region("flash_a", layout::FLASH_A.0, layout::FLASH_A.1, Perms::rwx())
-            .region("flash_b", layout::FLASH_B.0, layout::FLASH_B.1, Perms::rwx())
+            .region(
+                "boot_rom",
+                layout::BOOT_ROM.0,
+                layout::BOOT_ROM.1,
+                Perms::rx(),
+            )
+            .region(
+                "flash_a",
+                layout::FLASH_A.0,
+                layout::FLASH_A.1,
+                Perms::rwx(),
+            )
+            .region(
+                "flash_b",
+                layout::FLASH_B.0,
+                layout::FLASH_B.1,
+                Perms::rwx(),
+            )
             .region(
                 "flash_gold",
                 layout::FLASH_GOLD.0,
@@ -312,11 +327,7 @@ mod tests {
 
     fn soc_with_task() -> Soc {
         let mut soc = SocBuilder::with_standard_layout(7).build();
-        let program = control_loop_program(
-            layout::FLASH_A.0,
-            layout::SRAM.0,
-            layout::PERIPH.0,
-        );
+        let program = control_loop_program(layout::FLASH_A.0, layout::SRAM.0, layout::PERIPH.0);
         soc.add_task(
             Task::new(TaskId(1), "ctrl", program, Criticality::Critical),
             0,

@@ -246,7 +246,7 @@ impl Task {
             state: TaskState::Running,
             current: entry,
             steps: 0,
-        hijack: None,
+            hijack: None,
         }
     }
 
@@ -382,11 +382,7 @@ impl Task {
 /// Convenience constructor for benign "control loop" programs used across
 /// tests, examples and experiments: `read sensor → compute → write actuator
 /// → send telemetry`, with all traffic confined to the given regions.
-pub fn control_loop_program(
-    code_base: Addr,
-    data_base: Addr,
-    periph_base: Addr,
-) -> Program {
+pub fn control_loop_program(code_base: Addr, data_base: Addr, periph_base: Addr) -> Program {
     let mut b = Program::builder();
     let step = SimDuration::cycles(50);
     // bb0: read sensor
@@ -449,7 +445,14 @@ mod tests {
     #[test]
     fn program_builder_validates_successors() {
         let mut b = Program::builder();
-        b.block(Addr(0), SimDuration::cycles(1), vec![], vec![], vec![], vec![BlockId(5)]);
+        b.block(
+            Addr(0),
+            SimDuration::cycles(1),
+            vec![],
+            vec![],
+            vec![],
+            vec![BlockId(5)],
+        );
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.build()));
         assert!(result.is_err());
     }

@@ -174,7 +174,12 @@ impl CorrelationEngine {
 
     /// Feeds one event observed at classification time `now`; returns an
     /// incident when a rule fires.
-    pub fn ingest(&mut self, now: SimTime, event: &MonitorEvent, health: HealthState) -> Option<Incident> {
+    pub fn ingest(
+        &mut self,
+        now: SimTime,
+        event: &MonitorEvent,
+        health: HealthState,
+    ) -> Option<Incident> {
         self.events_seen += 1;
         if event.severity < Severity::Warning {
             return None;
@@ -187,8 +192,12 @@ impl CorrelationEngine {
             return Some(self.raise(now, event, classify(event), health));
         }
         // Threshold rule over Warning-grade events.
-        let horizon =
-            SimTime::at_cycle(event.at.cycle().saturating_sub(self.config.window.as_cycles()));
+        let horizon = SimTime::at_cycle(
+            event
+                .at
+                .cycle()
+                .saturating_sub(self.config.window.as_cycles()),
+        );
         self.recent.retain(|(at, _, _, _)| *at >= horizon);
         self.recent
             .push_back((event.at, event.capability, event.severity, event.subject));
@@ -198,7 +207,8 @@ impl CorrelationEngine {
             .filter(|(_, cap, _, _)| *cap == event.capability)
             .count() as u32;
         if same_capability >= self.config.threshold {
-            self.recent.retain(|(_, cap, _, _)| *cap != event.capability);
+            self.recent
+                .retain(|(_, cap, _, _)| *cap != event.capability);
             return Some(self.raise(now, event, classify(event), health));
         }
         None
@@ -220,8 +230,7 @@ impl CorrelationEngine {
         let escalated = self.config.enabled
             && self.last_incident.is_some_and(|(at, prev_kind)| {
                 prev_kind != kind
-                    && classified_at.saturating_since(at)
-                        <= self.config.escalation_window
+                    && classified_at.saturating_since(at) <= self.config.escalation_window
             });
         if escalated {
             self.escalations += 1;
@@ -280,7 +289,9 @@ mod tests {
         let mut e = engine();
         for i in 0..100 {
             assert!(e
-                .ingest(SimTime::at_cycle(0), &ev(i, DetectionCapability::BusPolicing, Severity::Info, "x"),
+                .ingest(
+                    SimTime::at_cycle(0),
+                    &ev(i, DetectionCapability::BusPolicing, Severity::Info, "x"),
                     HealthState::Healthy
                 )
                 .is_none());
@@ -291,7 +302,14 @@ mod tests {
     fn critical_event_is_immediate_incident() {
         let mut e = engine();
         let inc = e
-            .ingest(SimTime::at_cycle(0), &ev(5, DetectionCapability::ControlFlowIntegrity, Severity::Critical, "edge"),
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(
+                    5,
+                    DetectionCapability::ControlFlowIntegrity,
+                    Severity::Critical,
+                    "edge",
+                ),
                 HealthState::Healthy,
             )
             .unwrap();
@@ -304,24 +322,52 @@ mod tests {
     fn single_warning_does_not_raise_but_repeats_do() {
         let mut e = engine();
         assert!(e
-            .ingest(SimTime::at_cycle(0), &ev(0, DetectionCapability::BusPolicing, Severity::Warning, "denied"),
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(
+                    0,
+                    DetectionCapability::BusPolicing,
+                    Severity::Warning,
+                    "denied"
+                ),
                 HealthState::Healthy
             )
             .is_none());
         assert!(e
-            .ingest(SimTime::at_cycle(0), &ev(10, DetectionCapability::BusPolicing, Severity::Warning, "denied"),
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(
+                    10,
+                    DetectionCapability::BusPolicing,
+                    Severity::Warning,
+                    "denied"
+                ),
                 HealthState::Healthy
             )
             .is_none());
         let inc = e
-            .ingest(SimTime::at_cycle(0), &ev(20, DetectionCapability::BusPolicing, Severity::Warning, "denied"),
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(
+                    20,
+                    DetectionCapability::BusPolicing,
+                    Severity::Warning,
+                    "denied",
+                ),
                 HealthState::Healthy,
             )
             .unwrap();
         assert_eq!(inc.kind, IncidentKind::PolicyViolation);
         // counter resets after raising
         assert!(e
-            .ingest(SimTime::at_cycle(0), &ev(30, DetectionCapability::BusPolicing, Severity::Warning, "denied"),
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(
+                    30,
+                    DetectionCapability::BusPolicing,
+                    Severity::Warning,
+                    "denied"
+                ),
                 HealthState::Healthy
             )
             .is_none());
@@ -333,7 +379,9 @@ mod tests {
         let w = CorrelationConfig::default().window.as_cycles();
         for i in 0..5 {
             assert!(
-                e.ingest(SimTime::at_cycle(0), &ev(
+                e.ingest(
+                    SimTime::at_cycle(0),
+                    &ev(
                         i * (w + 1),
                         DetectionCapability::BusPolicing,
                         Severity::Warning,
@@ -350,9 +398,27 @@ mod tests {
     #[test]
     fn different_capabilities_do_not_cross_count() {
         let mut e = engine();
-        assert!(e.ingest(SimTime::at_cycle(0), &ev(0, DetectionCapability::BusPolicing, Severity::Warning, "d"), HealthState::Healthy).is_none());
-        assert!(e.ingest(SimTime::at_cycle(0), &ev(1, DetectionCapability::MemoryGuard, Severity::Warning, "d"), HealthState::Healthy).is_none());
-        assert!(e.ingest(SimTime::at_cycle(0), &ev(2, DetectionCapability::NetworkRate, Severity::Warning, "d"), HealthState::Healthy).is_none());
+        assert!(e
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(0, DetectionCapability::BusPolicing, Severity::Warning, "d"),
+                HealthState::Healthy
+            )
+            .is_none());
+        assert!(e
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(1, DetectionCapability::MemoryGuard, Severity::Warning, "d"),
+                HealthState::Healthy
+            )
+            .is_none());
+        assert!(e
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(2, DetectionCapability::NetworkRate, Severity::Warning, "d"),
+                HealthState::Healthy
+            )
+            .is_none());
     }
 
     #[test]
@@ -361,7 +427,14 @@ mod tests {
             enabled: false,
             ..Default::default()
         });
-        let inc = e.ingest(SimTime::at_cycle(0), &ev(0, DetectionCapability::BusPolicing, Severity::Warning, "denied"),
+        let inc = e.ingest(
+            SimTime::at_cycle(0),
+            &ev(
+                0,
+                DetectionCapability::BusPolicing,
+                Severity::Warning,
+                "denied",
+            ),
             HealthState::Healthy,
         );
         assert!(inc.is_some());
@@ -372,23 +445,94 @@ mod tests {
     #[test]
     fn classification_table() {
         let cases = [
-            (DetectionCapability::ControlFlowIntegrity, Severity::Critical, "x", IncidentKind::CodeInjection),
-            (DetectionCapability::MemoryGuard, Severity::Alert, "probe", IncidentKind::MemoryProbe),
-            (DetectionCapability::MemoryGuard, Severity::Critical, "write", IncidentKind::FirmwareTamper),
-            (DetectionCapability::BusPolicing, Severity::Alert, "debug port active", IncidentKind::DebugIntrusion),
-            (DetectionCapability::BusPolicing, Severity::Alert, "out-of-policy", IncidentKind::PolicyViolation),
-            (DetectionCapability::NetworkRate, Severity::Alert, "flood", IncidentKind::NetworkFlood),
-            (DetectionCapability::NetworkSignature, Severity::Critical, "outbound exfiltration", IncidentKind::Exfiltration),
-            (DetectionCapability::NetworkSignature, Severity::Alert, "malformed", IncidentKind::ExploitTraffic),
-            (DetectionCapability::SensorPlausibility, Severity::Alert, "drift", IncidentKind::SensorSpoof),
-            (DetectionCapability::Environmental, Severity::Critical, "voltage", IncidentKind::FaultInjection),
-            (DetectionCapability::SyscallSequence, Severity::Alert, "unseen", IncidentKind::BehaviourAnomaly),
-            (DetectionCapability::WatchdogLiveness, Severity::Critical, "expired", IncidentKind::SystemHang),
-            (DetectionCapability::BootMeasurement, Severity::Critical, "pcr", IncidentKind::FirmwareTamper),
+            (
+                DetectionCapability::ControlFlowIntegrity,
+                Severity::Critical,
+                "x",
+                IncidentKind::CodeInjection,
+            ),
+            (
+                DetectionCapability::MemoryGuard,
+                Severity::Alert,
+                "probe",
+                IncidentKind::MemoryProbe,
+            ),
+            (
+                DetectionCapability::MemoryGuard,
+                Severity::Critical,
+                "write",
+                IncidentKind::FirmwareTamper,
+            ),
+            (
+                DetectionCapability::BusPolicing,
+                Severity::Alert,
+                "debug port active",
+                IncidentKind::DebugIntrusion,
+            ),
+            (
+                DetectionCapability::BusPolicing,
+                Severity::Alert,
+                "out-of-policy",
+                IncidentKind::PolicyViolation,
+            ),
+            (
+                DetectionCapability::NetworkRate,
+                Severity::Alert,
+                "flood",
+                IncidentKind::NetworkFlood,
+            ),
+            (
+                DetectionCapability::NetworkSignature,
+                Severity::Critical,
+                "outbound exfiltration",
+                IncidentKind::Exfiltration,
+            ),
+            (
+                DetectionCapability::NetworkSignature,
+                Severity::Alert,
+                "malformed",
+                IncidentKind::ExploitTraffic,
+            ),
+            (
+                DetectionCapability::SensorPlausibility,
+                Severity::Alert,
+                "drift",
+                IncidentKind::SensorSpoof,
+            ),
+            (
+                DetectionCapability::Environmental,
+                Severity::Critical,
+                "voltage",
+                IncidentKind::FaultInjection,
+            ),
+            (
+                DetectionCapability::SyscallSequence,
+                Severity::Alert,
+                "unseen",
+                IncidentKind::BehaviourAnomaly,
+            ),
+            (
+                DetectionCapability::WatchdogLiveness,
+                Severity::Critical,
+                "expired",
+                IncidentKind::SystemHang,
+            ),
+            (
+                DetectionCapability::BootMeasurement,
+                Severity::Critical,
+                "pcr",
+                IncidentKind::FirmwareTamper,
+            ),
         ];
         for (cap, sev, detail, expected) in cases {
             let mut e = engine();
-            let inc = e.ingest(SimTime::at_cycle(0), &ev(0, cap, sev, detail), HealthState::Healthy).unwrap();
+            let inc = e
+                .ingest(
+                    SimTime::at_cycle(0),
+                    &ev(0, cap, sev, detail),
+                    HealthState::Healthy,
+                )
+                .unwrap();
             assert_eq!(inc.kind, expected, "{cap:?}/{detail}");
         }
     }
@@ -400,7 +544,12 @@ mod tests {
         let first = e
             .ingest(
                 SimTime::at_cycle(1_000),
-                &ev(1_000, DetectionCapability::BusPolicing, Severity::Alert, "out-of-policy"),
+                &ev(
+                    1_000,
+                    DetectionCapability::BusPolicing,
+                    Severity::Alert,
+                    "out-of-policy",
+                ),
                 HealthState::Healthy,
             )
             .unwrap();
@@ -410,7 +559,12 @@ mod tests {
         let second = e
             .ingest(
                 SimTime::at_cycle(50_000),
-                &ev(50_000, DetectionCapability::NetworkSignature, Severity::Alert, "malformed"),
+                &ev(
+                    50_000,
+                    DetectionCapability::NetworkSignature,
+                    Severity::Alert,
+                    "malformed",
+                ),
                 HealthState::Suspicious,
             )
             .unwrap();
@@ -426,7 +580,12 @@ mod tests {
             let inc = e
                 .ingest(
                     SimTime::at_cycle(i * 10_000),
-                    &ev(i * 10_000, DetectionCapability::ControlFlowIntegrity, Severity::Critical, "edge"),
+                    &ev(
+                        i * 10_000,
+                        DetectionCapability::ControlFlowIntegrity,
+                        Severity::Critical,
+                        "edge",
+                    ),
                     HealthState::Healthy,
                 )
                 .unwrap();
@@ -448,7 +607,12 @@ mod tests {
         let late = e
             .ingest(
                 SimTime::at_cycle(w + 1),
-                &ev(w + 1, DetectionCapability::NetworkSignature, Severity::Alert, "y"),
+                &ev(
+                    w + 1,
+                    DetectionCapability::NetworkSignature,
+                    Severity::Alert,
+                    "y",
+                ),
                 HealthState::Healthy,
             )
             .unwrap();
@@ -470,7 +634,12 @@ mod tests {
         let second = e
             .ingest(
                 SimTime::at_cycle(100),
-                &ev(100, DetectionCapability::NetworkRate, Severity::Warning, "y"),
+                &ev(
+                    100,
+                    DetectionCapability::NetworkRate,
+                    Severity::Warning,
+                    "y",
+                ),
                 HealthState::Healthy,
             )
             .unwrap();
@@ -482,7 +651,14 @@ mod tests {
         let mut e = engine();
         for i in 0..5 {
             let inc = e
-                .ingest(SimTime::at_cycle(0), &ev(i, DetectionCapability::ControlFlowIntegrity, Severity::Critical, "x"),
+                .ingest(
+                    SimTime::at_cycle(0),
+                    &ev(
+                        i,
+                        DetectionCapability::ControlFlowIntegrity,
+                        Severity::Critical,
+                        "x",
+                    ),
                     HealthState::Healthy,
                 )
                 .unwrap();

@@ -37,7 +37,14 @@ pub struct EvidenceRecord {
 }
 
 impl EvidenceRecord {
-    fn compute_mac(key: &[u8], seq: u64, at: SimTime, category: &str, payload: &str, prev: &[u8; 32]) -> [u8; 32] {
+    fn compute_mac(
+        key: &[u8],
+        seq: u64,
+        at: SimTime,
+        category: &str,
+        payload: &str,
+        prev: &[u8; 32],
+    ) -> [u8; 32] {
         let mut mac = HmacSha256::new(key);
         mac.update(&seq.to_le_bytes());
         mac.update(&at.cycle().to_le_bytes());
@@ -211,7 +218,11 @@ impl EvidenceStore {
     /// Verifies an inclusion proof produced by
     /// [`EvidenceStore::prove_inclusion`].
     #[must_use]
-    pub fn verify_inclusion(record: &EvidenceRecord, proof: &InclusionProof, root: &[u8; 32]) -> bool {
+    pub fn verify_inclusion(
+        record: &EvidenceRecord,
+        proof: &InclusionProof,
+        root: &[u8; 32],
+    ) -> bool {
         MerkleTree::verify(root, &record.mac, proof)
     }
 
@@ -269,7 +280,10 @@ mod tests {
         // forge record 4's MAC: its own check fails OR the link to 5 breaks
         s.records_mut_for_attack()[4].mac[0] ^= 1;
         let err = s.verify().unwrap_err();
-        assert!(matches!(err, ChainError::BadMac(4) | ChainError::BrokenLink(5)));
+        assert!(matches!(
+            err,
+            ChainError::BadMac(4) | ChainError::BrokenLink(5)
+        ));
     }
 
     #[test]
@@ -281,7 +295,10 @@ mod tests {
         s.records_mut_for_attack().remove(5);
         assert_eq!(
             s.verify(),
-            Err(ChainError::BadSequence { expected: 5, found: 6 })
+            Err(ChainError::BadSequence {
+                expected: 5,
+                found: 6
+            })
         );
     }
 
@@ -294,7 +311,10 @@ mod tests {
         rec.payload = "forged".into();
         rec.mac = HmacSha256::mac(b"attacker-key", b"forged");
         let err = s.verify().unwrap_err();
-        assert!(matches!(err, ChainError::BadMac(3) | ChainError::BrokenLink(4)));
+        assert!(matches!(
+            err,
+            ChainError::BadMac(3) | ChainError::BrokenLink(4)
+        ));
     }
 
     #[test]
@@ -310,9 +330,17 @@ mod tests {
         let root = s.seal();
         let (proof, got_root) = s.prove_inclusion(7).unwrap();
         assert_eq!(got_root, root);
-        assert!(EvidenceStore::verify_inclusion(&s.records()[7], &proof, &root));
+        assert!(EvidenceStore::verify_inclusion(
+            &s.records()[7],
+            &proof,
+            &root
+        ));
         // wrong record fails
-        assert!(!EvidenceStore::verify_inclusion(&s.records()[8], &proof, &root));
+        assert!(!EvidenceStore::verify_inclusion(
+            &s.records()[8],
+            &proof,
+            &root
+        ));
     }
 
     #[test]
@@ -321,7 +349,10 @@ mod tests {
         s.seal();
         s.append(t(999), "late", "after seal");
         assert!(s.prove_inclusion(4).is_some());
-        assert!(s.prove_inclusion(5).is_none(), "record after seal not covered");
+        assert!(
+            s.prove_inclusion(5).is_none(),
+            "record after seal not covered"
+        );
         s.seal();
         assert!(s.prove_inclusion(5).is_some());
         assert_eq!(s.seals().len(), 2);

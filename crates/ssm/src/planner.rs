@@ -137,14 +137,12 @@ impl ResponsePlanner {
                 plan.push(EnterDegradedMode);
                 plan
             }
-            IncidentKind::MemoryProbe | IncidentKind::PolicyViolation => {
-                match incident.subject {
-                    Subject::Master(m) if !matches!(m, MasterId::SSM) => {
-                        vec![IsolateMaster(m)]
-                    }
-                    _ => vec![EnterDegradedMode],
+            IncidentKind::MemoryProbe | IncidentKind::PolicyViolation => match incident.subject {
+                Subject::Master(m) if !matches!(m, MasterId::SSM) => {
+                    vec![IsolateMaster(m)]
                 }
-            }
+                _ => vec![EnterDegradedMode],
+            },
             IncidentKind::FirmwareTamper => {
                 vec![EnterDegradedMode, RollbackFirmware]
             }
@@ -190,7 +188,10 @@ mod tests {
     #[test]
     fn none_mode_never_plans() {
         let mut p = ResponsePlanner::new(PlannerMode::None);
-        let plan = p.plan(&incident(IncidentKind::CodeInjection, Subject::Task(TaskId(1))));
+        let plan = p.plan(&incident(
+            IncidentKind::CodeInjection,
+            Subject::Task(TaskId(1)),
+        ));
         assert!(plan.is_empty());
         assert_eq!(p.plans_issued(), 0);
     }
@@ -211,7 +212,10 @@ mod tests {
     #[test]
     fn code_injection_kills_and_restarts_the_task() {
         let mut p = ResponsePlanner::new(PlannerMode::Active);
-        let plan = p.plan(&incident(IncidentKind::CodeInjection, Subject::Task(TaskId(7))));
+        let plan = p.plan(&incident(
+            IncidentKind::CodeInjection,
+            Subject::Task(TaskId(7)),
+        ));
         assert_eq!(
             plan.actions,
             vec![
@@ -225,14 +229,23 @@ mod tests {
     #[test]
     fn memory_probe_isolates_the_offending_master() {
         let mut p = ResponsePlanner::new(PlannerMode::Active);
-        let plan = p.plan(&incident(IncidentKind::MemoryProbe, Subject::Master(MasterId::DMA)));
-        assert_eq!(plan.actions, vec![ResponseAction::IsolateMaster(MasterId::DMA)]);
+        let plan = p.plan(&incident(
+            IncidentKind::MemoryProbe,
+            Subject::Master(MasterId::DMA),
+        ));
+        assert_eq!(
+            plan.actions,
+            vec![ResponseAction::IsolateMaster(MasterId::DMA)]
+        );
     }
 
     #[test]
     fn planner_never_isolates_the_ssm_itself() {
         let mut p = ResponsePlanner::new(PlannerMode::Active);
-        let plan = p.plan(&incident(IncidentKind::MemoryProbe, Subject::Master(MasterId::SSM)));
+        let plan = p.plan(&incident(
+            IncidentKind::MemoryProbe,
+            Subject::Master(MasterId::SSM),
+        ));
         assert!(!plan
             .actions
             .contains(&ResponseAction::IsolateMaster(MasterId::SSM)));
@@ -252,7 +265,10 @@ mod tests {
         let plan = p.plan(&incident(IncidentKind::SensorSpoof, Subject::Sensor(2)));
         assert_eq!(
             plan.actions,
-            vec![ResponseAction::DistrustSensor(2), ResponseAction::LockActuators]
+            vec![
+                ResponseAction::DistrustSensor(2),
+                ResponseAction::LockActuators
+            ]
         );
     }
 

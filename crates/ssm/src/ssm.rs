@@ -113,7 +113,10 @@ impl SystemSecurityManager {
                 Some(self.evidence.append(
                     event.at,
                     &event.monitor,
-                    &format!("[{}] {} {}: {}", event.severity, event.capability, event.subject, event.detail),
+                    &format!(
+                        "[{}] {} {}: {}",
+                        event.severity, event.capability, event.subject, event.detail
+                    ),
                 ))
             } else {
                 None
@@ -122,14 +125,19 @@ impl SystemSecurityManager {
                 if let Some(seq) = seq {
                     incident.evidence.push(seq);
                 }
-                self.health.on_incident(incident.classified_at, incident.severity);
+                self.health
+                    .on_incident(incident.classified_at, incident.severity);
                 if self.config.evidence_enabled {
                     let seq = self.evidence.append(
                         incident.classified_at,
                         "incident",
                         &format!(
                             "#{} {} severity={} subject={} health={}",
-                            incident.id, incident.kind, incident.severity, incident.subject, incident.health_at
+                            incident.id,
+                            incident.kind,
+                            incident.severity,
+                            incident.subject,
+                            incident.health_at
                         ),
                     );
                     incident.evidence.push(seq);
@@ -173,7 +181,8 @@ impl SystemSecurityManager {
     pub fn record_recovery_started(&mut self, at: SimTime, method: &str) {
         self.health.on_recovery_started(at);
         if self.config.evidence_enabled {
-            self.evidence.append(at, "recovery", &format!("started: {method}"));
+            self.evidence
+                .append(at, "recovery", &format!("started: {method}"));
         }
     }
 
@@ -181,7 +190,8 @@ impl SystemSecurityManager {
     pub fn record_recovered(&mut self, at: SimTime) {
         self.health.on_recovered(at);
         if self.config.evidence_enabled {
-            self.evidence.append(at, "recovery", "completed; observation window quiet");
+            self.evidence
+                .append(at, "recovery", "completed; observation window quiet");
         }
     }
 
@@ -237,7 +247,15 @@ mod tests {
     #[test]
     fn benign_events_recorded_but_no_plans() {
         let mut s = ssm();
-        let plans = s.ingest(SimTime::at_cycle(50), &[ev(1, DetectionCapability::BusPolicing, Severity::Info, "ok")]);
+        let plans = s.ingest(
+            SimTime::at_cycle(50),
+            &[ev(
+                1,
+                DetectionCapability::BusPolicing,
+                Severity::Info,
+                "ok",
+            )],
+        );
         assert!(plans.is_empty());
         assert_eq!(s.evidence().len(), 1);
         assert_eq!(s.health(), HealthState::Healthy);
@@ -247,12 +265,15 @@ mod tests {
     #[test]
     fn critical_event_produces_incident_plan_and_evidence() {
         let mut s = ssm();
-        let plans = s.ingest(SimTime::at_cycle(50), &[ev(
-            10,
-            DetectionCapability::ControlFlowIntegrity,
-            Severity::Critical,
-            "illegal edge",
-        )]);
+        let plans = s.ingest(
+            SimTime::at_cycle(50),
+            &[ev(
+                10,
+                DetectionCapability::ControlFlowIntegrity,
+                Severity::Critical,
+                "illegal edge",
+            )],
+        );
         assert_eq!(plans.len(), 1);
         assert!(!plans[0].actions.is_empty());
         assert_eq!(s.health(), HealthState::Compromised);
@@ -267,12 +288,15 @@ mod tests {
     #[test]
     fn response_and_recovery_close_the_loop() {
         let mut s = ssm();
-        s.ingest(SimTime::at_cycle(0), &[ev(
-            10,
-            DetectionCapability::ControlFlowIntegrity,
-            Severity::Critical,
-            "edge",
-        )]);
+        s.ingest(
+            SimTime::at_cycle(0),
+            &[ev(
+                10,
+                DetectionCapability::ControlFlowIntegrity,
+                Severity::Critical,
+                "edge",
+            )],
+        );
         s.record_response(SimTime::at_cycle(12), "KillTask(task#1)", true);
         s.record_degraded(SimTime::at_cycle(13));
         s.record_recovery_started(SimTime::at_cycle(20), "restart from clean image");
@@ -299,12 +323,15 @@ mod tests {
             },
             b"k",
         );
-        let plans = s.ingest(SimTime::at_cycle(50), &[ev(
-            1,
-            DetectionCapability::ControlFlowIntegrity,
-            Severity::Critical,
-            "edge",
-        )]);
+        let plans = s.ingest(
+            SimTime::at_cycle(50),
+            &[ev(
+                1,
+                DetectionCapability::ControlFlowIntegrity,
+                Severity::Critical,
+                "edge",
+            )],
+        );
         assert!(!plans.is_empty(), "response still works without evidence");
         assert!(s.evidence().is_empty());
         assert_eq!(s.seal_evidence(), None);
@@ -319,12 +346,15 @@ mod tests {
             },
             b"k",
         );
-        let plans = s.ingest(SimTime::at_cycle(50), &[ev(
-            1,
-            DetectionCapability::WatchdogLiveness,
-            Severity::Critical,
-            "expired",
-        )]);
+        let plans = s.ingest(
+            SimTime::at_cycle(50),
+            &[ev(
+                1,
+                DetectionCapability::WatchdogLiveness,
+                Severity::Critical,
+                "expired",
+            )],
+        );
         assert_eq!(plans.len(), 1);
         assert_eq!(
             plans[0].actions,
@@ -355,21 +385,30 @@ mod tests {
             },
             b"k",
         );
-        s.ingest(SimTime::at_cycle(0), &[ev(
-            1,
-            DetectionCapability::ControlFlowIntegrity,
-            Severity::Critical,
-            "edge",
-        )]);
+        s.ingest(
+            SimTime::at_cycle(0),
+            &[ev(
+                1,
+                DetectionCapability::ControlFlowIntegrity,
+                Severity::Critical,
+                "edge",
+            )],
+        );
         // attacker wipes the store through the shared surface
         s.attack_surface().unwrap().records_mut_for_attack().clear();
-        assert!(s.evidence().is_empty(), "shared deployment lost its evidence");
+        assert!(
+            s.evidence().is_empty(),
+            "shared deployment lost its evidence"
+        );
     }
 
     #[test]
     fn seal_returns_root_over_evidence() {
         let mut s = ssm();
-        s.ingest(SimTime::at_cycle(0), &[ev(1, DetectionCapability::BusPolicing, Severity::Info, "x")]);
+        s.ingest(
+            SimTime::at_cycle(0),
+            &[ev(1, DetectionCapability::BusPolicing, Severity::Info, "x")],
+        );
         let root = s.seal_evidence().unwrap();
         assert_ne!(root, [0u8; 32]);
     }
@@ -378,7 +417,10 @@ mod tests {
     fn correlation_stats_flow_through() {
         let mut s = ssm();
         for i in 0..10 {
-            s.ingest(SimTime::at_cycle(0), &[ev(i, DetectionCapability::BusPolicing, Severity::Info, "x")]);
+            s.ingest(
+                SimTime::at_cycle(0),
+                &[ev(i, DetectionCapability::BusPolicing, Severity::Info, "x")],
+            );
         }
         let (seen, raised) = s.correlation_stats();
         assert_eq!(seen, 10);

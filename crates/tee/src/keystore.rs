@@ -57,7 +57,9 @@ impl Keystore {
     ///
     /// Returns `None` for unknown keys.
     pub fn seal(&self, name: &str, nonce: &[u8; 12], data: &[u8]) -> Option<Vec<u8>> {
-        self.keys.get(name).map(|k| Aead::new(k).seal(nonce, b"keystore-seal", data))
+        self.keys
+            .get(name)
+            .map(|k| Aead::new(k).seal(nonce, b"keystore-seal", data))
     }
 
     /// Unseals data sealed by [`Keystore::seal`].
@@ -119,7 +121,10 @@ mod tests {
         ks.store("storage", b"k");
         let nonce = [7u8; 12];
         let sealed = ks.seal("storage", &nonce, b"config blob").unwrap();
-        assert_eq!(ks.unseal("storage", &nonce, &sealed).unwrap(), b"config blob");
+        assert_eq!(
+            ks.unseal("storage", &nonce, &sealed).unwrap(),
+            b"config blob"
+        );
     }
 
     #[test]

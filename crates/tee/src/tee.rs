@@ -182,7 +182,12 @@ impl Tee {
     /// # Errors
     ///
     /// Returns [`TeeError::BadSession`] for unknown/foreign sessions.
-    pub fn store_key(&mut self, session: SessionId, name: &str, key: &[u8]) -> Result<(), TeeError> {
+    pub fn store_key(
+        &mut self,
+        session: SessionId,
+        name: &str,
+        key: &[u8],
+    ) -> Result<(), TeeError> {
         self.require_session(session, "keystore")?;
         self.keystore.store(name, key);
         Ok(())
@@ -297,7 +302,8 @@ mod tests {
         let kp = vendor();
         let signer = TaSigner::new(&kp);
         let mut tee = Tee::new(deployment, kp.public.clone(), rollback);
-        tee.install_ta(signer.sign("keystore", 2, b"keystore-code")).unwrap();
+        tee.install_ta(signer.sign("keystore", 2, b"keystore-code"))
+            .unwrap();
         (tee, signer)
     }
 
@@ -340,7 +346,10 @@ mod tests {
         let old = signer.sign("keystore", 1, b"vulnerable-keystore");
         assert_eq!(
             tee.install_ta(old),
-            Err(TeeError::Downgrade { installed: 2, offered: 1 })
+            Err(TeeError::Downgrade {
+                installed: 2,
+                offered: 1
+            })
         );
         assert_eq!(tee.installed_version("keystore"), Some(2));
     }

@@ -17,16 +17,53 @@ use cres::soc::task::{BlockId, Syscall, TaskId};
 
 fn gauntlet() -> Vec<(&'static str, Box<dyn AttackInjector>)> {
     vec![
-        ("code-injection", Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)) as Box<dyn AttackInjector>),
-        ("memory-probe", Box::new(MemoryProbeAttack::new(MasterId::CPU1, vec![layout::SSM_PRIVATE.0, layout::TEE_SECURE.0]))),
-        ("firmware-tamper", Box::new(FirmwareTamperAttack::new(MasterId::CPU0, layout::FLASH_A.0.offset(0x800)))),
-        ("debug-port", Box::new(DebugPortAttack::new(vec![layout::SRAM.0, layout::TEE_SECURE.0]))),
+        (
+            "code-injection",
+            Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)) as Box<dyn AttackInjector>,
+        ),
+        (
+            "memory-probe",
+            Box::new(MemoryProbeAttack::new(
+                MasterId::CPU1,
+                vec![layout::SSM_PRIVATE.0, layout::TEE_SECURE.0],
+            )),
+        ),
+        (
+            "firmware-tamper",
+            Box::new(FirmwareTamperAttack::new(
+                MasterId::CPU0,
+                layout::FLASH_A.0.offset(0x800),
+            )),
+        ),
+        (
+            "debug-port",
+            Box::new(DebugPortAttack::new(vec![
+                layout::SRAM.0,
+                layout::TEE_SECURE.0,
+            ])),
+        ),
         ("network-flood", Box::new(NetworkFloodAttack::new(300, 6))),
-        ("exploit-traffic", Box::new(MalformedTrafficAttack::new(5, 3))),
+        (
+            "exploit-traffic",
+            Box::new(MalformedTrafficAttack::new(5, 3)),
+        ),
         ("exfiltration", Box::new(ExfilAttack::new(4096, 4))),
-        ("sensor-spoof", Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.0)))),
-        ("fault-injection", Box::new(FaultInjectionAttack::new(EnvTamper::VoltageGlitch(1.0)))),
-        ("syscall-anomaly", Box::new(SyscallAnomalyAttack::new(TaskId(1), vec![Syscall::PrivEscalate], 2))),
+        (
+            "sensor-spoof",
+            Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.0))),
+        ),
+        (
+            "fault-injection",
+            Box::new(FaultInjectionAttack::new(EnvTamper::VoltageGlitch(1.0))),
+        ),
+        (
+            "syscall-anomaly",
+            Box::new(SyscallAnomalyAttack::new(
+                TaskId(1),
+                vec![Syscall::PrivEscalate],
+                2,
+            )),
+        ),
     ]
 }
 

@@ -59,7 +59,8 @@ fn main() {
     drive(&mut p, &mut now, 3);
     p.attack_step(wipe, now); // anti-forensics
     drive(&mut p, &mut now, 3);
-    p.ssm.record_recovery_started(now, "restart compromised task from clean image");
+    p.ssm
+        .record_recovery_started(now, "restart compromised task from clean image");
     now += SimDuration::cycles(60_000);
     p.ssm.record_recovered(now);
 
@@ -72,10 +73,20 @@ fn main() {
     // --- the investigation ---
     let key = p.evidence_key().to_vec();
     let export: Vec<_> = p.ssm.evidence().records().to_vec();
-    println!("evidence export        : {} records from SSM-private memory", export.len());
+    println!(
+        "evidence export        : {} records from SSM-private memory",
+        export.len()
+    );
 
     let report = BreachReport::generate(&key, &export);
-    println!("chain verification     : {}", if report.chain_intact() { "INTACT" } else { "VIOLATED" });
+    println!(
+        "chain verification     : {}",
+        if report.chain_intact() {
+            "INTACT"
+        } else {
+            "VIOLATED"
+        }
+    );
     println!("incidents on record    : {}", report.incidents.len());
     println!("responses on record    : {}", report.responses.len());
     println!("recovery completed     : {}", report.recovered);
@@ -89,7 +100,11 @@ fn main() {
         Phase::Recovery,
         Phase::PostRecovery,
     ] {
-        println!("  {:<13} {:>4} entries", phase.to_string(), timeline.in_phase(phase).count());
+        println!(
+            "  {:<13} {:>4} entries",
+            phase.to_string(),
+            timeline.in_phase(phase).count()
+        );
     }
 
     // --- Merkle seal: prove one record to an external auditor ---
@@ -97,8 +112,12 @@ fn main() {
     let mid = (export.len() / 2) as u64;
     let (proof, sealed_root) = p.ssm.evidence().prove_inclusion(mid).unwrap();
     assert_eq!(root, sealed_root);
-    let ok = EvidenceStore::verify_inclusion(&p.ssm.evidence().records()[mid as usize], &proof, &root);
-    println!("\nMerkle inclusion proof for record #{mid}: {}", if ok { "verifies" } else { "FAILS" });
+    let ok =
+        EvidenceStore::verify_inclusion(&p.ssm.evidence().records()[mid as usize], &proof, &root);
+    println!(
+        "\nMerkle inclusion proof for record #{mid}: {}",
+        if ok { "verifies" } else { "FAILS" }
+    );
 
     // --- tamper demonstration ---
     let mut tampered = export.clone();

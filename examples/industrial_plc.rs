@@ -15,26 +15,44 @@ use cres::platform::{Platform, PlatformConfig, PlatformProfile};
 fn active_version(p: &Platform) -> String {
     FirmwareImage::from_bytes(p.slots.active_bytes(), p.vendor_public.modulus_len())
         .ok()
-        .and_then(|img| img.verify(&p.vendor_public).ok().map(|_| img.header.version))
+        .and_then(|img| {
+            img.verify(&p.vendor_public)
+                .ok()
+                .map(|_| img.header.version)
+        })
         .map_or("UNBOOTABLE".into(), |v| format!("v{v}"))
 }
 
 fn main() {
     println!("=== industrial PLC firmware lifecycle ===\n");
     let mut p = Platform::new(PlatformConfig::new(PlatformProfile::CyberResilient, 77));
-    println!("factory state          : {} in slot {}", active_version(&p), p.slots.active());
+    println!(
+        "factory state          : {} in slot {}",
+        active_version(&p),
+        p.slots.active()
+    );
 
     // 1. Legitimate roll-forward update to v2.
-    let v2 = p.signer.sign("app", 2, 2, b"PLC firmware v2 (CVE fixed)").to_bytes();
+    let v2 = p
+        .signer
+        .sign("app", 2, 2, b"PLC firmware v2 (CVE fixed)")
+        .to_bytes();
     p.update.stage(&mut p.slots, v2);
     p.update
         .commit(&mut p.slots, p.chain.rom(), &p.vendor_public, &mut p.arb)
         .expect("v2 verifies");
-    println!("after OTA update       : {} in slot {}", active_version(&p), p.slots.active());
+    println!(
+        "after OTA update       : {} in slot {}",
+        active_version(&p),
+        p.slots.active()
+    );
 
     // 2. Downgrade attempt: the attacker owns the update channel and
     //    replays the old, genuinely signed v1.
-    let v1_replay = p.signer.sign("app", 1, 1, b"PLC firmware v1 (vulnerable)").to_bytes();
+    let v1_replay = p
+        .signer
+        .sign("app", 1, 1, b"PLC firmware v1 (vulnerable)")
+        .to_bytes();
     p.update.stage(&mut p.slots, v1_replay);
     match p
         .update
@@ -80,7 +98,11 @@ fn main() {
         }
         assert!(boots < 10, "recovery did not converge");
     }
-    println!("recovered              : {} in slot {}", active_version(&p), p.slots.active());
+    println!(
+        "recovered              : {} in slot {}",
+        active_version(&p),
+        p.slots.active()
+    );
     let (updates, rollbacks, golden) = p.update.counters();
     println!(
         "\nlifetime counters      : {updates} updates, {rollbacks} rollbacks, {golden} golden recoveries"

@@ -39,9 +39,15 @@ fn main() {
     println!("final health       : {}", report.final_health);
     println!("availability       : {:.2}%", report.availability * 100.0);
     println!("relay steps served : {}", report.critical_steps);
-    println!("evidence records   : {} (chain {})",
+    println!(
+        "evidence records   : {} (chain {})",
         report.evidence_len,
-        if report.evidence_chain_ok { "intact" } else { "BROKEN" });
+        if report.evidence_chain_ok {
+            "intact"
+        } else {
+            "BROKEN"
+        }
+    );
 
     // 4. The forensic view: rebuild the platform the same way and rerun, to
     //    show the evidence export path on a live platform object.

@@ -28,7 +28,9 @@ fn main() {
     // Honest traffic.
     println!("-- honest link --");
     for step in 0..5u64 {
-        let reading = platform.soc.read_sensor(0, SimTime::at_cycle(step * 10_000));
+        let reading = platform
+            .soc
+            .read_sensor(0, SimTime::at_cycle(step * 10_000));
         let payload = format!("grid_freq={reading:.4}");
         let msg = device.send(&platform.tee, payload.as_bytes()).unwrap();
         let received = control_centre.receive(&platform.tee, &msg).unwrap();
@@ -37,14 +39,14 @@ fn main() {
 
     // The attacker on the wire.
     println!("\n-- man-in-the-middle --");
-    let genuine = device
-        .send(&platform.tee, b"grid_freq=50.0021")
-        .unwrap();
+    let genuine = device.send(&platform.tee, b"grid_freq=50.0021").unwrap();
 
     let tampered = mitm_tamper(&genuine, b"grid_freq=61.5000");
     println!(
         "  tampered reading    : {:?}",
-        control_centre.receive(&platform.tee, &tampered).unwrap_err()
+        control_centre
+            .receive(&platform.tee, &tampered)
+            .unwrap_err()
     );
 
     let forged = mitm_forge(genuine.seq + 1, b"cmd=OPEN_BREAKER", b"guessed key");
@@ -61,9 +63,7 @@ fn main() {
     );
 
     let (accepted, bad_tag, replays) = control_centre.stats();
-    println!(
-        "\ncontrol-centre stats: {accepted} accepted, {bad_tag} bad tags, {replays} replays"
-    );
+    println!("\ncontrol-centre stats: {accepted} accepted, {bad_tag} bad tags, {replays} replays");
     println!(
         "\nEvery manipulation was rejected without the endpoints ever holding\n\
          the key — it stayed in the TEE keystore, where a key-zeroisation\n\

@@ -55,19 +55,17 @@ fn main() {
     );
 
     let duration = 1_200_000;
-    for profile in [PlatformProfile::CyberResilient, PlatformProfile::PassiveTrust] {
-        let report = ScenarioRunner::new(PlatformConfig::new(profile, 2030)).run(campaign(duration));
+    for profile in [
+        PlatformProfile::CyberResilient,
+        PlatformProfile::PassiveTrust,
+    ] {
+        let report =
+            ScenarioRunner::new(PlatformConfig::new(profile, 2030)).run(campaign(duration));
         let quiet = ScenarioRunner::new(PlatformConfig::new(profile, 2030))
             .run(Scenario::quiet(SimDuration::cycles(duration)));
         println!("--- {profile} ---");
-        println!(
-            "  flood detected        : {}",
-            report.attacks[0].detected()
-        );
-        println!(
-            "  sensor spoof detected : {}",
-            report.attacks[1].detected()
-        );
+        println!("  flood detected        : {}", report.attacks[0].detected());
+        println!("  sensor spoof detected : {}", report.attacks[1].detected());
         println!(
             "  relay throughput      : {:.1}% of attack-free",
             100.0 * report.critical_steps as f64 / quiet.critical_steps.max(1) as f64
@@ -76,7 +74,11 @@ fn main() {
         println!(
             "  evidence              : {} records, chain {}",
             report.evidence_len,
-            if report.evidence_chain_ok { "intact" } else { "BROKEN" }
+            if report.evidence_chain_ok {
+                "intact"
+            } else {
+                "BROKEN"
+            }
         );
         println!("  final health          : {}\n", report.final_health);
     }

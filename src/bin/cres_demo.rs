@@ -1,9 +1,14 @@
 //! `cres-demo` — run a CRES scenario from the command line.
 //!
 //! ```text
-//! cres-demo [--profile cres|passive|tee-shared] [--seed N]
-//!           [--duration CYCLES] [--attack NAME]... [--report]
+//! cres-demo [--profile cres|passive|tee-shared] [--seed N]...
+//!           [--duration CYCLES] [--attack NAME]... [--jobs N] [--report]
 //! ```
+//!
+//! `--seed` is repeatable: each seed becomes one run, and runs fan out
+//! across `--jobs` worker threads (default: `CRES_JOBS` or all cores)
+//! through the campaign engine. Results are deterministic and printed in
+//! seed order regardless of the thread count.
 //!
 //! Attack names: code-injection, memory-probe, firmware-tamper, dma-exfil,
 //! debug-port, network-flood, exploit-traffic, exfiltration, sensor-spoof,
@@ -15,7 +20,8 @@ use cres::attacks::{
     MemoryProbeAttack, NetworkFloodAttack, SensorSpoofAttack, SyscallAnomalyAttack,
     SystemHangAttack,
 };
-use cres::platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
+use cres::platform::campaign::{default_jobs, Campaign, ScenarioSpec};
+use cres::platform::{PlatformConfig, PlatformProfile};
 use cres::sim::{SimDuration, SimTime};
 use cres::soc::addr::MasterId;
 use cres::soc::periph::{EnvTamper, SensorSpoof};
@@ -39,7 +45,10 @@ fn build_attack(name: &str) -> Option<Box<dyn AttackInjector>> {
             layout::SRAM.0.offset(0x3000),
             64,
         )),
-        "debug-port" => Box::new(DebugPortAttack::new(vec![layout::SRAM.0, layout::TEE_SECURE.0])),
+        "debug-port" => Box::new(DebugPortAttack::new(vec![
+            layout::SRAM.0,
+            layout::TEE_SECURE.0,
+        ])),
         "network-flood" => Box::new(NetworkFloodAttack::new(300, 8)),
         "exploit-traffic" => Box::new(MalformedTrafficAttack::new(5, 4)),
         "exfiltration" => Box::new(ExfilAttack::new(4096, 6)),
@@ -67,8 +76,8 @@ fn parse_profile(s: &str) -> Option<PlatformProfile> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cres-demo [--profile cres|passive|tee-shared] [--seed N]\n\
-         \x20                [--duration CYCLES] [--attack NAME]... [--report]\n\
+        "usage: cres-demo [--profile cres|passive|tee-shared] [--seed N]...\n\
+         \x20                [--duration CYCLES] [--attack NAME]... [--jobs N] [--report]\n\
          run `cres-demo --help` for the attack list"
     );
     ExitCode::FAILURE
@@ -76,9 +85,10 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let mut profile = PlatformProfile::CyberResilient;
-    let mut seed = 42u64;
+    let mut seeds: Vec<u64> = Vec::new();
     let mut duration = 1_000_000u64;
     let mut attacks: Vec<String> = Vec::new();
+    let mut jobs: Option<usize> = None;
     let mut full_report = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,10 +100,13 @@ fn main() -> ExitCode {
                     "cres-demo — drive the cyber-resilient embedded platform\n\n\
                      options:\n\
                      \x20 --profile cres|passive|tee-shared   topology (default cres)\n\
-                     \x20 --seed N                            determinism seed (default 42)\n\
+                     \x20 --seed N                            determinism seed, repeatable:\n\
+                     \x20                                     one run per seed (default 42)\n\
                      \x20 --duration CYCLES                   run length (default 1000000)\n\
                      \x20 --attack NAME                       schedule an attack (repeatable)\n\
-                     \x20 --report                            dump the full JSON-ish report\n\n\
+                     \x20 --jobs N                            worker threads for multi-seed runs\n\
+                     \x20                                     (default: CRES_JOBS or all cores)\n\
+                     \x20 --report                            dump each report as JSON\n\n\
                      attacks: code-injection memory-probe firmware-tamper dma-exfil\n\
                      \x20        debug-port network-flood exploit-traffic exfiltration\n\
                      \x20        sensor-spoof fault-injection log-wipe syscall-anomaly system-hang"
@@ -112,7 +125,7 @@ fn main() -> ExitCode {
                 let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
                     return usage();
                 };
-                seed = v;
+                seeds.push(v);
             }
             "--duration" => {
                 i += 1;
@@ -123,12 +136,25 @@ fn main() -> ExitCode {
             }
             "--attack" => {
                 i += 1;
-                let Some(name) = args.get(i) else { return usage() };
+                let Some(name) = args.get(i) else {
+                    return usage();
+                };
                 if build_attack(name).is_none() {
                     eprintln!("unknown attack {name:?}");
                     return usage();
                 }
                 attacks.push(name.clone());
+            }
+            "--jobs" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                else {
+                    return usage();
+                };
+                jobs = Some(v);
             }
             "--report" => full_report = true,
             other => {
@@ -138,32 +164,54 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    if seeds.is_empty() {
+        seeds.push(42);
+    }
 
-    let mut scenario = Scenario::quiet(SimDuration::cycles(duration));
+    let mut spec = ScenarioSpec::quiet(SimDuration::cycles(duration));
     let n = attacks.len().max(1) as u64;
     for (k, name) in attacks.iter().enumerate() {
         let start = duration * (k as u64 + 1) / (n + 1);
-        scenario = scenario.attack(
+        spec = spec.attack(
+            name.clone(),
             SimTime::at_cycle(start),
             SimDuration::cycles(5_000),
-            build_attack(name).expect("validated above"),
         );
     }
 
-    let report = ScenarioRunner::new(PlatformConfig::new(profile, seed)).run(scenario);
-    println!("{}", report.summary_row());
-    for a in &report.attacks {
-        println!(
-            "  {:<18} detected={} latency={} wins={}/{}",
-            a.name,
-            a.detected(),
-            a.detection_latency.map_or("—".into(), |l| format!("{l}cy")),
-            a.steps_achieved,
-            a.steps_executed
+    let mut campaign = Campaign::new(|name: &str| build_attack(name).expect("validated above"));
+    for &seed in &seeds {
+        campaign.submit(
+            format!("seed={seed}"),
+            PlatformConfig::new(profile, seed),
+            spec.clone(),
         );
     }
-    if full_report {
-        println!("\n{report:#?}");
+    let multi = seeds.len() > 1;
+    let summary = campaign.run_parallel(jobs.unwrap_or_else(default_jobs));
+
+    for result in &summary.results {
+        let report = &result.report;
+        if multi {
+            println!("-- {} --", result.label);
+        }
+        println!("{}", report.summary_row());
+        for a in &report.attacks {
+            println!(
+                "  {:<18} detected={} latency={} wins={}/{}",
+                a.name,
+                a.detected(),
+                a.detection_latency.map_or("—".into(), |l| format!("{l}cy")),
+                a.steps_achieved,
+                a.steps_executed
+            );
+        }
+        if full_report {
+            println!("{}", report.to_json());
+        }
+    }
+    if multi {
+        summary.print_aggregate("cres-demo");
     }
     ExitCode::SUCCESS
 }

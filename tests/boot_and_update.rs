@@ -13,7 +13,7 @@ fn factory_platform_boots_with_measured_pcrs() {
     let p = platform();
     assert!(p.boot_report.booted());
     assert_eq!(p.boot_report.stages.len(), 2); // bootloader + app
-    // PCR0 (ROM), PCR1 (bootloader), PCR2 (app) all extended
+                                               // PCR0 (ROM), PCR1 (bootloader), PCR2 (app) all extended
     assert_ne!(p.boot_report.pcrs[0], [0u8; 32]);
     assert_ne!(p.boot_report.pcrs[1], [0u8; 32]);
     assert_ne!(p.boot_report.pcrs[2], [0u8; 32]);
@@ -34,7 +34,10 @@ fn ota_update_then_reboot_reproduces_different_pcrs() {
     let app = FirmwareImage::from_bytes(p.slots.active_bytes(), sig_len).unwrap();
     let report = p.chain.boot(&[&bl, &app], &mut p.arb);
     assert!(report.booted());
-    assert_ne!(report.pcrs[2], before[2], "app PCR must change with the image");
+    assert_ne!(
+        report.pcrs[2], before[2],
+        "app PCR must change with the image"
+    );
     assert_eq!(report.pcrs[1], before[1], "bootloader PCR unchanged");
 }
 
@@ -56,7 +59,8 @@ fn downgrade_blocked_after_update_via_platform_arb() {
     assert!(matches!(err, UpdateError::Verify(_)));
     // booting the staged v1 directly also fails
     let sig_len = p.vendor_public.modulus_len();
-    let staged = FirmwareImage::from_bytes(p.slots.slot(p.slots.active().other()), sig_len).unwrap();
+    let staged =
+        FirmwareImage::from_bytes(p.slots.slot(p.slots.active().other()), sig_len).unwrap();
     let report = p.chain.boot(&[&staged], &mut p.arb);
     assert_eq!(report.outcome, BootOutcome::FailedAt(0));
 }

@@ -16,7 +16,10 @@ fn run(profile: PlatformProfile, seed: u64) -> RunReport {
 
 #[test]
 fn identical_runs_are_bit_identical() {
-    for profile in [PlatformProfile::CyberResilient, PlatformProfile::PassiveTrust] {
+    for profile in [
+        PlatformProfile::CyberResilient,
+        PlatformProfile::PassiveTrust,
+    ] {
         let a = run(profile, 7);
         let b = run(profile, 7);
         assert_eq!(a, b, "{profile} run not reproducible");

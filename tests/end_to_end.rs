@@ -61,7 +61,11 @@ fn multi_attack_campaign_all_detected() {
         assert!(a.detected(), "{} missed", a.name);
     }
     assert!(report.evidence_chain_ok);
-    assert!(report.evidence_coverage > 0.5, "coverage {}", report.evidence_coverage);
+    assert!(
+        report.evidence_coverage > 0.5,
+        "coverage {}",
+        report.evidence_coverage
+    );
 }
 
 #[test]
@@ -99,7 +103,10 @@ fn isolated_topology_blocks_what_shared_grants() {
     let isolated = probe(PlatformProfile::CyberResilient);
     let shared = probe(PlatformProfile::TeeShared);
     assert_eq!(isolated.attacks[0].steps_achieved, 0, "isolation breached");
-    assert!(shared.attacks[0].steps_achieved > 0, "shared topology should grant");
+    assert!(
+        shared.attacks[0].steps_achieved > 0,
+        "shared topology should grant"
+    );
 }
 
 #[test]
@@ -142,7 +149,15 @@ fn availability_recovers_after_transient_attack() {
         Box::new(NetworkFloodAttack::new(200, 4)),
     );
     let report = ScenarioRunner::new(cres_config(5)).run(scenario);
-    assert_eq!(report.final_health, HealthState::Healthy, "flood should clear");
+    assert_eq!(
+        report.final_health,
+        HealthState::Healthy,
+        "flood should clear"
+    );
     // attack window + recovery window is small relative to 2M cycles
-    assert!(report.availability > 0.8, "availability {}", report.availability);
+    assert!(
+        report.availability > 0.8,
+        "availability {}",
+        report.availability
+    );
 }

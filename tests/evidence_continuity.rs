@@ -46,7 +46,11 @@ fn cres_evidence_survives_the_log_wipe() {
     }
     // the chain survived the wipe, intact and substantial
     assert!(report.evidence_chain_ok);
-    assert!(report.evidence_len > 20, "only {} records", report.evidence_len);
+    assert!(
+        report.evidence_len > 20,
+        "only {} records",
+        report.evidence_len
+    );
     // most ground-truth attack instants are reconstructable
     assert!(
         report.evidence_coverage > 0.7,
@@ -64,7 +68,11 @@ fn baseline_trail_dies_with_the_wipe() {
     assert_eq!(report.total_incidents, 0);
     assert_eq!(report.evidence_len, 0);
     assert_eq!(report.evidence_coverage, 0.0);
-    assert!(report.console_lines < 5, "{} console lines survived", report.console_lines);
+    assert!(
+        report.console_lines < 5,
+        "{} console lines survived",
+        report.console_lines
+    );
 }
 
 #[test]
@@ -81,7 +89,10 @@ fn shared_ssm_evidence_is_wipeable_hence_the_isolation_requirement() {
 
     let mut shared = Platform::new(PlatformConfig::new(PlatformProfile::TeeShared, 7));
     assert_eq!(shared.ssm.config().deployment, SsmDeployment::SharedWithGpp);
-    let surface = shared.ssm.attack_surface().expect("shared SSM is reachable");
+    let surface = shared
+        .ssm
+        .attack_surface()
+        .expect("shared SSM is reachable");
     surface.records_mut_for_attack().clear();
 }
 

@@ -8,9 +8,9 @@ use cres::monitor::{
     BusPolicyMonitor, CfiMonitor, EnvMonitor, MemoryGuardMonitor, NetworkMonitor, ResourceMonitor,
     SensorMonitor, SyscallMonitor, TaintMonitor, WatchdogMonitor,
 };
-use cres::sim::SimDuration;
 use cres::policy::mapping::table1;
 use cres::policy::{AssetInventory, DetectionCapability, ResponseCapability, ThreatModel};
+use cres::sim::SimDuration;
 use cres::ssm::ResponseAction;
 use std::collections::BTreeSet;
 
@@ -34,8 +34,7 @@ fn implemented_detections() -> BTreeSet<DetectionCapability> {
         Box::new(TaintMonitor::new(vec![], vec![], SimDuration::cycles(1))),
         Box::new(WatchdogMonitor::new()),
     ];
-    let mut caps: BTreeSet<DetectionCapability> =
-        monitors.iter().map(|m| m.capability()).collect();
+    let mut caps: BTreeSet<DetectionCapability> = monitors.iter().map(|m| m.capability()).collect();
     // NetworkMonitor emits signature events too (secondary capability)
     caps.insert(DetectionCapability::NetworkSignature);
     // boot measurement is realised by cres-boot's measured chain
@@ -49,17 +48,44 @@ fn implemented_responses() -> BTreeSet<ResponseCapability> {
     use cres::soc::task::TaskId;
     // Each ResponseCapability maps to at least one concrete ResponseAction.
     let witnesses: Vec<(ResponseCapability, ResponseAction)> = vec![
-        (ResponseCapability::IsolateMaster, ResponseAction::IsolateMaster(MasterId::DMA)),
-        (ResponseCapability::KillTask, ResponseAction::KillTask(TaskId(0))),
-        (ResponseCapability::RestartTask, ResponseAction::RestartTask(TaskId(0))),
-        (ResponseCapability::QuarantineNetwork, ResponseAction::QuarantineNetwork),
-        (ResponseCapability::RateLimit, ResponseAction::RateLimitNetwork(1)),
+        (
+            ResponseCapability::IsolateMaster,
+            ResponseAction::IsolateMaster(MasterId::DMA),
+        ),
+        (
+            ResponseCapability::KillTask,
+            ResponseAction::KillTask(TaskId(0)),
+        ),
+        (
+            ResponseCapability::RestartTask,
+            ResponseAction::RestartTask(TaskId(0)),
+        ),
+        (
+            ResponseCapability::QuarantineNetwork,
+            ResponseAction::QuarantineNetwork,
+        ),
+        (
+            ResponseCapability::RateLimit,
+            ResponseAction::RateLimitNetwork(1),
+        ),
         (ResponseCapability::ZeroizeKeys, ResponseAction::ZeroizeKeys),
-        (ResponseCapability::Rollback, ResponseAction::RollbackFirmware),
-        (ResponseCapability::GoldenRecovery, ResponseAction::GoldenRecovery),
+        (
+            ResponseCapability::Rollback,
+            ResponseAction::RollbackFirmware,
+        ),
+        (
+            ResponseCapability::GoldenRecovery,
+            ResponseAction::GoldenRecovery,
+        ),
         (ResponseCapability::Reboot, ResponseAction::RebootSystem),
-        (ResponseCapability::DegradedMode, ResponseAction::EnterDegradedMode),
-        (ResponseCapability::ActuatorLockout, ResponseAction::LockActuators),
+        (
+            ResponseCapability::DegradedMode,
+            ResponseAction::EnterDegradedMode,
+        ),
+        (
+            ResponseCapability::ActuatorLockout,
+            ResponseAction::LockActuators,
+        ),
     ];
     witnesses.into_iter().map(|(c, _)| c).collect()
 }
@@ -68,7 +94,10 @@ fn implemented_responses() -> BTreeSet<ResponseCapability> {
 fn every_detection_capability_is_implemented() {
     let implemented = implemented_detections();
     for cap in DetectionCapability::ALL {
-        assert!(implemented.contains(&cap), "{cap} has no implementing monitor");
+        assert!(
+            implemented.contains(&cap),
+            "{cap} has no implementing monitor"
+        );
     }
 }
 
@@ -76,7 +105,10 @@ fn every_detection_capability_is_implemented() {
 fn every_response_capability_is_implemented() {
     let implemented = implemented_responses();
     for cap in ResponseCapability::ALL {
-        assert!(implemented.contains(&cap), "{cap} has no implementing action");
+        assert!(
+            implemented.contains(&cap),
+            "{cap} has no implementing action"
+        );
     }
 }
 
@@ -85,7 +117,10 @@ fn substation_threat_model_fully_covered_by_implementation() {
     let inv = AssetInventory::substation_example();
     let tm = ThreatModel::generate(&inv);
     let coverage = tm.detection_coverage(&inv, &implemented_detections());
-    assert_eq!(coverage, 1.0, "implemented monitors do not cover the threat model");
+    assert_eq!(
+        coverage, 1.0,
+        "implemented monitors do not cover the threat model"
+    );
     for resp in tm.required_responses(&inv) {
         assert!(
             implemented_responses().contains(&resp),
