@@ -152,5 +152,9 @@ fn main() {
          hang-class events via its watchdog; the active monitor set detects\n\
          every class with latency bounded by the sampling period."
     );
+    if let Some(telemetry) = summary.merged_telemetry() {
+        println!("\n[e3] pipeline telemetry: {}", telemetry.summary_line());
+        print!("{}", telemetry.stage_table());
+    }
     summary.print_timing("e3");
 }

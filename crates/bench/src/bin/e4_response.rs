@@ -128,5 +128,9 @@ fn main() {
          reboots), reboot-only pays the reboot duty cycle in relay steps, and\n\
          no-response lets attacker wins run unchecked."
     );
+    if let Some(telemetry) = summary.merged_telemetry() {
+        println!("\n[e4] pipeline telemetry: {}", telemetry.summary_line());
+        print!("{}", telemetry.stage_table());
+    }
     summary.print_aggregate("e4");
 }

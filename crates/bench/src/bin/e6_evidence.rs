@@ -99,5 +99,9 @@ fn main() {
          probe, the injection, the exfiltration AND the wipe attempt itself,\n\
          and still verifies end-to-end."
     );
+    if let Some(telemetry) = summary.merged_telemetry() {
+        println!("\n[e6] pipeline telemetry: {}", telemetry.summary_line());
+        print!("{}", telemetry.stage_table());
+    }
     summary.print_timing("e6");
 }

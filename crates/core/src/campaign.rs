@@ -2,8 +2,9 @@
 //! simulations out across a worker pool.
 //!
 //! Every experiment that sweeps `(profile, seed, scenario)` cells runs
-//! fully independent simulations — each builds its own [`Platform`] and
-//! consumes its own [`Scenario`] — so wall-clock should scale with cores,
+//! fully independent simulations — each builds its own
+//! [`crate::platform::Platform`] and consumes its own [`Scenario`] — so
+//! wall-clock should scale with cores,
 //! not with the number of cells. The sim kernel stays single-threaded *per
 //! run*; parallelism is strictly *across* runs, which is why parallel
 //! output is bit-identical to the sequential path (proved by
@@ -45,6 +46,7 @@
 use crate::config::PlatformConfig;
 use crate::metrics::RunReport;
 use crate::runner::{Scenario, ScenarioRunner};
+use crate::telemetry::TelemetrySnapshot;
 use cres_attacks::AttackInjector;
 use cres_sim::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -176,6 +178,29 @@ impl CampaignSummary {
             return 1.0;
         }
         self.sequential_equivalent().as_secs_f64() / total
+    }
+
+    /// Folds every job's telemetry snapshot into one campaign-wide
+    /// aggregate, **in submission order** — so the result is identical
+    /// whether the campaign ran sequentially or on any number of threads.
+    /// `None` when no job carried telemetry.
+    pub fn merged_telemetry(&self) -> Option<TelemetrySnapshot> {
+        let mut merged: Option<TelemetrySnapshot> = None;
+        for result in &self.results {
+            let Some(snapshot) = &result.report.telemetry else {
+                continue;
+            };
+            match merged.as_mut() {
+                Some(acc) => acc.merge(snapshot),
+                None => {
+                    let mut first = snapshot.clone();
+                    // a merged aggregate never keeps a single run's tail
+                    first.trace_tail.clear();
+                    merged = Some(first);
+                }
+            }
+        }
+        merged
     }
 
     /// Prints per-run wall times plus the aggregate line the BENCH
@@ -359,8 +384,10 @@ mod tests {
         }
     }
 
-    fn small_campaign() -> Campaign<fn(&str) -> Box<dyn AttackInjector>> {
-        let mut campaign = Campaign::new(test_builder as fn(&str) -> Box<dyn AttackInjector>);
+    type TestBuilder = fn(&str) -> Box<dyn AttackInjector>;
+
+    fn small_campaign() -> Campaign<TestBuilder> {
+        let mut campaign = Campaign::new(test_builder as TestBuilder);
         for (index, seed) in [3u64, 4, 5, 6].into_iter().enumerate() {
             let spec = if index % 2 == 0 {
                 ScenarioSpec::quiet(SimDuration::cycles(150_000)).attack(
@@ -389,6 +416,16 @@ mod tests {
             assert_eq!(a.label, b.label);
             assert_eq!(a.report, b.report, "parallel diverged for {}", a.label);
         }
+    }
+
+    #[test]
+    fn merged_telemetry_is_thread_count_invariant() {
+        let sequential = small_campaign().run_sequential().merged_telemetry();
+        let parallel = small_campaign().run_parallel(4).merged_telemetry();
+        assert_eq!(sequential, parallel);
+        let merged = sequential.expect("telemetry is on by default");
+        assert!(merged.spans_recorded > 0);
+        assert!(merged.trace_tail.is_empty());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Platform profiles and configuration.
 
+use crate::telemetry::TelemetryConfig;
 use cres_sim::SimDuration;
 use cres_ssm::{PlannerMode, SsmDeployment};
 use cres_tee::TeeDeployment;
@@ -63,6 +64,9 @@ pub struct PlatformConfig {
     /// Overrides the profile-implied planner mode (E4 isolates the
     /// response variable by running full monitors with a passive planner).
     pub planner_override: Option<PlannerMode>,
+    /// Pipeline telemetry layer (trace ring + metrics registry); disable
+    /// for the zero-instrumentation baseline E8 compares against.
+    pub telemetry: TelemetryConfig,
 }
 
 impl PlatformConfig {
@@ -82,6 +86,7 @@ impl PlatformConfig {
             correlation_enabled: true,
             expose_slots_to_attacker: false,
             planner_override: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

@@ -9,8 +9,9 @@
 
 use crate::config::PlatformProfile;
 use crate::metrics::{AttackOutcomeReport, RunReport};
+use crate::telemetry::{HistogramSnapshot, StageStat, TelemetrySnapshot, TraceSpan};
 use cres_attacks::AttackKind;
-use cres_sim::SimTime;
+use cres_sim::{SimTime, Stage};
 use cres_ssm::HealthState;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -435,6 +436,31 @@ fn attack_kind_from(name: &str) -> Result<AttackKind> {
         .map_or_else(|| err(format!("unknown attack kind {name:?}")), Ok)
 }
 
+fn get_u64_array(fields: &BTreeMap<String, Value>, name: &str) -> Result<Vec<u64>> {
+    match field(fields, name)? {
+        Value::Array(items) => items
+            .iter()
+            .map(|item| match item {
+                Value::Number(text) => text
+                    .parse()
+                    .map_err(|_| JsonError(format!("field {name:?}: {text:?} is not a u64"))),
+                other => err(format!(
+                    "field {name:?}: expected number, found {}",
+                    other.type_name()
+                )),
+            })
+            .collect(),
+        other => err(format!(
+            "field {name:?}: expected array, found {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn stage_from(name: &str) -> Result<Stage> {
+    Stage::from_name(name).map_or_else(|| err(format!("unknown stage {name:?}")), Ok)
+}
+
 // ------------------------------------------------------------- encoding
 
 impl AttackOutcomeReport {
@@ -482,6 +508,222 @@ impl AttackOutcomeReport {
     }
 }
 
+impl TelemetrySnapshot {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"spans_recorded\":{},\"spans_dropped\":{},\"ring_capacity\":{},\
+             \"ring_occupancy\":{},\"span_cost\":{},\"instrumentation_cycles\":{}",
+            self.spans_recorded,
+            self.spans_dropped,
+            self.ring_capacity,
+            self.ring_occupancy,
+            self.span_cost,
+            self.instrumentation_cycles
+        );
+        out.push_str(",\"stages\":[");
+        for (index, stage) in self.stages.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":\"{}\",\"count\":{},\"cycles\":{}}}",
+                stage.stage.name(),
+                stage.count,
+                stage.cycles
+            );
+        }
+        out.push_str("],\"counters\":{");
+        for (index, (name, value)) in self.counters.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            write_string(out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (index, (name, value)) in self.gauges.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            write_string(out, name);
+            out.push(':');
+            write_f64(out, *value);
+        }
+        out.push_str("},\"histograms\":[");
+        for (index, hist) in self.histograms.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_string(out, &hist.name);
+            out.push_str(",\"bounds\":[");
+            for (i, b) in hist.bounds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("],\"counts\":[");
+            for (i, c) in hist.counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"total\":{},\"sum\":{}}}", hist.total, hist.sum);
+        }
+        out.push_str("],\"trace_tail\":[");
+        for (index, span) in self.trace_tail.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at\":{},\"stage\":\"{}\",\"arg\":{},\"cycles\":{}}}",
+                span.at.cycle(),
+                span.stage.name(),
+                span.arg,
+                span.cycles
+            );
+        }
+        out.push_str("]}");
+    }
+
+    /// Encodes the snapshot as a single-line JSON object (the value of the
+    /// `telemetry` field in the [`RunReport`] schema — see `EXPERIMENTS.md`
+    /// E8 for the field-by-field documentation).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        self.write_json(&mut out);
+        out
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let fields = as_object(value)?;
+        let stages = match field(fields, "stages")? {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| {
+                    let f = as_object(item)?;
+                    Ok(StageStat {
+                        stage: stage_from(get_str(f, "stage")?)?,
+                        count: get_u64(f, "count")?,
+                        cycles: get_u64(f, "cycles")?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+            other => {
+                return err(format!(
+                    "field \"stages\": expected array, found {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let counters = match field(fields, "counters")? {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(name, value)| match value {
+                    Value::Number(text) => text
+                        .parse()
+                        .map(|v| (name.clone(), v))
+                        .map_err(|_| JsonError(format!("counter {name:?}: {text:?} is not a u64"))),
+                    other => err(format!(
+                        "counter {name:?}: expected number, found {}",
+                        other.type_name()
+                    )),
+                })
+                .collect::<Result<Vec<_>>>()?,
+            other => {
+                return err(format!(
+                    "field \"counters\": expected object, found {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let gauges = match field(fields, "gauges")? {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(name, value)| match value {
+                    Value::Number(text) => text.parse().map(|v| (name.clone(), v)).map_err(|_| {
+                        JsonError(format!("gauge {name:?}: {text:?} is not a number"))
+                    }),
+                    other => err(format!(
+                        "gauge {name:?}: expected number, found {}",
+                        other.type_name()
+                    )),
+                })
+                .collect::<Result<Vec<_>>>()?,
+            other => {
+                return err(format!(
+                    "field \"gauges\": expected object, found {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let histograms = match field(fields, "histograms")? {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| {
+                    let f = as_object(item)?;
+                    Ok(HistogramSnapshot {
+                        name: get_str(f, "name")?.to_string(),
+                        bounds: get_u64_array(f, "bounds")?,
+                        counts: get_u64_array(f, "counts")?,
+                        total: get_u64(f, "total")?,
+                        sum: get_u64(f, "sum")?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+            other => {
+                return err(format!(
+                    "field \"histograms\": expected array, found {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let trace_tail = match field(fields, "trace_tail")? {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| {
+                    let f = as_object(item)?;
+                    Ok(TraceSpan {
+                        at: SimTime::at_cycle(get_u64(f, "at")?),
+                        stage: stage_from(get_str(f, "stage")?)?,
+                        arg: get_u32(f, "arg")?,
+                        cycles: get_u64(f, "cycles")?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+            other => {
+                return err(format!(
+                    "field \"trace_tail\": expected array, found {}",
+                    other.type_name()
+                ))
+            }
+        };
+        Ok(TelemetrySnapshot {
+            spans_recorded: get_u64(fields, "spans_recorded")?,
+            spans_dropped: get_u64(fields, "spans_dropped")?,
+            ring_capacity: get_usize(fields, "ring_capacity")?,
+            ring_occupancy: get_usize(fields, "ring_occupancy")?,
+            span_cost: get_u64(fields, "span_cost")?,
+            instrumentation_cycles: get_u64(fields, "instrumentation_cycles")?,
+            stages,
+            counters,
+            gauges,
+            histograms,
+            trace_tail,
+        })
+    }
+
+    /// Decodes a snapshot written by [`TelemetrySnapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Self> {
+        TelemetrySnapshot::from_value(&parse(text)?)
+    }
+}
+
 impl RunReport {
     /// Encodes the report as a single-line JSON object.
     pub fn to_json(&self) -> String {
@@ -524,9 +766,15 @@ impl RunReport {
         let _ = write!(
             out,
             ",\"console_lines\":{},\"monitor_overhead_cycles\":{},\"reboots\":{},\
-             \"attacker_wins\":{}}}",
+             \"attacker_wins\":{}",
             self.console_lines, self.monitor_overhead_cycles, self.reboots, self.attacker_wins
         );
+        out.push_str(",\"telemetry\":");
+        match &self.telemetry {
+            Some(snapshot) => snapshot.write_json(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 
@@ -565,6 +813,10 @@ impl RunReport {
             monitor_overhead_cycles: get_u64(fields, "monitor_overhead_cycles")?,
             reboots: get_u32(fields, "reboots")?,
             attacker_wins: get_u32(fields, "attacker_wins")?,
+            telemetry: match field(fields, "telemetry")? {
+                Value::Null => None,
+                value => Some(TelemetrySnapshot::from_value(value)?),
+            },
         })
     }
 }
@@ -572,6 +824,21 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::{TelemetryConfig, TelemetryRecorder};
+    use cres_sim::StageSink;
+
+    fn sample_telemetry() -> TelemetrySnapshot {
+        let mut recorder = TelemetryRecorder::new(TelemetryConfig::default());
+        recorder.record_span(SimTime::at_cycle(100), Stage::MonitorSample, 2, 4);
+        recorder.record_span(SimTime::at_cycle(100), Stage::EventEmit, 3, 1);
+        recorder.record_span(SimTime::at_cycle(105), Stage::Respond, 1, 12);
+        recorder.metrics_mut().counter_add("incidents.DmaExfil", 3);
+        recorder.metrics_mut().gauge_set("evidence_chain_len", 99.0);
+        recorder
+            .metrics_mut()
+            .observe("detection_latency_cycles", 1_500);
+        recorder.snapshot()
+    }
 
     fn sample_report() -> RunReport {
         RunReport {
@@ -614,6 +881,7 @@ mod tests {
             monitor_overhead_cycles: 31_337,
             reboots: 2,
             attacker_wins: 1,
+            telemetry: Some(sample_telemetry()),
         }
     }
 
@@ -624,6 +892,26 @@ mod tests {
         let back = RunReport::from_json(&json).expect("decode");
         assert_eq!(report, back);
         // and the encoding itself is stable
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn telemetry_none_encodes_as_null() {
+        let mut report = sample_report();
+        report.telemetry = None;
+        let json = report.to_json();
+        assert!(json.contains("\"telemetry\":null"));
+        assert_eq!(RunReport::from_json(&json).expect("decode"), report);
+    }
+
+    #[test]
+    fn telemetry_snapshot_round_trips_standalone() {
+        let snapshot = sample_telemetry();
+        let json = snapshot.to_json();
+        assert!(json.contains("\"monitor-sample\""));
+        assert!(json.contains("\"detection_latency_cycles\""));
+        let back = TelemetrySnapshot::from_json(&json).expect("decode");
+        assert_eq!(back, snapshot);
         assert_eq!(back.to_json(), json);
     }
 

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! The cyber-resilient embedded platform: the paper's three
 //! microarchitectural characteristics assembled into a runnable system.
@@ -22,6 +22,9 @@
 //! * [`campaign`] — the parallel campaign engine fanning independent
 //!   scenario runs across a scoped worker pool with deterministic,
 //!   submission-ordered results,
+//! * [`telemetry`] — always-on pipeline observability: a cycle-stamped
+//!   trace ring, per-stage cost accounting and a metrics registry that
+//!   merges deterministically across campaign jobs,
 //! * [`comms`] — TEE-keyed authenticated M2M telemetry (tamper, forgery
 //!   and replay rejection — the paper's §III-4 MITM concern).
 //!
@@ -47,6 +50,7 @@ pub mod metrics;
 pub mod platform;
 pub mod provision;
 pub mod runner;
+pub mod telemetry;
 
 pub use campaign::{Campaign, CampaignSummary, Job, JobResult, ScenarioSpec};
 pub use comms::{AuthMessage, RejectReason, SecureChannel};
@@ -54,3 +58,6 @@ pub use config::{PlatformConfig, PlatformProfile};
 pub use metrics::{AttackOutcomeReport, RunReport};
 pub use platform::Platform;
 pub use runner::{Scenario, ScenarioRunner};
+pub use telemetry::{
+    MetricsRegistry, TelemetryConfig, TelemetryRecorder, TelemetrySnapshot, TraceRing, TraceSpan,
+};

@@ -1,6 +1,7 @@
 //! Run reports: the measurements every experiment consumes.
 
 use crate::config::PlatformProfile;
+use crate::telemetry::TelemetrySnapshot;
 use cres_attacks::AttackKind;
 use cres_sim::SimTime;
 use cres_ssm::{HealthState, IncidentKind};
@@ -99,6 +100,9 @@ pub struct RunReport {
     pub reboots: u32,
     /// Attacker win count (steps that achieved their goal).
     pub attacker_wins: u32,
+    /// End-of-run telemetry (trace/metrics) snapshot; `None` when the
+    /// telemetry layer was disabled for the run.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl RunReport {
@@ -178,6 +182,7 @@ mod tests {
             monitor_overhead_cycles: 0,
             reboots: 0,
             attacker_wins: 0,
+            telemetry: None,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use crate::config::{PlatformConfig, PlatformProfile};
 use crate::provision::{provision, Provisioned};
+use crate::telemetry::TelemetryRecorder;
 use cres_attacks::{AttackEffect, AttackInjector, AttackStepResult, AttackTargets};
 use cres_boot::chain::BootReport;
 use cres_boot::{BootChain, FirmwareImage, ImageSigner, MemArbCounters, SlotStore, UpdateEngine};
@@ -13,7 +14,7 @@ use cres_monitor::{
     ResourceMonitor, SensorMonitor, SyscallMonitor, TaintMonitor, WatchdogMonitor,
 };
 use cres_response::{RecoveryBackend, ResponseManager};
-use cres_sim::{SimDuration, SimTime};
+use cres_sim::{NullSink, SimDuration, SimTime, StageSink};
 use cres_soc::addr::MasterId;
 use cres_soc::periph::{Actuator, Sensor};
 use cres_soc::soc::{layout, SocBuilder};
@@ -101,6 +102,10 @@ pub struct Platform {
     attacks: Vec<AttackSlot>,
     bootloader: Vec<u8>,
     evidence_key: Vec<u8>,
+    /// The pipeline telemetry recorder; `None` when
+    /// [`crate::telemetry::TelemetryConfig::enabled`] is off, making every
+    /// instrumentation point a single branch.
+    pub telemetry: Option<TelemetryRecorder>,
     /// Accumulated monitor sampling cost (cycles) for E8.
     pub monitor_overhead_cycles: u64,
     /// Steps completed by `Critical` tasks (service-delivery metric).
@@ -187,6 +192,10 @@ impl Platform {
             attacks: Vec::new(),
             bootloader,
             evidence_key,
+            telemetry: config
+                .telemetry
+                .enabled
+                .then(|| TelemetryRecorder::new(config.telemetry)),
             monitor_overhead_cycles: 0,
             critical_steps: 0,
             reboots: 0,
@@ -489,15 +498,20 @@ impl Platform {
     /// Samples every monitor, returning the collected events and charging
     /// the overhead account.
     pub fn sample_monitors(&mut self, now: SimTime) -> Vec<MonitorEvent> {
+        let mut null = NullSink;
+        let sink: &mut dyn StageSink = match self.telemetry.as_mut() {
+            Some(recorder) => recorder,
+            None => &mut null,
+        };
         let mut events = Vec::new();
         for m in &mut self.monitors {
             self.monitor_overhead_cycles += m.sample_cost();
-            events.extend(m.sample(&mut self.soc, now));
+            events.extend(m.sample_traced(&mut self.soc, now, sink));
         }
         if self.config.active_monitors() {
             self.monitor_overhead_cycles += self.cfi.sample_cost() + self.syscall_mon.sample_cost();
-            events.extend(self.cfi.sample(&mut self.soc, now));
-            events.extend(self.syscall_mon.sample(&mut self.soc, now));
+            events.extend(self.cfi.sample_traced(&mut self.soc, now, sink));
+            events.extend(self.syscall_mon.sample_traced(&mut self.soc, now, sink));
         }
         events
     }
@@ -519,7 +533,14 @@ impl Platform {
                 ));
             }
         }
-        let plans = self.ssm.ingest(now, &events);
+        let plans = {
+            let mut null = NullSink;
+            let sink: &mut dyn StageSink = match self.telemetry.as_mut() {
+                Some(recorder) => recorder,
+                None => &mut null,
+            };
+            self.ssm.ingest_traced(now, &events, sink)
+        };
         for plan in &plans {
             self.execute_plan(plan, now);
         }
@@ -536,9 +557,14 @@ impl Platform {
             sig_len: self.vendor_public.modulus_len(),
             key: &self.vendor_public,
         };
-        let results = self
-            .response
-            .execute_plan(plan, now, &mut self.soc, &mut backend);
+        let mut null = NullSink;
+        let sink: &mut dyn StageSink = match self.telemetry.as_mut() {
+            Some(recorder) => recorder,
+            None => &mut null,
+        };
+        let results =
+            self.response
+                .execute_plan_traced(plan, now, &mut self.soc, &mut backend, sink);
         for r in &results {
             if matches!(
                 r.action,
@@ -587,6 +613,10 @@ impl Platform {
         let _ = self.sample_monitors(SimTime::ZERO);
         self.monitor_overhead_cycles = 0;
         self.critical_steps = 0;
+        // spans from the training flush are pre-deployment noise
+        if let Some(recorder) = self.telemetry.as_mut() {
+            recorder.reset();
+        }
     }
 }
 

@@ -224,7 +224,7 @@ impl ScenarioRunner {
         Self::score(self.config, scenario.duration, platform)
     }
 
-    fn score(config: PlatformConfig, duration: SimDuration, platform: Platform) -> RunReport {
+    fn score(config: PlatformConfig, duration: SimDuration, mut platform: Platform) -> RunReport {
         let end = SimTime::ZERO + duration;
         let mut attacks = Vec::new();
         let mut ground_truth: Vec<SimTime> = Vec::new();
@@ -270,6 +270,27 @@ impl ScenarioRunner {
         let evidence_coverage = timeline.coverage(&ground_truth, tolerance);
         let (total_events, total_incidents) = platform.ssm.correlation_stats();
 
+        // Freeze end-of-run telemetry: scoring-time metrics (latency
+        // histogram, per-kind incident counters, occupancy/chain gauges)
+        // join the span aggregates collected during the run.
+        let telemetry = if let Some(recorder) = platform.telemetry.as_mut() {
+            let occupancy = recorder.ring().len() as f64;
+            let metrics = recorder.metrics_mut();
+            for attack in &attacks {
+                if let Some(latency) = attack.detection_latency {
+                    metrics.observe("detection_latency_cycles", latency);
+                }
+            }
+            for incident in platform.ssm.incidents() {
+                metrics.counter_add(&format!("incidents.{}", incident.kind), 1);
+            }
+            metrics.gauge_set("evidence_chain_len", platform.ssm.evidence().len() as f64);
+            metrics.gauge_set("trace_ring_occupancy", occupancy);
+            Some(recorder.snapshot())
+        } else {
+            None
+        };
+
         RunReport {
             profile: config.profile,
             seed: config.seed,
@@ -289,6 +310,7 @@ impl ScenarioRunner {
             monitor_overhead_cycles: platform.monitor_overhead_cycles,
             reboots: platform.reboots,
             attacker_wins,
+            telemetry,
         }
     }
 }

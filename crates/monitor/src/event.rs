@@ -1,7 +1,7 @@
 //! Monitor event types and the [`ResourceMonitor`] trait.
 
 use cres_policy::DetectionCapability;
-use cres_sim::SimTime;
+use cres_sim::{SimTime, Stage, StageSink};
 use cres_soc::addr::{MasterId, RegionId};
 use cres_soc::task::TaskId;
 use cres_soc::Soc;
@@ -127,6 +127,30 @@ pub trait ResourceMonitor {
     /// monitoring-overhead experiment (E8). Default: 2 cycles.
     fn sample_cost(&self) -> u64 {
         2
+    }
+
+    /// [`ResourceMonitor::sample`] with telemetry: records one
+    /// `monitor-sample` span (arg = events produced, cycles =
+    /// [`ResourceMonitor::sample_cost`]) plus one `event-emit` span per
+    /// event (arg = severity rank). Pass [`cres_sim::NullSink`] to trace
+    /// nothing — the default platform path when telemetry is disabled.
+    fn sample_traced(
+        &mut self,
+        soc: &mut Soc,
+        now: SimTime,
+        sink: &mut dyn StageSink,
+    ) -> Vec<MonitorEvent> {
+        let events = self.sample(soc, now);
+        sink.record_span(
+            now,
+            Stage::MonitorSample,
+            events.len() as u32,
+            self.sample_cost(),
+        );
+        for event in &events {
+            sink.record_span(event.at, Stage::EventEmit, event.severity as u32, 1);
+        }
+        events
     }
 }
 

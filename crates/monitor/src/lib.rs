@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Active Runtime Resource Monitors — the paper's second microarchitectural
 //! characteristic.

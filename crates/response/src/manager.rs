@@ -1,7 +1,7 @@
 //! The response manager: plan execution and graceful degradation.
 
 use crate::backend::RecoveryBackend;
-use cres_sim::{SimDuration, SimTime};
+use cres_sim::{SimDuration, SimTime, Stage, StageSink};
 use cres_soc::addr::MasterId;
 use cres_soc::task::{Criticality, TaskId, TaskState};
 use cres_soc::Soc;
@@ -47,6 +47,22 @@ pub struct ExecutedAction {
     pub action: ResponseAction,
     /// What happened.
     pub outcome: ActionOutcome,
+}
+
+/// Modelled cycle cost of executing one countermeasure, reported in
+/// `respond` telemetry spans. Register pokes are cheap; firmware recovery
+/// involves flash traffic.
+fn action_cost(action: ResponseAction) -> u64 {
+    match action {
+        ResponseAction::IsolateMaster(_) => 6,
+        ResponseAction::KillTask(_) | ResponseAction::RestartTask(_) => 4,
+        ResponseAction::QuarantineNetwork | ResponseAction::RateLimitNetwork(_) => 3,
+        ResponseAction::ZeroizeKeys => 10,
+        ResponseAction::RollbackFirmware | ResponseAction::GoldenRecovery => 40,
+        ResponseAction::RebootSystem => 20,
+        ResponseAction::EnterDegradedMode => 5,
+        ResponseAction::LockActuators | ResponseAction::DistrustSensor(_) => 3,
+    }
 }
 
 /// The active response manager.
@@ -107,9 +123,33 @@ impl ResponseManager {
         soc: &mut Soc,
         backend: &mut dyn RecoveryBackend,
     ) -> Vec<ExecutedAction> {
+        let mut sink = cres_sim::NullSink;
+        self.execute_plan_traced(plan, now, soc, backend, &mut sink)
+    }
+
+    /// [`ResponseManager::execute_plan`] with telemetry: records one
+    /// `respond` span per action (arg = 1 on success, cycles = the action's
+    /// modelled execution cost).
+    pub fn execute_plan_traced(
+        &mut self,
+        plan: &ResponsePlan,
+        now: SimTime,
+        soc: &mut Soc,
+        backend: &mut dyn RecoveryBackend,
+        sink: &mut dyn StageSink,
+    ) -> Vec<ExecutedAction> {
         plan.actions
             .iter()
-            .map(|action| self.execute(*action, now, soc, backend))
+            .map(|action| {
+                let record = self.execute(*action, now, soc, backend);
+                sink.record_span(
+                    now,
+                    Stage::Respond,
+                    u32::from(record.outcome.is_success()),
+                    action_cost(*action),
+                );
+                record
+            })
             .collect()
     }
 

@@ -11,6 +11,8 @@
 //! * [`DetRng`] — a seedable, forkable deterministic random number generator
 //!   (xoshiro256** seeded via SplitMix64),
 //! * [`trace::TraceBuffer`] — a bounded in-simulation trace recorder,
+//! * [`stage`] — the pipeline-stage vocabulary ([`Stage`], [`StageSink`])
+//!   the telemetry layer's instrumentation points speak,
 //! * [`stats`] — streaming statistics (Welford mean/variance, histograms)
 //!   used by experiment harnesses.
 //!
@@ -39,11 +41,13 @@
 
 pub mod event;
 pub mod rng;
+pub mod stage;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventId, Simulator};
 pub use rng::DetRng;
+pub use stage::{NullSink, Stage, StageSink};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceEntry};

@@ -1,0 +1,153 @@
+//! Pipeline-stage vocabulary for cycle-accurate telemetry.
+//!
+//! The platform's resilience pipeline — monitor sampling → event emission →
+//! correlation → incident classification → response planning → response
+//! execution → evidence append — is instrumented with *spans*: one record
+//! per unit of pipeline work, stamped with the sim cycle clock. This module
+//! defines the vocabulary every instrumented crate shares:
+//!
+//! * [`Stage`] — the seven pipeline stage IDs,
+//! * [`StageSink`] — the receiver instrumented code reports spans to,
+//! * [`NullSink`] — the zero-cost sink used when telemetry is disabled.
+//!
+//! The concrete recorder (trace ring buffer + metrics registry) lives in
+//! `cres_platform::telemetry`; this crate only hosts the vocabulary so the
+//! monitor, SSM and response crates can report spans without depending on
+//! the platform assembly crate.
+
+use crate::time::SimTime;
+
+/// A pipeline stage a span can belong to.
+///
+/// Every span carries one stage ID; per-stage aggregation (count and cycle
+/// cost) is the backbone of the telemetry report.
+///
+/// # Example
+///
+/// ```
+/// use cres_sim::Stage;
+/// assert_eq!(Stage::ALL.len(), Stage::COUNT);
+/// assert_eq!(Stage::Correlate.name(), "correlate");
+/// assert_eq!(Stage::from_name("respond"), Some(Stage::Respond));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// One resource monitor inspecting its resource (span arg: events
+    /// produced by this sample).
+    MonitorSample,
+    /// One monitor event handed to the SSM (span arg: severity rank).
+    EventEmit,
+    /// The correlation engine consuming one event (span arg: 1 when the
+    /// event classified an incident, else 0).
+    Correlate,
+    /// One incident classified (span arg: incident id, truncated to u32).
+    Classify,
+    /// One non-empty response plan produced (span arg: action count).
+    Plan,
+    /// One countermeasure executed (span arg: 1 on success, else 0).
+    Respond,
+    /// One record folded into the evidence hash chain (span arg: chain
+    /// sequence number, truncated to u32).
+    EvidenceAppend,
+}
+
+impl Stage {
+    /// Number of stages (sizing for per-stage accumulator arrays).
+    pub const COUNT: usize = 7;
+
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::MonitorSample,
+        Stage::EventEmit,
+        Stage::Correlate,
+        Stage::Classify,
+        Stage::Plan,
+        Stage::Respond,
+        Stage::EvidenceAppend,
+    ];
+
+    /// Dense index of this stage in [`Stage::ALL`] order.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case name (used in the telemetry JSON schema).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::MonitorSample => "monitor-sample",
+            Stage::EventEmit => "event-emit",
+            Stage::Correlate => "correlate",
+            Stage::Classify => "classify",
+            Stage::Plan => "plan",
+            Stage::Respond => "respond",
+            Stage::EvidenceAppend => "evidence-append",
+        }
+    }
+
+    /// Resolves a name produced by [`Stage::name`].
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The receiver instrumented pipeline code reports spans to.
+///
+/// Implementations decide what a span costs and where it goes; the
+/// instrumented crates only describe the work. `cycles` is the *modelled*
+/// cost of the pipeline work itself (e.g. a monitor's `sample_cost()`), not
+/// the cost of recording — recording cost is the implementation's business.
+pub trait StageSink {
+    /// Records one span of pipeline work observed at `at`.
+    fn record_span(&mut self, at: SimTime, stage: Stage, arg: u32, cycles: u64);
+}
+
+/// A sink that discards everything — the disabled-telemetry path.
+///
+/// # Example
+///
+/// ```
+/// use cres_sim::{NullSink, Stage, StageSink, SimTime};
+/// let mut sink = NullSink;
+/// sink.record_span(SimTime::ZERO, Stage::Plan, 2, 3); // no-op
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl StageSink for NullSink {
+    fn record_span(&mut self, _at: SimTime, _stage: Stage, _arg: u32, _cycles: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for stage in Stage::ALL {
+            assert_eq!(Stage::from_name(stage.name()), Some(stage));
+            assert_eq!(stage.to_string(), stage.name());
+        }
+        assert_eq!(Stage::from_name("not-a-stage"), None);
+    }
+
+    #[test]
+    fn null_sink_accepts_spans() {
+        let mut sink = NullSink;
+        for stage in Stage::ALL {
+            sink.record_span(SimTime::at_cycle(1), stage, 0, 1);
+        }
+    }
+}

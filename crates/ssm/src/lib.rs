@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! The Independent Active Runtime System Security Manager — the paper's
 //! first and central microarchitectural characteristic.

@@ -18,7 +18,16 @@ use crate::evidence::EvidenceStore;
 use crate::health::{HealthState, SystemHealth};
 use crate::planner::{PlannerMode, ResponsePlan, ResponsePlanner};
 use cres_monitor::MonitorEvent;
-use cres_sim::SimTime;
+use cres_sim::{NullSink, SimTime, Stage, StageSink};
+
+/// Modelled cycle cost of consuming one event in the correlation engine.
+const CORRELATE_COST: u64 = 4;
+/// Modelled cycle cost of classifying one incident.
+const CLASSIFY_COST: u64 = 6;
+/// Modelled cycle cost of planning a response.
+const PLAN_COST: u64 = 5;
+/// Modelled cycle cost of one keyed hash-chain append.
+const EVIDENCE_APPEND_COST: u64 = 8;
 
 /// Where the SSM physically runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,24 +116,53 @@ impl SystemSecurityManager {
     /// Ingests a batch of monitor events observed at `now`; returns any
     /// response plans to execute.
     pub fn ingest(&mut self, now: SimTime, events: &[MonitorEvent]) -> Vec<ResponsePlan> {
+        self.ingest_traced(now, events, &mut NullSink)
+    }
+
+    /// [`SystemSecurityManager::ingest`] with telemetry: every evidence
+    /// append, correlation step, incident classification and produced plan
+    /// is reported to `sink` as a span (`evidence-append` arg = chain
+    /// sequence, `correlate` arg = 1 when the event classified an incident,
+    /// `classify` arg = incident id, `plan` arg = action count).
+    pub fn ingest_traced(
+        &mut self,
+        now: SimTime,
+        events: &[MonitorEvent],
+        sink: &mut dyn StageSink,
+    ) -> Vec<ResponsePlan> {
         let mut plans = Vec::new();
         for event in events {
             let seq = if self.config.evidence_enabled {
-                Some(self.evidence.append(
+                let seq = self.evidence.append(
                     event.at,
                     &event.monitor,
                     &format!(
                         "[{}] {} {}: {}",
                         event.severity, event.capability, event.subject, event.detail
                     ),
-                ))
+                );
+                sink.record_span(now, Stage::EvidenceAppend, seq as u32, EVIDENCE_APPEND_COST);
+                Some(seq)
             } else {
                 None
             };
-            if let Some(mut incident) = self.engine.ingest(now, event, self.health.state()) {
+            let incident = self.engine.ingest(now, event, self.health.state());
+            sink.record_span(
+                now,
+                Stage::Correlate,
+                u32::from(incident.is_some()),
+                CORRELATE_COST,
+            );
+            if let Some(mut incident) = incident {
                 if let Some(seq) = seq {
                     incident.evidence.push(seq);
                 }
+                sink.record_span(
+                    incident.classified_at,
+                    Stage::Classify,
+                    incident.id as u32,
+                    CLASSIFY_COST,
+                );
                 self.health
                     .on_incident(incident.classified_at, incident.severity);
                 if self.config.evidence_enabled {
@@ -140,10 +178,12 @@ impl SystemSecurityManager {
                             incident.health_at
                         ),
                     );
+                    sink.record_span(now, Stage::EvidenceAppend, seq as u32, EVIDENCE_APPEND_COST);
                     incident.evidence.push(seq);
                 }
                 let plan = self.planner.plan(&incident);
                 if !plan.is_empty() {
+                    sink.record_span(now, Stage::Plan, plan.actions.len() as u32, PLAN_COST);
                     plans.push(plan);
                 }
                 self.incidents.push(incident);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cres-demo [--profile cres|passive|tee-shared] [--seed N]...
-//!           [--duration CYCLES] [--attack NAME]... [--jobs N] [--report]
+//!           [--duration CYCLES] [--attack NAME]... [--jobs N]
+//!           [--report] [--trace]
 //! ```
 //!
 //! `--seed` is repeatable: each seed becomes one run, and runs fan out
@@ -77,7 +78,8 @@ fn parse_profile(s: &str) -> Option<PlatformProfile> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cres-demo [--profile cres|passive|tee-shared] [--seed N]...\n\
-         \x20                [--duration CYCLES] [--attack NAME]... [--jobs N] [--report]\n\
+         \x20                [--duration CYCLES] [--attack NAME]... [--jobs N]\n\
+         \x20                [--report] [--trace]\n\
          run `cres-demo --help` for the attack list"
     );
     ExitCode::FAILURE
@@ -90,6 +92,7 @@ fn main() -> ExitCode {
     let mut attacks: Vec<String> = Vec::new();
     let mut jobs: Option<usize> = None;
     let mut full_report = false;
+    let mut trace_dump = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -106,7 +109,9 @@ fn main() -> ExitCode {
                      \x20 --attack NAME                       schedule an attack (repeatable)\n\
                      \x20 --jobs N                            worker threads for multi-seed runs\n\
                      \x20                                     (default: CRES_JOBS or all cores)\n\
-                     \x20 --report                            dump each report as JSON\n\n\
+                     \x20 --report                            dump each report as JSON\n\
+                     \x20 --trace                             print the telemetry stage table\n\
+                     \x20                                     and the trace-ring tail\n\n\
                      attacks: code-injection memory-probe firmware-tamper dma-exfil\n\
                      \x20        debug-port network-flood exploit-traffic exfiltration\n\
                      \x20        sensor-spoof fault-injection log-wipe syscall-anomaly system-hang"
@@ -157,6 +162,7 @@ fn main() -> ExitCode {
                 jobs = Some(v);
             }
             "--report" => full_report = true,
+            "--trace" => trace_dump = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 return usage();
@@ -205,6 +211,28 @@ fn main() -> ExitCode {
                 a.steps_achieved,
                 a.steps_executed
             );
+        }
+        if trace_dump {
+            match &report.telemetry {
+                Some(telemetry) => {
+                    println!("telemetry: {}", telemetry.summary_line());
+                    print!("{}", telemetry.stage_table());
+                    println!(
+                        "trace tail (newest {} spans, oldest first):",
+                        telemetry.trace_tail.len()
+                    );
+                    for span in &telemetry.trace_tail {
+                        println!(
+                            "  @{:<10} {:<16} arg={:<6} {}cy",
+                            span.at.cycle(),
+                            span.stage.name(),
+                            span.arg,
+                            span.cycles
+                        );
+                    }
+                }
+                None => println!("telemetry: disabled for this run"),
+            }
         }
         if full_report {
             println!("{}", report.to_json());

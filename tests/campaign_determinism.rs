@@ -9,7 +9,7 @@ use cres::attacks::{
 };
 use cres::platform::campaign::{Campaign, CampaignSummary, ScenarioSpec};
 use cres::platform::{PlatformConfig, PlatformProfile, RunReport, Scenario, ScenarioRunner};
-use cres::sim::{SimDuration, SimTime};
+use cres::sim::{SimDuration, SimTime, Stage};
 use cres::soc::addr::MasterId;
 use cres::soc::periph::SensorSpoof;
 use cres::soc::task::{BlockId, TaskId};
@@ -27,7 +27,9 @@ fn build(name: &str) -> Box<dyn AttackInjector> {
 }
 
 /// The campaign cells: a profile/seed/scenario mix exercising quiet runs,
-/// single attacks and a staged multi-attack chain.
+/// single attacks and a staged multi-attack chain. Telemetry is toggled
+/// off for one cell per profile/seed block so the mixed on/off path is
+/// exercised too (a disabled cell must contribute nothing to the merge).
 fn cells() -> Vec<(PlatformConfig, ScenarioSpec)> {
     let mut cells = Vec::new();
     for profile in [
@@ -35,8 +37,10 @@ fn cells() -> Vec<(PlatformConfig, ScenarioSpec)> {
         PlatformProfile::PassiveTrust,
     ] {
         for seed in [7u64, 1234] {
+            let mut quiet_config = PlatformConfig::new(profile, seed);
+            quiet_config.telemetry.enabled = false;
             cells.push((
-                PlatformConfig::new(profile, seed),
+                quiet_config,
                 ScenarioSpec::quiet(SimDuration::cycles(DURATION)),
             ));
             cells.push((
@@ -137,6 +141,40 @@ fn thread_count_does_not_change_results() {
         for (index, result) in summary.results.iter().enumerate() {
             assert_eq!(result.label, format!("cell-{index}"), "{threads} threads");
         }
+    }
+}
+
+/// The telemetry layer inherits the engine's determinism guarantee: the
+/// submission-order fold over per-run snapshots must not care how the runs
+/// were scheduled, and cells that ran with telemetry disabled contribute
+/// nothing (rather than poisoning the merge).
+#[test]
+fn merged_telemetry_does_not_depend_on_thread_count() {
+    let reference = run_with_threads(1);
+    let merged = reference
+        .merged_telemetry()
+        .expect("telemetry-enabled cells present");
+    assert!(merged.spans_recorded > 0, "pipeline spans were recorded");
+    assert!(
+        merged.stage(Stage::MonitorSample).is_some(),
+        "monitor stage present in merged stats"
+    );
+    // Per-run telemetry: disabled cells carry None, enabled cells Some.
+    for (result, (config, _)) in reference.results.iter().zip(cells()) {
+        assert_eq!(
+            result.report.telemetry.is_some(),
+            config.telemetry.enabled,
+            "telemetry presence follows the per-cell config ({})",
+            result.label
+        );
+    }
+    for threads in [2, 8] {
+        let summary = run_with_threads(threads);
+        assert_eq!(
+            summary.merged_telemetry().as_ref(),
+            Some(&merged),
+            "{threads} threads: merged telemetry"
+        );
     }
 }
 
