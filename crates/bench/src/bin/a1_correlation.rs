@@ -104,9 +104,10 @@ fn main() {
     for enabled in [true, false] {
         let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, 55);
         config.correlation_enabled = enabled;
-        let spec = ScenarioSpec::quiet(SimDuration::cycles(1_000_000)).attack(
+        let duration = cres_bench::budget(1_000_000);
+        let spec = ScenarioSpec::quiet(SimDuration::cycles(duration)).attack(
             "code-injection",
-            SimTime::at_cycle(500_000),
+            SimTime::at_cycle(duration / 2),
             SimDuration::cycles(5_000),
         );
         platform_campaign.submit(
@@ -116,6 +117,7 @@ fn main() {
         );
     }
     let summary = platform_campaign.run_parallel(default_jobs());
+    cres_bench::emit_campaign_reports("a1", &summary);
     for (enabled, result) in [true, false].into_iter().zip(&summary.results) {
         let report = &result.report;
         cres_bench::row(

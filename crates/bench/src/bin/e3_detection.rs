@@ -50,9 +50,10 @@ impl Cell {
 }
 
 /// One cell's scenario: quiet background plus the named attack.
-/// Long enough that even the watchdog path (timeout 500k) resolves.
+/// Long enough (at full budget) that even the watchdog path (timeout 500k)
+/// resolves; `CRES_FAST` shrinks it to a determinism smoke.
 fn cell_spec(attack: &str) -> ScenarioSpec {
-    ScenarioSpec::quiet(SimDuration::cycles(1_000_000)).attack(
+    ScenarioSpec::quiet(SimDuration::cycles(cres_bench::budget(1_000_000))).attack(
         attack,
         SimTime::at_cycle(200_000),
         SimDuration::cycles(4_000),
@@ -84,6 +85,7 @@ fn main() {
         }
     }
     let summary = campaign.run_parallel(default_jobs());
+    cres_bench::emit_campaign_reports("e3", &summary);
 
     let widths = [18, 12, 12, 12, 12, 10];
     cres_bench::row(

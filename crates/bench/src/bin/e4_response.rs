@@ -16,33 +16,24 @@ use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
 use cres_ssm::PlannerMode;
 
-const DURATION: u64 = 1_500_000;
+const FULL_DURATION: u64 = 1_500_000;
 const SEEDS: [u64; 3] = [5, 77, 3003];
+
+/// Active cycle budget (`CRES_FAST` shrinks it; attack waves compress
+/// proportionally so every vector still fires).
+fn duration() -> u64 {
+    cres_bench::budget(FULL_DURATION)
+}
 
 fn attack_spec() -> ScenarioSpec {
     // A sustained multi-vector campaign: flood, exploit traffic, sensor
     // spoof and repeated code injection.
-    ScenarioSpec::quiet(SimDuration::cycles(DURATION))
-        .attack(
-            "network-flood",
-            SimTime::at_cycle(200_000),
-            SimDuration::cycles(3_000),
-        )
-        .attack(
-            "exploit-traffic",
-            SimTime::at_cycle(400_000),
-            SimDuration::cycles(10_000),
-        )
-        .attack(
-            "sensor-spoof",
-            SimTime::at_cycle(600_000),
-            SimDuration::cycles(1_000),
-        )
-        .attack(
-            "code-injection",
-            SimTime::at_cycle(800_000),
-            SimDuration::cycles(20_000),
-        )
+    let at = |full: u64| SimTime::at_cycle(full * duration() / FULL_DURATION);
+    ScenarioSpec::quiet(SimDuration::cycles(duration()))
+        .attack("network-flood", at(200_000), SimDuration::cycles(3_000))
+        .attack("exploit-traffic", at(400_000), SimDuration::cycles(10_000))
+        .attack("sensor-spoof", at(600_000), SimDuration::cycles(1_000))
+        .attack("code-injection", at(800_000), SimDuration::cycles(20_000))
 }
 
 const PLANNERS: [(&str, PlannerMode); 3] = [
@@ -67,12 +58,13 @@ fn main() {
             campaign.submit(
                 format!("{label}/quiet/{seed}"),
                 config,
-                ScenarioSpec::quiet(SimDuration::cycles(DURATION)),
+                ScenarioSpec::quiet(SimDuration::cycles(duration())),
             );
             campaign.submit(format!("{label}/attack/{seed}"), config, attack_spec());
         }
     }
     let summary = campaign.run_parallel(default_jobs());
+    cres_bench::emit_campaign_reports("e4", &summary);
 
     let widths = [22, 12, 14, 10, 12, 12];
     // "relay steps" = critical-task throughput vs an attack-free run of the

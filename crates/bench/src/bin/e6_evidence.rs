@@ -16,28 +16,16 @@ use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
 
+/// Stage starts are laid out for the full 900k-cycle budget and compress
+/// proportionally when `CRES_FAST` shrinks `duration`, so the wipe always
+/// lands.
 fn staged_intrusion(duration: u64) -> ScenarioSpec {
+    let at = |full: u64| SimTime::at_cycle(full * duration / 900_000);
     ScenarioSpec::quiet(SimDuration::cycles(duration))
-        .attack(
-            "memory-probe",
-            SimTime::at_cycle(200_000),
-            SimDuration::cycles(5_000),
-        )
-        .attack(
-            "code-injection",
-            SimTime::at_cycle(350_000),
-            SimDuration::cycles(8_000),
-        )
-        .attack(
-            "exfiltration",
-            SimTime::at_cycle(500_000),
-            SimDuration::cycles(5_000),
-        )
-        .attack(
-            "log-wipe",
-            SimTime::at_cycle(650_000),
-            SimDuration::cycles(1_000),
-        )
+        .attack("memory-probe", at(200_000), SimDuration::cycles(5_000))
+        .attack("code-injection", at(350_000), SimDuration::cycles(8_000))
+        .attack("exfiltration", at(500_000), SimDuration::cycles(5_000))
+        .attack("log-wipe", at(650_000), SimDuration::cycles(1_000))
 }
 
 fn main() {
@@ -45,7 +33,7 @@ fn main() {
         "E6",
         "Evidence continuity once trust is broken (staged intrusion ending in log wipe)",
     );
-    let duration = 900_000;
+    let duration = cres_bench::budget(900_000);
     let profiles = [
         PlatformProfile::CyberResilient,
         PlatformProfile::PassiveTrust,
@@ -59,6 +47,7 @@ fn main() {
         campaign.submit(profile.to_string(), config, staged_intrusion(duration));
     }
     let summary = campaign.run_parallel(default_jobs());
+    cres_bench::emit_campaign_reports("e6", &summary);
 
     let widths = [16, 14, 14, 12, 14, 14];
     cres_bench::row(

@@ -145,7 +145,7 @@ fn main() {
             campaign.submit(
                 format!("dma-exfil/{profile}/{seed}"),
                 PlatformConfig::new(profile, seed),
-                ScenarioSpec::quiet(SimDuration::cycles(800_000)).attack(
+                ScenarioSpec::quiet(SimDuration::cycles(cres_bench::budget(800_000))).attack(
                     "dma-exfil",
                     SimTime::at_cycle(200_000),
                     SimDuration::cycles(4_000),
@@ -154,6 +154,7 @@ fn main() {
         }
     }
     let summary = campaign.run_parallel(default_jobs());
+    cres_bench::emit_campaign_reports("e7", &summary);
     let widths = [16, 12, 14, 14];
     cres_bench::row(
         &[

@@ -7,13 +7,15 @@ use cres_bench::scenarios::build;
 use cres_platform::{PlatformConfig, PlatformProfile, Scenario, ScenarioRunner};
 use cres_sim::{SimDuration, SimTime};
 
-const DURATION: u64 = 1_000_000;
+const FULL_DURATION: u64 = 1_000_000;
 
 fn main() {
     cres_bench::banner(
         "E8",
         "Monitoring overhead vs sampling period (and the latency trade-off)",
     );
+    let duration = cres_bench::budget(FULL_DURATION);
+    let mut labelled: Vec<(String, cres_platform::RunReport)> = Vec::new();
     let widths = [16, 18, 12, 16, 14];
     cres_bench::row(
         &[
@@ -30,8 +32,8 @@ fn main() {
     for period in [1_000u64, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000] {
         let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, 8);
         config.monitor_period = SimDuration::cycles(period);
-        let scenario = Scenario::quiet(SimDuration::cycles(DURATION)).attack(
-            SimTime::at_cycle(500_000),
+        let scenario = Scenario::quiet(SimDuration::cycles(duration)).attack(
+            SimTime::at_cycle(duration / 2),
             SimDuration::cycles(8_000),
             build("code-injection"),
         );
@@ -40,7 +42,7 @@ fn main() {
             &[
                 &format!("{period}cy"),
                 &report.monitor_overhead_cycles,
-                &cres_bench::pct(report.monitor_overhead_cycles as f64 / DURATION as f64),
+                &cres_bench::pct(report.monitor_overhead_cycles as f64 / duration as f64),
                 &report
                     .attacks
                     .first()
@@ -50,16 +52,17 @@ fn main() {
             ],
             &widths,
         );
+        labelled.push((format!("period={period}"), report));
     }
     cres_bench::rule(&widths);
 
     // Baseline row for contrast.
     let config = PlatformConfig::new(PlatformProfile::PassiveTrust, 8);
-    let quiet = ScenarioRunner::new(config).run(Scenario::quiet(SimDuration::cycles(DURATION)));
+    let quiet = ScenarioRunner::new(config).run(Scenario::quiet(SimDuration::cycles(duration)));
     println!(
         "passive baseline: overhead {} cycles ({}) — and detects nothing.",
         quiet.monitor_overhead_cycles,
-        cres_bench::pct(quiet.monitor_overhead_cycles as f64 / DURATION as f64)
+        cres_bench::pct(quiet.monitor_overhead_cycles as f64 / duration as f64)
     );
 
     // Telemetry layer cost: the same worst-case cell (fastest sweep period)
@@ -67,8 +70,8 @@ fn main() {
     // the simulation itself must not move — only the instrumentation
     // counter differs.
     let telemetry_scenario = || {
-        Scenario::quiet(SimDuration::cycles(DURATION)).attack(
-            SimTime::at_cycle(500_000),
+        Scenario::quiet(SimDuration::cycles(duration)).attack(
+            SimTime::at_cycle(duration / 2),
             SimDuration::cycles(8_000),
             build("code-injection"),
         )
@@ -79,15 +82,17 @@ fn main() {
     off_config.telemetry.enabled = false;
     let on = ScenarioRunner::new(on_config).run(telemetry_scenario());
     let off = ScenarioRunner::new(off_config).run(telemetry_scenario());
+    labelled.push(("telemetry=on".into(), on.clone()));
+    labelled.push(("telemetry=off".into(), off.clone()));
 
     let snapshot = on.telemetry.as_ref().expect("telemetry enabled");
     let overhead = snapshot.instrumentation_cycles;
-    let ratio = overhead as f64 / DURATION as f64;
+    let ratio = overhead as f64 / duration as f64;
     println!(
         "\ntelemetry layer (worst case, 1000cy sampling): off 0 cycles, on {} cycles ({} of the {}-cycle run)",
         overhead,
         cres_bench::pct(ratio),
-        DURATION
+        duration
     );
     println!("  {}", snapshot.summary_line());
     print!("{}", snapshot.stage_table());
@@ -109,4 +114,5 @@ fn main() {
          ~period. The knee (here a few thousand cycles) is where a designer\n\
          buys sub-period detection for <1% monitoring cost."
     );
+    cres_bench::emit_reports("e8", labelled.iter().map(|(l, r)| (l.as_str(), r)));
 }

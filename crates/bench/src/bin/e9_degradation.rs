@@ -27,11 +27,14 @@ const CAMPAIGN: [&str; 5] = [
 ];
 
 fn spec(k: usize) -> ScenarioSpec {
-    let mut s = ScenarioSpec::quiet(SimDuration::cycles(DURATION));
+    // The escalation ladder compresses proportionally when `CRES_FAST`
+    // shrinks the budget, so every rung still fires.
+    let duration = cres_bench::budget(DURATION);
+    let mut s = ScenarioSpec::quiet(SimDuration::cycles(duration));
     for (i, name) in CAMPAIGN.iter().take(k).enumerate() {
         s = s.attack(
             *name,
-            SimTime::at_cycle(200_000 + 150_000 * i as u64),
+            SimTime::at_cycle((200_000 + 150_000 * i as u64) * duration / DURATION),
             SimDuration::cycles(5_000),
         );
     }
@@ -58,6 +61,7 @@ fn main() {
         }
     }
     let summary = campaign.run_parallel(default_jobs());
+    cres_bench::emit_campaign_reports("e9", &summary);
     // results are (k, profile)-ordered pairs; rung 0 is the quiet baseline
     let pair = |k: usize| {
         (

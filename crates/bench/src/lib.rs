@@ -18,11 +18,83 @@
 //! | `e8_overhead` | monitoring overhead sweep |
 //! | `e9_degradation` | graceful degradation under progressive compromise |
 //! | `e10_downgrade` | secure-boot downgrade vs anti-rollback |
+//! | `e11_selfheal` | self-resilience: detection under pipeline faults |
 //! | `a1_correlation` | ablation: correlation engine on/off |
+//!
+//! Two environment knobs exist for CI:
+//!
+//! * `CRES_FAST=1` shrinks every cycle budget (see [`budget`]) so the whole
+//!   suite finishes in seconds at reduced fidelity;
+//! * `CRES_REPORT_DIR=<dir>` makes every campaign-backed binary write its
+//!   per-run [`RunReport`]s as JSON (see [`emit_reports`]) so two runs can
+//!   be `diff`ed to pin cross-run determinism.
 
 pub mod scenarios;
 
+use cres_platform::campaign::CampaignSummary;
+use cres_platform::RunReport;
 use std::fmt::Display;
+
+/// True when `CRES_FAST` is set to anything but `""` or `"0"` — the CI
+/// smoke mode that trades fidelity for wall time.
+pub fn fast_mode() -> bool {
+    std::env::var("CRES_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Scales an experiment's cycle budget for the active mode: `full` normally,
+/// a quarter (floored at 300k cycles so the standard 200k-cycle attack
+/// start still fires) under [`fast_mode`]. Attack waves scheduled beyond
+/// the reduced budget are simply truncated — fast mode is a determinism
+/// smoke, not a fidelity run.
+pub fn budget(full: u64) -> u64 {
+    if fast_mode() {
+        (full / 4).clamp(300_000.min(full), full)
+    } else {
+        full
+    }
+}
+
+/// Writes labelled run reports as `<CRES_REPORT_DIR>/<id>.json` — one
+/// `{"label":…,"report":…}` object per line, in submission order — and
+/// returns the path written. A no-op returning `None` when
+/// `CRES_REPORT_DIR` is unset. Only simulation-deterministic fields go in
+/// (never wall-clock timings), so two runs of the same binary must produce
+/// byte-identical files; CI diffs them.
+pub fn emit_reports<'a>(
+    id: &str,
+    reports: impl IntoIterator<Item = (&'a str, &'a RunReport)>,
+) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("CRES_REPORT_DIR")?;
+    let mut out = String::new();
+    for (label, report) in reports {
+        out.push_str("{\"label\":\"");
+        for c in label.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\",\"report\":");
+        out.push_str(&report.to_json());
+        out.push_str("}\n");
+    }
+    let path = std::path::Path::new(&dir).join(format!("{id}.json"));
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    Some(path)
+}
+
+/// [`emit_reports`] for a whole campaign, labels taken from the jobs.
+pub fn emit_campaign_reports(id: &str, summary: &CampaignSummary) -> Option<std::path::PathBuf> {
+    emit_reports(
+        id,
+        summary
+            .results
+            .iter()
+            .map(|r| (r.label.as_str(), &r.report)),
+    )
+}
 
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {

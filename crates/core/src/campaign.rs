@@ -355,18 +355,37 @@ where
     }
 }
 
-/// Worker count for experiment sweeps: `CRES_JOBS` when set and nonzero,
-/// otherwise the machine's available parallelism.
-pub fn default_jobs() -> usize {
-    if let Ok(value) = std::env::var("CRES_JOBS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-        eprintln!("ignoring invalid CRES_JOBS={value:?} (want a positive integer)");
+/// Parses the `CRES_JOBS` override. Returns `Ok(None)` when the variable is
+/// unset, `Ok(Some(n))` for a positive integer, and `Err` (with a
+/// user-facing message) for anything else — `0`, garbage, or empty.
+pub fn jobs_from_env() -> Result<Option<usize>, String> {
+    match std::env::var("CRES_JOBS") {
+        Err(_) => Ok(None),
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            Ok(_) => Err(format!(
+                "invalid CRES_JOBS={value:?}: job count must be at least 1"
+            )),
+            Err(_) => Err(format!(
+                "invalid CRES_JOBS={value:?}: expected a positive integer"
+            )),
+        },
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Worker count for experiment sweeps: `CRES_JOBS` when set, otherwise the
+/// machine's available parallelism. A malformed or zero `CRES_JOBS` is a
+/// hard error (exit code 2), not a silent fallback — a determinism matrix
+/// that quietly ran on the wrong thread count would prove nothing.
+pub fn default_jobs() -> usize {
+    match jobs_from_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
 }
 
 #[cfg(test)]

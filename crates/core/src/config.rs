@@ -1,5 +1,6 @@
 //! Platform profiles and configuration.
 
+use crate::faultplane::FaultPlaneConfig;
 use crate::telemetry::TelemetryConfig;
 use cres_sim::SimDuration;
 use cres_ssm::{PlannerMode, SsmDeployment};
@@ -67,6 +68,9 @@ pub struct PlatformConfig {
     /// Pipeline telemetry layer (trace ring + metrics registry); disable
     /// for the zero-instrumentation baseline E8 compares against.
     pub telemetry: TelemetryConfig,
+    /// Fault injection into the security pipeline itself (E11); default
+    /// off, which is bit-identical to a platform without a fault plane.
+    pub faultplane: FaultPlaneConfig,
 }
 
 impl PlatformConfig {
@@ -87,6 +91,7 @@ impl PlatformConfig {
             expose_slots_to_attacker: false,
             planner_override: None,
             telemetry: TelemetryConfig::default(),
+            faultplane: FaultPlaneConfig::default(),
         }
     }
 

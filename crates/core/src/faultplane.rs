@@ -1,0 +1,633 @@
+//! The fault plane: deterministic fault injection into the security
+//! pipeline itself.
+//!
+//! Every experiment so far assumed the resilience layer is perfectly
+//! reliable — monitors never die, the monitor→SSM interconnect never drops
+//! an event, response commands always reach their backend. No real SoC
+//! interconnect offers that. This module makes pipeline failure a
+//! first-class, *seed-deterministic* workload:
+//!
+//! * **event channel faults** — loss, delayed delivery (held for whole
+//!   sampling batches), adjacent reordering, and in-transit corruption
+//!   (severity downgraded one band, detail mangled) of monitor→SSM events;
+//! * **monitor faults** — probabilistic single-round stalls and permanent
+//!   crash-at-cycle of a seed-chosen subset of the monitor fleet;
+//! * **response faults** — command drops between planner and backend.
+//!
+//! The pipeline fights back with bounded, sim-clock-based retry (exponential
+//! backoff + deterministic jitter — see [`RetryPolicy`]) and, at the SSM
+//! level, heartbeat liveness tracking that quarantines dead monitors and
+//! widens correlation windows (`cres_ssm::MonitorHealth`). Experiment E11
+//! (`e11_selfheal`) sweeps fault intensity against detection performance.
+//!
+//! Determinism contract: the injector draws from its own RNG stream
+//! (`fork("fault-plane")` of the platform seed), so
+//!
+//! * a disabled fault plane leaves every other stream untouched — reports
+//!   are byte-identical to a build without this module, and
+//! * telemetry on/off never changes fault decisions (the injector never
+//!   reads the sink).
+
+use cres_monitor::MonitorEvent;
+use cres_sim::{fault_code, DetRng, SimTime, Stage, StageSink};
+use serde::{Deserialize, Serialize};
+
+/// Fault-plane configuration, carried per [`crate::PlatformConfig`] cell.
+///
+/// All probabilities are per-event (or per-command / per-monitor-round)
+/// Bernoulli draws in `[0, 1]`. The default is everything off, which is
+/// bit-for-bit equivalent to a platform without a fault plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlaneConfig {
+    /// Master switch. When false the injector is never constructed and no
+    /// RNG is drawn.
+    pub enabled: bool,
+    /// Probability a monitor event is lost in transit (before retry).
+    pub event_loss: f64,
+    /// Probability a surviving event is held back for later delivery.
+    pub event_delay: f64,
+    /// Maximum number of sampling batches a delayed event is held for
+    /// (actual hold is uniform in `1..=max_delay_batches`).
+    pub max_delay_batches: u32,
+    /// Probability of swapping each adjacent pair in a delivered batch.
+    pub event_reorder: f64,
+    /// Probability an event is corrupted in transit (severity downgraded
+    /// one band, detail mangled).
+    pub event_corrupt: f64,
+    /// Probability a response command is dropped before the backend
+    /// (before retry).
+    pub response_drop: f64,
+    /// Number of monitors (seed-chosen from the periodic fleet) that crash
+    /// permanently at [`FaultPlaneConfig::crash_at`].
+    pub crashed_monitors: u32,
+    /// Cycle at which crashing monitors die.
+    pub crash_at: u64,
+    /// Probability a live monitor skips one sampling round.
+    pub monitor_stall: f64,
+    /// Retry policy for faulted event and command deliveries.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultPlaneConfig {
+    fn default() -> Self {
+        FaultPlaneConfig {
+            enabled: false,
+            event_loss: 0.0,
+            event_delay: 0.0,
+            max_delay_batches: 3,
+            event_reorder: 0.0,
+            event_corrupt: 0.0,
+            response_drop: 0.0,
+            crashed_monitors: 0,
+            crash_at: 0,
+            monitor_stall: 0.0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl FaultPlaneConfig {
+    /// A moderately hostile interconnect: the E11 sweep's parameterisation.
+    /// `loss` is the event-loss probability; `crashed` the number of
+    /// monitors that die at `crash_at`.
+    pub fn sweep_cell(loss: f64, crashed: u32, crash_at: u64) -> Self {
+        FaultPlaneConfig {
+            enabled: true,
+            event_loss: loss,
+            event_delay: loss / 2.0,
+            max_delay_batches: 3,
+            event_reorder: loss / 2.0,
+            event_corrupt: loss / 4.0,
+            response_drop: loss / 2.0,
+            crashed_monitors: crashed,
+            crash_at,
+            monitor_stall: loss / 2.0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter, in sim
+/// cycles (never wall time).
+///
+/// A faulted delivery is retried up to `max_attempts - 1` times; attempt
+/// `n`'s backoff is `base_backoff << n` plus a jitter draw in
+/// `[0, base_backoff)`, clamped to `max_backoff` and to be non-decreasing —
+/// so a schedule is always **monotone and bounded** (pinned by property
+/// tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total delivery attempts (first try included). 1 disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in cycles.
+    pub base_backoff: u64,
+    /// Ceiling on any single backoff, in cycles.
+    pub max_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 64,
+            max_backoff: 1_024,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Draws the full backoff schedule (one entry per retry, i.e.
+    /// `max_attempts - 1` entries) from `rng`. Each entry is the delay in
+    /// cycles before that retry; the sequence is non-decreasing and every
+    /// entry is `<= max_backoff`.
+    pub fn schedule(&self, rng: &mut DetRng) -> Vec<u64> {
+        let mut delays = Vec::new();
+        let mut previous = 0u64;
+        for attempt in 0..self.max_attempts.saturating_sub(1) {
+            let exponential = self
+                .base_backoff
+                .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+                .min(self.max_backoff);
+            let jitter = if self.base_backoff > 0 {
+                rng.range_u64(0, self.base_backoff)
+            } else {
+                0
+            };
+            let delay = exponential
+                .saturating_add(jitter)
+                .min(self.max_backoff)
+                .max(previous);
+            previous = delay;
+            delays.push(delay);
+        }
+        delays
+    }
+}
+
+/// Counters for everything the fault plane injected and everything the
+/// pipeline did to survive it. Embedded in `RunReport` (independent of the
+/// telemetry layer, so fault accounting survives `telemetry.enabled =
+/// false`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlaneStats {
+    /// Events dropped after exhausting every delivery retry.
+    pub events_lost: u64,
+    /// Events held back for at least one batch.
+    pub events_delayed: u64,
+    /// Adjacent event pairs swapped.
+    pub events_reordered: u64,
+    /// Events corrupted in transit.
+    pub events_corrupted: u64,
+    /// Event delivery retries spent.
+    pub delivery_retries: u64,
+    /// Events that initially faulted but were recovered by a retry.
+    pub recovered_deliveries: u64,
+    /// Total backoff cycles spent on retries (events + responses).
+    pub backoff_cycles: u64,
+    /// Monitor sampling rounds skipped by stalls.
+    pub monitor_stalls: u64,
+    /// Monitors crashed permanently.
+    pub monitors_crashed: u64,
+    /// Monitors the SSM quarantined via heartbeat loss.
+    pub monitors_quarantined: u64,
+    /// Response commands dropped after exhausting retries.
+    pub response_drops: u64,
+    /// Response delivery retries spent.
+    pub response_retries: u64,
+    /// True when correlation entered sensing-degraded compensation.
+    pub degraded_correlation: bool,
+}
+
+/// The runtime fault injector: one per platform, constructed only when
+/// [`FaultPlaneConfig::enabled`] is set.
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    config: FaultPlaneConfig,
+    rng: DetRng,
+    /// Events held back by the delay fault: `(batches_remaining, event)`.
+    delayed: Vec<(u32, MonitorEvent)>,
+    /// Indices (into the platform's periodic monitor fleet) that crash at
+    /// `config.crash_at`.
+    crashed: Vec<usize>,
+    stats: FaultPlaneStats,
+}
+
+impl FaultPlane {
+    /// Builds the injector for a platform seeded with `seed` driving
+    /// `monitor_count` periodic monitors. The crash victims are a
+    /// seed-deterministic choice of `config.crashed_monitors` distinct
+    /// indices.
+    pub fn new(config: FaultPlaneConfig, seed: u64, monitor_count: usize) -> Self {
+        let mut rng = DetRng::seed_from(seed).fork("fault-plane");
+        let victims = (config.crashed_monitors as usize).min(monitor_count);
+        let crashed: Vec<usize> = rng
+            .permutation(monitor_count)
+            .into_iter()
+            .take(victims)
+            .collect();
+        let stats = FaultPlaneStats {
+            monitors_crashed: crashed.len() as u64,
+            ..Default::default()
+        };
+        FaultPlane {
+            config,
+            rng,
+            delayed: Vec::new(),
+            crashed,
+            stats,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FaultPlaneConfig {
+        &self.config
+    }
+
+    /// Injection/recovery counters so far.
+    pub fn stats(&self) -> &FaultPlaneStats {
+        &self.stats
+    }
+
+    /// Mutable access for the scoring path (quarantine/degradation counts
+    /// are owned by the SSM and folded in at report time).
+    pub fn stats_mut(&mut self) -> &mut FaultPlaneStats {
+        &mut self.stats
+    }
+
+    /// Indices of monitors that die at [`FaultPlaneConfig::crash_at`].
+    pub fn crashed_monitors(&self) -> &[usize] {
+        &self.crashed
+    }
+
+    /// True when monitor `index` is dead at `now`.
+    pub fn is_crashed(&self, index: usize, now: SimTime) -> bool {
+        now.cycle() >= self.config.crash_at && self.crashed.contains(&index)
+    }
+
+    /// True when delayed events are waiting for a later batch — the runner
+    /// must keep pumping even when a sampling round itself is empty.
+    pub fn pending(&self) -> bool {
+        !self.delayed.is_empty()
+    }
+
+    /// Draws the stall fault for one live monitor's sampling round. Returns
+    /// true when the monitor skips this round (one `fault-plane` span, no
+    /// heartbeat — a stalled monitor looks dead until it beats again).
+    pub fn monitor_stalls(&mut self, now: SimTime, sink: &mut dyn StageSink) -> bool {
+        if self.config.monitor_stall <= 0.0 {
+            return false;
+        }
+        let stalled = self.rng.chance(self.config.monitor_stall);
+        if stalled {
+            self.stats.monitor_stalls += 1;
+            sink.record_span(now, Stage::FaultPlane, fault_code::MONITOR_STALLED, 1);
+        }
+        stalled
+    }
+
+    /// Passes one freshly sampled batch through the faulty interconnect and
+    /// returns what the SSM actually receives: due delayed events first
+    /// (FIFO), then this batch's survivors — corrupted, lost (after
+    /// retries), delayed, and finally reordered. Never duplicates an event.
+    pub fn filter_events(
+        &mut self,
+        now: SimTime,
+        events: Vec<MonitorEvent>,
+        sink: &mut dyn StageSink,
+    ) -> Vec<MonitorEvent> {
+        // Release events whose hold expired; decrement the rest.
+        let mut delivered: Vec<MonitorEvent> = Vec::new();
+        let mut still_held: Vec<(u32, MonitorEvent)> = Vec::new();
+        for (batches, event) in self.delayed.drain(..) {
+            if batches <= 1 {
+                delivered.push(event);
+            } else {
+                still_held.push((batches - 1, event));
+            }
+        }
+        self.delayed = still_held;
+
+        for mut event in events {
+            // Corruption: the event arrives, but mangled.
+            if self.config.event_corrupt > 0.0 && self.rng.chance(self.config.event_corrupt) {
+                event.severity = event.severity.downgrade();
+                event.detail = format!("[corrupted in transit] {}", event.detail);
+                self.stats.events_corrupted += 1;
+                sink.record_span(now, Stage::FaultPlane, fault_code::EVENT_CORRUPTED, 1);
+            }
+            // Loss, fought with bounded retry.
+            if self.config.event_loss > 0.0
+                && self.rng.chance(self.config.event_loss)
+                && !self.retry_delivery(now, self.config.event_loss, false, sink)
+            {
+                self.stats.events_lost += 1;
+                sink.record_span(now, Stage::FaultPlane, fault_code::EVENT_LOST, 1);
+                continue;
+            }
+            // Delay: survived, but held for 1..=max batches.
+            if self.config.event_delay > 0.0
+                && self.config.max_delay_batches > 0
+                && self.rng.chance(self.config.event_delay)
+            {
+                let hold = self
+                    .rng
+                    .range_u64(1, u64::from(self.config.max_delay_batches) + 1)
+                    as u32;
+                self.stats.events_delayed += 1;
+                sink.record_span(now, Stage::FaultPlane, fault_code::EVENT_DELAYED, 1);
+                self.delayed.push((hold, event));
+                continue;
+            }
+            delivered.push(event);
+        }
+
+        // Reorder: swap adjacent pairs. A swap never duplicates or drops.
+        if self.config.event_reorder > 0.0 && delivered.len() >= 2 {
+            for i in 0..delivered.len() - 1 {
+                if self.rng.chance(self.config.event_reorder) {
+                    delivered.swap(i, i + 1);
+                    self.stats.events_reordered += 1;
+                    sink.record_span(now, Stage::FaultPlane, fault_code::EVENT_REORDERED, 1);
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Draws the drop fault for one response command. Returns true when the
+    /// command is lost (after retries).
+    pub fn drops_response(&mut self, now: SimTime, sink: &mut dyn StageSink) -> bool {
+        if self.config.response_drop <= 0.0 || !self.rng.chance(self.config.response_drop) {
+            return false;
+        }
+        if self.retry_delivery(now, self.config.response_drop, true, sink) {
+            return false;
+        }
+        self.stats.response_drops += 1;
+        sink.record_span(now, Stage::FaultPlane, fault_code::RESPONSE_DROPPED, 1);
+        true
+    }
+
+    /// Spends the retry budget on a faulted delivery. Each retry waits its
+    /// backoff (accounted in `backoff_cycles`) and re-rolls against
+    /// `fault_p`; returns true when some retry succeeds.
+    fn retry_delivery(
+        &mut self,
+        now: SimTime,
+        fault_p: f64,
+        response: bool,
+        sink: &mut dyn StageSink,
+    ) -> bool {
+        let schedule = self.config.retry.schedule(&mut self.rng);
+        for backoff in schedule {
+            self.stats.backoff_cycles += backoff;
+            if response {
+                self.stats.response_retries += 1;
+            } else {
+                self.stats.delivery_retries += 1;
+            }
+            sink.record_span(now, Stage::FaultPlane, fault_code::DELIVERY_RETRY, backoff);
+            if !self.rng.chance(fault_p) {
+                self.stats.recovered_deliveries += 1;
+                sink.record_span(now, Stage::FaultPlane, fault_code::DELIVERY_RECOVERED, 1);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_monitor::{Severity, Subject};
+    use cres_policy::DetectionCapability;
+    use cres_sim::NullSink;
+
+    fn ev(at: u64, detail: &str) -> MonitorEvent {
+        MonitorEvent::new(
+            SimTime::at_cycle(at),
+            "m",
+            DetectionCapability::BusPolicing,
+            Severity::Alert,
+            Subject::Network,
+            detail,
+        )
+    }
+
+    #[test]
+    fn disabled_config_is_default() {
+        let config = FaultPlaneConfig::default();
+        assert!(!config.enabled);
+        assert_eq!(config.event_loss, 0.0);
+        assert_eq!(config.crashed_monitors, 0);
+    }
+
+    #[test]
+    fn all_off_plane_is_transparent() {
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig {
+                enabled: true,
+                ..Default::default()
+            },
+            1,
+            8,
+        );
+        let batch: Vec<MonitorEvent> = (0..10).map(|i| ev(i, "x")).collect();
+        let out = plane.filter_events(SimTime::at_cycle(100), batch.clone(), &mut NullSink);
+        assert_eq!(out, batch);
+        assert!(!plane.drops_response(SimTime::at_cycle(100), &mut NullSink));
+        assert_eq!(plane.stats(), &FaultPlaneStats::default());
+    }
+
+    #[test]
+    fn total_loss_drops_everything_and_counts() {
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig {
+                enabled: true,
+                event_loss: 1.0,
+                ..Default::default()
+            },
+            1,
+            8,
+        );
+        let out = plane.filter_events(
+            SimTime::at_cycle(0),
+            (0..5).map(|i| ev(i, "x")).collect(),
+            &mut NullSink,
+        );
+        assert!(out.is_empty());
+        assert_eq!(plane.stats().events_lost, 5);
+        // retry budget spent on every loss: (max_attempts - 1) each
+        assert_eq!(plane.stats().delivery_retries, 5 * 2);
+        assert!(plane.stats().backoff_cycles > 0);
+    }
+
+    #[test]
+    fn delayed_events_arrive_later_without_duplication() {
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig {
+                enabled: true,
+                event_delay: 1.0,
+                max_delay_batches: 2,
+                ..Default::default()
+            },
+            1,
+            8,
+        );
+        let batch: Vec<MonitorEvent> = (0..4).map(|i| ev(i, "d")).collect();
+        let first = plane.filter_events(SimTime::at_cycle(0), batch.clone(), &mut NullSink);
+        assert!(first.is_empty(), "everything should be held");
+        assert!(plane.pending());
+        let mut recovered = Vec::new();
+        // Feeding empty batches releases the held events; delay cannot
+        // re-fire on an already released event (release path is fault-free).
+        for round in 1..=3u64 {
+            recovered.extend(plane.filter_events(
+                SimTime::at_cycle(round * 1_000),
+                Vec::new(),
+                &mut NullSink,
+            ));
+        }
+        assert!(!plane.pending());
+        assert_eq!(recovered.len(), batch.len(), "no loss, no duplication");
+        assert_eq!(plane.stats().events_delayed, 4);
+    }
+
+    #[test]
+    fn corruption_downgrades_and_tags() {
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig {
+                enabled: true,
+                event_corrupt: 1.0,
+                ..Default::default()
+            },
+            1,
+            8,
+        );
+        let out = plane.filter_events(SimTime::at_cycle(0), vec![ev(0, "probe")], &mut NullSink);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert!(out[0].detail.starts_with("[corrupted in transit]"));
+        assert_eq!(plane.stats().events_corrupted, 1);
+    }
+
+    #[test]
+    fn reorder_permutes_but_preserves_multiset() {
+        let mut plane = FaultPlane::new(
+            FaultPlaneConfig {
+                enabled: true,
+                event_reorder: 1.0,
+                ..Default::default()
+            },
+            1,
+            8,
+        );
+        let batch: Vec<MonitorEvent> = (0..6).map(|i| ev(i, "r")).collect();
+        let out = plane.filter_events(SimTime::at_cycle(0), batch.clone(), &mut NullSink);
+        assert_eq!(out.len(), batch.len());
+        let mut sorted_in: Vec<u64> = batch.iter().map(|e| e.at.cycle()).collect();
+        let mut sorted_out: Vec<u64> = out.iter().map(|e| e.at.cycle()).collect();
+        sorted_in.sort_unstable();
+        sorted_out.sort_unstable();
+        assert_eq!(sorted_in, sorted_out);
+        assert!(plane.stats().events_reordered > 0);
+    }
+
+    #[test]
+    fn crash_victims_are_seed_deterministic_and_distinct() {
+        let config = FaultPlaneConfig {
+            enabled: true,
+            crashed_monitors: 3,
+            crash_at: 1_000,
+            ..Default::default()
+        };
+        let a = FaultPlane::new(config, 42, 8);
+        let b = FaultPlane::new(config, 42, 8);
+        assert_eq!(a.crashed_monitors(), b.crashed_monitors());
+        assert_eq!(a.crashed_monitors().len(), 3);
+        let mut sorted = a.crashed_monitors().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "victims must be distinct");
+        // before crash_at nobody is dead; after, exactly the victims are
+        for idx in 0..8 {
+            assert!(!a.is_crashed(idx, SimTime::at_cycle(999)));
+        }
+        for &idx in a.crashed_monitors() {
+            assert!(a.is_crashed(idx, SimTime::at_cycle(1_000)));
+        }
+        assert_eq!(a.stats().monitors_crashed, 3);
+    }
+
+    #[test]
+    fn crash_count_saturates_at_fleet_size() {
+        let plane = FaultPlane::new(
+            FaultPlaneConfig {
+                enabled: true,
+                crashed_monitors: 99,
+                ..Default::default()
+            },
+            7,
+            4,
+        );
+        assert_eq!(plane.crashed_monitors().len(), 4);
+    }
+
+    #[test]
+    fn retry_schedule_is_monotone_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: 100,
+            max_backoff: 1_500,
+        };
+        let mut rng = DetRng::seed_from(9);
+        for _ in 0..50 {
+            let schedule = policy.schedule(&mut rng);
+            assert_eq!(schedule.len(), 5);
+            assert!(schedule.windows(2).all(|w| w[0] <= w[1]), "{schedule:?}");
+            assert!(schedule.iter().all(|&d| d <= policy.max_backoff));
+        }
+    }
+
+    #[test]
+    fn single_attempt_policy_never_retries() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            base_backoff: 64,
+            max_backoff: 1_024,
+        };
+        let mut rng = DetRng::seed_from(3);
+        assert!(policy.schedule(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_fault_decisions() {
+        let config = FaultPlaneConfig::sweep_cell(0.3, 1, 100_000);
+        let batch: Vec<MonitorEvent> = (0..20).map(|i| ev(i, "s")).collect();
+        let run = |seed: u64| {
+            let mut plane = FaultPlane::new(config, seed, 8);
+            let mut out = Vec::new();
+            for round in 0..5u64 {
+                out.push(plane.filter_events(
+                    SimTime::at_cycle(round * 5_000),
+                    batch.clone(),
+                    &mut NullSink,
+                ));
+            }
+            (out, *plane.stats())
+        };
+        assert_eq!(run(1234), run(1234));
+        assert_ne!(run(1234).1, run(5678).1, "different seeds should differ");
+    }
+
+    #[test]
+    fn sweep_cell_scales_with_loss() {
+        let cell = FaultPlaneConfig::sweep_cell(0.2, 2, 50_000);
+        assert!(cell.enabled);
+        assert_eq!(cell.event_loss, 0.2);
+        assert_eq!(cell.event_delay, 0.1);
+        assert_eq!(cell.crashed_monitors, 2);
+        assert_eq!(cell.crash_at, 50_000);
+    }
+}

@@ -8,6 +8,7 @@
 //! floats are written with Rust's shortest round-trip formatting.
 
 use crate::config::PlatformProfile;
+use crate::faultplane::FaultPlaneStats;
 use crate::metrics::{AttackOutcomeReport, RunReport};
 use crate::telemetry::{HistogramSnapshot, StageStat, TelemetrySnapshot, TraceSpan};
 use cres_attacks::AttackKind;
@@ -724,6 +725,51 @@ impl TelemetrySnapshot {
     }
 }
 
+impl FaultPlaneStats {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"events_lost\":{},\"events_delayed\":{},\"events_reordered\":{},\
+             \"events_corrupted\":{},\"delivery_retries\":{},\"recovered_deliveries\":{},\
+             \"backoff_cycles\":{},\"monitor_stalls\":{},\"monitors_crashed\":{},\
+             \"monitors_quarantined\":{},\"response_drops\":{},\"response_retries\":{},\
+             \"degraded_correlation\":{}}}",
+            self.events_lost,
+            self.events_delayed,
+            self.events_reordered,
+            self.events_corrupted,
+            self.delivery_retries,
+            self.recovered_deliveries,
+            self.backoff_cycles,
+            self.monitor_stalls,
+            self.monitors_crashed,
+            self.monitors_quarantined,
+            self.response_drops,
+            self.response_retries,
+            self.degraded_correlation
+        );
+    }
+
+    fn from_value(value: &Value) -> Result<Self> {
+        let fields = as_object(value)?;
+        Ok(FaultPlaneStats {
+            events_lost: get_u64(fields, "events_lost")?,
+            events_delayed: get_u64(fields, "events_delayed")?,
+            events_reordered: get_u64(fields, "events_reordered")?,
+            events_corrupted: get_u64(fields, "events_corrupted")?,
+            delivery_retries: get_u64(fields, "delivery_retries")?,
+            recovered_deliveries: get_u64(fields, "recovered_deliveries")?,
+            backoff_cycles: get_u64(fields, "backoff_cycles")?,
+            monitor_stalls: get_u64(fields, "monitor_stalls")?,
+            monitors_crashed: get_u64(fields, "monitors_crashed")?,
+            monitors_quarantined: get_u64(fields, "monitors_quarantined")?,
+            response_drops: get_u64(fields, "response_drops")?,
+            response_retries: get_u64(fields, "response_retries")?,
+            degraded_correlation: get_bool(fields, "degraded_correlation")?,
+        })
+    }
+}
+
 impl RunReport {
     /// Encodes the report as a single-line JSON object.
     pub fn to_json(&self) -> String {
@@ -769,6 +815,11 @@ impl RunReport {
              \"attacker_wins\":{}",
             self.console_lines, self.monitor_overhead_cycles, self.reboots, self.attacker_wins
         );
+        out.push_str(",\"faultplane\":");
+        match &self.faultplane {
+            Some(stats) => stats.write_json(&mut out),
+            None => out.push_str("null"),
+        }
         out.push_str(",\"telemetry\":");
         match &self.telemetry {
             Some(snapshot) => snapshot.write_json(&mut out),
@@ -816,6 +867,10 @@ impl RunReport {
             telemetry: match field(fields, "telemetry")? {
                 Value::Null => None,
                 value => Some(TelemetrySnapshot::from_value(value)?),
+            },
+            faultplane: match field(fields, "faultplane")? {
+                Value::Null => None,
+                value => Some(FaultPlaneStats::from_value(value)?),
             },
         })
     }
@@ -882,6 +937,21 @@ mod tests {
             reboots: 2,
             attacker_wins: 1,
             telemetry: Some(sample_telemetry()),
+            faultplane: Some(FaultPlaneStats {
+                events_lost: 12,
+                events_delayed: 7,
+                events_reordered: 3,
+                events_corrupted: 2,
+                delivery_retries: 31,
+                recovered_deliveries: 19,
+                backoff_cycles: 4_096,
+                monitor_stalls: 5,
+                monitors_crashed: 1,
+                monitors_quarantined: 1,
+                response_drops: 2,
+                response_retries: 6,
+                degraded_correlation: true,
+            }),
         }
     }
 
@@ -902,6 +972,25 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"telemetry\":null"));
         assert_eq!(RunReport::from_json(&json).expect("decode"), report);
+    }
+
+    #[test]
+    fn faultplane_none_encodes_as_null() {
+        let mut report = sample_report();
+        report.faultplane = None;
+        let json = report.to_json();
+        assert!(json.contains("\"faultplane\":null"));
+        assert_eq!(RunReport::from_json(&json).expect("decode"), report);
+    }
+
+    #[test]
+    fn faultplane_stats_round_trip() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(json.contains("\"events_lost\":12"));
+        assert!(json.contains("\"degraded_correlation\":true"));
+        let back = RunReport::from_json(&json).expect("decode");
+        assert_eq!(back.faultplane, report.faultplane);
     }
 
     #[test]

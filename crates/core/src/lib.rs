@@ -45,6 +45,7 @@
 pub mod campaign;
 pub mod comms;
 pub mod config;
+pub mod faultplane;
 pub mod json;
 pub mod metrics;
 pub mod platform;
@@ -55,6 +56,7 @@ pub mod telemetry;
 pub use campaign::{Campaign, CampaignSummary, Job, JobResult, ScenarioSpec};
 pub use comms::{AuthMessage, RejectReason, SecureChannel};
 pub use config::{PlatformConfig, PlatformProfile};
+pub use faultplane::{FaultPlane, FaultPlaneConfig, FaultPlaneStats, RetryPolicy};
 pub use metrics::{AttackOutcomeReport, RunReport};
 pub use platform::Platform;
 pub use runner::{Scenario, ScenarioRunner};

@@ -1,6 +1,7 @@
 //! Run reports: the measurements every experiment consumes.
 
 use crate::config::PlatformProfile;
+use crate::faultplane::FaultPlaneStats;
 use crate::telemetry::TelemetrySnapshot;
 use cres_attacks::AttackKind;
 use cres_sim::SimTime;
@@ -103,6 +104,10 @@ pub struct RunReport {
     /// End-of-run telemetry (trace/metrics) snapshot; `None` when the
     /// telemetry layer was disabled for the run.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Fault-plane injection/recovery counters; `None` when the fault
+    /// plane was disabled for the run. Independent of `telemetry`, so
+    /// fault accounting survives a telemetry-off run.
+    pub faultplane: Option<FaultPlaneStats>,
 }
 
 impl RunReport {
@@ -183,6 +188,7 @@ mod tests {
             reboots: 0,
             attacker_wins: 0,
             telemetry: None,
+            faultplane: None,
         }
     }
 

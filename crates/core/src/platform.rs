@@ -1,6 +1,7 @@
 //! The assembled platform.
 
 use crate::config::{PlatformConfig, PlatformProfile};
+use crate::faultplane::FaultPlane;
 use crate::provision::{provision, Provisioned};
 use crate::telemetry::TelemetryRecorder;
 use cres_attacks::{AttackEffect, AttackInjector, AttackStepResult, AttackTargets};
@@ -106,6 +107,11 @@ pub struct Platform {
     /// [`crate::telemetry::TelemetryConfig::enabled`] is off, making every
     /// instrumentation point a single branch.
     pub telemetry: Option<TelemetryRecorder>,
+    /// The pipeline fault injector; `None` when
+    /// [`crate::faultplane::FaultPlaneConfig::enabled`] is off — the
+    /// disabled path draws no RNG and is byte-identical to a platform
+    /// without a fault plane.
+    pub faultplane: Option<FaultPlane>,
     /// Accumulated monitor sampling cost (cycles) for E8.
     pub monitor_overhead_cycles: u64,
     /// Steps completed by `Critical` tasks (service-delivery metric).
@@ -159,10 +165,18 @@ impl Platform {
             planner: config.planner_mode(),
             evidence_enabled: config.evidence_enabled,
         };
-        let ssm = SystemSecurityManager::new(ssm_config, &evidence_key);
+        let mut ssm = SystemSecurityManager::new(ssm_config, &evidence_key);
         let response = ResponseManager::new(config.reboot_duration);
 
         let monitors = Self::build_monitors(&soc, &config);
+        // The fault plane targets the periodic fleet (not CFI/syscall,
+        // which are fed inline by the scheduler). Heartbeat liveness
+        // tracking is armed only alongside it, so fault-free platforms are
+        // bit-identical to builds without a fault plane.
+        let faultplane = config.faultplane.enabled.then(|| {
+            ssm.init_monitor_health(monitors.len(), config.monitor_period, 3);
+            FaultPlane::new(config.faultplane, config.seed, monitors.len())
+        });
 
         // Initial measured boot.
         let sig_len = vendor.public.modulus_len();
@@ -196,6 +210,7 @@ impl Platform {
                 .telemetry
                 .enabled
                 .then(|| TelemetryRecorder::new(config.telemetry)),
+            faultplane,
             monitor_overhead_cycles: 0,
             critical_steps: 0,
             reboots: 0,
@@ -497,6 +512,14 @@ impl Platform {
 
     /// Samples every monitor, returning the collected events and charging
     /// the overhead account.
+    ///
+    /// When the fault plane is armed this is the faulty interconnect:
+    /// crashed monitors are skipped permanently, stalled monitors skip the
+    /// round (neither produces a heartbeat), the batch is routed through
+    /// [`FaultPlane::filter_events`] (loss/retry, delay, reorder,
+    /// corruption — due delayed events from earlier batches are delivered
+    /// first), and the SSM's heartbeat liveness sweep runs so a dead
+    /// monitor is quarantined instead of silently trusted.
     pub fn sample_monitors(&mut self, now: SimTime) -> Vec<MonitorEvent> {
         let mut null = NullSink;
         let sink: &mut dyn StageSink = match self.telemetry.as_mut() {
@@ -504,14 +527,32 @@ impl Platform {
             None => &mut null,
         };
         let mut events = Vec::new();
-        for m in &mut self.monitors {
+        for (index, m) in self.monitors.iter_mut().enumerate() {
+            if let Some(fp) = self.faultplane.as_mut() {
+                if fp.is_crashed(index, now) {
+                    continue; // dead: no sample, no heartbeat
+                }
+                if fp.monitor_stalls(now, sink) {
+                    continue; // stalled: skips the round and its heartbeat
+                }
+            }
             self.monitor_overhead_cycles += m.sample_cost();
             events.extend(m.sample_traced(&mut self.soc, now, sink));
+            self.ssm.monitor_heartbeat(index, now);
         }
         if self.config.active_monitors() {
             self.monitor_overhead_cycles += self.cfi.sample_cost() + self.syscall_mon.sample_cost();
             events.extend(self.cfi.sample_traced(&mut self.soc, now, sink));
             events.extend(self.syscall_mon.sample_traced(&mut self.soc, now, sink));
+        }
+        if let Some(fp) = self.faultplane.as_mut() {
+            events = fp.filter_events(now, events, sink);
+            let quarantined = self.ssm.check_monitor_health(now, sink);
+            for index in quarantined {
+                self.soc.uart.write_line(format!(
+                    "[{now}] ssm: monitor #{index} heartbeat lost; quarantined, sensing degraded"
+                ));
+            }
         }
         events
     }
@@ -549,7 +590,14 @@ impl Platform {
 
     /// Executes one plan through the response manager with the real
     /// recovery backend, recording outcomes in the evidence chain.
+    ///
+    /// With the fault plane armed, each command first crosses the faulty
+    /// SSM→backend interconnect: a dropped command (after retries) is
+    /// recorded as a failed action in the forensic log and removed from the
+    /// plan actually executed — including `EnterDegradedMode`, so a lost
+    /// degrade command really is lost.
     pub fn execute_plan(&mut self, plan: &ResponsePlan, now: SimTime) {
+        let plan = &self.drop_faulted_commands(plan, now);
         let mut backend = BackendView {
             update: &mut self.update,
             slots: &mut self.slots,
@@ -586,6 +634,37 @@ impl Platform {
             .contains(&cres_ssm::ResponseAction::EnterDegradedMode)
         {
             self.ssm.record_degraded(now);
+        }
+    }
+
+    /// Routes a plan's commands across the faulty interconnect, returning
+    /// the plan that actually reaches the backend. Without a fault plane
+    /// this is the identity.
+    fn drop_faulted_commands(&mut self, plan: &ResponsePlan, now: SimTime) -> ResponsePlan {
+        let Some(fp) = self.faultplane.as_mut() else {
+            return plan.clone();
+        };
+        let mut null = NullSink;
+        let sink: &mut dyn StageSink = match self.telemetry.as_mut() {
+            Some(recorder) => recorder,
+            None => &mut null,
+        };
+        let mut kept = Vec::with_capacity(plan.actions.len());
+        for &action in &plan.actions {
+            if fp.drops_response(now, sink) {
+                let record = self.response.record_dropped(action, now);
+                self.ssm.record_response(now, &action.to_string(), false);
+                self.soc.uart.write_line(format!(
+                    "[{now}] response {} -> {}",
+                    record.action, record.outcome
+                ));
+            } else {
+                kept.push(action);
+            }
+        }
+        ResponsePlan {
+            incident: plan.incident,
+            actions: kept,
         }
     }
 

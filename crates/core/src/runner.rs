@@ -273,6 +273,15 @@ impl ScenarioRunner {
         // Freeze end-of-run telemetry: scoring-time metrics (latency
         // histogram, per-kind incident counters, occupancy/chain gauges)
         // join the span aggregates collected during the run.
+        // Fold SSM-owned resilience outcomes (quarantine count, degraded
+        // correlation) into the fault-plane stats before freezing them.
+        let faultplane = platform.faultplane.as_mut().map(|fp| {
+            let stats = fp.stats_mut();
+            stats.monitors_quarantined = platform.ssm.quarantined_monitors().len() as u64;
+            stats.degraded_correlation = platform.ssm.sensing_degraded();
+            *stats
+        });
+
         let telemetry = if let Some(recorder) = platform.telemetry.as_mut() {
             let occupancy = recorder.ring().len() as f64;
             let metrics = recorder.metrics_mut();
@@ -286,6 +295,30 @@ impl ScenarioRunner {
             }
             metrics.gauge_set("evidence_chain_len", platform.ssm.evidence().len() as f64);
             metrics.gauge_set("trace_ring_occupancy", occupancy);
+            if let Some(stats) = &faultplane {
+                metrics.counter_add("faultplane.events_lost", stats.events_lost);
+                metrics.counter_add("faultplane.events_delayed", stats.events_delayed);
+                metrics.counter_add("faultplane.events_reordered", stats.events_reordered);
+                metrics.counter_add("faultplane.events_corrupted", stats.events_corrupted);
+                metrics.counter_add("faultplane.delivery_retries", stats.delivery_retries);
+                metrics.counter_add(
+                    "faultplane.recovered_deliveries",
+                    stats.recovered_deliveries,
+                );
+                metrics.counter_add("faultplane.backoff_cycles", stats.backoff_cycles);
+                metrics.counter_add("faultplane.monitor_stalls", stats.monitor_stalls);
+                metrics.counter_add("faultplane.monitors_crashed", stats.monitors_crashed);
+                metrics.counter_add(
+                    "faultplane.monitors_quarantined",
+                    stats.monitors_quarantined,
+                );
+                metrics.counter_add("faultplane.response_drops", stats.response_drops);
+                metrics.counter_add("faultplane.response_retries", stats.response_retries);
+                metrics.gauge_set(
+                    "faultplane.degraded_correlation",
+                    f64::from(u8::from(stats.degraded_correlation)),
+                );
+            }
             Some(recorder.snapshot())
         } else {
             None
@@ -311,6 +344,7 @@ impl ScenarioRunner {
             reboots: platform.reboots,
             attacker_wins,
             telemetry,
+            faultplane,
         }
     }
 }

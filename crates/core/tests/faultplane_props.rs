@@ -1,0 +1,191 @@
+//! Property tests for the fault channel: the fault plane must be a
+//! *deterministic, conservative* adversary. Same seed ⇒ same fault
+//! schedule; loss + delay + reorder + corruption never invents or
+//! duplicates an event; the retry/backoff schedule is monotone and
+//! bounded. These are the invariants the E11 determinism diff and the
+//! campaign engine's thread-count invariance stand on.
+
+use cres_monitor::{MonitorEvent, Severity, Subject};
+use cres_platform::{FaultPlane, FaultPlaneConfig, RetryPolicy};
+use cres_policy::DetectionCapability;
+use cres_sim::{DetRng, NullSink, SimTime};
+use proptest::prelude::*;
+
+/// An event batch whose details are unique across the whole run, so
+/// duplication is observable.
+fn batch(round: u64, size: usize) -> Vec<MonitorEvent> {
+    (0..size)
+        .map(|i| {
+            MonitorEvent::new(
+                SimTime::at_cycle(round * 10_000 + i as u64),
+                "m",
+                DetectionCapability::BusPolicing,
+                Severity::Alert,
+                Subject::Network,
+                format!("r{round}e{i}"),
+            )
+        })
+        .collect()
+}
+
+/// The original detail of a possibly-corrupted delivered event.
+fn original_detail(event: &MonitorEvent) -> &str {
+    event
+        .detail
+        .strip_prefix("[corrupted in transit] ")
+        .unwrap_or(&event.detail)
+}
+
+fn hostile_config(loss: f64, delay: f64, reorder: f64, corrupt: f64) -> FaultPlaneConfig {
+    FaultPlaneConfig {
+        enabled: true,
+        event_loss: loss,
+        event_delay: delay,
+        max_delay_batches: 3,
+        event_reorder: reorder,
+        event_corrupt: corrupt,
+        ..Default::default()
+    }
+}
+
+/// Feeds `rounds` batches of `size` events and then drains held deliveries
+/// with empty batches; returns everything delivered plus the final plane.
+fn run_channel(
+    config: FaultPlaneConfig,
+    seed: u64,
+    rounds: u64,
+    size: usize,
+) -> (Vec<MonitorEvent>, FaultPlane) {
+    let mut plane = FaultPlane::new(config, seed, 8);
+    let mut delivered = Vec::new();
+    for round in 0..rounds {
+        delivered.extend(plane.filter_events(
+            SimTime::at_cycle(round * 10_000),
+            batch(round, size),
+            &mut NullSink,
+        ));
+    }
+    // Drain: every held event is released within `max_delay_batches`
+    // fault-free rounds (the release path cannot re-delay).
+    for extra in 0..=u64::from(config.max_delay_batches) {
+        delivered.extend(plane.filter_events(
+            SimTime::at_cycle((rounds + extra) * 10_000),
+            Vec::new(),
+            &mut NullSink,
+        ));
+    }
+    assert!(!plane.pending(), "drain must empty the delay queue");
+    (delivered, plane)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn same_seed_same_fault_schedule(
+        seed in 0u64..1_000_000,
+        loss in 0.0f64..0.6,
+        delay in 0.0f64..0.6,
+        reorder in 0.0f64..0.6,
+        corrupt in 0.0f64..0.6,
+        rounds in 1u64..6,
+        size in 0usize..12
+    ) {
+        let config = hostile_config(loss, delay, reorder, corrupt);
+        let (out_a, plane_a) = run_channel(config, seed, rounds, size);
+        let (out_b, plane_b) = run_channel(config, seed, rounds, size);
+        prop_assert_eq!(out_a, out_b, "delivered stream must be seed-deterministic");
+        prop_assert_eq!(plane_a.stats(), plane_b.stats());
+    }
+
+    #[test]
+    fn channel_never_duplicates_or_invents_events(
+        seed in 0u64..1_000_000,
+        loss in 0.0f64..0.6,
+        delay in 0.0f64..0.6,
+        reorder in 0.0f64..0.6,
+        corrupt in 0.0f64..0.6,
+        rounds in 1u64..6,
+        size in 0usize..12
+    ) {
+        let config = hostile_config(loss, delay, reorder, corrupt);
+        let (delivered, plane) = run_channel(config, seed, rounds, size);
+        let total = rounds as usize * size;
+        let mut seen = std::collections::BTreeSet::new();
+        for event in &delivered {
+            prop_assert!(
+                seen.insert(original_detail(event).to_string()),
+                "event {:?} delivered twice",
+                event.detail
+            );
+        }
+        // Conservation: every injected event is delivered or counted lost.
+        prop_assert_eq!(
+            delivered.len() as u64 + plane.stats().events_lost,
+            total as u64
+        );
+        prop_assert!(delivered.len() <= total);
+    }
+
+    #[test]
+    fn lossless_channel_preserves_every_event(
+        seed in 0u64..1_000_000,
+        delay in 0.0f64..1.0,
+        reorder in 0.0f64..1.0,
+        rounds in 1u64..6,
+        size in 0usize..12
+    ) {
+        // Delay and reorder alone must be a pure permutation.
+        let config = hostile_config(0.0, delay, reorder, 0.0);
+        let (delivered, plane) = run_channel(config, seed, rounds, size);
+        prop_assert_eq!(delivered.len() as u64, rounds * size as u64);
+        prop_assert_eq!(plane.stats().events_lost, 0);
+    }
+
+    #[test]
+    fn retry_schedule_is_monotone_bounded_and_sized(
+        max_attempts in 1u32..9,
+        base_backoff in 0u64..2_048,
+        max_backoff in 1u64..5_000,
+        seed in 0u64..1_000_000
+    ) {
+        let policy = RetryPolicy { max_attempts, base_backoff, max_backoff };
+        let schedule = policy.schedule(&mut DetRng::seed_from(seed));
+        prop_assert_eq!(schedule.len(), max_attempts as usize - 1);
+        prop_assert!(
+            schedule.windows(2).all(|w| w[0] <= w[1]),
+            "schedule not monotone: {:?}",
+            schedule
+        );
+        prop_assert!(
+            schedule.iter().all(|&d| d <= max_backoff),
+            "schedule exceeds max_backoff {}: {:?}",
+            max_backoff,
+            schedule
+        );
+        // And it is a pure function of the RNG stream.
+        prop_assert_eq!(schedule, policy.schedule(&mut DetRng::seed_from(seed)));
+    }
+
+    #[test]
+    fn crash_victims_are_distinct_and_in_range(
+        seed in 0u64..1_000_000,
+        fleet in 1usize..16,
+        requested in 0u32..20
+    ) {
+        let config = FaultPlaneConfig {
+            enabled: true,
+            crashed_monitors: requested,
+            crash_at: 1,
+            ..Default::default()
+        };
+        let plane = FaultPlane::new(config, seed, fleet);
+        let victims = plane.crashed_monitors();
+        prop_assert_eq!(victims.len(), (requested as usize).min(fleet));
+        prop_assert!(victims.iter().all(|&v| v < fleet));
+        let mut sorted = victims.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), victims.len(), "victims must be distinct");
+    }
+}

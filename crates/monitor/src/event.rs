@@ -21,6 +21,19 @@ pub enum Severity {
     Critical,
 }
 
+impl Severity {
+    /// One band lower (`Info` stays `Info`) — the fault plane uses this to
+    /// model interconnect corruption that mangles an event's urgency in
+    /// transit without inventing severities out of thin air.
+    pub const fn downgrade(self) -> Severity {
+        match self {
+            Severity::Critical => Severity::Alert,
+            Severity::Alert => Severity::Warning,
+            Severity::Warning | Severity::Info => Severity::Info,
+        }
+    }
+}
+
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
@@ -163,6 +176,14 @@ mod tests {
         assert!(Severity::Critical > Severity::Alert);
         assert!(Severity::Alert > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn severity_downgrade_steps_one_band_and_floors_at_info() {
+        assert_eq!(Severity::Critical.downgrade(), Severity::Alert);
+        assert_eq!(Severity::Alert.downgrade(), Severity::Warning);
+        assert_eq!(Severity::Warning.downgrade(), Severity::Info);
+        assert_eq!(Severity::Info.downgrade(), Severity::Info);
     }
 
     #[test]

@@ -153,6 +153,20 @@ impl ResponseManager {
             .collect()
     }
 
+    /// Records a command the interconnect fault plane dropped before it
+    /// reached the backend. The action is *not* executed — the record keeps
+    /// the forensic log complete so a post-incident audit can distinguish
+    /// "never commanded" from "commanded but lost".
+    pub fn record_dropped(&mut self, action: ResponseAction, now: SimTime) -> ExecutedAction {
+        let record = ExecutedAction {
+            at: now,
+            action,
+            outcome: ActionOutcome::Failed("command dropped by interconnect fault".into()),
+        };
+        self.executed.push(record.clone());
+        record
+    }
+
     /// Executes one countermeasure.
     pub fn execute(
         &mut self,

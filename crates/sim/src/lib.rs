@@ -48,6 +48,6 @@ pub mod trace;
 
 pub use event::{EventId, Simulator};
 pub use rng::DetRng;
-pub use stage::{NullSink, Stage, StageSink};
+pub use stage::{fault_code, NullSink, Stage, StageSink};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceEntry};

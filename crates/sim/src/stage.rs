@@ -6,7 +6,8 @@
 //! per unit of pipeline work, stamped with the sim cycle clock. This module
 //! defines the vocabulary every instrumented crate shares:
 //!
-//! * [`Stage`] — the seven pipeline stage IDs,
+//! * [`Stage`] — the pipeline stage IDs (including the fault-plane
+//!   meta-stage for faults injected into the pipeline itself),
 //! * [`StageSink`] — the receiver instrumented code reports spans to,
 //! * [`NullSink`] — the zero-cost sink used when telemetry is disabled.
 //!
@@ -49,11 +50,16 @@ pub enum Stage {
     /// One record folded into the evidence hash chain (span arg: chain
     /// sequence number, truncated to u32).
     EvidenceAppend,
+    /// One fault injected into the pipeline itself, or one recovery step
+    /// taken against it — event loss/delay/reorder/corruption, monitor
+    /// stall/crash, response drop, delivery retry, degraded-mode transition
+    /// (span arg: a `cres_platform::faultplane` fault code).
+    FaultPlane,
 }
 
 impl Stage {
     /// Number of stages (sizing for per-stage accumulator arrays).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All stages, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -64,6 +70,7 @@ impl Stage {
         Stage::Plan,
         Stage::Respond,
         Stage::EvidenceAppend,
+        Stage::FaultPlane,
     ];
 
     /// Dense index of this stage in [`Stage::ALL`] order.
@@ -81,6 +88,7 @@ impl Stage {
             Stage::Plan => "plan",
             Stage::Respond => "respond",
             Stage::EvidenceAppend => "evidence-append",
+            Stage::FaultPlane => "fault-plane",
         }
     }
 
@@ -94,6 +102,35 @@ impl std::fmt::Display for Stage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// Span `arg` codes for [`Stage::FaultPlane`] spans — the shared vocabulary
+/// for "what kind of fault (or recovery step) was this". Defined here so the
+/// SSM can report quarantine/degradation spans without depending on the
+/// platform crate that hosts the injector.
+pub mod fault_code {
+    /// A monitor event was dropped in transit (all delivery retries spent).
+    pub const EVENT_LOST: u32 = 1;
+    /// A monitor event was held back and delivered in a later batch.
+    pub const EVENT_DELAYED: u32 = 2;
+    /// Two adjacent events swapped places in a batch.
+    pub const EVENT_REORDERED: u32 = 3;
+    /// An event's severity/detail were mangled in transit.
+    pub const EVENT_CORRUPTED: u32 = 4;
+    /// A monitor skipped one sampling round.
+    pub const MONITOR_STALLED: u32 = 5;
+    /// A monitor died permanently at its crash cycle.
+    pub const MONITOR_CRASHED: u32 = 6;
+    /// A response command was dropped before reaching the backend.
+    pub const RESPONSE_DROPPED: u32 = 7;
+    /// A delivery retry (event or response) was spent.
+    pub const DELIVERY_RETRY: u32 = 8;
+    /// A delivery initially faulted but a retry got it through.
+    pub const DELIVERY_RECOVERED: u32 = 9;
+    /// The SSM quarantined a dead monitor.
+    pub const MONITOR_QUARANTINED: u32 = 10;
+    /// The correlation engine entered sensing-degraded compensation.
+    pub const SENSING_DEGRADED: u32 = 11;
 }
 
 /// The receiver instrumented pipeline code reports spans to.

@@ -156,6 +156,7 @@ pub struct CorrelationEngine {
     incidents_raised: u64,
     escalations: u64,
     events_seen: u64,
+    degraded: bool,
 }
 
 impl CorrelationEngine {
@@ -169,6 +170,50 @@ impl CorrelationEngine {
             incidents_raised: 0,
             escalations: 0,
             events_seen: 0,
+            degraded: false,
+        }
+    }
+
+    /// Switches sensing-degraded mode on or off. Degraded mode compensates
+    /// for a thinner event stream (quarantined monitors, lossy delivery) by
+    /// widening both correlation windows and lowering the threshold-rule
+    /// count, so the engine trades false-positive margin for coverage
+    /// instead of going blind.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// True while sensing-degraded compensation is active.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Threshold-rule event count currently in force (one lower when
+    /// degraded, floored at 2 so a single Warning still never raises).
+    pub fn effective_threshold(&self) -> u32 {
+        if self.degraded {
+            self.config.threshold.saturating_sub(1).max(2)
+        } else {
+            self.config.threshold
+        }
+    }
+
+    /// Threshold-rule window currently in force (4× when degraded).
+    pub fn effective_window(&self) -> SimDuration {
+        if self.degraded {
+            SimDuration::cycles(self.config.window.as_cycles().saturating_mul(4))
+        } else {
+            self.config.window
+        }
+    }
+
+    /// Sequence-rule escalation window currently in force (2× when
+    /// degraded).
+    pub fn effective_escalation_window(&self) -> SimDuration {
+        if self.degraded {
+            SimDuration::cycles(self.config.escalation_window.as_cycles().saturating_mul(2))
+        } else {
+            self.config.escalation_window
         }
     }
 
@@ -196,7 +241,7 @@ impl CorrelationEngine {
             event
                 .at
                 .cycle()
-                .saturating_sub(self.config.window.as_cycles()),
+                .saturating_sub(self.effective_window().as_cycles()),
         );
         self.recent.retain(|(at, _, _, _)| *at >= horizon);
         self.recent
@@ -206,7 +251,7 @@ impl CorrelationEngine {
             .iter()
             .filter(|(_, cap, _, _)| *cap == event.capability)
             .count() as u32;
-        if same_capability >= self.config.threshold {
+        if same_capability >= self.effective_threshold() {
             self.recent
                 .retain(|(_, cap, _, _)| *cap != event.capability);
             return Some(self.raise(now, event, classify(event), health));
@@ -230,7 +275,7 @@ impl CorrelationEngine {
         let escalated = self.config.enabled
             && self.last_incident.is_some_and(|(at, prev_kind)| {
                 prev_kind != kind
-                    && classified_at.saturating_since(at) <= self.config.escalation_window
+                    && classified_at.saturating_since(at) <= self.effective_escalation_window()
             });
         if escalated {
             self.escalations += 1;
@@ -644,6 +689,66 @@ mod tests {
             )
             .unwrap();
         assert!(!second.escalated);
+    }
+
+    #[test]
+    fn degraded_mode_widens_windows_and_lowers_threshold() {
+        let mut e = engine();
+        let config = CorrelationConfig::default();
+        assert_eq!(e.effective_threshold(), config.threshold);
+        assert_eq!(e.effective_window(), config.window);
+        assert_eq!(e.effective_escalation_window(), config.escalation_window);
+        e.set_degraded(true);
+        assert!(e.is_degraded());
+        assert_eq!(e.effective_threshold(), config.threshold - 1);
+        assert_eq!(
+            e.effective_window().as_cycles(),
+            config.window.as_cycles() * 4
+        );
+        assert_eq!(
+            e.effective_escalation_window().as_cycles(),
+            config.escalation_window.as_cycles() * 2
+        );
+        e.set_degraded(false);
+        assert_eq!(e.effective_threshold(), config.threshold);
+    }
+
+    #[test]
+    fn degraded_threshold_never_drops_below_two() {
+        let mut e = CorrelationEngine::new(CorrelationConfig {
+            threshold: 2,
+            ..Default::default()
+        });
+        e.set_degraded(true);
+        assert_eq!(e.effective_threshold(), 2);
+        // A single Warning must still never raise on its own.
+        assert!(e
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(0, DetectionCapability::BusPolicing, Severity::Warning, "d"),
+                HealthState::Degraded
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn degraded_mode_raises_on_fewer_warnings() {
+        let mut e = engine();
+        e.set_degraded(true);
+        // Default threshold is 3; degraded lowers it to 2.
+        assert!(e
+            .ingest(
+                SimTime::at_cycle(0),
+                &ev(0, DetectionCapability::BusPolicing, Severity::Warning, "d"),
+                HealthState::Degraded
+            )
+            .is_none());
+        let inc = e.ingest(
+            SimTime::at_cycle(0),
+            &ev(10, DetectionCapability::BusPolicing, Severity::Warning, "d"),
+            HealthState::Degraded,
+        );
+        assert!(inc.is_some(), "degraded threshold of 2 should have fired");
     }
 
     #[test]

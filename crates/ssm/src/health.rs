@@ -8,7 +8,7 @@
 //! to compute time-in-state availability.
 
 use cres_monitor::Severity;
-use cres_sim::SimTime;
+use cres_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -129,6 +129,118 @@ impl SystemHealth {
     }
 }
 
+/// Heartbeat-based liveness tracking for the monitor fleet.
+///
+/// Every periodic sampling round each live monitor reports a heartbeat; a
+/// monitor that misses [`MonitorHealth::miss_threshold`] consecutive rounds
+/// is declared dead and **quarantined** — the SSM stops trusting its
+/// silence, records the loss as evidence, and switches the correlation
+/// engine into sensing-degraded mode so the remaining monitors compensate
+/// instead of the platform going blind.
+///
+/// # Example
+///
+/// ```
+/// use cres_ssm::MonitorHealth;
+/// use cres_sim::{SimDuration, SimTime};
+///
+/// let mut health = MonitorHealth::new(2, SimDuration::cycles(1_000), 3);
+/// health.heartbeat(0, SimTime::at_cycle(1_000));
+/// health.heartbeat(1, SimTime::at_cycle(1_000));
+/// // Monitor 1 falls silent; three missed deadlines later it is quarantined.
+/// health.heartbeat(0, SimTime::at_cycle(5_000));
+/// let dead = health.check(SimTime::at_cycle(5_000));
+/// assert_eq!(dead, vec![1]);
+/// assert!(health.is_quarantined(1));
+/// assert!(!health.is_quarantined(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorHealth {
+    /// Last heartbeat per monitor index (`None` until first beat).
+    last_seen: Vec<Option<SimTime>>,
+    /// Monitors declared dead.
+    quarantined: Vec<bool>,
+    /// Expected heartbeat period (the platform's monitor sampling period).
+    period: SimDuration,
+    /// Consecutive missed periods tolerated before quarantine.
+    miss_threshold: u32,
+}
+
+impl MonitorHealth {
+    /// Creates a tracker for `count` monitors beating every `period`,
+    /// tolerating `miss_threshold` missed periods.
+    pub fn new(count: usize, period: SimDuration, miss_threshold: u32) -> Self {
+        MonitorHealth {
+            last_seen: vec![None; count],
+            quarantined: vec![false; count],
+            period,
+            miss_threshold: miss_threshold.max(1),
+        }
+    }
+
+    /// Number of monitors tracked.
+    pub fn monitor_count(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Consecutive missed periods tolerated before quarantine.
+    pub fn miss_threshold(&self) -> u32 {
+        self.miss_threshold
+    }
+
+    /// Records a heartbeat from monitor `index` at `now`. Heartbeats from a
+    /// quarantined monitor are ignored — a resurrected monitor is not
+    /// trusted again within a run.
+    pub fn heartbeat(&mut self, index: usize, now: SimTime) {
+        if index < self.last_seen.len() && !self.quarantined[index] {
+            self.last_seen[index] = Some(match self.last_seen[index] {
+                Some(prev) => prev.max(now),
+                None => now,
+            });
+        }
+    }
+
+    /// Sweeps all monitors at `now` and returns the indices quarantined by
+    /// *this* sweep (each index is returned exactly once per run). A monitor
+    /// is dead once `now` is more than `miss_threshold × period` past its
+    /// last heartbeat; monitors that never beat are measured from cycle 0.
+    pub fn check(&mut self, now: SimTime) -> Vec<usize> {
+        let deadline = self
+            .period
+            .as_cycles()
+            .saturating_mul(self.miss_threshold as u64);
+        let mut newly_dead = Vec::new();
+        for index in 0..self.last_seen.len() {
+            if self.quarantined[index] {
+                continue;
+            }
+            let last = self.last_seen[index].unwrap_or(SimTime::ZERO);
+            if now.saturating_since(last).as_cycles() > deadline {
+                self.quarantined[index] = true;
+                newly_dead.push(index);
+            }
+        }
+        newly_dead
+    }
+
+    /// True when monitor `index` has been quarantined.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.quarantined.get(index).copied().unwrap_or(false)
+    }
+
+    /// Indices of all quarantined monitors, ascending.
+    pub fn quarantined(&self) -> Vec<usize> {
+        (0..self.quarantined.len())
+            .filter(|&i| self.quarantined[i])
+            .collect()
+    }
+
+    /// Number of quarantined monitors.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +323,65 @@ mod tests {
         // healthy 100 + degraded 80 out of 200
         let a = h.service_availability(t(200));
         assert!((a - 0.9).abs() < 1e-9, "availability {a}");
+    }
+
+    fn beats() -> MonitorHealth {
+        MonitorHealth::new(3, SimDuration::cycles(1_000), 3)
+    }
+
+    #[test]
+    fn live_monitors_are_never_quarantined() {
+        let mut m = beats();
+        for round in 1..=20u64 {
+            let now = t(round * 1_000);
+            for i in 0..3 {
+                m.heartbeat(i, now);
+            }
+            assert!(m.check(now).is_empty(), "false positive at round {round}");
+        }
+        assert_eq!(m.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn silent_monitor_is_quarantined_after_threshold() {
+        let mut m = beats();
+        // All three beat at 1000; monitor 2 then falls silent.
+        for i in 0..3 {
+            m.heartbeat(i, t(1_000));
+        }
+        // Within 3 periods of its last beat: still trusted.
+        m.heartbeat(0, t(4_000));
+        m.heartbeat(1, t(4_000));
+        assert!(m.check(t(4_000)).is_empty());
+        // Past the 3-period deadline: quarantined, exactly once.
+        m.heartbeat(0, t(5_000));
+        m.heartbeat(1, t(5_000));
+        assert_eq!(m.check(t(5_000)), vec![2]);
+        assert!(m.is_quarantined(2));
+        assert_eq!(m.quarantined(), vec![2]);
+        assert!(m.check(t(9_000)).is_empty(), "re-quarantined");
+    }
+
+    #[test]
+    fn monitor_that_never_beats_is_measured_from_zero() {
+        let mut m = beats();
+        assert!(m.check(t(3_000)).is_empty());
+        assert_eq!(m.check(t(3_001)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn quarantined_monitor_heartbeats_are_ignored() {
+        let mut m = beats();
+        assert_eq!(m.check(t(10_000)), vec![0, 1, 2]);
+        m.heartbeat(1, t(10_500));
+        assert!(m.is_quarantined(1));
+        assert_eq!(m.quarantined_count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_harmless() {
+        let mut m = beats();
+        m.heartbeat(99, t(1_000));
+        assert!(!m.is_quarantined(99));
     }
 }

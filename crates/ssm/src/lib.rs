@@ -33,6 +33,6 @@ pub mod ssm;
 
 pub use correlate::{CorrelationConfig, CorrelationEngine, Incident, IncidentKind};
 pub use evidence::{ChainError, EvidenceRecord, EvidenceStore};
-pub use health::{HealthState, SystemHealth};
+pub use health::{HealthState, MonitorHealth, SystemHealth};
 pub use planner::{PlannerMode, ResponseAction, ResponsePlan, ResponsePlanner};
 pub use ssm::{SsmConfig, SsmDeployment, SystemSecurityManager};

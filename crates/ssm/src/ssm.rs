@@ -15,10 +15,10 @@
 
 use crate::correlate::{CorrelationConfig, CorrelationEngine, Incident};
 use crate::evidence::EvidenceStore;
-use crate::health::{HealthState, SystemHealth};
+use crate::health::{HealthState, MonitorHealth, SystemHealth};
 use crate::planner::{PlannerMode, ResponsePlan, ResponsePlanner};
 use cres_monitor::MonitorEvent;
-use cres_sim::{NullSink, SimTime, Stage, StageSink};
+use cres_sim::{fault_code, NullSink, SimDuration, SimTime, Stage, StageSink};
 
 /// Modelled cycle cost of consuming one event in the correlation engine.
 const CORRELATE_COST: u64 = 4;
@@ -72,6 +72,7 @@ pub struct SystemSecurityManager {
     health: SystemHealth,
     planner: ResponsePlanner,
     incidents: Vec<Incident>,
+    monitor_health: Option<MonitorHealth>,
 }
 
 impl SystemSecurityManager {
@@ -85,7 +86,78 @@ impl SystemSecurityManager {
             health: SystemHealth::new(),
             planner: ResponsePlanner::new(config.planner),
             incidents: Vec::new(),
+            monitor_health: None,
         }
+    }
+
+    /// Arms heartbeat-based liveness tracking for a fleet of `count`
+    /// monitors sampled every `period`. A monitor that misses
+    /// `miss_threshold` consecutive periods is quarantined by
+    /// [`SystemSecurityManager::check_monitor_health`].
+    pub fn init_monitor_health(&mut self, count: usize, period: SimDuration, miss_threshold: u32) {
+        self.monitor_health = Some(MonitorHealth::new(count, period, miss_threshold));
+    }
+
+    /// Records a heartbeat from monitor `index` at `now` (called by the
+    /// platform every time the monitor produces a sample batch, empty or
+    /// not). A no-op until [`SystemSecurityManager::init_monitor_health`].
+    pub fn monitor_heartbeat(&mut self, index: usize, now: SimTime) {
+        if let Some(tracker) = self.monitor_health.as_mut() {
+            tracker.heartbeat(index, now);
+        }
+    }
+
+    /// Sweeps monitor liveness at `now`. Newly dead monitors are
+    /// quarantined: the loss is recorded as evidence, one `fault-plane` span
+    /// per quarantine is reported to `sink`, and — on the first quarantine —
+    /// the correlation engine switches into sensing-degraded mode (wider
+    /// windows, lower threshold) so the surviving monitors compensate.
+    /// Returns the indices quarantined by this sweep.
+    pub fn check_monitor_health(&mut self, now: SimTime, sink: &mut dyn StageSink) -> Vec<usize> {
+        let Some(tracker) = self.monitor_health.as_mut() else {
+            return Vec::new();
+        };
+        let newly_dead = tracker.check(now);
+        if newly_dead.is_empty() {
+            return newly_dead;
+        }
+        let entering_degraded = !self.engine.is_degraded();
+        for &index in &newly_dead {
+            if self.config.evidence_enabled {
+                self.evidence.append(
+                    now,
+                    "monitor-health",
+                    &format!("monitor #{index} heartbeat lost; quarantined"),
+                );
+            }
+            sink.record_span(now, Stage::FaultPlane, fault_code::MONITOR_QUARANTINED, 1);
+        }
+        if entering_degraded {
+            self.engine.set_degraded(true);
+            if self.config.evidence_enabled {
+                self.evidence.append(
+                    now,
+                    "monitor-health",
+                    "sensing degraded: correlation windows widened, threshold lowered",
+                );
+            }
+            sink.record_span(now, Stage::FaultPlane, fault_code::SENSING_DEGRADED, 1);
+        }
+        newly_dead
+    }
+
+    /// True once monitor loss has pushed correlation into sensing-degraded
+    /// compensation.
+    pub fn sensing_degraded(&self) -> bool {
+        self.engine.is_degraded()
+    }
+
+    /// Indices of quarantined monitors, ascending (empty until liveness
+    /// tracking is armed).
+    pub fn quarantined_monitors(&self) -> Vec<usize> {
+        self.monitor_health
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.quarantined())
     }
 
     /// The configuration in force.
@@ -451,6 +523,49 @@ mod tests {
         );
         let root = s.seal_evidence().unwrap();
         assert_ne!(root, [0u8; 32]);
+    }
+
+    #[test]
+    fn monitor_health_quarantines_and_degrades_correlation() {
+        let mut s = ssm();
+        s.init_monitor_health(2, cres_sim::SimDuration::cycles(1_000), 3);
+        assert!(!s.sensing_degraded());
+        // Monitor 0 beats, monitor 1 never does.
+        for round in 1..=5u64 {
+            s.monitor_heartbeat(0, SimTime::at_cycle(round * 1_000));
+        }
+        let dead = s.check_monitor_health(SimTime::at_cycle(5_000), &mut NullSink);
+        assert_eq!(dead, vec![1]);
+        assert!(s.sensing_degraded());
+        assert_eq!(s.quarantined_monitors(), vec![1]);
+        let categories: Vec<&str> = s
+            .evidence()
+            .records()
+            .iter()
+            .map(|r| r.category.as_str())
+            .collect();
+        assert_eq!(
+            categories
+                .iter()
+                .filter(|c| **c == "monitor-health")
+                .count(),
+            2,
+            "expected quarantine + degradation evidence records"
+        );
+        // A second sweep neither re-quarantines nor re-records.
+        let again = s.check_monitor_health(SimTime::at_cycle(9_000), &mut NullSink);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn monitor_health_is_inert_until_armed() {
+        let mut s = ssm();
+        s.monitor_heartbeat(0, SimTime::at_cycle(1_000));
+        assert!(s
+            .check_monitor_health(SimTime::at_cycle(1_000_000), &mut NullSink)
+            .is_empty());
+        assert!(!s.sensing_degraded());
+        assert!(s.quarantined_monitors().is_empty());
     }
 
     #[test]

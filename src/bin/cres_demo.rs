@@ -21,7 +21,7 @@ use cres::attacks::{
     MemoryProbeAttack, NetworkFloodAttack, SensorSpoofAttack, SyscallAnomalyAttack,
     SystemHangAttack,
 };
-use cres::platform::campaign::{default_jobs, Campaign, ScenarioSpec};
+use cres::platform::campaign::{jobs_from_env, Campaign, ScenarioSpec};
 use cres::platform::{PlatformConfig, PlatformProfile};
 use cres::sim::{SimDuration, SimTime};
 use cres::soc::addr::MasterId;
@@ -152,14 +152,21 @@ fn main() -> ExitCode {
             }
             "--jobs" => {
                 i += 1;
-                let Some(v) = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n: &usize| n > 0)
-                else {
+                let Some(raw) = args.get(i) else {
+                    eprintln!("error: --jobs requires a value");
                     return usage();
                 };
-                jobs = Some(v);
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = Some(n),
+                    Ok(_) => {
+                        eprintln!("error: invalid --jobs {raw:?}: job count must be at least 1");
+                        return ExitCode::from(2);
+                    }
+                    Err(_) => {
+                        eprintln!("error: invalid --jobs {raw:?}: expected a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             "--report" => full_report = true,
             "--trace" => trace_dump = true,
@@ -194,7 +201,28 @@ fn main() -> ExitCode {
         );
     }
     let multi = seeds.len() > 1;
-    let summary = campaign.run_parallel(jobs.unwrap_or_else(default_jobs));
+    // --jobs wins; otherwise CRES_JOBS (rejected loudly when malformed);
+    // otherwise all cores.
+    let effective_jobs = match jobs {
+        Some(n) => n,
+        None => match jobs_from_env() {
+            Ok(Some(n)) => n,
+            Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if full_report {
+        // Reproducibility breadcrumb for archived reports; stderr so the
+        // stdout JSON stream stays machine-parseable.
+        eprintln!(
+            "cres-demo: {} run(s) across {effective_jobs} worker thread(s)",
+            seeds.len()
+        );
+    }
+    let summary = campaign.run_parallel(effective_jobs);
 
     for result in &summary.results {
         let report = &result.report;

@@ -70,6 +70,20 @@ fn cells() -> Vec<(PlatformConfig, ScenarioSpec)> {
                         SimDuration::cycles(1_000),
                     ),
             ));
+            // A hostile fault plane (lossy interconnect + crashed monitor)
+            // must not dent determinism either: its RNG stream is forked
+            // per-platform, never shared across workers.
+            let mut faulted_config = PlatformConfig::new(profile, seed);
+            faulted_config.faultplane =
+                cres::platform::FaultPlaneConfig::sweep_cell(0.15, 1, 40_000);
+            cells.push((
+                faulted_config,
+                ScenarioSpec::quiet(SimDuration::cycles(DURATION)).attack(
+                    "network-flood",
+                    SimTime::at_cycle(60_000),
+                    SimDuration::cycles(2_000),
+                ),
+            ));
         }
     }
     cells
