@@ -13,7 +13,7 @@
 //! Run: `cargo run --release -p cres-bench --bin a1_correlation`
 
 use cres_bench::scenarios::build;
-use cres_monitor::{MonitorEvent, Severity, Subject};
+use cres_monitor::{Detail, MonitorEvent, Severity, Subject};
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_policy::DetectionCapability;
@@ -31,11 +31,10 @@ fn noise_fp_count(enabled: bool) -> (u64, bool) {
     let deny = |at: u64| {
         MonitorEvent::new(
             SimTime::at_cycle(at),
-            "bus-policy",
             DetectionCapability::BusPolicing,
             Severity::Warning,
             Subject::Master(MasterId::CPU3),
-            "denied W by CPU3 at 0x00000000 (driver bug)",
+            Detail::Text("denied W by CPU3 at 0x00000000 (driver bug)"),
         )
     };
     let mut fp = 0u64;

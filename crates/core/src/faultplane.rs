@@ -31,6 +31,7 @@
 use cres_monitor::MonitorEvent;
 use cres_sim::{fault_code, DetRng, SimTime, Stage, StageSink};
 use serde::{Deserialize, Serialize};
+use std::mem;
 
 /// Fault-plane configuration, carried per [`crate::PlatformConfig`] cell.
 ///
@@ -209,6 +210,10 @@ pub struct FaultPlane {
     /// Indices (into the platform's periodic monitor fleet) that crash at
     /// `config.crash_at`.
     crashed: Vec<usize>,
+    /// Reused staging buffer for [`FaultPlane::filter_events`] — the batch
+    /// is swapped in here so the caller's buffer can be rebuilt in place
+    /// without a per-batch allocation.
+    scratch: Vec<MonitorEvent>,
     stats: FaultPlaneStats,
 }
 
@@ -234,6 +239,7 @@ impl FaultPlane {
             rng,
             delayed: Vec::new(),
             crashed,
+            scratch: Vec::new(),
             stats,
         }
     }
@@ -285,33 +291,43 @@ impl FaultPlane {
         stalled
     }
 
-    /// Passes one freshly sampled batch through the faulty interconnect and
-    /// returns what the SSM actually receives: due delayed events first
-    /// (FIFO), then this batch's survivors — corrupted, lost (after
-    /// retries), delayed, and finally reordered. Never duplicates an event.
+    /// Passes one freshly sampled batch through the faulty interconnect,
+    /// rewriting `events` in place to what the SSM actually receives: due
+    /// delayed events first (FIFO), then this batch's survivors —
+    /// corrupted, lost (after retries), delayed, and finally reordered.
+    /// Never duplicates an event, and never allocates once the internal
+    /// staging buffers have warmed up.
     pub fn filter_events(
         &mut self,
         now: SimTime,
-        events: Vec<MonitorEvent>,
+        events: &mut Vec<MonitorEvent>,
         sink: &mut dyn StageSink,
-    ) -> Vec<MonitorEvent> {
-        // Release events whose hold expired; decrement the rest.
-        let mut delivered: Vec<MonitorEvent> = Vec::new();
-        let mut still_held: Vec<(u32, MonitorEvent)> = Vec::new();
-        for (batches, event) in self.delayed.drain(..) {
+    ) {
+        // Swap the incoming batch into the staging buffer and rebuild
+        // `events` in place, reusing both allocations across batches.
+        let mut batch = mem::take(&mut self.scratch);
+        batch.clear();
+        batch.append(events);
+
+        // Release events whose hold expired; decrement the rest in place.
+        let mut kept = 0;
+        for i in 0..self.delayed.len() {
+            let (batches, event) = self.delayed[i];
             if batches <= 1 {
-                delivered.push(event);
+                events.push(event);
             } else {
-                still_held.push((batches - 1, event));
+                self.delayed[kept] = (batches - 1, event);
+                kept += 1;
             }
         }
-        self.delayed = still_held;
+        self.delayed.truncate(kept);
 
-        for mut event in events {
-            // Corruption: the event arrives, but mangled.
+        for &(mut event) in &batch {
+            // Corruption: the event arrives, but mangled — severity loses a
+            // band and the rendered detail gains the in-transit prefix.
             if self.config.event_corrupt > 0.0 && self.rng.chance(self.config.event_corrupt) {
                 event.severity = event.severity.downgrade();
-                event.detail = format!("[corrupted in transit] {}", event.detail);
+                event.corrupted = true;
                 self.stats.events_corrupted += 1;
                 sink.record_span(now, Stage::FaultPlane, fault_code::EVENT_CORRUPTED, 1);
             }
@@ -338,20 +354,21 @@ impl FaultPlane {
                 self.delayed.push((hold, event));
                 continue;
             }
-            delivered.push(event);
+            events.push(event);
         }
+        batch.clear();
+        self.scratch = batch;
 
         // Reorder: swap adjacent pairs. A swap never duplicates or drops.
-        if self.config.event_reorder > 0.0 && delivered.len() >= 2 {
-            for i in 0..delivered.len() - 1 {
+        if self.config.event_reorder > 0.0 && events.len() >= 2 {
+            for i in 0..events.len() - 1 {
                 if self.rng.chance(self.config.event_reorder) {
-                    delivered.swap(i, i + 1);
+                    events.swap(i, i + 1);
                     self.stats.events_reordered += 1;
                     sink.record_span(now, Stage::FaultPlane, fault_code::EVENT_REORDERED, 1);
                 }
             }
         }
-        delivered
     }
 
     /// Draws the drop fault for one response command. Returns true when the
@@ -400,19 +417,24 @@ impl FaultPlane {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cres_monitor::{Severity, Subject};
+    use cres_monitor::{Detail, Severity, Subject};
     use cres_policy::DetectionCapability;
     use cres_sim::NullSink;
 
-    fn ev(at: u64, detail: &str) -> MonitorEvent {
+    fn ev(at: u64, detail: &'static str) -> MonitorEvent {
         MonitorEvent::new(
             SimTime::at_cycle(at),
-            "m",
             DetectionCapability::BusPolicing,
             Severity::Alert,
             Subject::Network,
-            detail,
+            Detail::Text(detail),
         )
+    }
+
+    fn filter(plane: &mut FaultPlane, at: u64, batch: Vec<MonitorEvent>) -> Vec<MonitorEvent> {
+        let mut events = batch;
+        plane.filter_events(SimTime::at_cycle(at), &mut events, &mut NullSink);
+        events
     }
 
     #[test]
@@ -434,7 +456,7 @@ mod tests {
             8,
         );
         let batch: Vec<MonitorEvent> = (0..10).map(|i| ev(i, "x")).collect();
-        let out = plane.filter_events(SimTime::at_cycle(100), batch.clone(), &mut NullSink);
+        let out = filter(&mut plane, 100, batch.clone());
         assert_eq!(out, batch);
         assert!(!plane.drops_response(SimTime::at_cycle(100), &mut NullSink));
         assert_eq!(plane.stats(), &FaultPlaneStats::default());
@@ -451,11 +473,7 @@ mod tests {
             1,
             8,
         );
-        let out = plane.filter_events(
-            SimTime::at_cycle(0),
-            (0..5).map(|i| ev(i, "x")).collect(),
-            &mut NullSink,
-        );
+        let out = filter(&mut plane, 0, (0..5).map(|i| ev(i, "x")).collect());
         assert!(out.is_empty());
         assert_eq!(plane.stats().events_lost, 5);
         // retry budget spent on every loss: (max_attempts - 1) each
@@ -476,18 +494,14 @@ mod tests {
             8,
         );
         let batch: Vec<MonitorEvent> = (0..4).map(|i| ev(i, "d")).collect();
-        let first = plane.filter_events(SimTime::at_cycle(0), batch.clone(), &mut NullSink);
+        let first = filter(&mut plane, 0, batch.clone());
         assert!(first.is_empty(), "everything should be held");
         assert!(plane.pending());
         let mut recovered = Vec::new();
         // Feeding empty batches releases the held events; delay cannot
         // re-fire on an already released event (release path is fault-free).
         for round in 1..=3u64 {
-            recovered.extend(plane.filter_events(
-                SimTime::at_cycle(round * 1_000),
-                Vec::new(),
-                &mut NullSink,
-            ));
+            recovered.extend(filter(&mut plane, round * 1_000, Vec::new()));
         }
         assert!(!plane.pending());
         assert_eq!(recovered.len(), batch.len(), "no loss, no duplication");
@@ -505,10 +519,14 @@ mod tests {
             1,
             8,
         );
-        let out = plane.filter_events(SimTime::at_cycle(0), vec![ev(0, "probe")], &mut NullSink);
+        let out = filter(&mut plane, 0, vec![ev(0, "probe")]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].severity, Severity::Warning);
-        assert!(out[0].detail.starts_with("[corrupted in transit]"));
+        assert!(out[0].corrupted);
+        assert!(out[0]
+            .rendered()
+            .to_string()
+            .starts_with("[corrupted in transit]"));
         assert_eq!(plane.stats().events_corrupted, 1);
     }
 
@@ -524,7 +542,7 @@ mod tests {
             8,
         );
         let batch: Vec<MonitorEvent> = (0..6).map(|i| ev(i, "r")).collect();
-        let out = plane.filter_events(SimTime::at_cycle(0), batch.clone(), &mut NullSink);
+        let out = filter(&mut plane, 0, batch.clone());
         assert_eq!(out.len(), batch.len());
         let mut sorted_in: Vec<u64> = batch.iter().map(|e| e.at.cycle()).collect();
         let mut sorted_out: Vec<u64> = out.iter().map(|e| e.at.cycle()).collect();
@@ -609,11 +627,7 @@ mod tests {
             let mut plane = FaultPlane::new(config, seed, 8);
             let mut out = Vec::new();
             for round in 0..5u64 {
-                out.push(plane.filter_events(
-                    SimTime::at_cycle(round * 5_000),
-                    batch.clone(),
-                    &mut NullSink,
-                ));
+                out.push(filter(&mut plane, round * 5_000, batch.clone()));
             }
             (out, *plane.stats())
         };

@@ -15,7 +15,7 @@ use cres_monitor::{
     ResourceMonitor, SensorMonitor, SyscallMonitor, TaintMonitor, WatchdogMonitor,
 };
 use cres_response::{RecoveryBackend, ResponseManager};
-use cres_sim::{NullSink, SimDuration, SimTime, StageSink};
+use cres_sim::{MonitorId, NullSink, SimDuration, SimTime, StageSink};
 use cres_soc::addr::MasterId;
 use cres_soc::periph::{Actuator, Sensor};
 use cres_soc::soc::{layout, SocBuilder};
@@ -23,6 +23,7 @@ use cres_soc::task::{Criticality, Syscall, Task, TaskId};
 use cres_soc::Soc;
 use cres_ssm::{CorrelationConfig, ResponsePlan, SsmConfig, SystemSecurityManager};
 use cres_tee::Tee;
+use std::mem;
 
 /// A registered attack with its step cursor.
 struct AttackSlot {
@@ -100,6 +101,15 @@ pub struct Platform {
     /// Syscall-sequence monitor (fed per task step).
     pub syscall_mon: SyscallMonitor,
     monitors: Vec<Box<dyn ResourceMonitor>>,
+    /// Interned id of each periodic monitor, index-aligned with `monitors`.
+    monitor_ids: Vec<MonitorId>,
+    /// Interned id of the CFI monitor.
+    cfi_id: MonitorId,
+    /// Interned id of the syscall monitor.
+    syscall_id: MonitorId,
+    /// Reusable sampling buffer: cleared, never shrunk, so the steady-state
+    /// sample→ingest tick performs no heap allocation.
+    event_buf: Vec<MonitorEvent>,
     attacks: Vec<AttackSlot>,
     bootloader: Vec<u8>,
     evidence_key: Vec<u8>,
@@ -169,6 +179,15 @@ impl Platform {
         let response = ResponseManager::new(config.reboot_duration);
 
         let monitors = Self::build_monitors(&soc, &config);
+        // Intern every monitor name once, at wiring time; events carry the
+        // dense ids from here on and resolve back to names only at the
+        // evidence/console/report edges.
+        let monitor_ids: Vec<MonitorId> = monitors
+            .iter()
+            .map(|m| ssm.intern_monitor(m.name()))
+            .collect();
+        let cfi_id = ssm.intern_monitor("cfi");
+        let syscall_id = ssm.intern_monitor("syscall");
         // The fault plane targets the periodic fleet (not CFI/syscall,
         // which are fed inline by the scheduler). Heartbeat liveness
         // tracking is armed only alongside it, so fault-free platforms are
@@ -203,6 +222,10 @@ impl Platform {
             cfi: CfiMonitor::new(),
             syscall_mon: SyscallMonitor::new([Syscall::PrivEscalate]),
             monitors,
+            monitor_ids,
+            cfi_id,
+            syscall_id,
+            event_buf: Vec::new(),
             attacks: Vec::new(),
             bootloader,
             evidence_key,
@@ -521,12 +544,29 @@ impl Platform {
     /// first), and the SSM's heartbeat liveness sweep runs so a dead
     /// monitor is quarantined instead of silently trusted.
     pub fn sample_monitors(&mut self, now: SimTime) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+        self.sample_monitors_into(now, &mut events);
+        events
+    }
+
+    /// [`Platform::sample_monitors`] into the platform's reusable event
+    /// buffer — the steady-state path. Returns the number of events
+    /// collected; feed them onward with [`Platform::ingest_sampled`].
+    pub fn sample_monitors_buffered(&mut self, now: SimTime) -> usize {
+        let mut events = mem::take(&mut self.event_buf);
+        events.clear();
+        self.sample_monitors_into(now, &mut events);
+        let collected = events.len();
+        self.event_buf = events;
+        collected
+    }
+
+    fn sample_monitors_into(&mut self, now: SimTime, events: &mut Vec<MonitorEvent>) {
         let mut null = NullSink;
         let sink: &mut dyn StageSink = match self.telemetry.as_mut() {
             Some(recorder) => recorder,
             None => &mut null,
         };
-        let mut events = Vec::new();
         for (index, m) in self.monitors.iter_mut().enumerate() {
             if let Some(fp) = self.faultplane.as_mut() {
                 if fp.is_crashed(index, now) {
@@ -537,16 +577,30 @@ impl Platform {
                 }
             }
             self.monitor_overhead_cycles += m.sample_cost();
-            events.extend(m.sample_traced(&mut self.soc, now, sink));
+            let start = events.len();
+            m.sample_into_traced(&mut self.soc, now, events, sink);
+            for e in &mut events[start..] {
+                e.monitor = self.monitor_ids[index];
+            }
             self.ssm.monitor_heartbeat(index, now);
         }
         if self.config.active_monitors() {
             self.monitor_overhead_cycles += self.cfi.sample_cost() + self.syscall_mon.sample_cost();
-            events.extend(self.cfi.sample_traced(&mut self.soc, now, sink));
-            events.extend(self.syscall_mon.sample_traced(&mut self.soc, now, sink));
+            let start = events.len();
+            self.cfi
+                .sample_into_traced(&mut self.soc, now, events, sink);
+            for e in &mut events[start..] {
+                e.monitor = self.cfi_id;
+            }
+            let start = events.len();
+            self.syscall_mon
+                .sample_into_traced(&mut self.soc, now, events, sink);
+            for e in &mut events[start..] {
+                e.monitor = self.syscall_id;
+            }
         }
         if let Some(fp) = self.faultplane.as_mut() {
-            events = fp.filter_events(now, events, sink);
+            fp.filter_events(now, events, sink);
             let quarantined = self.ssm.check_monitor_health(now, sink);
             for index in quarantined {
                 self.soc.uart.write_line(format!(
@@ -554,7 +608,6 @@ impl Platform {
                 ));
             }
         }
-        events
     }
 
     /// Feeds events to the SSM and executes any resulting plans. Returns
@@ -564,13 +617,30 @@ impl Platform {
         now: SimTime,
         events: Vec<MonitorEvent>,
     ) -> Vec<ResponsePlan> {
-        for e in &events {
+        self.ingest_events(now, &events)
+    }
+
+    /// Ingests the events collected by [`Platform::sample_monitors_buffered`]
+    /// without giving up the reusable buffer. The steady-state no-incident
+    /// path through here performs no heap allocation.
+    pub fn ingest_sampled(&mut self, now: SimTime) -> Vec<ResponsePlan> {
+        let events = mem::take(&mut self.event_buf);
+        let plans = self.ingest_events(now, &events);
+        self.event_buf = events;
+        plans
+    }
+
+    fn ingest_events(&mut self, now: SimTime, events: &[MonitorEvent]) -> Vec<ResponsePlan> {
+        for e in events {
             // The baseline's console audit log (wipeable); the SSM's chain
             // is written inside ingest().
             if e.severity >= cres_monitor::Severity::Warning {
                 self.soc.uart.write_line(format!(
                     "[{}] {} {}: {}",
-                    e.at, e.monitor, e.subject, e.detail
+                    e.at,
+                    self.ssm.monitor_name(e.monitor),
+                    e.subject,
+                    e.rendered()
                 ));
             }
         }
@@ -580,7 +650,7 @@ impl Platform {
                 Some(recorder) => recorder,
                 None => &mut null,
             };
-            self.ssm.ingest_traced(now, &events, sink)
+            self.ssm.ingest_traced(now, events, sink)
         };
         for plan in &plans {
             self.execute_plan(plan, now);

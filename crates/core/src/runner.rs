@@ -161,11 +161,13 @@ impl ScenarioRunner {
         let recovery_window = self.config.recovery_window;
         sim.schedule_periodic(self.config.monitor_period, move |p, sim| {
             let now = sim.now();
-            let events = p.sample_monitors(now);
-            if events.is_empty() {
+            // Buffered pair: the steady-state (no-event) tick reuses the
+            // platform's event buffer and performs no heap allocation.
+            let collected = p.sample_monitors_buffered(now);
+            if collected == 0 {
                 return true;
             }
-            let plans = p.ingest_and_respond(now, events);
+            let plans = p.ingest_sampled(now);
             for plan in &plans {
                 let reboots = plan.actions.iter().any(|a| {
                     matches!(

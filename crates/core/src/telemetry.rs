@@ -506,6 +506,7 @@ impl TelemetryRecorder {
 }
 
 impl StageSink for TelemetryRecorder {
+    #[inline]
     fn record_span(&mut self, at: SimTime, stage: Stage, arg: u32, cycles: u64) {
         self.ring.push(at, stage, arg, cycles);
         self.stage_counts[stage.index()] += 1;

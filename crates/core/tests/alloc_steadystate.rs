@@ -1,0 +1,90 @@
+//! Proof that the steady-state monitor→SSM→evidence tick is
+//! allocation-free.
+//!
+//! A counting global allocator wraps `System`; after warming the platform
+//! up (so every lazily grown buffer — the event buffer, the fault-plane
+//! scratch, monitor ring cursors, SSM correlation windows — has reached
+//! its steady capacity), one full no-incident tick must perform **zero**
+//! heap allocations: benign bus traffic, a full `sample_monitors_buffered`
+//! pass over every monitor, and `ingest_sampled` through the SSM.
+//!
+//! This is the tentpole contract of the allocation-free hot path: if any
+//! future change re-introduces a per-tick `String`, `Vec`, or `format!`,
+//! this test fails with the exact allocation count.
+
+use cres_platform::{Platform, PlatformConfig, PlatformProfile};
+use cres_sim::SimTime;
+use cres_soc::addr::MasterId;
+use cres_soc::soc::layout;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One steady-state tick: kick the watchdog, issue benign in-policy bus
+/// traffic, sample every monitor into the reusable buffer, ingest.
+fn tick(p: &mut Platform, n: u64) -> usize {
+    let now = SimTime::at_cycle(n * 5_000);
+    p.soc.watchdog.kick(now);
+    let sram = layout::SRAM.0;
+    for k in 0..32u64 {
+        let _ = p.soc.bus.write(
+            SimTime::at_cycle(n * 5_000 - 32 + k),
+            MasterId::CPU0,
+            sram.offset(64 + 8 * k),
+            &[0u8; 8],
+            &mut p.soc.mem,
+        );
+    }
+    let collected = p.sample_monitors_buffered(now);
+    let plans = p.ingest_sampled(now);
+    assert!(plans.is_empty(), "steady-state tick raised a response plan");
+    collected
+}
+
+#[test]
+fn steady_state_tick_is_allocation_free() {
+    let mut p = Platform::new(PlatformConfig::new(PlatformProfile::CyberResilient, 7));
+    p.train_syscall_monitor(50);
+
+    // Warm-up: let every internal buffer reach steady capacity.
+    for n in 1..=32u64 {
+        let collected = tick(&mut p, n);
+        assert_eq!(collected, 0, "warm-up tick {n} emitted events");
+    }
+
+    // The measured tick must not touch the heap at all.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let collected = tick(&mut p, 33);
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(collected, 0, "measured tick emitted events");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state tick performed {} heap allocations; the hot path \
+         must stay allocation-free",
+        after - before
+    );
+}

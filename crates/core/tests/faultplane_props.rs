@@ -5,35 +5,37 @@
 //! bounded. These are the invariants the E11 determinism diff and the
 //! campaign engine's thread-count invariance stand on.
 
-use cres_monitor::{MonitorEvent, Severity, Subject};
+use cres_monitor::{Detail, MonitorEvent, Severity, Subject};
 use cres_platform::{FaultPlane, FaultPlaneConfig, RetryPolicy};
 use cres_policy::DetectionCapability;
 use cres_sim::{DetRng, NullSink, SimTime};
 use proptest::prelude::*;
 
-/// An event batch whose details are unique across the whole run, so
-/// duplication is observable.
+/// An event batch whose detail payloads are unique across the whole run,
+/// so duplication is observable.
 fn batch(round: u64, size: usize) -> Vec<MonitorEvent> {
     (0..size)
         .map(|i| {
             MonitorEvent::new(
                 SimTime::at_cycle(round * 10_000 + i as u64),
-                "m",
                 DetectionCapability::BusPolicing,
                 Severity::Alert,
                 Subject::Network,
-                format!("r{round}e{i}"),
+                Detail::BusTapOverflow {
+                    lost: round * 1_000 + i as u64,
+                },
             )
         })
         .collect()
 }
 
-/// The original detail of a possibly-corrupted delivered event.
-fn original_detail(event: &MonitorEvent) -> &str {
-    event
-        .detail
-        .strip_prefix("[corrupted in transit] ")
-        .unwrap_or(&event.detail)
+/// The unique per-event key, unchanged by in-transit corruption (the fault
+/// plane only sets the `corrupted` flag and downgrades severity).
+fn event_key(event: &MonitorEvent) -> u64 {
+    match event.detail {
+        Detail::BusTapOverflow { lost } => lost,
+        _ => unreachable!("batches only carry BusTapOverflow details"),
+    }
 }
 
 fn hostile_config(loss: f64, delay: f64, reorder: f64, corrupt: f64) -> FaultPlaneConfig {
@@ -59,20 +61,24 @@ fn run_channel(
     let mut plane = FaultPlane::new(config, seed, 8);
     let mut delivered = Vec::new();
     for round in 0..rounds {
-        delivered.extend(plane.filter_events(
+        let mut events = batch(round, size);
+        plane.filter_events(
             SimTime::at_cycle(round * 10_000),
-            batch(round, size),
+            &mut events,
             &mut NullSink,
-        ));
+        );
+        delivered.extend(events);
     }
     // Drain: every held event is released within `max_delay_batches`
     // fault-free rounds (the release path cannot re-delay).
     for extra in 0..=u64::from(config.max_delay_batches) {
-        delivered.extend(plane.filter_events(
+        let mut events = Vec::new();
+        plane.filter_events(
             SimTime::at_cycle((rounds + extra) * 10_000),
-            Vec::new(),
+            &mut events,
             &mut NullSink,
-        ));
+        );
+        delivered.extend(events);
     }
     assert!(!plane.pending(), "drain must empty the delay queue");
     (delivered, plane)
@@ -114,7 +120,7 @@ proptest! {
         let mut seen = std::collections::BTreeSet::new();
         for event in &delivered {
             prop_assert!(
-                seen.insert(original_detail(event).to_string()),
+                seen.insert(event_key(event)),
                 "event {:?} delivered twice",
                 event.detail
             );

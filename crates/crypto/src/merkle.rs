@@ -64,7 +64,23 @@ impl MerkleTree {
     ///
     /// Panics when `leaves` is empty — an empty tree has no meaningful root.
     pub fn build<'a>(leaves: impl IntoIterator<Item = &'a [u8]>) -> Self {
-        let leaf_hashes: Vec<NodeHash> = leaves.into_iter().map(hash_leaf).collect();
+        Self::build_inner(leaves.into_iter().map(hash_leaf))
+    }
+
+    /// [`MerkleTree::build`] over borrowed 32-byte leaf digests — the
+    /// evidence-store case, where leaves are MAC values that already live
+    /// in records. Hashes each leaf in place with the usual `0x00` domain
+    /// prefix; no intermediate owned buffers are created.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `leaves` is empty.
+    pub fn build_from_hashes<'a>(leaves: impl IntoIterator<Item = &'a [u8; 32]>) -> Self {
+        Self::build_inner(leaves.into_iter().map(|l| hash_leaf(l.as_slice())))
+    }
+
+    fn build_inner(leaf_hashes: impl Iterator<Item = NodeHash>) -> Self {
+        let leaf_hashes: Vec<NodeHash> = leaf_hashes.collect();
         assert!(
             !leaf_hashes.is_empty(),
             "Merkle tree needs at least one leaf"

@@ -8,6 +8,7 @@
 //! regions), so the bus monitor catches reconnaissance that the MPU lets
 //! through.
 
+use crate::detail::Detail;
 use crate::event::{MonitorEvent, ResourceMonitor, Severity, Subject};
 use cres_policy::DetectionCapability;
 use cres_sim::SimTime;
@@ -76,7 +77,7 @@ impl BusPolicyMonitor {
 }
 
 impl ResourceMonitor for BusPolicyMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "bus-policy"
     }
 
@@ -84,45 +85,47 @@ impl ResourceMonitor for BusPolicyMonitor {
         DetectionCapability::BusPolicing
     }
 
-    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
-        let (records, lost) = soc.bus.poll(&mut self.cursor);
-        let mut events = Vec::new();
+    fn sample_into(&mut self, soc: &mut Soc, now: SimTime, events: &mut Vec<MonitorEvent>) {
+        let (records, lost) = soc.bus.poll_iter(&mut self.cursor);
         if lost > 0 {
             events.push(MonitorEvent::new(
                 now,
-                self.name(),
                 self.capability(),
                 Severity::Warning,
                 Subject::Platform,
-                format!("bus tap overflow: {lost} records lost"),
+                Detail::BusTapOverflow { lost },
             ));
         }
+        let mut out_of_policy = 0;
         for rec in records {
             if self.flag_debug_port && rec.master == MasterId::DEBUG {
                 events.push(MonitorEvent::new(
                     rec.at,
-                    self.name(),
-                    self.capability(),
+                    DetectionCapability::BusPolicing,
                     Severity::Alert,
                     Subject::Master(MasterId::DEBUG),
-                    format!("debug port active: {} at {}", rec.op, rec.addr),
+                    Detail::DebugPortActive {
+                        op: rec.op,
+                        addr: rec.addr,
+                    },
                 ));
                 continue;
             }
             match (rec.outcome, rec.region) {
                 (TxnOutcome::Granted, Some(region)) => {
                     if !self.in_policy(rec.master, region, rec.op) {
-                        self.out_of_policy += 1;
+                        out_of_policy += 1;
                         events.push(MonitorEvent::new(
                             rec.at,
-                            self.name(),
-                            self.capability(),
+                            DetectionCapability::BusPolicing,
                             Severity::Alert,
                             Subject::Master(rec.master),
-                            format!(
-                                "out-of-policy {} by {} at {} ({region})",
-                                rec.op, rec.master, rec.addr
-                            ),
+                            Detail::OutOfPolicy {
+                                op: rec.op,
+                                master: rec.master,
+                                addr: rec.addr,
+                                region,
+                            },
                         ));
                     }
                 }
@@ -130,16 +133,20 @@ impl ResourceMonitor for BusPolicyMonitor {
                 (TxnOutcome::Denied(err), _) => {
                     events.push(MonitorEvent::new(
                         rec.at,
-                        self.name(),
-                        self.capability(),
+                        DetectionCapability::BusPolicing,
                         Severity::Warning,
                         Subject::Master(rec.master),
-                        format!("denied {} by {} at {}: {err}", rec.op, rec.master, rec.addr),
+                        Detail::AccessDenied {
+                            op: rec.op,
+                            master: rec.master,
+                            addr: rec.addr,
+                            err,
+                        },
                     ));
                 }
             }
         }
-        events
+        self.out_of_policy += out_of_policy;
     }
 }
 
@@ -167,7 +174,7 @@ impl MemoryGuardMonitor {
 }
 
 impl ResourceMonitor for MemoryGuardMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "memory-guard"
     }
 
@@ -175,23 +182,23 @@ impl ResourceMonitor for MemoryGuardMonitor {
         DetectionCapability::MemoryGuard
     }
 
-    fn sample(&mut self, soc: &mut Soc, _now: SimTime) -> Vec<MonitorEvent> {
-        let (records, _) = soc.bus.poll(&mut self.cursor);
-        let mut events = Vec::new();
+    fn sample_into(&mut self, soc: &mut Soc, _now: SimTime, events: &mut Vec<MonitorEvent>) {
+        let (records, _) = soc.bus.poll_iter(&mut self.cursor);
         for rec in records {
             let Some(region) = rec.region else { continue };
             match rec.outcome {
                 TxnOutcome::Denied(_) if self.guarded.contains(&region) => {
                     events.push(MonitorEvent::new(
                         rec.at,
-                        self.name(),
-                        self.capability(),
+                        DetectionCapability::MemoryGuard,
                         Severity::Alert,
                         Subject::Master(rec.master),
-                        format!(
-                            "probe of guarded {region} by {}: {} at {} denied",
-                            rec.master, rec.op, rec.addr
-                        ),
+                        Detail::GuardedProbe {
+                            region,
+                            master: rec.master,
+                            op: rec.op,
+                            addr: rec.addr,
+                        },
                     ));
                 }
                 TxnOutcome::Granted
@@ -199,20 +206,19 @@ impl ResourceMonitor for MemoryGuardMonitor {
                 {
                     events.push(MonitorEvent::new(
                         rec.at,
-                        self.name(),
-                        self.capability(),
+                        DetectionCapability::MemoryGuard,
                         Severity::Critical,
                         Subject::Region(region),
-                        format!(
-                            "write into write-guarded {region} by {} at {}",
-                            rec.master, rec.addr
-                        ),
+                        Detail::GuardedWrite {
+                            region,
+                            master: rec.master,
+                            addr: rec.addr,
+                        },
                     ));
                 }
                 _ => {}
             }
         }
-        events
     }
 
     fn sample_cost(&self) -> u64 {

@@ -1,0 +1,298 @@
+//! Compact, `Copy` event detail payloads rendered to text lazily.
+//!
+//! The paper's ARMs are hardware monitors: producing telemetry must not
+//! perturb the monitored system. In the simulator that translates to a
+//! heap-allocation-free sampling path, so events carry a [`Detail`] — a
+//! small discriminant plus the raw numeric/typed arguments — instead of a
+//! pre-formatted `String`. The human-readable line (identical byte-for-byte
+//! to the old `format!` output, pinned by the property suite) is produced
+//! only at the cold edges: evidence-append serialization, console output
+//! and report export.
+
+use cres_soc::addr::{Addr, BusOp, MasterId, RegionId};
+use cres_soc::bus::BusError;
+use cres_soc::task::{BlockId, Syscall};
+use std::fmt;
+
+/// Which environmental quantity an [`Detail::EnvOutOfRange`] concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvQuantity {
+    /// Supply voltage (V).
+    Voltage,
+    /// Core clock (MHz).
+    Clock,
+    /// Die temperature (°C).
+    Temperature,
+}
+
+impl EnvQuantity {
+    /// The name used in rendered detail lines.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EnvQuantity::Voltage => "voltage",
+            EnvQuantity::Clock => "clock",
+            EnvQuantity::Temperature => "temperature",
+        }
+    }
+}
+
+/// The payload of a [`crate::MonitorEvent`]: one variant per distinct
+/// observation a monitor can make, carrying the raw arguments.
+///
+/// Kept `Copy` and small on purpose — constructing one on the hot sampling
+/// path costs a register move, not an allocation. [`Detail`] implements
+/// [`fmt::Display`] with output byte-identical to the eagerly formatted
+/// strings it replaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Detail {
+    /// The bus tap ring overflowed; `lost` records were evicted unseen.
+    BusTapOverflow {
+        /// Records lost to eviction.
+        lost: u64,
+    },
+    /// Any DEBUG-master activity on a production device.
+    DebugPortActive {
+        /// Operation performed.
+        op: BusOp,
+        /// Target address.
+        addr: Addr,
+    },
+    /// A granted access outside the mission policy windows.
+    OutOfPolicy {
+        /// Operation performed.
+        op: BusOp,
+        /// Master that issued it.
+        master: MasterId,
+        /// Target address.
+        addr: Addr,
+        /// Region hit.
+        region: RegionId,
+    },
+    /// A bus-level denial (MPU, gating, unmapped address).
+    AccessDenied {
+        /// Operation attempted.
+        op: BusOp,
+        /// Master that issued it.
+        master: MasterId,
+        /// Target address.
+        addr: Addr,
+        /// Why the interconnect refused.
+        err: BusError,
+    },
+    /// A denied probe of a guarded region (secret scanning).
+    GuardedProbe {
+        /// Guarded region probed.
+        region: RegionId,
+        /// Master that probed.
+        master: MasterId,
+        /// Operation attempted.
+        op: BusOp,
+        /// Target address.
+        addr: Addr,
+    },
+    /// A *granted* write into a write-guarded region (firmware tamper).
+    GuardedWrite {
+        /// Write-guarded region written.
+        region: RegionId,
+        /// Master that wrote.
+        master: MasterId,
+        /// Target address.
+        addr: Addr,
+    },
+    /// Ingress packet rate above the flood threshold.
+    IngressFlood {
+        /// Packets seen this sample.
+        count: u64,
+        /// Configured flood threshold.
+        threshold: u64,
+        /// EWMA rate baseline at detection time.
+        baseline: f64,
+    },
+    /// Malformed packets matching exploit signatures.
+    MalformedPackets {
+        /// Matching packets this sample.
+        count: u64,
+    },
+    /// Outbound bytes beyond the exfiltration profile.
+    OutboundExfiltration {
+        /// Off-profile byte count.
+        bytes: u64,
+    },
+    /// Sensor reading outside its physical envelope.
+    SensorOutOfEnvelope {
+        /// The reading.
+        value: f64,
+        /// Envelope minimum.
+        min: f64,
+        /// Envelope maximum.
+        max: f64,
+    },
+    /// Sensor step larger than physically plausible.
+    ImplausibleStep {
+        /// Observed step.
+        step: f64,
+        /// Maximum plausible step.
+        max_step: f64,
+    },
+    /// Sensor drift from the learned baseline.
+    BaselineDrift {
+        /// Z-score against the EWMA baseline.
+        z: f64,
+    },
+    /// Sensor stuck at a constant value (zero variance over the window).
+    StuckAt,
+    /// Environmental quantity outside its envelope (fault injection).
+    EnvOutOfRange {
+        /// Which quantity.
+        quantity: EnvQuantity,
+        /// The reading.
+        value: f64,
+        /// Envelope low bound.
+        lo: f64,
+        /// Envelope high bound.
+        hi: f64,
+    },
+    /// Watchdog expired: the system stopped kicking it.
+    WatchdogExpired,
+    /// Control-flow edge outside the provisioned set.
+    IllegalEdge {
+        /// Source basic block.
+        from: BlockId,
+        /// Destination basic block.
+        to: BlockId,
+    },
+    /// A syscall from the deny list.
+    DenyListedSyscall {
+        /// The denied syscall.
+        call: Syscall,
+    },
+    /// A syscall bigram never seen in training.
+    UnseenSyscallSequence {
+        /// Previous syscall.
+        prev: Syscall,
+        /// Current syscall.
+        call: Syscall,
+    },
+    /// Secret-tainted data written to an egress sink (DIFT).
+    TaintedEgress {
+        /// Master that carried the tainted data.
+        master: MasterId,
+        /// Egress sink region.
+        region: RegionId,
+        /// Target address.
+        addr: Addr,
+    },
+    /// Free-form static text — synthetic events in tests and ablations.
+    Text(&'static str),
+}
+
+impl Detail {
+    /// True when the rendered line contains `needle` — the test-side
+    /// convenience mirroring the old `String::contains` assertions. Not for
+    /// hot-path use: rendering goes through the formatting machinery.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.to_string().contains(needle)
+    }
+}
+
+impl fmt::Display for Detail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Detail::BusTapOverflow { lost } => {
+                write!(f, "bus tap overflow: {lost} records lost")
+            }
+            Detail::DebugPortActive { op, addr } => {
+                write!(f, "debug port active: {op} at {addr}")
+            }
+            Detail::OutOfPolicy {
+                op,
+                master,
+                addr,
+                region,
+            } => write!(f, "out-of-policy {op} by {master} at {addr} ({region})"),
+            Detail::AccessDenied {
+                op,
+                master,
+                addr,
+                err,
+            } => write!(f, "denied {op} by {master} at {addr}: {err}"),
+            Detail::GuardedProbe {
+                region,
+                master,
+                op,
+                addr,
+            } => write!(f, "probe of guarded {region} by {master}: {op} at {addr} denied"),
+            Detail::GuardedWrite {
+                region,
+                master,
+                addr,
+            } => write!(f, "write into write-guarded {region} by {master} at {addr}"),
+            Detail::IngressFlood {
+                count,
+                threshold,
+                baseline,
+            } => write!(
+                f,
+                "ingress flood: {count} packets this sample (threshold {threshold}, baseline {baseline:.1})"
+            ),
+            Detail::MalformedPackets { count } => {
+                write!(f, "{count} malformed packets matched exploit signatures")
+            }
+            Detail::OutboundExfiltration { bytes } => {
+                write!(f, "outbound exfiltration: {bytes} bytes off-profile")
+            }
+            Detail::SensorOutOfEnvelope { value, min, max } => {
+                write!(f, "reading {value:.3} outside physical envelope [{min}, {max}]")
+            }
+            Detail::ImplausibleStep { step, max_step } => {
+                write!(f, "implausible step {step:.3} (max {max_step})")
+            }
+            Detail::BaselineDrift { z } => write!(f, "drift from baseline: z={z:.1}"),
+            Detail::StuckAt => write!(f, "stuck-at: zero variance over window"),
+            Detail::EnvOutOfRange {
+                quantity,
+                value,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "{} {value:.2} outside [{lo}, {hi}] — possible fault injection",
+                quantity.name()
+            ),
+            Detail::WatchdogExpired => write!(f, "watchdog expired: system unresponsive"),
+            Detail::IllegalEdge { from, to } => {
+                write!(f, "illegal control-flow edge {from} -> {to}")
+            }
+            Detail::DenyListedSyscall { call } => write!(f, "deny-listed syscall {call:?}"),
+            Detail::UnseenSyscallSequence { prev, call } => {
+                write!(f, "unseen syscall sequence {prev:?} -> {call:?}")
+            }
+            Detail::TaintedEgress {
+                master,
+                region,
+                addr,
+            } => write!(f, "secret-tainted {master} wrote egress sink {region} at {addr}"),
+            Detail::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detail_is_small_and_copy() {
+        // The whole point: events move by register copy, not allocation.
+        assert!(std::mem::size_of::<Detail>() <= 40, "Detail grew too large");
+        let d = Detail::BusTapOverflow { lost: 3 };
+        let e = d; // Copy
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn text_variant_renders_verbatim() {
+        assert_eq!(Detail::Text("driver bug").to_string(), "driver bug");
+        assert!(Detail::Text("debug port active").contains("debug port"));
+    }
+}

@@ -1,7 +1,8 @@
 //! Monitor event types and the [`ResourceMonitor`] trait.
 
+use crate::detail::Detail;
 use cres_policy::DetectionCapability;
-use cres_sim::{SimTime, Stage, StageSink};
+use cres_sim::{MonitorId, SimTime, Stage, StageSink};
 use cres_soc::addr::{MasterId, RegionId};
 use cres_soc::task::TaskId;
 use cres_soc::Soc;
@@ -74,40 +75,81 @@ impl fmt::Display for Subject {
 }
 
 /// One observation reported to the system security manager.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy` on purpose: the steady-state monitor→SSM tick must be
+/// allocation-free, so events carry an interned [`MonitorId`] and a compact
+/// [`Detail`] payload instead of `String`s. Text is rendered only at the
+/// cold edges via [`MonitorEvent::rendered`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MonitorEvent {
     /// When the observation was made.
     pub at: SimTime,
-    /// Name of the reporting monitor.
-    pub monitor: String,
+    /// Interned id of the reporting monitor — stamped by the platform
+    /// after sampling; [`MonitorId::UNBOUND`] until then.
+    pub monitor: MonitorId,
     /// The detection capability that produced it.
     pub capability: DetectionCapability,
     /// Severity band.
     pub severity: Severity,
     /// The resource concerned.
     pub subject: Subject,
-    /// Human/forensic detail line.
-    pub detail: String,
+    /// Compact detail payload, rendered lazily.
+    pub detail: Detail,
+    /// Set by the fault plane when the event was mangled in transit; the
+    /// rendered detail line gains a `[corrupted in transit]` prefix.
+    pub corrupted: bool,
 }
 
 impl MonitorEvent {
-    /// Convenience constructor.
+    /// Convenience constructor. The producing monitor is stamped later by
+    /// the platform (monitors don't know their own interned id).
     pub fn new(
         at: SimTime,
-        monitor: &str,
         capability: DetectionCapability,
         severity: Severity,
         subject: Subject,
-        detail: impl Into<String>,
+        detail: Detail,
     ) -> Self {
         MonitorEvent {
             at,
-            monitor: monitor.to_string(),
+            monitor: MonitorId::UNBOUND,
             capability,
             severity,
             subject,
-            detail: detail.into(),
+            detail,
+            corrupted: false,
         }
+    }
+
+    /// Builder-style monitor stamp — test and wiring convenience.
+    #[inline]
+    pub fn with_monitor(mut self, monitor: MonitorId) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// The lazily rendered detail line, including the corruption prefix
+    /// when the fault plane mangled the event. Byte-identical to the
+    /// eagerly formatted `detail` string this type used to carry.
+    #[inline]
+    pub fn rendered(&self) -> RenderedDetail<'_> {
+        RenderedDetail { event: self }
+    }
+}
+
+/// Display adapter for an event's detail line (see
+/// [`MonitorEvent::rendered`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RenderedDetail<'a> {
+    event: &'a MonitorEvent,
+}
+
+impl fmt::Display for RenderedDetail<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.event.corrupted {
+            f.write_str("[corrupted in transit] ")?;
+        }
+        self.event.detail.fmt(f)
     }
 }
 
@@ -116,25 +158,42 @@ impl fmt::Display for MonitorEvent {
         write!(
             f,
             "{} [{}] {} {} — {}",
-            self.at, self.severity, self.monitor, self.subject, self.detail
+            self.at,
+            self.severity,
+            self.capability,
+            self.subject,
+            self.rendered()
         )
     }
 }
 
 /// An active runtime resource monitor.
 ///
-/// Monitors are driven periodically by the platform: `sample` inspects the
+/// Monitors are driven periodically by the platform: sampling inspects the
 /// SoC (mutably — sampling a sensor consumes its noise stream, polling the
-/// bus tap advances a cursor) and returns any new observations.
+/// bus tap advances a cursor) and reports any new observations.
 pub trait ResourceMonitor {
-    /// Stable monitor name (appears in events and forensic records).
-    fn name(&self) -> &str;
+    /// Stable monitor name (interned at wiring time, appears in forensic
+    /// records).
+    fn name(&self) -> &'static str;
 
     /// The Table-I detection capability this monitor realises.
     fn capability(&self) -> DetectionCapability;
 
-    /// Inspects the SoC and returns new observations.
-    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent>;
+    /// Inspects the SoC and appends new observations to `out`.
+    ///
+    /// Taking the buffer instead of returning a `Vec` lets the platform
+    /// reuse one allocation across every monitor and every tick — the
+    /// steady-state sampling pass performs no heap allocation at all.
+    fn sample_into(&mut self, soc: &mut Soc, now: SimTime, out: &mut Vec<MonitorEvent>);
+
+    /// Allocating convenience around [`ResourceMonitor::sample_into`] for
+    /// tests and one-shot callers.
+    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
+        let mut out = Vec::new();
+        self.sample_into(soc, now, &mut out);
+        out
+    }
 
     /// Approximate cost of one sample in bus cycles — used by the
     /// monitoring-overhead experiment (E8). Default: 2 cycles.
@@ -142,28 +201,29 @@ pub trait ResourceMonitor {
         2
     }
 
-    /// [`ResourceMonitor::sample`] with telemetry: records one
+    /// [`ResourceMonitor::sample_into`] with telemetry: records one
     /// `monitor-sample` span (arg = events produced, cycles =
     /// [`ResourceMonitor::sample_cost`]) plus one `event-emit` span per
     /// event (arg = severity rank). Pass [`cres_sim::NullSink`] to trace
     /// nothing — the default platform path when telemetry is disabled.
-    fn sample_traced(
+    fn sample_into_traced(
         &mut self,
         soc: &mut Soc,
         now: SimTime,
+        out: &mut Vec<MonitorEvent>,
         sink: &mut dyn StageSink,
-    ) -> Vec<MonitorEvent> {
-        let events = self.sample(soc, now);
+    ) {
+        let start = out.len();
+        self.sample_into(soc, now, out);
         sink.record_span(
             now,
             Stage::MonitorSample,
-            events.len() as u32,
+            (out.len() - start) as u32,
             self.sample_cost(),
         );
-        for event in &events {
+        for event in &out[start..] {
             sink.record_span(event.at, Stage::EventEmit, event.severity as u32, 1);
         }
-        events
     }
 }
 
@@ -190,17 +250,48 @@ mod tests {
     fn event_display_is_informative() {
         let e = MonitorEvent::new(
             SimTime::at_cycle(42),
-            "bus",
             DetectionCapability::BusPolicing,
             Severity::Alert,
             Subject::Master(MasterId::DMA),
-            "out-of-policy read",
+            Detail::Text("out-of-policy read"),
         );
         let s = e.to_string();
         assert!(s.contains("@42"));
         assert!(s.contains("Alert"));
         assert!(s.contains("DMA"));
         assert!(s.contains("out-of-policy read"));
+    }
+
+    #[test]
+    fn corrupted_events_render_with_prefix() {
+        let mut e = MonitorEvent::new(
+            SimTime::at_cycle(1),
+            DetectionCapability::BusPolicing,
+            Severity::Alert,
+            Subject::Platform,
+            Detail::Text("original line"),
+        );
+        assert_eq!(e.rendered().to_string(), "original line");
+        e.corrupted = true;
+        assert_eq!(
+            e.rendered().to_string(),
+            "[corrupted in transit] original line"
+        );
+    }
+
+    #[test]
+    fn events_are_copy_and_default_unbound() {
+        let e = MonitorEvent::new(
+            SimTime::ZERO,
+            DetectionCapability::BusPolicing,
+            Severity::Info,
+            Subject::Platform,
+            Detail::StuckAt,
+        );
+        let f = e; // Copy
+        assert_eq!(e, f);
+        assert!(!e.monitor.is_bound());
+        assert!(e.with_monitor(MonitorId::UNBOUND).monitor == MonitorId::UNBOUND);
     }
 
     #[test]

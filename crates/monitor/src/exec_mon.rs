@@ -7,6 +7,7 @@
 //! observations. The hardware analogue is an ARMHEx-style trace-port
 //! checker (Table I's academic landscape).
 
+use crate::detail::Detail;
 use crate::event::{MonitorEvent, ResourceMonitor, Severity, Subject};
 use cres_policy::DetectionCapability;
 use cres_sim::SimTime;
@@ -56,11 +57,13 @@ impl CfiMonitor {
             self.violations += 1;
             self.pending.push(MonitorEvent::new(
                 now,
-                "cfi",
                 DetectionCapability::ControlFlowIntegrity,
                 Severity::Critical,
                 Subject::Task(task),
-                format!("illegal control-flow edge {} -> {}", edge.0, edge.1),
+                Detail::IllegalEdge {
+                    from: edge.0,
+                    to: edge.1,
+                },
             ));
         }
     }
@@ -77,7 +80,7 @@ impl CfiMonitor {
 }
 
 impl ResourceMonitor for CfiMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "cfi"
     }
 
@@ -85,8 +88,9 @@ impl ResourceMonitor for CfiMonitor {
         DetectionCapability::ControlFlowIntegrity
     }
 
-    fn sample(&mut self, _soc: &mut Soc, _now: SimTime) -> Vec<MonitorEvent> {
-        std::mem::take(&mut self.pending)
+    fn sample_into(&mut self, _soc: &mut Soc, _now: SimTime, out: &mut Vec<MonitorEvent>) {
+        // append drains `pending` while keeping its capacity for next time
+        out.append(&mut self.pending);
     }
 
     fn sample_cost(&self) -> u64 {
@@ -145,11 +149,10 @@ impl SyscallMonitor {
                 self.anomalies += 1;
                 self.pending.push(MonitorEvent::new(
                     now,
-                    "syscall",
                     DetectionCapability::SyscallSequence,
                     Severity::Critical,
                     Subject::Task(task),
-                    format!("deny-listed syscall {call:?}"),
+                    Detail::DenyListedSyscall { call },
                 ));
                 continue;
             }
@@ -166,11 +169,10 @@ impl SyscallMonitor {
                         self.anomalies += 1;
                         self.pending.push(MonitorEvent::new(
                             now,
-                            "syscall",
                             DetectionCapability::SyscallSequence,
                             Severity::Alert,
                             Subject::Task(task),
-                            format!("unseen syscall sequence {prev:?} -> {call:?}"),
+                            Detail::UnseenSyscallSequence { prev, call },
                         ));
                     }
                 }
@@ -186,7 +188,7 @@ impl SyscallMonitor {
 }
 
 impl ResourceMonitor for SyscallMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "syscall"
     }
 
@@ -194,8 +196,8 @@ impl ResourceMonitor for SyscallMonitor {
         DetectionCapability::SyscallSequence
     }
 
-    fn sample(&mut self, _soc: &mut Soc, _now: SimTime) -> Vec<MonitorEvent> {
-        std::mem::take(&mut self.pending)
+    fn sample_into(&mut self, _soc: &mut Soc, _now: SimTime, out: &mut Vec<MonitorEvent>) {
+        out.append(&mut self.pending);
     }
 
     fn sample_cost(&self) -> u64 {

@@ -2,6 +2,7 @@
 //! watchdog.
 
 use crate::anomaly::{Ewma, WindowStats};
+use crate::detail::{Detail, EnvQuantity};
 use crate::event::{MonitorEvent, ResourceMonitor, Severity, Subject};
 use cres_policy::DetectionCapability;
 use cres_sim::SimTime;
@@ -36,7 +37,7 @@ impl NetworkMonitor {
 }
 
 impl ResourceMonitor for NetworkMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "network"
     }
 
@@ -46,8 +47,7 @@ impl ResourceMonitor for NetworkMonitor {
         DetectionCapability::NetworkRate
     }
 
-    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
-        let mut events = Vec::new();
+    fn sample_into(&mut self, soc: &mut Soc, now: SimTime, events: &mut Vec<MonitorEvent>) {
         let rx = soc.nic.rx_log();
         let new_rx = &rx[self.rx_cursor.min(rx.len())..];
         self.rx_cursor = rx.len();
@@ -57,15 +57,14 @@ impl ResourceMonitor for NetworkMonitor {
         if count > self.flood_threshold {
             events.push(MonitorEvent::new(
                 now,
-                self.name(),
                 DetectionCapability::NetworkRate,
                 Severity::Alert,
                 Subject::Network,
-                format!(
-                    "ingress flood: {count} packets this sample (threshold {}, baseline {:.1})",
-                    self.flood_threshold,
-                    self.rate_baseline.mean()
-                ),
+                Detail::IngressFlood {
+                    count: u64::from(count),
+                    threshold: u64::from(self.flood_threshold),
+                    baseline: self.rate_baseline.mean(),
+                },
             ));
         }
         self.rate_baseline.update(f64::from(count));
@@ -78,11 +77,12 @@ impl ResourceMonitor for NetworkMonitor {
         if malformed > 0 {
             events.push(MonitorEvent::new(
                 now,
-                self.name(),
                 DetectionCapability::NetworkSignature,
                 Severity::Alert,
                 Subject::Network,
-                format!("{malformed} malformed packets matched exploit signatures"),
+                Detail::MalformedPackets {
+                    count: malformed as u64,
+                },
             ));
         }
 
@@ -98,14 +98,12 @@ impl ResourceMonitor for NetworkMonitor {
         if exfil_bytes > self.exfil_bytes_threshold {
             events.push(MonitorEvent::new(
                 now,
-                self.name(),
                 DetectionCapability::NetworkSignature,
                 Severity::Critical,
                 Subject::Network,
-                format!("outbound exfiltration: {exfil_bytes} bytes off-profile"),
+                Detail::OutboundExfiltration { bytes: exfil_bytes },
             ));
         }
-        events
     }
 
     fn sample_cost(&self) -> u64 {
@@ -149,7 +147,7 @@ impl SensorMonitor {
 }
 
 impl ResourceMonitor for SensorMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "sensor-plausibility"
     }
 
@@ -157,22 +155,21 @@ impl ResourceMonitor for SensorMonitor {
         DetectionCapability::SensorPlausibility
     }
 
-    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
+    fn sample_into(&mut self, soc: &mut Soc, now: SimTime, events: &mut Vec<MonitorEvent>) {
         let value = soc.read_sensor(self.sensor_idx, now);
         let subject = Subject::Sensor(self.sensor_idx);
-        let mut events = Vec::new();
 
         if value < self.envelope.min || value > self.envelope.max || !value.is_finite() {
             events.push(MonitorEvent::new(
                 now,
-                self.name(),
                 self.capability(),
                 Severity::Critical,
                 subject,
-                format!(
-                    "reading {value:.3} outside physical envelope [{}, {}]",
-                    self.envelope.min, self.envelope.max
-                ),
+                Detail::SensorOutOfEnvelope {
+                    value,
+                    min: self.envelope.min,
+                    max: self.envelope.max,
+                },
             ));
         }
         if let Some(last) = self.last {
@@ -180,14 +177,13 @@ impl ResourceMonitor for SensorMonitor {
             if step > self.envelope.max_step {
                 events.push(MonitorEvent::new(
                     now,
-                    self.name(),
                     self.capability(),
                     Severity::Alert,
                     subject,
-                    format!(
-                        "implausible step {step:.3} (max {})",
-                        self.envelope.max_step
-                    ),
+                    Detail::ImplausibleStep {
+                        step,
+                        max_step: self.envelope.max_step,
+                    },
                 ));
             }
         }
@@ -196,28 +192,25 @@ impl ResourceMonitor for SensorMonitor {
             if z.abs() > 8.0 {
                 events.push(MonitorEvent::new(
                     now,
-                    self.name(),
                     self.capability(),
                     Severity::Alert,
                     subject,
-                    format!("drift from baseline: z={z:.1}"),
+                    Detail::BaselineDrift { z },
                 ));
             }
         }
         if self.window.is_full() && self.window.variance() == 0.0 {
             events.push(MonitorEvent::new(
                 now,
-                self.name(),
                 self.capability(),
                 Severity::Alert,
                 subject,
-                "stuck-at: zero variance over window".to_string(),
+                Detail::StuckAt,
             ));
         }
         self.baseline.update(value);
         self.window.push(value);
         self.last = Some(value);
-        events
     }
 
     fn sample_cost(&self) -> u64 {
@@ -255,7 +248,7 @@ impl EnvMonitor {
 }
 
 impl ResourceMonitor for EnvMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "environment"
     }
 
@@ -263,25 +256,43 @@ impl ResourceMonitor for EnvMonitor {
         DetectionCapability::Environmental
     }
 
-    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
+    fn sample_into(&mut self, soc: &mut Soc, now: SimTime, events: &mut Vec<MonitorEvent>) {
         let r = soc.read_env(now);
-        let mut events = Vec::new();
-        let mut check = |name: &str, value: f64, (lo, hi): (f64, f64), severity: Severity| {
-            if value < lo || value > hi {
-                events.push(MonitorEvent::new(
-                    now,
-                    "environment",
-                    DetectionCapability::Environmental,
-                    severity,
-                    Subject::Environment,
-                    format!("{name} {value:.2} outside [{lo}, {hi}] — possible fault injection"),
-                ));
-            }
-        };
-        check("voltage", r.voltage, self.voltage, Severity::Critical);
-        check("clock", r.clock_mhz, self.clock_mhz, Severity::Critical);
-        check("temperature", r.temp_c, self.temp_c, Severity::Alert);
-        events
+        let mut check =
+            |quantity: EnvQuantity, value: f64, (lo, hi): (f64, f64), severity: Severity| {
+                if value < lo || value > hi {
+                    events.push(MonitorEvent::new(
+                        now,
+                        DetectionCapability::Environmental,
+                        severity,
+                        Subject::Environment,
+                        Detail::EnvOutOfRange {
+                            quantity,
+                            value,
+                            lo,
+                            hi,
+                        },
+                    ));
+                }
+            };
+        check(
+            EnvQuantity::Voltage,
+            r.voltage,
+            self.voltage,
+            Severity::Critical,
+        );
+        check(
+            EnvQuantity::Clock,
+            r.clock_mhz,
+            self.clock_mhz,
+            Severity::Critical,
+        );
+        check(
+            EnvQuantity::Temperature,
+            r.temp_c,
+            self.temp_c,
+            Severity::Alert,
+        );
     }
 }
 
@@ -297,7 +308,7 @@ impl WatchdogMonitor {
 }
 
 impl ResourceMonitor for WatchdogMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "watchdog"
     }
 
@@ -305,18 +316,15 @@ impl ResourceMonitor for WatchdogMonitor {
         DetectionCapability::WatchdogLiveness
     }
 
-    fn sample(&mut self, soc: &mut Soc, now: SimTime) -> Vec<MonitorEvent> {
+    fn sample_into(&mut self, soc: &mut Soc, now: SimTime, events: &mut Vec<MonitorEvent>) {
         if soc.watchdog.fire_and_rearm(now) {
-            vec![MonitorEvent::new(
+            events.push(MonitorEvent::new(
                 now,
-                self.name(),
                 self.capability(),
                 Severity::Critical,
                 Subject::Platform,
-                "watchdog expired: system unresponsive".to_string(),
-            )]
-        } else {
-            Vec::new()
+                Detail::WatchdogExpired,
+            ));
         }
     }
 

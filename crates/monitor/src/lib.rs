@@ -30,12 +30,14 @@
 
 pub mod anomaly;
 pub mod bus_mon;
+pub mod detail;
 pub mod event;
 pub mod exec_mon;
 pub mod io_mon;
 pub mod taint;
 
 pub use bus_mon::{AccessWindow, BusPolicyMonitor, MemoryGuardMonitor};
+pub use detail::{Detail, EnvQuantity};
 pub use event::{MonitorEvent, ResourceMonitor, Severity, Subject};
 pub use exec_mon::{CfiMonitor, SyscallMonitor};
 pub use io_mon::{EnvMonitor, NetworkMonitor, SensorMonitor, WatchdogMonitor};

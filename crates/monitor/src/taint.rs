@@ -12,6 +12,7 @@
 //! counterparts it tracks possibility of flow, not byte equality, trading
 //! false positives for zero payload inspection.
 
+use crate::detail::Detail;
 use crate::event::{MonitorEvent, ResourceMonitor, Severity, Subject};
 use cres_policy::DetectionCapability;
 use cres_sim::{SimDuration, SimTime};
@@ -78,7 +79,7 @@ impl TaintMonitor {
 }
 
 impl ResourceMonitor for TaintMonitor {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "info-flow"
     }
 
@@ -86,9 +87,9 @@ impl ResourceMonitor for TaintMonitor {
         DetectionCapability::InformationFlow
     }
 
-    fn sample(&mut self, soc: &mut Soc, _now: SimTime) -> Vec<MonitorEvent> {
-        let (records, _) = soc.bus.poll(&mut self.cursor);
-        let mut events = Vec::new();
+    fn sample_into(&mut self, soc: &mut Soc, _now: SimTime, events: &mut Vec<MonitorEvent>) {
+        let (records, _) = soc.bus.poll_iter(&mut self.cursor);
+        let mut flagged = 0;
         for rec in records {
             if !matches!(rec.outcome, TxnOutcome::Granted) {
                 continue;
@@ -103,17 +104,17 @@ impl ResourceMonitor for TaintMonitor {
                 BusOp::Write => {
                     if self.is_master_tainted(rec.master, rec.at) {
                         if self.sinks.contains(&region) {
-                            self.flows_flagged += 1;
+                            flagged += 1;
                             events.push(MonitorEvent::new(
                                 rec.at,
-                                self.name(),
                                 self.capability(),
                                 Severity::Critical,
                                 Subject::Master(rec.master),
-                                format!(
-                                    "secret-tainted {} wrote egress sink {region} at {}",
-                                    rec.master, rec.addr
-                                ),
+                                Detail::TaintedEgress {
+                                    master: rec.master,
+                                    region,
+                                    addr: rec.addr,
+                                },
                             ));
                         } else {
                             self.tainted_regions.insert(region, rec.at);
@@ -122,7 +123,7 @@ impl ResourceMonitor for TaintMonitor {
                 }
             }
         }
-        events
+        self.flows_flagged += flagged;
     }
 
     fn sample_cost(&self) -> u64 {

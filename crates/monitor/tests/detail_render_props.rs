@@ -1,0 +1,204 @@
+//! Pins [`Detail`]'s lazy rendering to the exact `format!` strings the
+//! eager hot path used before the allocation-free refactor.
+//!
+//! Every variant is exercised with arbitrary field values and compared
+//! byte-for-byte against an independently written template (deliberately
+//! duplicated here — if the `Display` impl drifts, this suite fails even
+//! when the goldens are re-blessed). The corruption prefix added by
+//! [`MonitorEvent::rendered`] is pinned the same way.
+
+use cres_monitor::detail::{Detail, EnvQuantity};
+use cres_monitor::event::{MonitorEvent, Severity, Subject};
+use cres_policy::DetectionCapability;
+use cres_sim::SimTime;
+use cres_soc::addr::{Addr, BusOp, MasterId, RegionId};
+use cres_soc::bus::BusError;
+use cres_soc::task::{BlockId, Syscall};
+use proptest::prelude::*;
+
+const OPS: [BusOp; 3] = [BusOp::Read, BusOp::Write, BusOp::Exec];
+
+const SYSCALLS: [Syscall; 9] = [
+    Syscall::SensorRead,
+    Syscall::Actuate,
+    Syscall::NetSend,
+    Syscall::NetRecv,
+    Syscall::CryptoOp,
+    Syscall::StorageWrite,
+    Syscall::StorageRead,
+    Syscall::PrivEscalate,
+    Syscall::FirmwareWrite,
+];
+
+const QUANTITIES: [EnvQuantity; 3] = [
+    EnvQuantity::Voltage,
+    EnvQuantity::Clock,
+    EnvQuantity::Temperature,
+];
+
+fn bus_error(sel: usize, master: MasterId) -> BusError {
+    match sel % 4 {
+        0 => BusError::MasterGated(master),
+        1 => BusError::PermissionDenied,
+        2 => BusError::Unmapped,
+        _ => BusError::OutOfBounds,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bus_details_render_like_the_old_format_strings(
+        lost: u64,
+        addr_raw: u64,
+        region_raw: u32,
+        op_sel in 0usize..3,
+        master_sel in 0usize..8,
+        err_sel in 0usize..4,
+    ) {
+        let op = OPS[op_sel];
+        let master = MasterId::ALL[master_sel];
+        let addr = Addr(addr_raw);
+        let region = RegionId(region_raw);
+        let err = bus_error(err_sel, master);
+
+        prop_assert_eq!(
+            Detail::BusTapOverflow { lost }.to_string(),
+            format!("bus tap overflow: {lost} records lost")
+        );
+        prop_assert_eq!(
+            Detail::DebugPortActive { op, addr }.to_string(),
+            format!("debug port active: {op} at {addr}")
+        );
+        prop_assert_eq!(
+            Detail::OutOfPolicy { op, master, addr, region }.to_string(),
+            format!("out-of-policy {op} by {master} at {addr} ({region})")
+        );
+        prop_assert_eq!(
+            Detail::AccessDenied { op, master, addr, err }.to_string(),
+            format!("denied {op} by {master} at {addr}: {err}")
+        );
+        prop_assert_eq!(
+            Detail::GuardedProbe { region, master, op, addr }.to_string(),
+            format!("probe of guarded {region} by {master}: {op} at {addr} denied")
+        );
+        prop_assert_eq!(
+            Detail::GuardedWrite { region, master, addr }.to_string(),
+            format!("write into write-guarded {region} by {master} at {addr}")
+        );
+        prop_assert_eq!(
+            Detail::TaintedEgress { master, region, addr }.to_string(),
+            format!("secret-tainted {master} wrote egress sink {region} at {addr}")
+        );
+    }
+
+    #[test]
+    fn network_and_sensor_details_render_like_the_old_format_strings(
+        count: u64,
+        threshold: u64,
+        bytes: u64,
+        baseline in -1e9f64..1e9,
+        value in -1e9f64..1e9,
+        min in -1e9f64..1e9,
+        max in -1e9f64..1e9,
+        step in -1e9f64..1e9,
+        z in -1e3f64..1e3,
+    ) {
+        prop_assert_eq!(
+            Detail::IngressFlood { count, threshold, baseline }.to_string(),
+            format!(
+                "ingress flood: {count} packets this sample (threshold {threshold}, baseline {baseline:.1})"
+            )
+        );
+        prop_assert_eq!(
+            Detail::MalformedPackets { count }.to_string(),
+            format!("{count} malformed packets matched exploit signatures")
+        );
+        prop_assert_eq!(
+            Detail::OutboundExfiltration { bytes }.to_string(),
+            format!("outbound exfiltration: {bytes} bytes off-profile")
+        );
+        prop_assert_eq!(
+            Detail::SensorOutOfEnvelope { value, min, max }.to_string(),
+            format!("reading {value:.3} outside physical envelope [{min}, {max}]")
+        );
+        prop_assert_eq!(
+            Detail::ImplausibleStep { step, max_step: max }.to_string(),
+            format!("implausible step {step:.3} (max {max})")
+        );
+        prop_assert_eq!(
+            Detail::BaselineDrift { z }.to_string(),
+            format!("drift from baseline: z={z:.1}")
+        );
+    }
+
+    #[test]
+    fn env_exec_details_render_like_the_old_format_strings(
+        q_sel in 0usize..3,
+        value in -1e6f64..1e6,
+        lo in -1e6f64..1e6,
+        hi in -1e6f64..1e6,
+        from_raw: u32,
+        to_raw: u32,
+        call_sel in 0usize..9,
+        prev_sel in 0usize..9,
+    ) {
+        let quantity = QUANTITIES[q_sel];
+        let (from, to) = (BlockId(from_raw), BlockId(to_raw));
+        let (call, prev) = (SYSCALLS[call_sel], SYSCALLS[prev_sel]);
+
+        prop_assert_eq!(
+            Detail::EnvOutOfRange { quantity, value, lo, hi }.to_string(),
+            format!(
+                "{} {value:.2} outside [{lo}, {hi}] — possible fault injection",
+                quantity.name()
+            )
+        );
+        prop_assert_eq!(
+            Detail::IllegalEdge { from, to }.to_string(),
+            format!("illegal control-flow edge {from} -> {to}")
+        );
+        prop_assert_eq!(
+            Detail::DenyListedSyscall { call }.to_string(),
+            format!("deny-listed syscall {call:?}")
+        );
+        prop_assert_eq!(
+            Detail::UnseenSyscallSequence { prev, call }.to_string(),
+            format!("unseen syscall sequence {prev:?} -> {call:?}")
+        );
+    }
+
+    #[test]
+    fn corruption_prefix_matches_the_old_fault_plane_rewrite(lost: u64, at in 0u64..1_000_000) {
+        let mut e = MonitorEvent::new(
+            SimTime::at_cycle(at),
+            DetectionCapability::BusPolicing,
+            Severity::Warning,
+            Subject::Network,
+            Detail::BusTapOverflow { lost },
+        );
+        prop_assert_eq!(
+            e.rendered().to_string(),
+            format!("bus tap overflow: {lost} records lost")
+        );
+        e.corrupted = true;
+        prop_assert_eq!(
+            e.rendered().to_string(),
+            format!("[corrupted in transit] bus tap overflow: {lost} records lost")
+        );
+    }
+}
+
+#[test]
+fn fieldless_details_render_like_the_old_format_strings() {
+    assert_eq!(
+        Detail::StuckAt.to_string(),
+        "stuck-at: zero variance over window"
+    );
+    assert_eq!(
+        Detail::WatchdogExpired.to_string(),
+        "watchdog expired: system unresponsive"
+    );
+    assert_eq!(Detail::Text("free-form line").to_string(), "free-form line");
+}

@@ -1,0 +1,144 @@
+//! Monitor-name interning: a small dense index ↔ name table.
+//!
+//! The hot monitor→SSM path must not carry heap-allocated names on every
+//! event. Monitor names are known at platform wiring time and there are at
+//! most a dozen of them, so the platform interns each name once into a
+//! [`MonitorRegistry`] and events carry the resulting [`MonitorId`] — a
+//! `Copy` index resolved back to `&'static str` only at the cold edges
+//! (evidence serialization, console rendering, report export).
+
+/// Dense, stable identifier for an interned monitor name.
+///
+/// Ids are assigned in interning order starting at 0, so they double as
+/// indices into per-monitor tables. The all-ones value is reserved for
+/// [`MonitorId::UNBOUND`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonitorId(u16);
+
+impl MonitorId {
+    /// Sentinel for an event that has not been stamped with its producing
+    /// monitor (freshly constructed, or synthesized in tests). Resolves to
+    /// `"?"` in a registry.
+    pub const UNBOUND: MonitorId = MonitorId(u16::MAX);
+
+    /// The dense index this id maps to.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True unless this is [`MonitorId::UNBOUND`].
+    #[inline]
+    pub fn is_bound(self) -> bool {
+        self != Self::UNBOUND
+    }
+}
+
+/// Intern table mapping monitor names to dense [`MonitorId`]s.
+///
+/// Built once at platform wiring time; lookups on the hot path are a
+/// bounds-checked array index, never a hash or string compare.
+///
+/// ```
+/// use cres_sim::{MonitorId, MonitorRegistry};
+///
+/// let mut reg = MonitorRegistry::new();
+/// let bus = reg.intern("bus-policy");
+/// assert_eq!(bus.index(), 0);
+/// assert_eq!(reg.intern("bus-policy"), bus); // idempotent
+/// assert_eq!(reg.name(bus), "bus-policy");
+/// assert_eq!(reg.name(MonitorId::UNBOUND), "?");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MonitorRegistry {
+    names: Vec<&'static str>,
+}
+
+impl MonitorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id when already present.
+    /// Ids are dense: the n-th distinct name gets index n.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table would exceed the id space (65535 names) — far
+    /// beyond any realistic monitor fleet.
+    pub fn intern(&mut self, name: &'static str) -> MonitorId {
+        if let Some(pos) = self.names.iter().position(|n| *n == name) {
+            return MonitorId(pos as u16);
+        }
+        let idx = self.names.len();
+        assert!(idx < usize::from(u16::MAX), "monitor registry full");
+        self.names.push(name);
+        MonitorId(idx as u16)
+    }
+
+    /// Looks up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<MonitorId> {
+        self.names
+            .iter()
+            .position(|n| *n == name)
+            .map(|pos| MonitorId(pos as u16))
+    }
+
+    /// Resolves an id back to its name; [`MonitorId::UNBOUND`] and ids
+    /// from another registry resolve to `"?"` rather than panicking.
+    #[inline]
+    pub fn name(&self, id: MonitorId) -> &'static str {
+        self.names.get(id.index()).copied().unwrap_or("?")
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (MonitorId, &'static str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (MonitorId(i as u16), *n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_dense_and_idempotent() {
+        let mut reg = MonitorRegistry::new();
+        let a = reg.intern("a");
+        let b = reg.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(reg.intern("a"), a);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn unknown_ids_resolve_to_placeholder() {
+        let reg = MonitorRegistry::new();
+        assert_eq!(reg.name(MonitorId::UNBOUND), "?");
+        assert!(!MonitorId::UNBOUND.is_bound());
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut reg = MonitorRegistry::new();
+        assert_eq!(reg.get("x"), None);
+        let x = reg.intern("x");
+        assert_eq!(reg.get("x"), Some(x));
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`trace::TraceBuffer`] — a bounded in-simulation trace recorder,
 //! * [`stage`] — the pipeline-stage vocabulary ([`Stage`], [`StageSink`])
 //!   the telemetry layer's instrumentation points speak,
+//! * [`intern`] — the [`MonitorId`] interner keeping monitor names off the
+//!   hot event path,
 //! * [`stats`] — streaming statistics (Welford mean/variance, histograms)
 //!   used by experiment harnesses.
 //!
@@ -40,6 +42,7 @@
 //! ```
 
 pub mod event;
+pub mod intern;
 pub mod rng;
 pub mod stage;
 pub mod stats;
@@ -47,6 +50,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventId, Simulator};
+pub use intern::{MonitorId, MonitorRegistry};
 pub use rng::DetRng;
 pub use stage::{fault_code, NullSink, Stage, StageSink};
 pub use time::{SimDuration, SimTime};

@@ -157,6 +157,7 @@ pub trait StageSink {
 pub struct NullSink;
 
 impl StageSink for NullSink {
+    #[inline]
     fn record_span(&mut self, _at: SimTime, _stage: Stage, _arg: u32, _cycles: u64) {}
 }
 

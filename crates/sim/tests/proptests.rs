@@ -1,9 +1,26 @@
-//! Property tests for the simulation kernel: event ordering, RNG bounds and
-//! statistics invariants.
+//! Property tests for the simulation kernel: event ordering, RNG bounds,
+//! statistics invariants and the monitor-name interner.
 
 use cres_sim::stats::{Histogram, Running};
-use cres_sim::{DetRng, SimDuration, SimTime, Simulator};
+use cres_sim::{DetRng, MonitorId, MonitorRegistry, SimDuration, SimTime, Simulator};
 use proptest::prelude::*;
+
+/// Name pool for interner properties — interning requires `&'static str`,
+/// so properties draw indices into a fixed pool rather than free strings.
+const NAME_POOL: [&str; 12] = [
+    "bus-policy",
+    "network",
+    "sensor",
+    "env",
+    "watchdog",
+    "cfi",
+    "syscall",
+    "info-flow",
+    "aux-0",
+    "aux-1",
+    "aux-2",
+    "aux-3",
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -108,5 +125,60 @@ proptest! {
         let d = SimDuration::cycles(b);
         prop_assert_eq!((t + d) - d, t);
         prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+
+    #[test]
+    fn intern_resolve_round_trips(
+        picks in proptest::collection::vec(0usize..NAME_POOL.len(), 1..64)
+    ) {
+        let mut reg = MonitorRegistry::new();
+        for &i in &picks {
+            let id = reg.intern(NAME_POOL[i]);
+            prop_assert_eq!(reg.name(id), NAME_POOL[i]);
+            prop_assert_eq!(reg.get(NAME_POOL[i]), Some(id));
+        }
+    }
+
+    #[test]
+    fn interned_ids_are_stable_across_reinterning(
+        picks in proptest::collection::vec(0usize..NAME_POOL.len(), 1..64)
+    ) {
+        let mut reg = MonitorRegistry::new();
+        let first: Vec<MonitorId> = picks.iter().map(|&i| reg.intern(NAME_POOL[i])).collect();
+        let second: Vec<MonitorId> = picks.iter().map(|&i| reg.intern(NAME_POOL[i])).collect();
+        prop_assert_eq!(first, second, "re-interning must return the same id");
+    }
+
+    #[test]
+    fn interned_ids_are_dense_in_first_seen_order(
+        picks in proptest::collection::vec(0usize..NAME_POOL.len(), 1..64)
+    ) {
+        let mut reg = MonitorRegistry::new();
+        // Expected: distinct names in first-occurrence order get 0, 1, 2, …
+        let mut expected: Vec<&str> = Vec::new();
+        for &i in &picks {
+            let id = reg.intern(NAME_POOL[i]);
+            if !expected.contains(&NAME_POOL[i]) {
+                expected.push(NAME_POOL[i]);
+            }
+            let pos = expected.iter().position(|&n| n == NAME_POOL[i]).unwrap();
+            prop_assert_eq!(id.index(), pos, "ids must be dense in first-seen order");
+        }
+        prop_assert_eq!(reg.len(), expected.len());
+        let names: Vec<&str> = reg.iter().map(|(_, n)| n).collect();
+        prop_assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn unbound_and_out_of_range_ids_resolve_to_placeholder(
+        picks in proptest::collection::vec(0usize..NAME_POOL.len(), 0..8)
+    ) {
+        let mut reg = MonitorRegistry::new();
+        for &i in &picks {
+            reg.intern(NAME_POOL[i]);
+        }
+        prop_assert!(!MonitorId::UNBOUND.is_bound());
+        prop_assert_eq!(reg.name(MonitorId::UNBOUND), "?");
+        prop_assert_eq!(reg.get("never-interned"), None);
     }
 }

@@ -282,17 +282,23 @@ impl Bus {
     /// Records evicted before the cursor reached them are lost; the second
     /// tuple element counts such losses.
     pub fn poll(&self, cursor: &mut TxnCursor) -> (Vec<TxnRecord>, u64) {
+        let (iter, lost) = self.poll_iter(cursor);
+        (iter.copied().collect(), lost)
+    }
+
+    /// Allocation-free [`Bus::poll`]: yields borrowed records straight out
+    /// of the tap ring. Sequence numbers are contiguous in the ring, so the
+    /// unseen suffix is a single `O(1)` range rather than a filtered scan.
+    pub fn poll_iter(
+        &self,
+        cursor: &mut TxnCursor,
+    ) -> (impl Iterator<Item = &TxnRecord> + '_, u64) {
         let oldest = self.ring.front().map_or(self.next_seq, |r| r.seq);
         let lost = oldest.saturating_sub(cursor.next_seq);
         let from = cursor.next_seq.max(oldest);
-        let records: Vec<TxnRecord> = self
-            .ring
-            .iter()
-            .filter(|r| r.seq >= from)
-            .copied()
-            .collect();
+        let start = (self.ring.len() as u64).min(from - oldest) as usize;
         cursor.next_seq = self.next_seq;
-        (records, lost)
+        (self.ring.range(start..), lost)
     }
 
     /// Aggregate counters for a master.

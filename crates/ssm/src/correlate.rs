@@ -14,7 +14,7 @@
 //! event becomes an incident) to quantify the false-positive cost.
 
 use crate::health::HealthState;
-use cres_monitor::{MonitorEvent, Severity, Subject};
+use cres_monitor::{Detail, MonitorEvent, Severity, Subject};
 use cres_policy::DetectionCapability;
 use cres_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -95,22 +95,20 @@ fn classify(event: &MonitorEvent) -> IncidentKind {
                 IncidentKind::MemoryProbe
             }
         }
-        BusPolicing => {
-            if event.detail.contains("debug port") {
-                IncidentKind::DebugIntrusion
-            } else {
-                IncidentKind::PolicyViolation
-            }
-        }
+        BusPolicing => match event.detail {
+            Detail::DebugPortActive { .. } => IncidentKind::DebugIntrusion,
+            // synthetic Text events (tests, ablations) keep the old
+            // substring contract
+            Detail::Text(s) if s.contains("debug port") => IncidentKind::DebugIntrusion,
+            _ => IncidentKind::PolicyViolation,
+        },
         SyscallSequence => IncidentKind::BehaviourAnomaly,
         NetworkRate => IncidentKind::NetworkFlood,
-        NetworkSignature => {
-            if event.detail.contains("exfiltration") {
-                IncidentKind::Exfiltration
-            } else {
-                IncidentKind::ExploitTraffic
-            }
-        }
+        NetworkSignature => match event.detail {
+            Detail::OutboundExfiltration { .. } => IncidentKind::Exfiltration,
+            Detail::Text(s) if s.contains("exfiltration") => IncidentKind::Exfiltration,
+            _ => IncidentKind::ExploitTraffic,
+        },
         InformationFlow => IncidentKind::Exfiltration,
         SensorPlausibility => IncidentKind::SensorSpoof,
         Environmental => IncidentKind::FaultInjection,
@@ -314,14 +312,13 @@ mod tests {
     use super::*;
     use cres_soc::addr::MasterId;
 
-    fn ev(at: u64, cap: DetectionCapability, sev: Severity, detail: &str) -> MonitorEvent {
+    fn ev(at: u64, cap: DetectionCapability, sev: Severity, detail: &'static str) -> MonitorEvent {
         MonitorEvent::new(
             SimTime::at_cycle(at),
-            "test",
             cap,
             sev,
             Subject::Master(MasterId::CPU0),
-            detail,
+            Detail::Text(detail),
         )
     }
 

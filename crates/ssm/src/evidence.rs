@@ -186,8 +186,7 @@ impl EvidenceStore {
     ///
     /// Panics when the store is empty.
     pub fn seal(&mut self) -> [u8; 32] {
-        let leaves: Vec<Vec<u8>> = self.records.iter().map(|r| r.mac.to_vec()).collect();
-        let tree = MerkleTree::build(leaves.iter().map(Vec::as_slice));
+        let tree = MerkleTree::build_from_hashes(self.records.iter().map(|r| &r.mac));
         let root = tree.root();
         self.seals.push((root, self.records.len() as u64));
         root
@@ -206,11 +205,8 @@ impl EvidenceStore {
             .iter()
             .rev()
             .find(|(_, covered)| seq < *covered)?;
-        let leaves: Vec<Vec<u8>> = self.records[..covered as usize]
-            .iter()
-            .map(|r| r.mac.to_vec())
-            .collect();
-        let tree = MerkleTree::build(leaves.iter().map(Vec::as_slice));
+        let tree =
+            MerkleTree::build_from_hashes(self.records[..covered as usize].iter().map(|r| &r.mac));
         debug_assert_eq!(tree.root(), root);
         tree.prove(seq as usize).map(|p| (p, root))
     }

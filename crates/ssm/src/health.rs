@@ -359,6 +359,9 @@ mod tests {
         assert_eq!(m.check(t(5_000)), vec![2]);
         assert!(m.is_quarantined(2));
         assert_eq!(m.quarantined(), vec![2]);
+        // Live monitors keep beating; the dead one is not re-reported.
+        m.heartbeat(0, t(9_000));
+        m.heartbeat(1, t(9_000));
         assert!(m.check(t(9_000)).is_empty(), "re-quarantined");
     }
 

@@ -18,7 +18,9 @@ use crate::evidence::EvidenceStore;
 use crate::health::{HealthState, MonitorHealth, SystemHealth};
 use crate::planner::{PlannerMode, ResponsePlan, ResponsePlanner};
 use cres_monitor::MonitorEvent;
-use cres_sim::{fault_code, NullSink, SimDuration, SimTime, Stage, StageSink};
+use cres_sim::{
+    fault_code, MonitorId, MonitorRegistry, NullSink, SimDuration, SimTime, Stage, StageSink,
+};
 
 /// Modelled cycle cost of consuming one event in the correlation engine.
 const CORRELATE_COST: u64 = 4;
@@ -73,6 +75,7 @@ pub struct SystemSecurityManager {
     planner: ResponsePlanner,
     incidents: Vec<Incident>,
     monitor_health: Option<MonitorHealth>,
+    registry: MonitorRegistry,
 }
 
 impl SystemSecurityManager {
@@ -87,7 +90,26 @@ impl SystemSecurityManager {
             planner: ResponsePlanner::new(config.planner),
             incidents: Vec::new(),
             monitor_health: None,
+            registry: MonitorRegistry::new(),
         }
+    }
+
+    /// Interns a monitor name at wiring time; events stamped with the
+    /// returned [`MonitorId`] resolve back to `name` in evidence records
+    /// and console output. Idempotent.
+    pub fn intern_monitor(&mut self, name: &'static str) -> MonitorId {
+        self.registry.intern(name)
+    }
+
+    /// Resolves an interned monitor id (`"?"` for unbound/foreign ids).
+    #[inline]
+    pub fn monitor_name(&self, id: MonitorId) -> &'static str {
+        self.registry.name(id)
+    }
+
+    /// The monitor-name intern table.
+    pub fn monitor_registry(&self) -> &MonitorRegistry {
+        &self.registry
     }
 
     /// Arms heartbeat-based liveness tracking for a fleet of `count`
@@ -207,10 +229,13 @@ impl SystemSecurityManager {
             let seq = if self.config.evidence_enabled {
                 let seq = self.evidence.append(
                     event.at,
-                    &event.monitor,
+                    self.registry.name(event.monitor),
                     &format!(
                         "[{}] {} {}: {}",
-                        event.severity, event.capability, event.subject, event.detail
+                        event.severity,
+                        event.capability,
+                        event.subject,
+                        event.rendered()
                     ),
                 );
                 sink.record_span(now, Stage::EvidenceAppend, seq as u32, EVIDENCE_APPEND_COST);
@@ -341,14 +366,13 @@ mod tests {
     use cres_policy::DetectionCapability;
     use cres_soc::task::TaskId;
 
-    fn ev(at: u64, cap: DetectionCapability, sev: Severity, detail: &str) -> MonitorEvent {
+    fn ev(at: u64, cap: DetectionCapability, sev: Severity, detail: &'static str) -> MonitorEvent {
         MonitorEvent::new(
             SimTime::at_cycle(at),
-            "m",
             cap,
             sev,
             Subject::Task(TaskId(1)),
-            detail,
+            cres_monitor::Detail::Text(detail),
         )
     }
 
@@ -552,7 +576,9 @@ mod tests {
             2,
             "expected quarantine + degradation evidence records"
         );
-        // A second sweep neither re-quarantines nor re-records.
+        // A second sweep neither re-quarantines nor re-records; the live
+        // monitor keeps beating so only the dead one is in question.
+        s.monitor_heartbeat(0, SimTime::at_cycle(9_000));
         let again = s.check_monitor_health(SimTime::at_cycle(9_000), &mut NullSink);
         assert!(again.is_empty());
     }

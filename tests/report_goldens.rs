@@ -1,0 +1,120 @@
+//! Golden `RunReport` fixtures: one cell per platform profile at a fixed
+//! seed, committed under `tests/fixtures/` and compared byte-for-byte.
+//!
+//! This is the safety net for hot-path refactors (interned monitor names,
+//! lazy detail rendering, buffer reuse): any change that perturbs event
+//! ordering, evidence payload text, correlation outcomes, or the JSON
+//! encoding itself shows up here as a fixture diff.
+//!
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! CRES_BLESS=1 cargo test --test report_goldens
+//! ```
+//!
+//! and review the diff like any other behavioural change.
+
+use cres::attacks::{CodeInjectionAttack, DebugPortAttack, ExfilAttack, SensorSpoofAttack};
+use cres::platform::{PlatformConfig, PlatformProfile, RunReport, Scenario, ScenarioRunner};
+use cres::sim::{SimDuration, SimTime};
+use cres::soc::periph::SensorSpoof;
+use cres::soc::soc::layout;
+use cres::soc::task::{BlockId, TaskId};
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 42;
+
+/// A mixed gauntlet slice that exercises the breadth of detail variants:
+/// CFI edges, debug-port bus taps, network exfiltration signatures and
+/// sensor plausibility — including both string-classified incident kinds
+/// (debug-port, exfiltration).
+fn golden_scenario() -> Scenario {
+    Scenario::quiet(SimDuration::cycles(1_200_000))
+        .attack(
+            SimTime::at_cycle(200_000),
+            SimDuration::cycles(8_000),
+            Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)),
+        )
+        .attack(
+            SimTime::at_cycle(450_000),
+            SimDuration::cycles(4_000),
+            Box::new(DebugPortAttack::new(vec![
+                layout::SRAM.0,
+                layout::TEE_SECURE.0,
+                layout::SSM_PRIVATE.0,
+            ])),
+        )
+        .attack(
+            SimTime::at_cycle(700_000),
+            SimDuration::cycles(5_000),
+            Box::new(ExfilAttack::new(4_096, 4)),
+        )
+        .attack(
+            SimTime::at_cycle(950_000),
+            SimDuration::cycles(6_000),
+            Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))),
+        )
+}
+
+fn fixture_path(profile: PlatformProfile) -> PathBuf {
+    let stem = match profile {
+        PlatformProfile::CyberResilient => "cyber_resilient",
+        PlatformProfile::PassiveTrust => "passive_trust",
+        PlatformProfile::TeeShared => "tee_shared",
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("report_{stem}.json"))
+}
+
+fn bless_mode() -> bool {
+    std::env::var("CRES_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn run_cell(profile: PlatformProfile) -> RunReport {
+    ScenarioRunner::new(PlatformConfig::new(profile, GOLDEN_SEED)).run(golden_scenario())
+}
+
+#[test]
+fn reports_match_committed_goldens() {
+    for profile in PlatformProfile::ALL {
+        let report = run_cell(profile);
+        let json = report.to_json();
+        let path = fixture_path(profile);
+        if bless_mode() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &json)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            eprintln!("blessed {}", path.display());
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run CRES_BLESS=1 cargo test --test report_goldens",
+                path.display()
+            )
+        });
+        assert_eq!(
+            json,
+            golden,
+            "{profile} report diverged from {} — if intentional, re-bless and review the diff",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn goldens_decode_and_roundtrip() {
+    if bless_mode() {
+        return;
+    }
+    for profile in PlatformProfile::ALL {
+        let path = fixture_path(profile);
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {} ({e})", path.display()));
+        let report = RunReport::from_json(&golden).expect("golden decodes");
+        assert_eq!(report.profile, profile);
+        assert_eq!(report.seed, GOLDEN_SEED);
+        assert_eq!(report.to_json(), golden, "{profile} golden not canonical");
+    }
+}
