@@ -26,10 +26,12 @@
 //! | [`SystemHangAttack`] | firmware crash/lockup (the watchdog's domain) |
 //! | [`tee_attacks`] | Spectre/Meltdown-class TEE leakage + TA downgrade \[16\]\[32\] |
 
+pub mod catalog;
 pub mod inject;
 pub mod library;
 pub mod tee_attacks;
 
+pub use catalog::UnknownAttack;
 pub use inject::{AttackEffect, AttackInjector, AttackKind, AttackStepResult, AttackTargets};
 pub use library::{
     CodeInjectionAttack, DebugPortAttack, DmaExfilAttack, DowngradeAttack, ExfilAttack,

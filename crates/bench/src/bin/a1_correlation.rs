@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run --release -p cres-bench --bin a1_correlation`
 
-use cres_bench::scenarios::build;
+use cres_bench::scenarios::try_build;
 use cres_monitor::{Detail, MonitorEvent, Severity, Subject};
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{PlatformConfig, PlatformProfile};
@@ -99,7 +99,7 @@ fn main() {
     );
     cres_bench::rule(&widths);
     // Both ablation arms are independent runs: fan out via the engine.
-    let mut platform_campaign = Campaign::new(build);
+    let mut platform_campaign = Campaign::new(try_build);
     for enabled in [true, false] {
         let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, 55);
         config.correlation_enabled = enabled;
@@ -115,7 +115,9 @@ fn main() {
             spec,
         );
     }
-    let summary = platform_campaign.run_parallel(default_jobs());
+    let summary = platform_campaign
+        .run_parallel(default_jobs())
+        .expect("gauntlet names resolve");
     cres_bench::emit_campaign_reports("a1", &summary);
     for (enabled, result) in [true, false].into_iter().zip(&summary.results) {
         let report = &result.report;

@@ -17,7 +17,7 @@
 //!
 //! Run: `cargo run --release -p cres-bench --bin e11_selfheal`
 
-use cres_bench::scenarios::build;
+use cres_bench::scenarios::try_build;
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{FaultPlaneConfig, FaultPlaneStats, PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
@@ -80,7 +80,7 @@ fn main() {
 
     // Submission order: (loss, crashed, attack, seed) — consumed
     // positionally below.
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     for loss in LOSS_SWEEP {
         for crashed in CRASH_SWEEP {
             for attack in ATTACKS {
@@ -100,7 +100,9 @@ fn main() {
             }
         }
     }
-    let summary = campaign.run_parallel(default_jobs());
+    let summary = campaign
+        .run_parallel(default_jobs())
+        .expect("gauntlet names resolve");
     cres_bench::emit_campaign_reports("e11", &summary);
 
     let widths = [8, 8, 10, 10, 10, 10, 10, 10, 10];

@@ -1,0 +1,247 @@
+//! E13 — generative scenario fuzzing.
+//!
+//! Generates a seed-deterministic corpus of 100+ multi-stage attack
+//! scenarios (`cres-scenario`'s DSL + generator), pushes it through the
+//! campaign engine on the cyber-resilient profile, and classifies every
+//! scenario as detected / degraded / missed. Any pinned regression
+//! fixture under `tests/fixtures/regressions/` is replayed and must still
+//! reproduce its recorded classification — a divergence fails the run.
+//!
+//! ```text
+//! e13_fuzz [--seed N]        # default seed 42
+//! ```
+//!
+//! Environment:
+//!
+//! * `CRES_FAST=1` — run only the first 16 corpus scenarios (CI smoke);
+//!   generation itself always produces the full corpus.
+//! * `CRES_REPORT_DIR=<dir>` — write `e13_fuzz.json` (one classification
+//!   record per line, deterministic) and `e13_corpus.toml` (the full
+//!   corpus in DSL form) for artifact upload and determinism diffing.
+//! * `CRES_PIN_DIR=<dir>` — shrink each distinct miss and write the
+//!   minimized scenario as a pinned `.toml` fixture into the directory.
+//! * `CRES_JOBS=<n>` — worker threads (default: all cores).
+
+use cres_bench::{banner, fast_mode, row, rule};
+use cres_platform::campaign::default_jobs;
+use cres_platform::PlatformProfile;
+use cres_scenario::doc::Classification;
+use cres_scenario::{
+    classify, generate, parse, pin, run_one, serialize, shrink, verify_pinned, GenKnobs,
+    ScenarioDoc,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const PROFILE: PlatformProfile = PlatformProfile::CyberResilient;
+const FAST_SUBSET: usize = 16;
+
+fn regressions_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/regressions")
+}
+
+/// Loads every pinned fixture, sorted by file name for determinism.
+fn load_pinned() -> Vec<(PathBuf, ScenarioDoc)> {
+    let dir = regressions_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+            let doc = parse(&text).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+            (path, doc)
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("usage: e13_fuzz [--seed N]");
+                    return ExitCode::from(2);
+                };
+                seed = v;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\nusage: e13_fuzz [--seed N]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    banner("E13", "generative scenario fuzzing (DSL + corpus gauntlet)");
+    let knobs = GenKnobs::default();
+    let corpus = generate(seed, &knobs);
+    let ran = if fast_mode() {
+        FAST_SUBSET.min(corpus.len())
+    } else {
+        corpus.len()
+    };
+    println!(
+        "seed {seed}: {} scenarios generated, running {ran}{}",
+        corpus.len(),
+        if ran < corpus.len() {
+            " (CRES_FAST subset)"
+        } else {
+            ""
+        }
+    );
+
+    let runs = match cres_scenario::run_corpus(&corpus[..ran], PROFILE, seed, default_jobs()) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut counts = [0usize; 3];
+    for run in &runs {
+        counts[match run.outcome.classification {
+            Classification::Detected => 0,
+            Classification::Degraded => 1,
+            Classification::Missed => 2,
+        }] += 1;
+    }
+    let widths = [28, 14, 40];
+    rule(&widths);
+    row(&[&"scenario", &"outcome", &"missed attacks"], &widths);
+    rule(&widths);
+    for run in &runs {
+        if run.outcome.classification == Classification::Detected {
+            continue;
+        }
+        row(
+            &[
+                &run.name,
+                &run.outcome.classification.name(),
+                &run.outcome.missed.join(", "),
+            ],
+            &widths,
+        );
+    }
+    rule(&widths);
+    println!(
+        "{ran} scenarios: {} detected, {} degraded, {} missed",
+        counts[0], counts[1], counts[2]
+    );
+
+    // shrink + pin each distinct miss signature when asked to
+    if let Some(pin_dir) = std::env::var_os("CRES_PIN_DIR") {
+        let pin_dir = PathBuf::from(pin_dir);
+        std::fs::create_dir_all(&pin_dir)
+            .unwrap_or_else(|e| panic!("creating {}: {e}", pin_dir.display()));
+        let mut pinned_signatures: Vec<Vec<String>> = Vec::new();
+        for run in &runs {
+            if run.outcome.missed.is_empty() || pinned_signatures.contains(&run.outcome.missed) {
+                continue;
+            }
+            pinned_signatures.push(run.outcome.missed.clone());
+            let doc = corpus
+                .iter()
+                .find(|d| d.name == run.name)
+                .expect("corpus entry for run");
+            let mut runner = |candidate: &ScenarioDoc| {
+                let report = run_one(candidate, PROFILE, seed).expect("corpus names resolve");
+                classify(candidate, &report)
+            };
+            let mut shrunk = shrink(doc, &mut runner);
+            shrunk.name = format!("pin-{}", doc.name);
+            let outcome = runner(&shrunk);
+            let pinned = pin(&shrunk, PROFILE, seed, &outcome);
+            let path = pin_dir.join(format!("{}.toml", pinned.name));
+            std::fs::write(&path, serialize(&pinned))
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!(
+                "pinned {} ({} stages, {} cycles): {}",
+                pinned.name,
+                pinned.stages.len(),
+                pinned.duration,
+                path.display()
+            );
+        }
+        if pinned_signatures.is_empty() {
+            println!("no misses to pin");
+        }
+    }
+
+    // replay every checked-in regression fixture
+    let pinned = load_pinned();
+    let mut fixture_failures = 0usize;
+    for (path, doc) in &pinned {
+        match verify_pinned(doc) {
+            Ok(outcome) => println!(
+                "fixture {:<28} replays {} (missed: {})",
+                doc.name,
+                outcome.classification.name(),
+                if outcome.missed.is_empty() {
+                    "none".to_string()
+                } else {
+                    outcome.missed.join(", ")
+                }
+            ),
+            Err(message) => {
+                eprintln!("FIXTURE DIVERGED {}: {message}", path.display());
+                fixture_failures += 1;
+            }
+        }
+    }
+    if pinned.is_empty() {
+        println!("no pinned regression fixtures under tests/fixtures/regressions/");
+    }
+
+    // deterministic artifacts for CI upload + determinism diffing
+    if let Some(dir) = std::env::var_os("CRES_REPORT_DIR") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+        let mut json = String::new();
+        json.push_str(&format!(
+            "{{\"seed\":{seed},\"corpus\":{},\"ran\":{ran},\"detected\":{},\"degraded\":{},\"missed\":{}}}\n",
+            corpus.len(),
+            counts[0],
+            counts[1],
+            counts[2]
+        ));
+        for run in &runs {
+            let missed: Vec<String> = run
+                .outcome
+                .missed
+                .iter()
+                .map(|m| format!("\"{m}\""))
+                .collect();
+            json.push_str(&format!(
+                "{{\"name\":\"{}\",\"classification\":\"{}\",\"missed\":[{}]}}\n",
+                run.name,
+                run.outcome.classification.name(),
+                missed.join(",")
+            ));
+        }
+        let path = dir.join("e13_fuzz.json");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        let corpus_text: Vec<String> = corpus.iter().map(serialize).collect();
+        let path = dir.join("e13_corpus.toml");
+        std::fs::write(&path, corpus_text.join("\n# ---\n\n"))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+
+    if fixture_failures > 0 {
+        eprintln!("{fixture_failures} pinned fixture(s) diverged");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

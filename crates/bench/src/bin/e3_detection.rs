@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p cres-bench --bin e3_detection`
 
-use cres_bench::scenarios::{build, GAUNTLET};
+use cres_bench::scenarios::{try_build, GAUNTLET};
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
@@ -72,7 +72,7 @@ fn main() {
 
     // Submission order mirrors the old sequential loop nest
     // (attack, seed, profile) so results can be consumed positionally.
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     for attack in &attacks {
         for seed in SEEDS {
             for profile in PROFILES {
@@ -84,7 +84,9 @@ fn main() {
             }
         }
     }
-    let summary = campaign.run_parallel(default_jobs());
+    let summary = campaign
+        .run_parallel(default_jobs())
+        .expect("gauntlet names resolve");
     cres_bench::emit_campaign_reports("e3", &summary);
 
     let widths = [18, 12, 12, 12, 12, 10];

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p cres-bench --bin e4_response`
 
-use cres_bench::scenarios::build;
+use cres_bench::scenarios::try_build;
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
@@ -50,7 +50,7 @@ fn main() {
 
     // Submission order: (planner, seed, quiet-then-attack). The quiet run
     // supplies the relay-throughput denominator for its attack twin.
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     for (label, planner) in PLANNERS {
         for seed in SEEDS {
             let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, seed);
@@ -63,7 +63,9 @@ fn main() {
             campaign.submit(format!("{label}/attack/{seed}"), config, attack_spec());
         }
     }
-    let summary = campaign.run_parallel(default_jobs());
+    let summary = campaign
+        .run_parallel(default_jobs())
+        .expect("gauntlet names resolve");
     cres_bench::emit_campaign_reports("e4", &summary);
 
     let widths = [22, 12, 14, 10, 12, 12];

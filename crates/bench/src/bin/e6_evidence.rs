@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --release -p cres-bench --bin e6_evidence`
 
-use cres_bench::scenarios::build;
+use cres_bench::scenarios::try_build;
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
@@ -39,14 +39,16 @@ fn main() {
         PlatformProfile::PassiveTrust,
     ];
 
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     for profile in profiles {
         let mut config = PlatformConfig::new(profile, 99);
         // the baseline has no SSM evidence store at all
         config.evidence_enabled = profile == PlatformProfile::CyberResilient;
         campaign.submit(profile.to_string(), config, staged_intrusion(duration));
     }
-    let summary = campaign.run_parallel(default_jobs());
+    let summary = campaign
+        .run_parallel(default_jobs())
+        .expect("gauntlet names resolve");
     cres_bench::emit_campaign_reports("e6", &summary);
 
     let widths = [16, 14, 14, 12, 14, 14];

@@ -16,7 +16,7 @@
 //! Run: `cargo run --release -p cres-bench --bin e7_isolation`
 
 use cres_attacks::tee_attacks::{shared_cache_key_extraction, ta_downgrade};
-use cres_bench::scenarios::build;
+use cres_bench::scenarios::try_build;
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{Platform, PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
@@ -139,7 +139,7 @@ fn main() {
     println!("\n-- runtime: dma-exfil campaign, isolated vs shared deployment --");
     const SWEEP_SEEDS: [u64; 3] = [7, 21, 2024];
     let profiles = [PlatformProfile::CyberResilient, PlatformProfile::TeeShared];
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     for profile in profiles {
         for seed in SWEEP_SEEDS {
             campaign.submit(
@@ -153,7 +153,9 @@ fn main() {
             );
         }
     }
-    let summary = campaign.run_parallel(default_jobs());
+    let summary = campaign
+        .run_parallel(default_jobs())
+        .expect("gauntlet names resolve");
     cres_bench::emit_campaign_reports("e7", &summary);
     let widths = [16, 12, 14, 14];
     cres_bench::row(

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p cres-bench --bin e9_degradation`
 
-use cres_bench::scenarios::build;
+use cres_bench::scenarios::try_build;
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
@@ -47,7 +47,7 @@ fn main() {
         "Graceful degradation: critical-service delivery under progressive compromise",
     );
 
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     for k in 0..=CAMPAIGN.len() {
         for profile in [
             PlatformProfile::CyberResilient,
@@ -60,7 +60,9 @@ fn main() {
             );
         }
     }
-    let summary = campaign.run_parallel(default_jobs());
+    let summary = campaign
+        .run_parallel(default_jobs())
+        .expect("gauntlet names resolve");
     cres_bench::emit_campaign_reports("e9", &summary);
     // results are (k, profile)-ordered pairs; rung 0 is the quiet baseline
     let pair = |k: usize| {

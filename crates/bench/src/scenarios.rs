@@ -1,15 +1,11 @@
 //! The standard attack gauntlet shared by E3/E4/E6 and the examples.
+//!
+//! Construction delegates to [`cres_attacks::catalog`], the single
+//! name → injector table; this module only names the standard runtime
+//! subset and offers the historical panicking wrapper.
 
-use cres_attacks::{
-    AttackInjector, CodeInjectionAttack, DebugPortAttack, DmaExfilAttack, ExfilAttack,
-    FaultInjectionAttack, FirmwareTamperAttack, LogWipeAttack, MalformedTrafficAttack,
-    MemoryProbeAttack, NetworkFloodAttack, SensorSpoofAttack, SyscallAnomalyAttack,
-    SystemHangAttack,
-};
-use cres_soc::addr::MasterId;
-use cres_soc::periph::{EnvTamper, SensorSpoof};
-use cres_soc::soc::layout;
-use cres_soc::task::{BlockId, Syscall, TaskId};
+use cres_attacks::catalog;
+use cres_attacks::{AttackInjector, UnknownAttack};
 
 /// Names of the standard runtime attack gauntlet (downgrade is boot-time
 /// and lives in E10).
@@ -27,52 +23,19 @@ pub const GAUNTLET: [&str; 11] = [
     "log-wipe",
 ];
 
+/// Builds a fresh injector for a catalog name, surfacing unknown names as
+/// a structured error. This is the builder shape `Campaign::new` expects.
+pub fn try_build(name: &str) -> Result<Box<dyn AttackInjector>, UnknownAttack> {
+    catalog::try_build(name)
+}
+
 /// Builds a fresh injector for a gauntlet entry.
 ///
 /// # Panics
 ///
-/// Panics for unknown names.
+/// Panics for unknown names; use [`try_build`] where the name is untrusted.
 pub fn build(name: &str) -> Box<dyn AttackInjector> {
-    match name {
-        // hijacking to bb0 twice guarantees at least one illegal self-edge
-        "code-injection" => Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)),
-        "memory-probe" => Box::new(MemoryProbeAttack::new(
-            MasterId::CPU1,
-            vec![
-                layout::SSM_PRIVATE.0,
-                layout::TEE_SECURE.0,
-                layout::SSM_PRIVATE.0.offset(0x100),
-                layout::TEE_SECURE.0.offset(0x100),
-            ],
-        )),
-        "firmware-tamper" => Box::new(FirmwareTamperAttack::new(
-            MasterId::CPU0,
-            layout::FLASH_A.0.offset(0x800),
-        )),
-        "dma-exfil" => Box::new(DmaExfilAttack::new(
-            layout::TEE_SECURE.0,
-            layout::SRAM.0.offset(0x3000),
-            64,
-        )),
-        "debug-port" => Box::new(DebugPortAttack::new(vec![
-            layout::SRAM.0,
-            layout::TEE_SECURE.0,
-            layout::SSM_PRIVATE.0,
-        ])),
-        "network-flood" => Box::new(NetworkFloodAttack::new(300, 8)),
-        "exploit-traffic" => Box::new(MalformedTrafficAttack::new(5, 4)),
-        "exfiltration" => Box::new(ExfilAttack::new(4_096, 6)),
-        "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))),
-        "fault-injection" => Box::new(FaultInjectionAttack::new(EnvTamper::VoltageGlitch(1.1))),
-        "log-wipe" => Box::new(LogWipeAttack::new(MasterId::CPU0)),
-        "syscall-anomaly" => Box::new(SyscallAnomalyAttack::new(
-            TaskId(1),
-            vec![Syscall::PrivEscalate, Syscall::FirmwareWrite],
-            3,
-        )),
-        "system-hang" => Box::new(SystemHangAttack::new()),
-        other => panic!("unknown gauntlet attack {other:?}"),
-    }
+    catalog::try_build(name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -86,13 +49,23 @@ mod tests {
             assert_eq!(injector.name(), name);
             assert!(injector.steps() > 0);
         }
-        // plus the extra entry outside the constant
+        // plus the extra entries outside the constant
         assert_eq!(build("syscall-anomaly").name(), "syscall-anomaly");
+        assert!(GAUNTLET.iter().all(|n| catalog::is_known(n)));
     }
 
     #[test]
-    #[should_panic(expected = "unknown gauntlet attack")]
-    fn unknown_name_panics() {
+    fn unknown_name_is_a_structured_error() {
+        let err = match try_build("nonexistent") {
+            Ok(_) => panic!("must not resolve"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "nonexistent");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attack")]
+    fn unknown_name_panics_in_legacy_builder() {
         build("nonexistent");
     }
 }

@@ -7,7 +7,7 @@
 //! `attack × profile` cell) so the suite exercises the parallel path while
 //! staying fast on multicore machines.
 
-use cres_bench::scenarios::{build, GAUNTLET};
+use cres_bench::scenarios::{try_build, GAUNTLET};
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
@@ -25,7 +25,7 @@ fn cell_spec(attack: &str) -> ScenarioSpec {
 }
 
 fn run_gauntlet(profile: PlatformProfile, attacks: &[&str]) -> Vec<(String, bool)> {
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     for attack in attacks {
         campaign.submit(
             *attack,
@@ -35,6 +35,7 @@ fn run_gauntlet(profile: PlatformProfile, attacks: &[&str]) -> Vec<(String, bool
     }
     campaign
         .run_parallel(default_jobs())
+        .expect("gauntlet names resolve")
         .results
         .into_iter()
         .map(|result| {

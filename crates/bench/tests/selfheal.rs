@@ -4,7 +4,7 @@
 //! accounting-independent of the telemetry layer — a telemetry-off run is
 //! bit-identical outside the `telemetry` field, fault counters included.
 
-use cres_bench::scenarios::build;
+use cres_bench::scenarios::try_build;
 use cres_platform::campaign::{default_jobs, Campaign, ScenarioSpec};
 use cres_platform::{FaultPlaneConfig, PlatformConfig, PlatformProfile};
 use cres_sim::{SimDuration, SimTime};
@@ -35,7 +35,7 @@ fn faulted_config(seed: u64, loss: f64, crashed: u32) -> PlatformConfig {
 
 #[test]
 fn acceptance_cell_detection_stays_above_90_percent() {
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     for attack in ATTACKS {
         for seed in SEEDS {
             campaign.submit(
@@ -45,7 +45,9 @@ fn acceptance_cell_detection_stays_above_90_percent() {
             );
         }
     }
-    let summary = campaign.run_parallel(default_jobs());
+    let summary = campaign
+        .run_parallel(default_jobs())
+        .expect("gauntlet names resolve");
 
     let mut detected = 0u32;
     let mut degraded = 0u32;
@@ -74,13 +76,13 @@ fn acceptance_cell_detection_stays_above_90_percent() {
 
 #[test]
 fn crashed_monitor_is_quarantined_and_evidenced() {
-    let mut campaign = Campaign::new(build);
+    let mut campaign = Campaign::new(try_build);
     campaign.submit(
         "quarantine",
         faulted_config(42, 0.0, 1),
         cell_spec("memory-probe"),
     );
-    let report = &campaign.run_parallel(1).results[0].report;
+    let report = &campaign.run_parallel(1).expect("known attacks").results[0].report;
     let stats = report.faultplane.expect("fault plane was enabled");
     assert_eq!(stats.monitors_crashed, 1);
     assert_eq!(
@@ -101,9 +103,14 @@ fn faultplane_report_is_bit_identical_outside_telemetry_field() {
     let run = |telemetry: bool| {
         let mut config = faulted_config(7, 0.20, 1);
         config.telemetry.enabled = telemetry;
-        let mut campaign = Campaign::new(build);
+        let mut campaign = Campaign::new(try_build);
         campaign.submit("cell", config, cell_spec("network-flood"));
-        campaign.run_parallel(1).results.remove(0).report
+        campaign
+            .run_parallel(1)
+            .expect("known attacks")
+            .results
+            .remove(0)
+            .report
     };
     let mut on = run(true);
     let off = run(false);
@@ -127,9 +134,14 @@ fn all_quiet_faultplane_only_adds_the_stats_field() {
         let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, 99);
         config.faultplane.enabled = armed;
         config.telemetry.enabled = false;
-        let mut campaign = Campaign::new(build);
+        let mut campaign = Campaign::new(try_build);
         campaign.submit("cell", config, cell_spec("sensor-spoof"));
-        campaign.run_parallel(1).results.remove(0).report
+        campaign
+            .run_parallel(1)
+            .expect("known attacks")
+            .results
+            .remove(0)
+            .report
     };
     let mut armed = run(true);
     let unfaulted = run(false);

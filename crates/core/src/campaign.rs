@@ -15,18 +15,18 @@
 //! [`ScenarioSpec`] — duration, workload knobs and *named* attacks with
 //! their timing — and each worker materialises the concrete scenario
 //! locally through the campaign's injector builder (the experiment
-//! binaries pass `cres_bench::scenarios::build`).
+//! binaries pass `cres_attacks::catalog::try_build`). Resolution is
+//! fallible: every spec is validated against the builder *before* any
+//! worker spawns, so an unknown attack name is a structured
+//! [`CampaignError`] naming the job and the offending attack, never a
+//! worker-thread panic.
 //!
 //! ```
 //! use cres_platform::campaign::{Campaign, ScenarioSpec};
 //! use cres_platform::config::{PlatformConfig, PlatformProfile};
-//! use cres_attacks::NetworkFloodAttack;
 //! use cres_sim::{SimDuration, SimTime};
 //!
-//! let mut campaign = Campaign::new(|name: &str| match name {
-//!     "network-flood" => Box::new(NetworkFloodAttack::new(300, 4)) as _,
-//!     other => panic!("unknown attack {other}"),
-//! });
+//! let mut campaign = Campaign::new(cres_attacks::catalog::try_build);
 //! for seed in [1, 2] {
 //!     campaign.submit(
 //!         format!("flood/{seed}"),
@@ -38,7 +38,7 @@
 //!         ),
 //!     );
 //! }
-//! let summary = campaign.run_parallel(2);
+//! let summary = campaign.run_parallel(2).expect("catalog names resolve");
 //! assert_eq!(summary.results.len(), 2);
 //! assert!(summary.results.iter().all(|r| r.report.attacks[0].detected()));
 //! ```
@@ -47,11 +47,36 @@ use crate::config::PlatformConfig;
 use crate::metrics::RunReport;
 use crate::runner::{Scenario, ScenarioRunner};
 use crate::telemetry::TelemetrySnapshot;
-use cres_attacks::AttackInjector;
+use cres_attacks::{AttackInjector, UnknownAttack};
 use cres_sim::{SimDuration, SimTime};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// A campaign failed before any simulation ran: a queued job's spec
+/// referenced an attack name the injector builder cannot resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    /// Label of the offending job.
+    pub label: String,
+    /// Submission index of the offending job.
+    pub index: usize,
+    /// The unresolvable attack name.
+    pub unknown: UnknownAttack,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job #{} ({:?}): {}",
+            self.index, self.label, self.unknown
+        )
+    }
+}
+
+impl std::error::Error for CampaignError {}
 
 /// A named attack plus its schedule, materialised per worker.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +88,10 @@ pub struct AttackTemplate {
     /// Interval between steps.
     pub step_interval: SimDuration,
 }
+
+/// The result of resolving one attack name: a live injector, or a
+/// structured [`UnknownAttack`] naming the string that failed to resolve.
+pub type BuiltAttack = Result<Box<dyn AttackInjector>, UnknownAttack>;
 
 /// A buildable description of a [`Scenario`]: everything `Scenario` holds
 /// except live injector state, so it is `Clone + Send` and can cross into
@@ -112,7 +141,13 @@ impl ScenarioSpec {
 
     /// Builds the concrete runnable scenario, resolving attack names
     /// through `build`.
-    pub fn materialise(&self, build: &dyn Fn(&str) -> Box<dyn AttackInjector>) -> Scenario {
+    ///
+    /// Fails with the offending name when `build` cannot resolve one of
+    /// the spec's attacks.
+    pub fn materialise(
+        &self,
+        build: &dyn Fn(&str) -> BuiltAttack,
+    ) -> Result<Scenario, UnknownAttack> {
         let mut scenario = Scenario {
             duration: self.duration,
             attacks: Vec::new(),
@@ -124,10 +159,10 @@ impl ScenarioSpec {
             scenario = scenario.attack(
                 template.start,
                 template.step_interval,
-                build(&template.name),
+                build(&template.name)?,
             );
         }
-        scenario
+        Ok(scenario)
     }
 }
 
@@ -238,7 +273,7 @@ impl CampaignSummary {
 /// materialises named attacks inside each worker.
 pub struct Campaign<B>
 where
-    B: Fn(&str) -> Box<dyn AttackInjector> + Sync,
+    B: Fn(&str) -> BuiltAttack + Sync,
 {
     builder: B,
     jobs: Vec<Job>,
@@ -246,7 +281,7 @@ where
 
 impl<B> Campaign<B>
 where
-    B: Fn(&str) -> Box<dyn AttackInjector> + Sync,
+    B: Fn(&str) -> BuiltAttack + Sync,
 {
     /// Creates an empty campaign over an injector builder.
     pub fn new(builder: B) -> Self {
@@ -282,19 +317,39 @@ where
         self.jobs.is_empty()
     }
 
+    /// Checks every queued spec against the builder, reporting the first
+    /// job whose attacks do not all resolve. Runs on the calling thread so
+    /// a bad scenario never reaches a worker.
+    fn validate(&self) -> Result<(), CampaignError> {
+        for (index, job) in self.jobs.iter().enumerate() {
+            if let Err(unknown) = job.spec.materialise(&|name| (self.builder)(name)) {
+                return Err(CampaignError {
+                    label: job.label.clone(),
+                    index,
+                    unknown,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Runs every job on the calling thread, in submission order.
-    pub fn run_sequential(self) -> CampaignSummary {
+    ///
+    /// Fails up front — before any simulation runs — when a queued spec
+    /// references an attack the builder cannot resolve.
+    pub fn run_sequential(self) -> Result<CampaignSummary, CampaignError> {
+        self.validate()?;
         let start = Instant::now();
         let results = self
             .jobs
             .iter()
             .map(|job| run_job(job, &self.builder))
             .collect();
-        CampaignSummary {
+        Ok(CampaignSummary {
             results,
             threads: 1,
             total_wall: start.elapsed(),
-        }
+        })
     }
 
     /// Fans the jobs out across `threads` scoped workers.
@@ -304,11 +359,15 @@ where
     /// a slow cell never idles the other workers. Results are written back
     /// into submission-order slots, making the output independent of
     /// completion order — byte-identical to [`Campaign::run_sequential`].
-    pub fn run_parallel(self, threads: usize) -> CampaignSummary {
+    ///
+    /// Fails up front — before any worker spawns — when a queued spec
+    /// references an attack the builder cannot resolve.
+    pub fn run_parallel(self, threads: usize) -> Result<CampaignSummary, CampaignError> {
         let threads = threads.max(1).min(self.jobs.len().max(1));
         if threads <= 1 {
             return self.run_sequential();
         }
+        self.validate()?;
         let start = Instant::now();
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<JobResult>>> =
@@ -333,20 +392,23 @@ where
                     .expect("worker pool drained every job")
             })
             .collect();
-        CampaignSummary {
+        Ok(CampaignSummary {
             results,
             threads,
             total_wall: start.elapsed(),
-        }
+        })
     }
 }
 
 fn run_job<B>(job: &Job, builder: &B) -> JobResult
 where
-    B: Fn(&str) -> Box<dyn AttackInjector> + Sync,
+    B: Fn(&str) -> BuiltAttack + Sync,
 {
     let start = Instant::now();
-    let scenario = job.spec.materialise(&|name| builder(name));
+    let scenario = job
+        .spec
+        .materialise(&|name| builder(name))
+        .expect("specs validated before dispatch");
     let report = ScenarioRunner::new(job.config).run(scenario);
     JobResult {
         label: job.label.clone(),
@@ -395,15 +457,19 @@ mod tests {
     use cres_attacks::{NetworkFloodAttack, SensorSpoofAttack};
     use cres_soc::periph::SensorSpoof;
 
-    fn test_builder(name: &str) -> Box<dyn AttackInjector> {
-        match name {
-            "network-flood" => Box::new(NetworkFloodAttack::new(300, 4)),
-            "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))),
-            other => panic!("unknown test attack {other:?}"),
-        }
+    fn test_builder(name: &str) -> BuiltAttack {
+        Ok(match name {
+            "network-flood" => Box::new(NetworkFloodAttack::new(300, 4)) as _,
+            "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))) as _,
+            other => {
+                return Err(UnknownAttack {
+                    name: other.to_string(),
+                })
+            }
+        })
     }
 
-    type TestBuilder = fn(&str) -> Box<dyn AttackInjector>;
+    type TestBuilder = fn(&str) -> BuiltAttack;
 
     fn small_campaign() -> Campaign<TestBuilder> {
         let mut campaign = Campaign::new(test_builder as TestBuilder);
@@ -428,8 +494,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_in_submission_order() {
-        let sequential = small_campaign().run_sequential();
-        let parallel = small_campaign().run_parallel(4);
+        let sequential = small_campaign().run_sequential().expect("known attacks");
+        let parallel = small_campaign().run_parallel(4).expect("known attacks");
         assert_eq!(sequential.results.len(), parallel.results.len());
         for (a, b) in sequential.results.iter().zip(&parallel.results) {
             assert_eq!(a.label, b.label);
@@ -439,8 +505,14 @@ mod tests {
 
     #[test]
     fn merged_telemetry_is_thread_count_invariant() {
-        let sequential = small_campaign().run_sequential().merged_telemetry();
-        let parallel = small_campaign().run_parallel(4).merged_telemetry();
+        let sequential = small_campaign()
+            .run_sequential()
+            .expect("known attacks")
+            .merged_telemetry();
+        let parallel = small_campaign()
+            .run_parallel(4)
+            .expect("known attacks")
+            .merged_telemetry();
         assert_eq!(sequential, parallel);
         let merged = sequential.expect("telemetry is on by default");
         assert!(merged.spans_recorded > 0);
@@ -454,7 +526,7 @@ mod tests {
             SimTime::at_cycle(10_000),
             SimDuration::cycles(1_000),
         );
-        let scenario = spec.materialise(&test_builder);
+        let scenario = spec.materialise(&test_builder).expect("known attack");
         assert_eq!(scenario.duration, spec.duration);
         assert_eq!(scenario.attacks.len(), 1);
         assert_eq!(scenario.attacks[0].start, SimTime::at_cycle(10_000));
@@ -494,8 +566,36 @@ mod tests {
 
     #[test]
     fn zero_threads_clamps_to_one() {
-        let summary = small_campaign().run_parallel(0);
+        let summary = small_campaign().run_parallel(0).expect("known attacks");
         assert_eq!(summary.results.len(), 4);
         assert_eq!(summary.threads, 1);
+    }
+
+    #[test]
+    fn unknown_attack_is_a_structured_error_not_a_panic() {
+        let mut campaign = Campaign::new(test_builder as TestBuilder);
+        campaign.submit(
+            "good",
+            PlatformConfig::new(PlatformProfile::CyberResilient, 1),
+            ScenarioSpec::quiet(SimDuration::cycles(50_000)).attack(
+                "network-flood",
+                SimTime::at_cycle(10_000),
+                SimDuration::cycles(1_000),
+            ),
+        );
+        campaign.submit(
+            "bad",
+            PlatformConfig::new(PlatformProfile::CyberResilient, 2),
+            ScenarioSpec::quiet(SimDuration::cycles(50_000)).attack(
+                "zero-day",
+                SimTime::at_cycle(10_000),
+                SimDuration::cycles(1_000),
+            ),
+        );
+        let err = campaign.run_parallel(4).expect_err("bad name must surface");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.label, "bad");
+        assert_eq!(err.unknown.name, "zero-day");
+        assert!(err.to_string().contains("zero-day"), "{err}");
     }
 }

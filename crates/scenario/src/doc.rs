@@ -1,0 +1,296 @@
+//! The scenario document model: what a `.toml` scenario file *means*,
+//! independent of its textual shape.
+//!
+//! A [`ScenarioDoc`] is the DSL's semantic form. It compiles down to the
+//! campaign engine's [`ScenarioSpec`] (plus the platform knobs a spec
+//! cannot carry) via [`ScenarioDoc::spec`] / [`ScenarioDoc::config`], and
+//! round-trips through the text format in `crate::text` losslessly.
+
+use cres_attacks::catalog;
+use cres_platform::campaign::ScenarioSpec;
+use cres_platform::{PlatformConfig, PlatformProfile};
+use cres_sim::{SimDuration, SimTime};
+
+/// Default simulated duration for a scenario that does not say otherwise.
+pub const DEFAULT_DURATION: u64 = 1_000_000;
+
+/// Default step interval for a stage that does not say otherwise.
+pub const DEFAULT_INTERVAL: u64 = 2_000;
+
+/// How a whole scenario scored against the platform's detection pipeline.
+///
+/// Only *scored* stages count — decoy stages are noise by construction and
+/// detecting (or missing) them says nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Every scored stage was detected.
+    Detected,
+    /// Some scored stages were detected, some were not.
+    Degraded,
+    /// No scored stage was detected.
+    Missed,
+}
+
+impl Classification {
+    /// The DSL keyword for this classification.
+    pub fn name(self) -> &'static str {
+        match self {
+            Classification::Detected => "detected",
+            Classification::Degraded => "degraded",
+            Classification::Missed => "missed",
+        }
+    }
+
+    /// Parses a DSL keyword.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "detected" => Classification::Detected,
+            "degraded" => Classification::Degraded,
+            "missed" => Classification::Missed,
+            _ => return None,
+        })
+    }
+}
+
+/// One scheduled attack within a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageDoc {
+    /// Catalog name (base or `name:variant` inject point).
+    pub attack: String,
+    /// Absolute cycle of the first step.
+    pub start: u64,
+    /// Cycles between steps.
+    pub interval: u64,
+    /// Decoy stages are deliberate noise and excluded from scoring.
+    pub decoy: bool,
+}
+
+/// The expected outcome block a pinned regression fixture carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expectation {
+    /// Platform profile the expectation was recorded on.
+    pub profile: PlatformProfile,
+    /// Determinism seed the expectation was recorded at.
+    pub seed: u64,
+    /// Recorded whole-scenario classification.
+    pub classification: Classification,
+    /// Scored attack names that went undetected, sorted and deduplicated.
+    pub missed: Vec<String>,
+}
+
+/// A parsed scenario: header knobs, attack stages and (for pinned
+/// regression fixtures) the recorded expectation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioDoc {
+    /// Scenario name (campaign job label).
+    pub name: String,
+    /// Simulated duration in cycles.
+    pub duration: u64,
+    /// Pre-deployment syscall-model training rounds.
+    pub training_rounds: u32,
+    /// Install the default three-task workload.
+    pub default_workload: bool,
+    /// Period of benign background traffic (`None` = silent network).
+    pub benign_packet_period: Option<u64>,
+    /// Expose the firmware slot store to attack injectors (needed for the
+    /// firmware-tamper/downgrade stages to act on anything).
+    pub expose_slots: bool,
+    /// The attack stages, in schedule order.
+    pub stages: Vec<StageDoc>,
+    /// Recorded outcome, present only on pinned fixtures.
+    pub expect: Option<Expectation>,
+}
+
+impl ScenarioDoc {
+    /// A stage-free scenario with the engine's quiet-run defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        let quiet = ScenarioSpec::quiet(SimDuration::cycles(DEFAULT_DURATION));
+        ScenarioDoc {
+            name: name.into(),
+            duration: DEFAULT_DURATION,
+            training_rounds: quiet.training_rounds,
+            default_workload: quiet.default_workload,
+            benign_packet_period: quiet.benign_packet_period.map(SimDuration::as_cycles),
+            expose_slots: false,
+            stages: Vec::new(),
+            expect: None,
+        }
+    }
+
+    /// Compiles to the campaign engine's scenario description.
+    pub fn spec(&self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::quiet(SimDuration::cycles(self.duration));
+        spec.benign_packet_period = self.benign_packet_period.map(SimDuration::cycles);
+        spec.training_rounds = self.training_rounds;
+        spec.default_workload = self.default_workload;
+        for stage in &self.stages {
+            spec = spec.attack(
+                stage.attack.clone(),
+                SimTime::at_cycle(stage.start),
+                SimDuration::cycles(stage.interval),
+            );
+        }
+        spec
+    }
+
+    /// The platform configuration this scenario runs under.
+    pub fn config(&self, profile: PlatformProfile, seed: u64) -> PlatformConfig {
+        let mut config = PlatformConfig::new(profile, seed);
+        config.expose_slots_to_attacker = self.expose_slots;
+        config
+    }
+
+    /// Semantic validation beyond what the parser enforces: non-empty
+    /// name, a positive duration, every stage inside it and every attack
+    /// name resolvable in the catalog.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".into());
+        }
+        if self.duration == 0 {
+            return Err(format!(
+                "scenario {:?}: duration must be positive",
+                self.name
+            ));
+        }
+        for (index, stage) in self.stages.iter().enumerate() {
+            if !catalog::is_known(&stage.attack) {
+                return Err(format!(
+                    "scenario {:?} stage #{index}: unknown attack {:?}",
+                    self.name, stage.attack
+                ));
+            }
+            if stage.start >= self.duration {
+                return Err(format!(
+                    "scenario {:?} stage #{index} ({}): start {} is past the {}-cycle duration",
+                    self.name, stage.attack, stage.start, self.duration
+                ));
+            }
+            if stage.interval == 0 {
+                return Err(format!(
+                    "scenario {:?} stage #{index} ({}): interval must be positive",
+                    self.name, stage.attack
+                ));
+            }
+        }
+        if let Some(expect) = &self.expect {
+            let mut sorted = expect.missed.clone();
+            sorted.sort();
+            sorted.dedup();
+            if sorted != expect.missed {
+                return Err(format!(
+                    "scenario {:?}: expect.missed must be sorted and deduplicated",
+                    self.name
+                ));
+            }
+            for name in &expect.missed {
+                if !self.stages.iter().any(|s| !s.decoy && s.attack == *name) {
+                    return Err(format!(
+                        "scenario {:?}: expect.missed names {:?} which is not a scored stage",
+                        self.name, name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The scored (non-decoy) stages.
+    pub fn scored_stages(&self) -> impl Iterator<Item = &StageDoc> {
+        self.stages.iter().filter(|s| !s.decoy)
+    }
+}
+
+/// The canonical DSL keyword for a platform profile.
+pub fn profile_name(profile: PlatformProfile) -> &'static str {
+    match profile {
+        PlatformProfile::CyberResilient => "cres",
+        PlatformProfile::PassiveTrust => "passive",
+        PlatformProfile::TeeShared => "tee-shared",
+    }
+}
+
+/// Parses a DSL profile keyword.
+pub fn parse_profile(s: &str) -> Option<PlatformProfile> {
+    Some(match s {
+        "cres" => PlatformProfile::CyberResilient,
+        "passive" => PlatformProfile::PassiveTrust,
+        "tee-shared" => PlatformProfile::TeeShared,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> ScenarioDoc {
+        let mut doc = ScenarioDoc::new("t");
+        doc.stages.push(StageDoc {
+            attack: "network-flood".into(),
+            start: 100_000,
+            interval: 2_000,
+            decoy: false,
+        });
+        doc
+    }
+
+    #[test]
+    fn defaults_mirror_the_quiet_scenario() {
+        let quiet = ScenarioSpec::quiet(SimDuration::cycles(DEFAULT_DURATION));
+        assert_eq!(ScenarioDoc::new("x").spec(), quiet);
+    }
+
+    #[test]
+    fn spec_carries_stages_in_order() {
+        let mut d = doc();
+        d.stages.push(StageDoc {
+            attack: "sensor-spoof".into(),
+            start: 300_000,
+            interval: 1_000,
+            decoy: true,
+        });
+        let spec = d.spec();
+        assert_eq!(spec.attacks.len(), 2);
+        assert_eq!(spec.attacks[0].name, "network-flood");
+        assert_eq!(spec.attacks[1].name, "sensor-spoof");
+        assert_eq!(spec.attacks[1].start, SimTime::at_cycle(300_000));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_attacks_and_bad_timing() {
+        assert!(doc().validate().is_ok());
+        let mut bad = doc();
+        bad.stages[0].attack = "meltdown".into();
+        assert!(bad.validate().unwrap_err().contains("meltdown"));
+        let mut late = doc();
+        late.stages[0].start = late.duration;
+        assert!(late.validate().is_err());
+        let mut zero = doc();
+        zero.stages[0].interval = 0;
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn expose_slots_lands_in_the_config() {
+        let mut d = doc();
+        d.expose_slots = true;
+        assert!(
+            d.config(PlatformProfile::CyberResilient, 1)
+                .expose_slots_to_attacker
+        );
+        assert!(
+            !doc()
+                .config(PlatformProfile::CyberResilient, 1)
+                .expose_slots_to_attacker
+        );
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for profile in PlatformProfile::ALL {
+            assert_eq!(parse_profile(profile_name(profile)), Some(profile));
+        }
+        assert_eq!(parse_profile("tee"), None);
+    }
+}

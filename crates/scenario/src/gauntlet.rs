@@ -1,0 +1,215 @@
+//! The gauntlet: run scenario documents through the platform and classify
+//! each as detected / degraded / missed.
+//!
+//! Stage ↔ outcome alignment is positional: `ScenarioSpec::materialise`
+//! preserves attack order, and `RunReport.attacks` is index-aligned with
+//! the spec, so stage `k`'s outcome is `report.attacks[k]`. Decoy stages
+//! participate in the run (they load the monitors like any other attack)
+//! but are excluded from scoring.
+
+use crate::doc::{Classification, ScenarioDoc};
+use cres_attacks::catalog;
+use cres_attacks::UnknownAttack;
+use cres_platform::campaign::{Campaign, CampaignError};
+use cres_platform::{PlatformProfile, RunReport, ScenarioRunner};
+
+/// A scored scenario: the classification plus exactly which scored attack
+/// names went undetected (sorted, deduplicated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Whole-scenario classification over the scored stages.
+    pub classification: Classification,
+    /// Scored attack names with no matching incident.
+    pub missed: Vec<String>,
+}
+
+/// One corpus entry's result: the scenario name, its outcome and the full
+/// run report behind it.
+#[derive(Debug)]
+pub struct CorpusRun {
+    /// `ScenarioDoc::name` of the scenario that ran.
+    pub name: String,
+    /// Its scored outcome.
+    pub outcome: Outcome,
+    /// The underlying platform report.
+    pub report: RunReport,
+}
+
+/// Scores a report against its scenario document.
+///
+/// # Panics
+///
+/// Panics if `report.attacks` is not index-aligned with `doc.stages` —
+/// that means the report was produced from a different scenario.
+pub fn classify(doc: &ScenarioDoc, report: &RunReport) -> Outcome {
+    assert_eq!(
+        doc.stages.len(),
+        report.attacks.len(),
+        "report/stage misalignment for scenario {:?}",
+        doc.name
+    );
+    let mut scored = 0usize;
+    let mut detected = 0usize;
+    let mut missed: Vec<String> = Vec::new();
+    for (stage, outcome) in doc.stages.iter().zip(&report.attacks) {
+        if stage.decoy {
+            continue;
+        }
+        scored += 1;
+        if outcome.detected() {
+            detected += 1;
+        } else {
+            missed.push(stage.attack.clone());
+        }
+    }
+    missed.sort();
+    missed.dedup();
+    let classification = if scored == 0 || detected == scored {
+        Classification::Detected
+    } else if detected == 0 {
+        Classification::Missed
+    } else {
+        Classification::Degraded
+    };
+    Outcome {
+        classification,
+        missed,
+    }
+}
+
+/// Runs one scenario on the calling thread.
+pub fn run_one(
+    doc: &ScenarioDoc,
+    profile: PlatformProfile,
+    seed: u64,
+) -> Result<RunReport, UnknownAttack> {
+    let scenario = doc.spec().materialise(&catalog::try_build)?;
+    Ok(ScenarioRunner::new(doc.config(profile, seed)).run(scenario))
+}
+
+/// Runs a whole corpus through the campaign engine on `threads` workers
+/// and classifies every scenario. Results are in corpus order.
+pub fn run_corpus(
+    corpus: &[ScenarioDoc],
+    profile: PlatformProfile,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<CorpusRun>, CampaignError> {
+    let mut campaign = Campaign::new(catalog::try_build);
+    for doc in corpus {
+        campaign.submit(doc.name.clone(), doc.config(profile, seed), doc.spec());
+    }
+    let summary = campaign.run_parallel(threads)?;
+    Ok(summary
+        .results
+        .into_iter()
+        .zip(corpus)
+        .map(|(result, doc)| CorpusRun {
+            name: result.label,
+            outcome: classify(doc, &result.report),
+            report: result.report,
+        })
+        .collect())
+}
+
+/// Replays a pinned regression fixture and checks the recorded
+/// expectation still holds: same classification, same missed set.
+///
+/// `Err` carries a human-readable divergence description (also used by
+/// `e13_fuzz` to fail the nightly run).
+pub fn verify_pinned(doc: &ScenarioDoc) -> Result<Outcome, String> {
+    doc.validate()?;
+    let Some(expect) = &doc.expect else {
+        return Err(format!(
+            "scenario {:?} has no [expect] block — not a pinned fixture",
+            doc.name
+        ));
+    };
+    let report = run_one(doc, expect.profile, expect.seed).map_err(|e| e.to_string())?;
+    let outcome = classify(doc, &report);
+    if outcome.classification != expect.classification {
+        return Err(format!(
+            "scenario {:?}: classification {} diverged from pinned {} \
+             (detection behaviour changed — re-bless the fixture if intentional)",
+            doc.name,
+            outcome.classification.name(),
+            expect.classification.name()
+        ));
+    }
+    if outcome.missed != expect.missed {
+        return Err(format!(
+            "scenario {:?}: missed set {:?} diverged from pinned {:?}",
+            doc.name, outcome.missed, expect.missed
+        ));
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::StageDoc;
+
+    fn flood_doc() -> ScenarioDoc {
+        let mut doc = ScenarioDoc::new("flood");
+        doc.duration = 400_000;
+        doc.stages.push(StageDoc {
+            attack: "network-flood".into(),
+            start: 100_000,
+            interval: 2_000,
+            decoy: false,
+        });
+        doc
+    }
+
+    #[test]
+    fn resilient_profile_detects_the_flood() {
+        let doc = flood_doc();
+        let report = run_one(&doc, PlatformProfile::CyberResilient, 42).unwrap();
+        let outcome = classify(&doc, &report);
+        assert_eq!(outcome.classification, Classification::Detected);
+        assert!(outcome.missed.is_empty());
+    }
+
+    #[test]
+    fn passive_profile_misses_it() {
+        let doc = flood_doc();
+        let report = run_one(&doc, PlatformProfile::PassiveTrust, 42).unwrap();
+        let outcome = classify(&doc, &report);
+        assert_eq!(outcome.classification, Classification::Missed);
+        assert_eq!(outcome.missed, vec!["network-flood".to_string()]);
+    }
+
+    #[test]
+    fn decoys_do_not_count() {
+        let mut doc = flood_doc();
+        doc.stages[0].decoy = true;
+        doc.stages.push(StageDoc {
+            attack: "sensor-spoof".into(),
+            start: 200_000,
+            interval: 1_000,
+            decoy: false,
+        });
+        let report = run_one(&doc, PlatformProfile::PassiveTrust, 42).unwrap();
+        let outcome = classify(&doc, &report);
+        // only the scored sensor-spoof stage counts
+        assert_eq!(outcome.missed, vec!["sensor-spoof".to_string()]);
+        assert_eq!(outcome.classification, Classification::Missed);
+    }
+
+    #[test]
+    fn corpus_runs_classify_in_order() {
+        let docs = vec![flood_doc(), {
+            let mut d = flood_doc();
+            d.name = "flood-2".into();
+            d
+        }];
+        let runs = run_corpus(&docs, PlatformProfile::CyberResilient, 7, 2).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].name, "flood");
+        assert_eq!(runs[1].name, "flood-2");
+        assert!(runs
+            .iter()
+            .all(|r| r.outcome.classification == Classification::Detected));
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Scenario DSL + generative attack fuzzing for the CRES platform.
+//!
+//! ROADMAP item 4: turn the attack surface from *enumerated* (a hand-coded
+//! gauntlet) into *generative*. Four pieces:
+//!
+//! * [`doc`] — the semantic scenario model ([`ScenarioDoc`]): stages,
+//!   timing, decoy/noise knobs, compiled to the campaign engine's
+//!   [`ScenarioSpec`](cres_platform::campaign::ScenarioSpec);
+//! * [`text`] — the TOML-shaped DSL ([`parse`]/[`serialize`]), canonical
+//!   and lossless so fixtures round-trip byte-for-byte;
+//! * [`gen`] — the seed-driven generator ([`generate`]): composes catalog
+//!   attack primitives into novel multi-stage campaigns, deterministically
+//!   from a single seed;
+//! * [`gauntlet`] + [`shrink`] — run a corpus, classify every scenario as
+//!   detected/degraded/missed, minimize any miss while preserving it, and
+//!   pin the minimized scenario as a replayable regression fixture.
+//!
+//! ```
+//! use cres_scenario::{parse, serialize, Classification};
+//!
+//! let doc = parse(
+//!     "[scenario]\nname = \"demo\"\nduration = 500_000\n\
+//!      [[stage]]\nattack = \"network-flood\"\nstart = 100_000\n",
+//! )
+//! .expect("valid scenario text");
+//! assert_eq!(doc.stages.len(), 1);
+//! assert_eq!(parse(&serialize(&doc)).unwrap(), doc);
+//! assert_eq!(Classification::parse("missed").unwrap().name(), "missed");
+//! ```
+
+pub mod doc;
+pub mod gauntlet;
+pub mod gen;
+pub mod shrink;
+pub mod text;
+
+pub use doc::{Classification, Expectation, ScenarioDoc, StageDoc};
+pub use gauntlet::{classify, run_corpus, run_one, verify_pinned, CorpusRun, Outcome};
+pub use gen::{generate, name_pool, GenKnobs};
+pub use shrink::{pin, shrink};
+pub use text::{compile, parse, serialize, ParseError};

@@ -1,0 +1,248 @@
+//! The miss-minimizing shrinker: given a scenario the platform failed to
+//! detect, find a smaller scenario that *still* reproduces the miss, fit
+//! for pinning as a checked-in regression fixture.
+//!
+//! Shrinking is greedy fixed-point iteration over semantic
+//! transformations — drop stages, strip benign noise, zero training,
+//! widen step intervals, shorten the run — where a candidate is accepted
+//! only if every originally-missed attack name is still missed. The
+//! runner is a caller-supplied closure, so tests can shrink against a
+//! synthetic oracle without touching the simulator.
+
+use crate::doc::{Expectation, ScenarioDoc};
+use crate::gauntlet::Outcome;
+use cres_platform::PlatformProfile;
+
+/// Interval cap the widening transformation stops at.
+const MAX_INTERVAL: u64 = 16_000;
+
+/// Cycles kept after the last stage start when shortening the run — room
+/// for the slowest injector to finish stepping and the monitors to react.
+const TAIL_MARGIN: u64 = 150_000;
+
+fn preserves(target: &[String], outcome: &Outcome) -> bool {
+    target.iter().all(|name| outcome.missed.contains(name))
+}
+
+/// Minimizes `original` while preserving its miss: every attack name in
+/// the original run's missed set is still missed by the result. Returns
+/// the original (sans `expect` block) unchanged when nothing was missed.
+///
+/// `run` is invoked once per candidate; for the real pipeline pass a
+/// closure over [`crate::gauntlet::run_one`] + [`crate::gauntlet::classify`].
+pub fn shrink<F>(original: &ScenarioDoc, run: &mut F) -> ScenarioDoc
+where
+    F: FnMut(&ScenarioDoc) -> Outcome,
+{
+    let mut doc = original.clone();
+    doc.expect = None;
+    let target = run(&doc).missed;
+    if target.is_empty() {
+        return doc;
+    }
+
+    for _pass in 0..16 {
+        let mut changed = false;
+
+        // drop stages, back to front so indices stay stable
+        for index in (0..doc.stages.len()).rev() {
+            if doc.stages.len() == 1 {
+                break;
+            }
+            let mut candidate = doc.clone();
+            candidate.stages.remove(index);
+            if candidate.scored_stages().count() == 0 {
+                continue;
+            }
+            if preserves(&target, &run(&candidate)) {
+                doc = candidate;
+                changed = true;
+            }
+        }
+
+        // strip benign background traffic
+        if doc.benign_packet_period.is_some() {
+            let mut candidate = doc.clone();
+            candidate.benign_packet_period = None;
+            if preserves(&target, &run(&candidate)) {
+                doc = candidate;
+                changed = true;
+            }
+        }
+
+        // drop syscall-model training
+        if doc.training_rounds > 0 {
+            let mut candidate = doc.clone();
+            candidate.training_rounds = 0;
+            if preserves(&target, &run(&candidate)) {
+                doc = candidate;
+                changed = true;
+            }
+        }
+
+        // a miss that does not need the slot store exposed is stronger
+        if doc.expose_slots {
+            let mut candidate = doc.clone();
+            candidate.expose_slots = false;
+            if preserves(&target, &run(&candidate)) {
+                doc = candidate;
+                changed = true;
+            }
+        }
+
+        // widen step intervals: slower attacks that still go unseen make
+        // tighter fixtures
+        for index in 0..doc.stages.len() {
+            let interval = doc.stages[index].interval;
+            if interval >= MAX_INTERVAL {
+                continue;
+            }
+            let mut candidate = doc.clone();
+            candidate.stages[index].interval = (interval * 2).min(MAX_INTERVAL);
+            if preserves(&target, &run(&candidate)) {
+                doc = candidate;
+                changed = true;
+            }
+        }
+
+        // shorten the run to just past the last stage
+        let last_start = doc.stages.iter().map(|s| s.start).max().unwrap_or(0);
+        let floor = last_start.saturating_add(TAIL_MARGIN);
+        for shorter in [doc.duration / 2, floor] {
+            if shorter >= doc.duration || shorter <= last_start {
+                continue;
+            }
+            let mut candidate = doc.clone();
+            candidate.duration = shorter;
+            if preserves(&target, &run(&candidate)) {
+                doc = candidate;
+                changed = true;
+                break;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    doc
+}
+
+/// Stamps a shrunk scenario with its recorded outcome, producing the
+/// document to check in under `tests/fixtures/regressions/`.
+pub fn pin(
+    doc: &ScenarioDoc,
+    profile: PlatformProfile,
+    seed: u64,
+    outcome: &Outcome,
+) -> ScenarioDoc {
+    let mut pinned = doc.clone();
+    pinned.expect = Some(Expectation {
+        profile,
+        seed,
+        classification: outcome.classification,
+        missed: outcome.missed.clone(),
+    });
+    pinned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{Classification, StageDoc};
+
+    /// Synthetic oracle: `log-wipe` is always missed, everything else is
+    /// always detected. No simulator involved.
+    fn oracle(doc: &ScenarioDoc) -> Outcome {
+        let mut missed: Vec<String> = doc
+            .scored_stages()
+            .filter(|s| s.attack.starts_with("log-wipe"))
+            .map(|s| s.attack.clone())
+            .collect();
+        missed.sort();
+        missed.dedup();
+        let scored = doc.scored_stages().count();
+        let classification = if missed.is_empty() {
+            Classification::Detected
+        } else if missed.len() == scored {
+            Classification::Missed
+        } else {
+            Classification::Degraded
+        };
+        Outcome {
+            classification,
+            missed,
+        }
+    }
+
+    fn noisy_doc() -> ScenarioDoc {
+        let mut doc = ScenarioDoc::new("noisy");
+        doc.duration = 1_000_000;
+        doc.expose_slots = true;
+        for (k, (attack, decoy)) in [
+            ("network-flood", false),
+            ("log-wipe", false),
+            ("sensor-spoof", true),
+            ("exfiltration", false),
+            ("exploit-traffic", true),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            doc.stages.push(StageDoc {
+                attack: attack.into(),
+                start: 100_000 * (k as u64 + 1),
+                interval: 1_000,
+                decoy,
+            });
+        }
+        doc
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_missing_stage() {
+        let shrunk = shrink(&noisy_doc(), &mut oracle);
+        assert_eq!(shrunk.stages.len(), 1, "{shrunk:?}");
+        assert_eq!(shrunk.stages[0].attack, "log-wipe");
+        assert_eq!(shrunk.benign_packet_period, None);
+        assert_eq!(shrunk.training_rounds, 0);
+        assert!(!shrunk.expose_slots);
+        assert!(shrunk.duration < 1_000_000);
+        // the shrunk scenario still reproduces the miss
+        let outcome = oracle(&shrunk);
+        assert_eq!(outcome.classification, Classification::Missed);
+        assert_eq!(outcome.missed, vec!["log-wipe".to_string()]);
+    }
+
+    #[test]
+    fn counts_oracle_calls_not_passes() {
+        let mut calls = 0usize;
+        let mut counting = |doc: &ScenarioDoc| {
+            calls += 1;
+            oracle(doc)
+        };
+        shrink(&noisy_doc(), &mut counting);
+        assert!(calls > 1, "shrinker must probe candidates");
+        assert!(calls < 200, "shrinker must converge, used {calls} runs");
+    }
+
+    #[test]
+    fn detected_scenarios_come_back_unchanged() {
+        let mut doc = noisy_doc();
+        doc.stages.retain(|s| s.attack != "log-wipe");
+        let mut expected = doc.clone();
+        expected.expect = None;
+        assert_eq!(shrink(&doc, &mut oracle), expected);
+    }
+
+    #[test]
+    fn pin_stamps_the_expectation() {
+        let shrunk = shrink(&noisy_doc(), &mut oracle);
+        let outcome = oracle(&shrunk);
+        let pinned = pin(&shrunk, PlatformProfile::CyberResilient, 42, &outcome);
+        let expect = pinned.expect.unwrap();
+        assert_eq!(expect.seed, 42);
+        assert_eq!(expect.classification, Classification::Missed);
+        assert_eq!(expect.missed, vec!["log-wipe".to_string()]);
+    }
+}

@@ -1,0 +1,597 @@
+//! The textual scenario format: a deliberately small TOML-shaped dialect.
+//!
+//! ```text
+//! [scenario]
+//! name = "flood-then-spoof"
+//! duration = 1_000_000
+//! training_rounds = 50
+//! default_workload = true
+//! benign_packet_period = 2_000        # or "none" for a silent network
+//! expose_slots = false
+//!
+//! [[stage]]
+//! attack = "network-flood"            # catalog name, ":variant" selects
+//! start = 250_000                     # an alternative inject point
+//! interval = 2_000
+//! decoy = false                       # decoys are excluded from scoring
+//!
+//! [expect]                            # present only on pinned fixtures
+//! profile = "cres"
+//! seed = 42
+//! classification = "missed"
+//! missed = ["firmware-downgrade"]
+//! ```
+//!
+//! [`serialize`] is *canonical*: every key is written, in a fixed order,
+//! with `_`-grouped integers — so `parse(serialize(doc)) == doc` and a
+//! re-serialized file is byte-stable. The parser accepts omitted optional
+//! keys (defaults from [`crate::doc`]), `#` comments and blank lines, and
+//! reports every error with its line number.
+
+use crate::doc::{
+    parse_profile, profile_name, Classification, Expectation, ScenarioDoc, StageDoc,
+    DEFAULT_INTERVAL,
+};
+use cres_platform::campaign::ScenarioSpec;
+use std::fmt;
+
+/// A syntax error in scenario text, located by 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Int(u64),
+    Bool(bool),
+    Str(String),
+    List(Vec<String>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Bool(_) => "boolean",
+            Value::Str(_) => "string",
+            Value::List(_) => "string list",
+        }
+    }
+}
+
+/// Strips a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(raw: &str, line: usize) -> Result<String, ParseError> {
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or(ParseError {
+            line,
+            message: format!("expected a double-quoted string, got {raw:?}"),
+        })?;
+    if inner.contains(['"', '\\']) || inner.chars().any(|c| (c as u32) < 0x20) {
+        return err(line, format!("unsupported characters in string {inner:?}"));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_int(raw: &str, line: usize) -> Result<u64, ParseError> {
+    let digits: String = raw.chars().filter(|&c| c != '_').collect();
+    if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return err(line, format!("expected an integer, got {raw:?}"));
+    }
+    digits.parse().map_err(|_| ParseError {
+        line,
+        message: format!("integer {raw:?} out of range"),
+    })
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value, ParseError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return err(line, "missing value after `=`");
+    }
+    if raw.starts_with('"') {
+        return Ok(Value::Str(parse_string(raw, line)?));
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or(ParseError {
+                line,
+                message: "unterminated list (missing `]`)".into(),
+            })?
+            .trim();
+        let mut items = Vec::new();
+        if !body.is_empty() {
+            for item in body.split(',') {
+                items.push(parse_string(item.trim(), line)?);
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    Ok(Value::Int(parse_int(raw, line)?))
+}
+
+fn expect_str(value: Value, key: &str, line: usize) -> Result<String, ParseError> {
+    match value {
+        Value::Str(s) => Ok(s),
+        other => err(line, format!("{key} takes a string, got {}", other.kind())),
+    }
+}
+
+fn expect_int(value: Value, key: &str, line: usize) -> Result<u64, ParseError> {
+    match value {
+        Value::Int(n) => Ok(n),
+        other => err(
+            line,
+            format!("{key} takes an integer, got {}", other.kind()),
+        ),
+    }
+}
+
+fn expect_bool(value: Value, key: &str, line: usize) -> Result<bool, ParseError> {
+    match value {
+        Value::Bool(b) => Ok(b),
+        other => err(line, format!("{key} takes a boolean, got {}", other.kind())),
+    }
+}
+
+#[derive(Default)]
+struct PendingStage {
+    header_line: usize,
+    attack: Option<String>,
+    start: Option<u64>,
+    interval: Option<u64>,
+    decoy: Option<bool>,
+}
+
+impl PendingStage {
+    fn finish(self) -> Result<StageDoc, ParseError> {
+        let line = self.header_line;
+        Ok(StageDoc {
+            attack: self.attack.ok_or(ParseError {
+                line,
+                message: "[[stage]] is missing required key `attack`".into(),
+            })?,
+            start: self.start.ok_or(ParseError {
+                line,
+                message: "[[stage]] is missing required key `start`".into(),
+            })?,
+            interval: self.interval.unwrap_or(DEFAULT_INTERVAL),
+            decoy: self.decoy.unwrap_or(false),
+        })
+    }
+}
+
+#[derive(Default)]
+struct PendingExpect {
+    header_line: usize,
+    profile: Option<String>,
+    seed: Option<u64>,
+    classification: Option<String>,
+    missed: Option<Vec<String>>,
+}
+
+impl PendingExpect {
+    fn finish(self) -> Result<Expectation, ParseError> {
+        let line = self.header_line;
+        let missing = |key: &str| ParseError {
+            line,
+            message: format!("[expect] is missing required key `{key}`"),
+        };
+        let profile_raw = self.profile.ok_or_else(|| missing("profile"))?;
+        let profile = parse_profile(&profile_raw).ok_or(ParseError {
+            line,
+            message: format!(
+                "unknown profile {profile_raw:?} (expected cres, passive or tee-shared)"
+            ),
+        })?;
+        let class_raw = self
+            .classification
+            .ok_or_else(|| missing("classification"))?;
+        let classification = Classification::parse(&class_raw).ok_or(ParseError {
+            line,
+            message: format!(
+                "unknown classification {class_raw:?} (expected detected, degraded or missed)"
+            ),
+        })?;
+        Ok(Expectation {
+            profile,
+            seed: self.seed.ok_or_else(|| missing("seed"))?,
+            classification,
+            missed: self.missed.unwrap_or_default(),
+        })
+    }
+}
+
+#[derive(PartialEq)]
+enum Section {
+    Preamble,
+    Scenario,
+    Stage,
+    Expect,
+}
+
+/// Parses scenario text into its document form.
+///
+/// Syntax only — semantic checks (catalog names, timing bounds) live in
+/// [`ScenarioDoc::validate`].
+pub fn parse(text: &str) -> Result<ScenarioDoc, ParseError> {
+    let mut section = Section::Preamble;
+    let mut seen_keys: Vec<String> = Vec::new();
+    let mut doc: Option<ScenarioDoc> = None;
+    let mut have_name = false;
+    let mut have_duration = false;
+    let mut stage: Option<PendingStage> = None;
+    let mut expect: Option<PendingExpect> = None;
+
+    for (index, raw_line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if line.starts_with('[') {
+            if let Some(pending) = stage.take() {
+                doc.as_mut()
+                    .expect("stage section implies scenario section")
+                    .stages
+                    .push(pending.finish()?);
+            }
+            match line {
+                "[scenario]" => {
+                    if doc.is_some() {
+                        return err(line_no, "duplicate [scenario] section");
+                    }
+                    doc = Some(ScenarioDoc::new(String::new()));
+                    section = Section::Scenario;
+                }
+                "[[stage]]" => {
+                    if doc.is_none() {
+                        return err(line_no, "[[stage]] before the [scenario] section");
+                    }
+                    stage = Some(PendingStage {
+                        header_line: line_no,
+                        ..PendingStage::default()
+                    });
+                    section = Section::Stage;
+                }
+                "[expect]" => {
+                    if doc.is_none() {
+                        return err(line_no, "[expect] before the [scenario] section");
+                    }
+                    if expect.is_some() {
+                        return err(line_no, "duplicate [expect] section");
+                    }
+                    expect = Some(PendingExpect {
+                        header_line: line_no,
+                        ..PendingExpect::default()
+                    });
+                    section = Section::Expect;
+                }
+                other => return err(line_no, format!("unknown section {other:?}")),
+            }
+            seen_keys.clear();
+            continue;
+        }
+
+        let Some((key, value_raw)) = line.split_once('=') else {
+            return err(line_no, format!("expected `key = value`, got {line:?}"));
+        };
+        let key = key.trim();
+        if seen_keys.iter().any(|k| k == key) {
+            return err(line_no, format!("duplicate key `{key}`"));
+        }
+        seen_keys.push(key.to_string());
+        let value = parse_value(value_raw, line_no)?;
+
+        match section {
+            Section::Preamble => {
+                return err(line_no, "key/value before the [scenario] section");
+            }
+            Section::Scenario => {
+                let doc = doc.as_mut().expect("section implies doc");
+                match key {
+                    "name" => {
+                        doc.name = expect_str(value, key, line_no)?;
+                        have_name = true;
+                    }
+                    "duration" => {
+                        doc.duration = expect_int(value, key, line_no)?;
+                        have_duration = true;
+                    }
+                    "training_rounds" => {
+                        let n = expect_int(value, key, line_no)?;
+                        doc.training_rounds = u32::try_from(n).map_err(|_| ParseError {
+                            line: line_no,
+                            message: format!("training_rounds {n} out of range"),
+                        })?;
+                    }
+                    "default_workload" => doc.default_workload = expect_bool(value, key, line_no)?,
+                    "benign_packet_period" => {
+                        doc.benign_packet_period = match value {
+                            Value::Int(n) => Some(n),
+                            Value::Str(s) if s == "none" => None,
+                            other => {
+                                return err(
+                                    line_no,
+                                    format!(
+                                        "benign_packet_period takes an integer or \"none\", got {}",
+                                        other.kind()
+                                    ),
+                                )
+                            }
+                        };
+                    }
+                    "expose_slots" => doc.expose_slots = expect_bool(value, key, line_no)?,
+                    other => {
+                        return err(line_no, format!("unknown [scenario] key `{other}`"));
+                    }
+                }
+            }
+            Section::Stage => {
+                let stage = stage.as_mut().expect("section implies stage");
+                match key {
+                    "attack" => stage.attack = Some(expect_str(value, key, line_no)?),
+                    "start" => stage.start = Some(expect_int(value, key, line_no)?),
+                    "interval" => stage.interval = Some(expect_int(value, key, line_no)?),
+                    "decoy" => stage.decoy = Some(expect_bool(value, key, line_no)?),
+                    other => return err(line_no, format!("unknown [[stage]] key `{other}`")),
+                }
+            }
+            Section::Expect => {
+                let expect = expect.as_mut().expect("section implies expect");
+                match key {
+                    "profile" => expect.profile = Some(expect_str(value, key, line_no)?),
+                    "seed" => expect.seed = Some(expect_int(value, key, line_no)?),
+                    "classification" => {
+                        expect.classification = Some(expect_str(value, key, line_no)?)
+                    }
+                    "missed" => {
+                        expect.missed = Some(match value {
+                            Value::List(items) => items,
+                            other => {
+                                return err(
+                                    line_no,
+                                    format!("missed takes a string list, got {}", other.kind()),
+                                )
+                            }
+                        })
+                    }
+                    other => return err(line_no, format!("unknown [expect] key `{other}`")),
+                }
+            }
+        }
+    }
+
+    if let Some(pending) = stage.take() {
+        doc.as_mut()
+            .expect("stage section implies scenario section")
+            .stages
+            .push(pending.finish()?);
+    }
+    let mut doc = match doc {
+        Some(doc) => doc,
+        None => return err(1, "missing [scenario] section"),
+    };
+    if !have_name {
+        return err(1, "[scenario] is missing required key `name`");
+    }
+    if !have_duration {
+        return err(1, "[scenario] is missing required key `duration`");
+    }
+    if let Some(pending) = expect {
+        doc.expect = Some(pending.finish()?);
+    }
+    Ok(doc)
+}
+
+/// Formats an integer with `_` grouping every three digits (`1_200_000`).
+fn fmt_int(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    let lead = digits.len() % 3;
+    for (i, c) in digits.chars().enumerate() {
+        if i != 0 && (i + 3 - lead).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Serializes a document to canonical scenario text: every key written,
+/// fixed order, grouped integers. `parse(serialize(doc)) == doc`.
+pub fn serialize(doc: &ScenarioDoc) -> String {
+    let mut out = String::new();
+    out.push_str("[scenario]\n");
+    out.push_str(&format!("name = \"{}\"\n", doc.name));
+    out.push_str(&format!("duration = {}\n", fmt_int(doc.duration)));
+    out.push_str(&format!(
+        "training_rounds = {}\n",
+        fmt_int(u64::from(doc.training_rounds))
+    ));
+    out.push_str(&format!("default_workload = {}\n", doc.default_workload));
+    match doc.benign_packet_period {
+        Some(period) => out.push_str(&format!("benign_packet_period = {}\n", fmt_int(period))),
+        None => out.push_str("benign_packet_period = \"none\"\n"),
+    }
+    out.push_str(&format!("expose_slots = {}\n", doc.expose_slots));
+    for stage in &doc.stages {
+        out.push_str("\n[[stage]]\n");
+        out.push_str(&format!("attack = \"{}\"\n", stage.attack));
+        out.push_str(&format!("start = {}\n", fmt_int(stage.start)));
+        out.push_str(&format!("interval = {}\n", fmt_int(stage.interval)));
+        out.push_str(&format!("decoy = {}\n", stage.decoy));
+    }
+    if let Some(expect) = &doc.expect {
+        out.push_str("\n[expect]\n");
+        out.push_str(&format!("profile = \"{}\"\n", profile_name(expect.profile)));
+        out.push_str(&format!("seed = {}\n", fmt_int(expect.seed)));
+        out.push_str(&format!(
+            "classification = \"{}\"\n",
+            expect.classification.name()
+        ));
+        let missed: Vec<String> = expect.missed.iter().map(|m| format!("\"{m}\"")).collect();
+        out.push_str(&format!("missed = [{}]\n", missed.join(", ")));
+    }
+    out
+}
+
+/// Parses scenario text straight to a campaign [`ScenarioSpec`] — the
+/// one-stop entry point for callers that do not care about the document
+/// form. The spec loses `expose_slots`/`expect`; use [`parse`] +
+/// [`ScenarioDoc::spec`] when those matter.
+pub fn compile(text: &str) -> Result<ScenarioSpec, ParseError> {
+    let doc = parse(text)?;
+    doc.validate()
+        .map_err(|message| ParseError { line: 0, message })?;
+    Ok(doc.spec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_platform::PlatformProfile;
+    use cres_sim::{SimDuration, SimTime};
+
+    const EXAMPLE: &str = r#"
+# a hand-written scenario
+[scenario]
+name = "flood-then-spoof"
+duration = 1_000_000       # one simulated megacycle
+
+[[stage]]
+attack = "network-flood"
+start = 250_000
+
+[[stage]]
+attack = "sensor-spoof:jitter"
+start = 600_000
+interval = 1_000
+decoy = true
+
+[expect]
+profile = "cres"
+seed = 42
+classification = "detected"
+missed = []
+"#;
+
+    #[test]
+    fn parses_the_example_with_defaults() {
+        let doc = parse(EXAMPLE).unwrap();
+        assert_eq!(doc.name, "flood-then-spoof");
+        assert_eq!(doc.duration, 1_000_000);
+        assert_eq!(doc.training_rounds, ScenarioDoc::new("x").training_rounds);
+        assert_eq!(doc.stages.len(), 2);
+        assert_eq!(doc.stages[0].interval, DEFAULT_INTERVAL);
+        assert!(!doc.stages[0].decoy);
+        assert!(doc.stages[1].decoy);
+        let expect = doc.expect.as_ref().unwrap();
+        assert_eq!(expect.profile, PlatformProfile::CyberResilient);
+        assert_eq!(expect.classification, Classification::Detected);
+        assert!(expect.missed.is_empty());
+        doc.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trips_through_canonical_text() {
+        let doc = parse(EXAMPLE).unwrap();
+        let canonical = serialize(&doc);
+        let reparsed = parse(&canonical).unwrap();
+        assert_eq!(reparsed, doc);
+        // canonical text is a fixed point
+        assert_eq!(serialize(&reparsed), canonical);
+    }
+
+    #[test]
+    fn benign_none_round_trips() {
+        let mut doc = parse(EXAMPLE).unwrap();
+        doc.benign_packet_period = None;
+        let reparsed = parse(&serialize(&doc)).unwrap();
+        assert_eq!(reparsed.benign_packet_period, None);
+    }
+
+    #[test]
+    fn compile_produces_the_spec() {
+        let spec = compile(EXAMPLE).unwrap();
+        assert_eq!(spec.attacks.len(), 2);
+        assert_eq!(spec.attacks[1].name, "sensor-spoof:jitter");
+        assert_eq!(spec.duration, SimDuration::cycles(1_000_000));
+        assert_eq!(spec.attacks[0].start, SimTime::at_cycle(250_000));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("x = 1", 1, "before the [scenario]"),
+            ("[scenario]\nname = \"a\"\nduration = \"x\"", 3, "integer"),
+            ("[scenario]\nname = \"a\"\nname = \"b\"", 3, "duplicate key"),
+            (
+                "[scenario]\nname = \"a\"\nbogus = 1",
+                3,
+                "unknown [scenario] key",
+            ),
+            (
+                "[scenario]\nname = \"a\"\nduration = 5\n[[stage]]\nstart = 1",
+                4,
+                "missing required key `attack`",
+            ),
+            ("[bogus]", 1, "unknown section"),
+            ("[scenario]\nduration = 5", 1, "missing required key `name`"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse(text).expect_err(text);
+            assert_eq!(e.line, *line, "{text:?} -> {e}");
+            assert!(e.to_string().contains(needle), "{text:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn integers_group_canonically() {
+        assert_eq!(fmt_int(0), "0");
+        assert_eq!(fmt_int(999), "999");
+        assert_eq!(fmt_int(1_000), "1_000");
+        assert_eq!(fmt_int(1_234_567), "1_234_567");
+        assert_eq!(fmt_int(42), "42");
+    }
+}

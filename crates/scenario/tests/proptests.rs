@@ -1,0 +1,184 @@
+//! Property tests for the scenario DSL, generator and shrinker:
+//! parse→serialize→parse identity over arbitrary documents, seed
+//! determinism of the generator, thread-count invariance of corpus
+//! classification, and miss preservation through shrinking.
+
+use cres_platform::PlatformProfile;
+use cres_scenario::doc::{Classification, Expectation};
+use cres_scenario::{
+    classify, generate, name_pool, parse, run_corpus, serialize, shrink, GenKnobs, Outcome,
+    ScenarioDoc, StageDoc,
+};
+use proptest::prelude::*;
+
+/// Builds an arbitrary (syntactically valid) document from drawn data.
+/// `stage_data` entries are `(name index, start per-mille, interval)`.
+fn build_doc(
+    duration: u64,
+    benign: u64,
+    training: u64,
+    flags: u64,
+    stage_data: &[(usize, u64, u64)],
+) -> ScenarioDoc {
+    let pool = name_pool();
+    let mut doc = ScenarioDoc::new("prop");
+    doc.duration = duration;
+    doc.training_rounds = (training % 100) as u32;
+    doc.default_workload = flags & 1 != 0;
+    doc.expose_slots = flags & 2 != 0;
+    doc.benign_packet_period = if benign.is_multiple_of(4) {
+        None
+    } else {
+        Some(500 + benign % 8_000)
+    };
+    for (k, &(name_idx, start_pm, interval)) in stage_data.iter().enumerate() {
+        doc.stages.push(StageDoc {
+            attack: pool[name_idx % pool.len()].to_string(),
+            start: duration * (start_pm % 1000) / 1000,
+            interval: 1 + interval % 16_000,
+            decoy: k > 0 && (flags >> (2 + k)) & 1 != 0,
+        });
+    }
+    // sometimes carry an expect block, built from the scored stages
+    if flags & 4 != 0 && doc.scored_stages().count() > 0 {
+        let mut missed: Vec<String> = doc.scored_stages().map(|s| s.attack.clone()).collect();
+        missed.sort();
+        missed.dedup();
+        let classification = match flags % 3 {
+            0 => Classification::Detected,
+            1 => Classification::Degraded,
+            _ => Classification::Missed,
+        };
+        doc.expect = Some(Expectation {
+            profile: PlatformProfile::ALL[(flags % 3) as usize],
+            seed: flags,
+            classification,
+            missed,
+        });
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_serialize_parse_is_identity(
+        duration in 1_000u64..5_000_000,
+        benign: u64,
+        training: u64,
+        flags: u64,
+        stage_data in proptest::collection::vec(
+            (0usize..22, 0u64..1000, 0u64..20_000),
+            0..6,
+        ),
+    ) {
+        let doc = build_doc(duration, benign, training, flags, &stage_data);
+        let text = serialize(&doc);
+        let reparsed = parse(&text).expect("canonical text parses");
+        prop_assert_eq!(&reparsed, &doc);
+        // canonical text is a fixed point of serialize∘parse
+        prop_assert_eq!(serialize(&reparsed), text);
+    }
+
+    #[test]
+    fn generator_is_seed_deterministic(seed: u64) {
+        let knobs = GenKnobs { count: 8, ..GenKnobs::default() };
+        let a: Vec<String> = generate(seed, &knobs).iter().map(serialize).collect();
+        let b: Vec<String> = generate(seed, &knobs).iter().map(serialize).collect();
+        prop_assert_eq!(a, b, "same seed must yield a byte-identical corpus");
+    }
+
+    #[test]
+    fn shrinker_always_preserves_the_miss(
+        duration in 200_000u64..2_000_000,
+        benign: u64,
+        training: u64,
+        flags: u64,
+        mask: u64,
+        stage_data in proptest::collection::vec(
+            (0usize..22, 0u64..1000, 0u64..20_000),
+            1..6,
+        ),
+    ) {
+        // synthetic oracle: whether a name is missed is a pure function of
+        // (name, mask), so shrinking candidates score consistently
+        let missed_by_oracle = |name: &str| {
+            let h = name.bytes().fold(0u64, |acc, b| {
+                acc.wrapping_mul(131).wrapping_add(u64::from(b))
+            });
+            (h ^ mask) & 1 == 0
+        };
+        let oracle = |doc: &ScenarioDoc| {
+            let mut missed: Vec<String> = doc
+                .scored_stages()
+                .filter(|s| missed_by_oracle(&s.attack))
+                .map(|s| s.attack.clone())
+                .collect();
+            missed.sort();
+            missed.dedup();
+            let scored = doc.scored_stages().count();
+            let classification = if missed.is_empty() {
+                Classification::Detected
+            } else if doc.scored_stages().all(|s| missed_by_oracle(&s.attack)) {
+                Classification::Missed
+            } else {
+                let _ = scored;
+                Classification::Degraded
+            };
+            Outcome { classification, missed }
+        };
+
+        let doc = build_doc(duration, benign, training, flags, &stage_data);
+        let target = oracle(&doc).missed;
+        let mut run = oracle;
+        let shrunk = shrink(&doc, &mut run);
+        let after = oracle(&shrunk);
+        for name in &target {
+            prop_assert!(
+                after.missed.contains(name),
+                "shrinking lost the miss of {} (doc {:?} -> {:?})",
+                name,
+                doc,
+                shrunk
+            );
+        }
+        prop_assert!(shrunk.stages.len() <= doc.stages.len());
+    }
+}
+
+/// The acceptance-criteria determinism matrix: classifying the same
+/// generated corpus on 1, 2 and 8 campaign jobs yields identical outcomes
+/// *and* byte-identical reports.
+#[test]
+fn corpus_classification_is_thread_count_invariant() {
+    let knobs = GenKnobs {
+        count: 6,
+        base_duration: 300_000,
+        max_stages: 2,
+        ..GenKnobs::default()
+    };
+    let corpus = generate(42, &knobs);
+    let reference = run_corpus(&corpus, PlatformProfile::CyberResilient, 42, 1)
+        .expect("generated names resolve");
+    for threads in [2, 8] {
+        let runs = run_corpus(&corpus, PlatformProfile::CyberResilient, 42, threads)
+            .expect("generated names resolve");
+        assert_eq!(runs.len(), reference.len());
+        for (a, b) in reference.iter().zip(&runs) {
+            assert_eq!(a.name, b.name, "{threads} threads");
+            assert_eq!(a.outcome, b.outcome, "{threads} threads: {}", a.name);
+            assert_eq!(
+                a.report.to_json(),
+                b.report.to_json(),
+                "{threads} threads: {} report bytes",
+                a.name
+            );
+        }
+    }
+    // classify() is itself deterministic given the same report
+    for run in &reference {
+        let doc = corpus.iter().find(|d| d.name == run.name).unwrap();
+        assert_eq!(classify(doc, &run.report), run.outcome);
+    }
+}

@@ -15,56 +15,11 @@
 //! debug-port, network-flood, exploit-traffic, exfiltration, sensor-spoof,
 //! fault-injection, log-wipe, syscall-anomaly, system-hang.
 
-use cres::attacks::{
-    AttackInjector, CodeInjectionAttack, DebugPortAttack, DmaExfilAttack, ExfilAttack,
-    FaultInjectionAttack, FirmwareTamperAttack, LogWipeAttack, MalformedTrafficAttack,
-    MemoryProbeAttack, NetworkFloodAttack, SensorSpoofAttack, SyscallAnomalyAttack,
-    SystemHangAttack,
-};
+use cres::attacks::catalog;
 use cres::platform::campaign::{jobs_from_env, Campaign, ScenarioSpec};
 use cres::platform::{PlatformConfig, PlatformProfile};
 use cres::sim::{SimDuration, SimTime};
-use cres::soc::addr::MasterId;
-use cres::soc::periph::{EnvTamper, SensorSpoof};
-use cres::soc::soc::layout;
-use cres::soc::task::{BlockId, Syscall, TaskId};
 use std::process::ExitCode;
-
-fn build_attack(name: &str) -> Option<Box<dyn AttackInjector>> {
-    Some(match name {
-        "code-injection" => Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)),
-        "memory-probe" => Box::new(MemoryProbeAttack::new(
-            MasterId::CPU1,
-            vec![layout::SSM_PRIVATE.0, layout::TEE_SECURE.0],
-        )),
-        "firmware-tamper" => Box::new(FirmwareTamperAttack::new(
-            MasterId::CPU0,
-            layout::FLASH_A.0.offset(0x800),
-        )),
-        "dma-exfil" => Box::new(DmaExfilAttack::new(
-            layout::TEE_SECURE.0,
-            layout::SRAM.0.offset(0x3000),
-            64,
-        )),
-        "debug-port" => Box::new(DebugPortAttack::new(vec![
-            layout::SRAM.0,
-            layout::TEE_SECURE.0,
-        ])),
-        "network-flood" => Box::new(NetworkFloodAttack::new(300, 8)),
-        "exploit-traffic" => Box::new(MalformedTrafficAttack::new(5, 4)),
-        "exfiltration" => Box::new(ExfilAttack::new(4096, 6)),
-        "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))),
-        "fault-injection" => Box::new(FaultInjectionAttack::new(EnvTamper::VoltageGlitch(1.1))),
-        "log-wipe" => Box::new(LogWipeAttack::new(MasterId::CPU0)),
-        "syscall-anomaly" => Box::new(SyscallAnomalyAttack::new(
-            TaskId(1),
-            vec![Syscall::PrivEscalate],
-            3,
-        )),
-        "system-hang" => Box::new(SystemHangAttack::new()),
-        _ => return None,
-    })
-}
 
 fn parse_profile(s: &str) -> Option<PlatformProfile> {
     Some(match s {
@@ -144,7 +99,7 @@ fn main() -> ExitCode {
                 let Some(name) = args.get(i) else {
                     return usage();
                 };
-                if build_attack(name).is_none() {
+                if !catalog::is_known(name) {
                     eprintln!("unknown attack {name:?}");
                     return usage();
                 }
@@ -192,7 +147,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let mut campaign = Campaign::new(|name: &str| build_attack(name).expect("validated above"));
+    let mut campaign = Campaign::new(catalog::try_build);
     for &seed in &seeds {
         campaign.submit(
             format!("seed={seed}"),
@@ -222,7 +177,13 @@ fn main() -> ExitCode {
             seeds.len()
         );
     }
-    let summary = campaign.run_parallel(effective_jobs);
+    let summary = match campaign.run_parallel(effective_jobs) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     for result in &summary.results {
         let report = &result.report;

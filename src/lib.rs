@@ -46,6 +46,7 @@ pub use cres_monitor as monitor;
 pub use cres_platform as platform;
 pub use cres_policy as policy;
 pub use cres_response as response;
+pub use cres_scenario as scenario;
 pub use cres_sim as sim;
 pub use cres_soc as soc;
 pub use cres_ssm as ssm;

@@ -6,6 +6,7 @@
 
 use cres::attacks::{
     AttackInjector, CodeInjectionAttack, LogWipeAttack, NetworkFloodAttack, SensorSpoofAttack,
+    UnknownAttack,
 };
 use cres::platform::campaign::{Campaign, CampaignSummary, ScenarioSpec};
 use cres::platform::{PlatformConfig, PlatformProfile, RunReport, Scenario, ScenarioRunner};
@@ -16,14 +17,18 @@ use cres::soc::task::{BlockId, TaskId};
 
 const DURATION: u64 = 250_000;
 
-fn build(name: &str) -> Box<dyn AttackInjector> {
-    match name {
-        "code-injection" => Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)),
-        "network-flood" => Box::new(NetworkFloodAttack::new(300, 6)),
-        "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))),
-        "log-wipe" => Box::new(LogWipeAttack::new(MasterId::CPU0)),
-        other => panic!("unknown attack {other:?}"),
-    }
+fn build(name: &str) -> Result<Box<dyn AttackInjector>, UnknownAttack> {
+    Ok(match name {
+        "code-injection" => Box::new(CodeInjectionAttack::new(TaskId(1), BlockId(0), 3)) as _,
+        "network-flood" => Box::new(NetworkFloodAttack::new(300, 6)) as _,
+        "sensor-spoof" => Box::new(SensorSpoofAttack::new(0, SensorSpoof::Fixed(61.5))) as _,
+        "log-wipe" => Box::new(LogWipeAttack::new(MasterId::CPU0)) as _,
+        other => {
+            return Err(UnknownAttack {
+                name: other.to_string(),
+            })
+        }
+    })
 }
 
 /// The campaign cells: a profile/seed/scenario mix exercising quiet runs,
@@ -94,7 +99,9 @@ fn run_with_threads(threads: usize) -> CampaignSummary {
     for (index, (config, spec)) in cells().into_iter().enumerate() {
         campaign.submit(format!("cell-{index}"), config, spec);
     }
-    campaign.run_parallel(threads)
+    campaign
+        .run_parallel(threads)
+        .expect("all cell attacks resolve")
 }
 
 /// The reference: a plain loop materialising each scenario and running it
@@ -105,7 +112,11 @@ fn hand_rolled_sequential() -> Vec<RunReport> {
         .map(|(config, spec)| {
             let mut scenario = Scenario::quiet(spec.duration);
             for attack in &spec.attacks {
-                scenario = scenario.attack(attack.start, attack.step_interval, build(&attack.name));
+                scenario = scenario.attack(
+                    attack.start,
+                    attack.step_interval,
+                    build(&attack.name).expect("known attack"),
+                );
             }
             ScenarioRunner::new(config).run(scenario)
         })

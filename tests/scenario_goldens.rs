@@ -1,0 +1,90 @@
+//! Golden DSL scenarios: three hand-written `.toml` fixtures (single
+//! stage, multi-stage chain, decoy-heavy) with blessed `RunReport`
+//! outputs at seed 42 — the `tests/report_goldens.rs` pattern applied to
+//! the scenario DSL. Any change to the parser, the spec compilation or
+//! the detection pipeline that perturbs these runs shows up as a byte
+//! diff.
+//!
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! CRES_BLESS=1 cargo test --test scenario_goldens
+//! ```
+
+use cres::scenario::{classify, parse, run_one, serialize, verify_pinned};
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 42;
+const FIXTURES: [&str; 3] = ["single_stage", "multi_stage", "decoy_heavy"];
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/scenarios")
+}
+
+fn bless_mode() -> bool {
+    std::env::var("CRES_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+#[test]
+fn golden_scenarios_match_blessed_reports() {
+    for stem in FIXTURES {
+        let scenario_path = fixtures_dir().join(format!("{stem}.toml"));
+        let text = std::fs::read_to_string(&scenario_path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", scenario_path.display()));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        doc.validate().unwrap_or_else(|e| panic!("{stem}: {e}"));
+        let expect = doc
+            .expect
+            .as_ref()
+            .unwrap_or_else(|| panic!("{stem}: golden scenarios must carry an [expect] block"));
+        assert_eq!(expect.seed, GOLDEN_SEED, "{stem}");
+
+        let report =
+            run_one(&doc, expect.profile, expect.seed).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        let json = report.to_json();
+        let report_path = fixtures_dir().join(format!("report_{stem}.json"));
+        if bless_mode() {
+            std::fs::write(&report_path, &json)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", report_path.display()));
+            eprintln!(
+                "blessed {} ({})",
+                report_path.display(),
+                classify(&doc, &report).classification.name()
+            );
+            continue;
+        }
+        let golden = std::fs::read_to_string(&report_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run CRES_BLESS=1 cargo test --test scenario_goldens",
+                report_path.display()
+            )
+        });
+        assert_eq!(
+            json,
+            golden,
+            "{stem} report diverged from {} — if intentional, re-bless and review the diff",
+            report_path.display()
+        );
+        // the recorded classification must hold too
+        verify_pinned(&doc).unwrap_or_else(|e| panic!("{stem}: {e}"));
+    }
+}
+
+#[test]
+fn golden_scenarios_are_canonical_dsl() {
+    if bless_mode() {
+        return;
+    }
+    for stem in FIXTURES {
+        let path = fixtures_dir().join(format!("{stem}.toml"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        // round-trip is lossless even for hand-written (non-canonical) text
+        assert_eq!(
+            parse(&serialize(&doc)).unwrap_or_else(|e| panic!("{stem}: {e}")),
+            doc,
+            "{stem}: serialize/parse round trip"
+        );
+    }
+}

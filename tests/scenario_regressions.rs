@@ -1,0 +1,53 @@
+//! Tier-1 replay of pinned regression fixtures: every `.toml` under
+//! `tests/fixtures/regressions/` is a detection miss the fuzz gauntlet
+//! found and the shrinker minimized. Each must still reproduce its
+//! recorded classification and missed set, byte-for-byte with the
+//! `[expect]` block.
+//!
+//! If one of these starts *failing to miss*, the platform learned to
+//! detect something it could not before — delete or re-pin the fixture
+//! deliberately (run `e13_fuzz` with `CRES_PIN_DIR`) and record why.
+
+use cres::scenario::{parse, serialize, verify_pinned};
+use std::path::PathBuf;
+
+fn regression_fixtures() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/regressions");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn pinned_misses_still_reproduce() {
+    let fixtures = regression_fixtures();
+    assert!(
+        !fixtures.is_empty(),
+        "no pinned fixtures — the fuzz gauntlet should have pinned at least one miss"
+    );
+    for path in fixtures {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        verify_pinned(&doc).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn pinned_fixtures_are_canonical() {
+    for path in regression_fixtures() {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            serialize(&doc),
+            text,
+            "{} is not canonical DSL — re-pin it with e13_fuzz",
+            path.display()
+        );
+    }
+}
