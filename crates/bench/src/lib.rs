@@ -19,6 +19,8 @@
 //! | `e9_degradation` | graceful degradation under progressive compromise |
 //! | `e10_downgrade` | secure-boot downgrade vs anti-rollback |
 //! | `e11_selfheal` | self-resilience: detection under pipeline faults |
+//! | `e13_fuzz` | generative attack fuzzing against the detection fleet |
+//! | `e14_frontier` | availability-vs-detection frontier: tiers vs reboot |
 //! | `a1_correlation` | ablation: correlation engine on/off |
 //!
 //! Two environment knobs exist for CI:

@@ -2,6 +2,7 @@
 
 use crate::faultplane::FaultPlaneConfig;
 use crate::telemetry::TelemetryConfig;
+use cres_response::PolicyConfig;
 use cres_sim::SimDuration;
 use cres_ssm::{PlannerMode, SsmDeployment};
 use cres_tee::TeeDeployment;
@@ -71,6 +72,10 @@ pub struct PlatformConfig {
     /// Fault injection into the security pipeline itself (E11); default
     /// off, which is bit-identical to a platform without a fault plane.
     pub faultplane: FaultPlaneConfig,
+    /// The stateful response policy engine (circuit breakers, graded
+    /// degradation tiers, availability accounting — E14); default off,
+    /// which is bit-identical to a platform without a policy engine.
+    pub policy: PolicyConfig,
 }
 
 impl PlatformConfig {
@@ -92,6 +97,7 @@ impl PlatformConfig {
             planner_override: None,
             telemetry: TelemetryConfig::default(),
             faultplane: FaultPlaneConfig::default(),
+            policy: PolicyConfig::default(),
         }
     }
 

@@ -12,8 +12,9 @@ use crate::faultplane::FaultPlaneStats;
 use crate::metrics::{AttackOutcomeReport, RunReport};
 use crate::telemetry::{HistogramSnapshot, StageStat, TelemetrySnapshot, TraceSpan};
 use cres_attacks::AttackKind;
+use cres_response::AvailabilityReport;
 use cres_sim::{SimTime, Stage};
-use cres_ssm::HealthState;
+use cres_ssm::{DegradationTier, HealthState};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -462,6 +463,59 @@ fn stage_from(name: &str) -> Result<Stage> {
     Stage::from_name(name).map_or_else(|| err(format!("unknown stage {name:?}")), Ok)
 }
 
+fn tier_from(name: &str) -> Result<DegradationTier> {
+    DegradationTier::from_name(name).map_or_else(|| err(format!("unknown tier {name:?}")), Ok)
+}
+
+// [`AvailabilityReport`] is foreign to this crate (it lives in
+// `cres-response`), so its codec is a pair of free functions rather than
+// an inherent impl.
+fn write_availability(out: &mut String, report: &AvailabilityReport) {
+    let _ = write!(
+        out,
+        "{{\"critical_offered\":{},\"critical_delivered\":{},\"noncritical_offered\":{},\
+         \"noncritical_delivered\":{},\"tier_raises\":{},\"tier_lowers\":{},\
+         \"final_tier\":\"{}\",\"peak_tier\":\"{}\",\"time_in_tier\":[{},{},{},{}],\
+         \"breaker_trips\":{},\"breaker_resets\":{},\"actions_suppressed\":{}}}",
+        report.critical_offered,
+        report.critical_delivered,
+        report.noncritical_offered,
+        report.noncritical_delivered,
+        report.tier_raises,
+        report.tier_lowers,
+        report.final_tier.name(),
+        report.peak_tier.name(),
+        report.time_in_tier[0],
+        report.time_in_tier[1],
+        report.time_in_tier[2],
+        report.time_in_tier[3],
+        report.breaker_trips,
+        report.breaker_resets,
+        report.actions_suppressed
+    );
+}
+
+fn availability_from_value(value: &Value) -> Result<AvailabilityReport> {
+    let fields = as_object(value)?;
+    let time_in_tier: [u64; 4] = get_u64_array(fields, "time_in_tier")?
+        .try_into()
+        .map_err(|_| JsonError("field \"time_in_tier\": expected 4 entries".into()))?;
+    Ok(AvailabilityReport {
+        critical_offered: get_u64(fields, "critical_offered")?,
+        critical_delivered: get_u64(fields, "critical_delivered")?,
+        noncritical_offered: get_u64(fields, "noncritical_offered")?,
+        noncritical_delivered: get_u64(fields, "noncritical_delivered")?,
+        tier_raises: get_u32(fields, "tier_raises")?,
+        tier_lowers: get_u32(fields, "tier_lowers")?,
+        final_tier: tier_from(get_str(fields, "final_tier")?)?,
+        peak_tier: tier_from(get_str(fields, "peak_tier")?)?,
+        time_in_tier,
+        breaker_trips: get_u32(fields, "breaker_trips")?,
+        breaker_resets: get_u32(fields, "breaker_resets")?,
+        actions_suppressed: get_u32(fields, "actions_suppressed")?,
+    })
+}
+
 // ------------------------------------------------------------- encoding
 
 impl AttackOutcomeReport {
@@ -825,6 +879,12 @@ impl RunReport {
             Some(snapshot) => snapshot.write_json(&mut out),
             None => out.push_str("null"),
         }
+        // emitted only when present so policy-off reports stay
+        // byte-identical to the pre-policy schema (and its goldens)
+        if let Some(detail) = &self.availability_detail {
+            out.push_str(",\"availability_detail\":");
+            write_availability(&mut out, detail);
+        }
         out.push('}');
         out
     }
@@ -871,6 +931,11 @@ impl RunReport {
             faultplane: match field(fields, "faultplane")? {
                 Value::Null => None,
                 value => Some(FaultPlaneStats::from_value(value)?),
+            },
+            // optional (not just nullable): absent in pre-policy reports
+            availability_detail: match fields.get("availability_detail") {
+                None | Some(Value::Null) => None,
+                Some(value) => Some(availability_from_value(value)?),
             },
         })
     }
@@ -937,6 +1002,20 @@ mod tests {
             reboots: 2,
             attacker_wins: 1,
             telemetry: Some(sample_telemetry()),
+            availability_detail: Some(AvailabilityReport {
+                critical_offered: 400,
+                critical_delivered: 398,
+                noncritical_offered: 800,
+                noncritical_delivered: 512,
+                tier_raises: 3,
+                tier_lowers: 2,
+                final_tier: DegradationTier::ShedNonCritical,
+                peak_tier: DegradationTier::CriticalOnly,
+                time_in_tier: [700_000, 200_000, 100_000, 0],
+                breaker_trips: 2,
+                breaker_resets: 1,
+                actions_suppressed: 4,
+            }),
             faultplane: Some(FaultPlaneStats {
                 events_lost: 12,
                 events_delayed: 7,
@@ -981,6 +1060,40 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"faultplane\":null"));
         assert_eq!(RunReport::from_json(&json).expect("decode"), report);
+    }
+
+    #[test]
+    fn availability_detail_is_omitted_when_none() {
+        // optional-field semantics: a policy-off report encodes exactly as
+        // it did before the field existed, and old JSON (no field at all)
+        // still decodes
+        let mut report = sample_report();
+        report.availability_detail = None;
+        let json = report.to_json();
+        assert!(!json.contains("availability_detail"));
+        assert_eq!(RunReport::from_json(&json).expect("decode"), report);
+    }
+
+    #[test]
+    fn availability_detail_round_trips() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(json.contains("\"final_tier\":\"shed-non-critical\""));
+        assert!(json.contains("\"peak_tier\":\"critical-only\""));
+        assert!(json.contains("\"time_in_tier\":[700000,200000,100000,0]"));
+        let back = RunReport::from_json(&json).expect("decode");
+        assert_eq!(back.availability_detail, report.availability_detail);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn availability_detail_rejects_bad_tier_names() {
+        let report = sample_report();
+        let json = report.to_json().replace(
+            "\"final_tier\":\"shed-non-critical\"",
+            "\"final_tier\":\"turbo\"",
+        );
+        assert!(RunReport::from_json(&json).is_err());
     }
 
     #[test]

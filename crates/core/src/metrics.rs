@@ -4,6 +4,7 @@ use crate::config::PlatformProfile;
 use crate::faultplane::FaultPlaneStats;
 use crate::telemetry::TelemetrySnapshot;
 use cres_attacks::AttackKind;
+use cres_response::AvailabilityReport;
 use cres_sim::SimTime;
 use cres_ssm::{HealthState, IncidentKind};
 use serde::Serialize;
@@ -108,6 +109,10 @@ pub struct RunReport {
     /// plane was disabled for the run. Independent of `telemetry`, so
     /// fault accounting survives a telemetry-off run.
     pub faultplane: Option<FaultPlaneStats>,
+    /// Per-criticality-class service availability and policy-engine
+    /// accounting (tiers, breakers); `None` when the response policy
+    /// engine was disabled for the run.
+    pub availability_detail: Option<AvailabilityReport>,
 }
 
 impl RunReport {
@@ -189,6 +194,7 @@ mod tests {
             attacker_wins: 0,
             telemetry: None,
             faultplane: None,
+            availability_detail: None,
         }
     }
 

@@ -14,14 +14,17 @@ use cres_monitor::{
     BusPolicyMonitor, CfiMonitor, EnvMonitor, MemoryGuardMonitor, MonitorEvent, NetworkMonitor,
     ResourceMonitor, SensorMonitor, SyscallMonitor, TaintMonitor, WatchdogMonitor,
 };
-use cres_response::{RecoveryBackend, ResponseManager};
+use cres_monitor::{Severity, Subject};
+use cres_response::{BreakerKey, PolicyDecision, RecoveryBackend, ResponseManager, ResponsePolicy};
 use cres_sim::{MonitorId, NullSink, SimDuration, SimTime, StageSink};
 use cres_soc::addr::MasterId;
 use cres_soc::periph::{Actuator, Sensor};
 use cres_soc::soc::{layout, SocBuilder};
-use cres_soc::task::{Criticality, Syscall, Task, TaskId};
+use cres_soc::task::{Criticality, Syscall, Task, TaskId, TaskState};
 use cres_soc::Soc;
-use cres_ssm::{CorrelationConfig, ResponsePlan, SsmConfig, SystemSecurityManager};
+use cres_ssm::{
+    CorrelationConfig, DegradationTier, HealthState, ResponsePlan, SsmConfig, SystemSecurityManager,
+};
 use cres_tee::Tee;
 use std::mem;
 
@@ -67,6 +70,29 @@ impl RecoveryBackend for BackendView<'_> {
     fn zeroize_keys(&mut self) -> Result<(), String> {
         self.tee.zeroize_keys();
         Ok(())
+    }
+}
+
+/// Maps an incident subject to the circuit breaker that meters it.
+/// Memory regions and the environment roll up to the platform breaker —
+/// neither is a resource countermeasures can isolate on its own.
+fn breaker_key(subject: Subject) -> BreakerKey {
+    match subject {
+        Subject::Master(m) => BreakerKey::Master(m),
+        Subject::Task(t) => BreakerKey::Task(t),
+        Subject::Network => BreakerKey::Network,
+        Subject::Sensor(index) => BreakerKey::Sensor(index),
+        Subject::Region(_) | Subject::Environment | Subject::Platform => BreakerKey::Platform,
+    }
+}
+
+/// Severity → tier-pressure weight. Info and Warning are routine noise
+/// (weight 1); Alert and Critical escalate the posture faster.
+fn severity_weight(severity: Severity) -> u32 {
+    match severity {
+        Severity::Info | Severity::Warning => 1,
+        Severity::Alert => 2,
+        Severity::Critical => 3,
     }
 }
 
@@ -122,6 +148,14 @@ pub struct Platform {
     /// disabled path draws no RNG and is byte-identical to a platform
     /// without a fault plane.
     pub faultplane: Option<FaultPlane>,
+    /// The stateful response policy engine; `None` when
+    /// [`cres_response::PolicyConfig::enabled`] is off — disabled, every
+    /// plan executes exactly as the SSM planned it and the legacy boolean
+    /// degraded-mode path is used, byte-identical to pre-policy builds.
+    pub policy: Option<ResponsePolicy>,
+    /// Incident count at the last policy tick; an unchanged count means
+    /// the tick was quiet (hysteresis holdoffs advance, pressure decays).
+    policy_last_incidents: usize,
     /// Accumulated monitor sampling cost (cycles) for E8.
     pub monitor_overhead_cycles: u64,
     /// Steps completed by `Critical` tasks (service-delivery metric).
@@ -234,6 +268,11 @@ impl Platform {
                 .enabled
                 .then(|| TelemetryRecorder::new(config.telemetry)),
             faultplane,
+            policy: config
+                .policy
+                .enabled
+                .then(|| ResponsePolicy::new(config.policy)),
+            policy_last_incidents: 0,
             monitor_overhead_cycles: 0,
             critical_steps: 0,
             reboots: 0,
@@ -652,10 +691,147 @@ impl Platform {
             };
             self.ssm.ingest_traced(now, events, sink)
         };
-        for plan in &plans {
-            self.execute_plan(plan, now);
+        if self.policy.is_none() {
+            for plan in &plans {
+                self.execute_plan(plan, now);
+            }
+            return plans;
         }
-        plans
+        // Under the policy engine the runner must see what actually
+        // executed (a suppressed reboot must not schedule a reboot
+        // recovery window), so return the gated plans.
+        let mut executed = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let gated = self.policy_gate_plan(plan, now);
+            self.execute_plan(&gated, now);
+            executed.push(gated);
+        }
+        executed
+    }
+
+    /// Routes one plan through the response policy engine: feeds the
+    /// incident to the matching circuit breaker (fault pressure), converts
+    /// `EnterDegradedMode` into a one-step tier raise, and suppresses
+    /// global countermeasures behind open breakers. Identity when the
+    /// policy engine is off.
+    fn policy_gate_plan(&mut self, plan: &ResponsePlan, now: SimTime) -> ResponsePlan {
+        let Some(mut policy) = self.policy.take() else {
+            return plan.clone();
+        };
+        let (key, weight) = self
+            .ssm
+            .incidents()
+            .iter()
+            .rev()
+            .find(|incident| incident.id == plan.incident)
+            .map(|incident| {
+                (
+                    breaker_key(incident.subject),
+                    severity_weight(incident.severity),
+                )
+            })
+            .unwrap_or((BreakerKey::Platform, 1));
+        let mut kept = Vec::with_capacity(plan.actions.len());
+        let decisions = {
+            let mut null = NullSink;
+            let sink: &mut dyn StageSink = match self.telemetry.as_mut() {
+                Some(recorder) => recorder,
+                None => &mut null,
+            };
+            let mut decisions = policy.on_incident(key, weight, now, sink);
+            for &action in &plan.actions {
+                if action == cres_ssm::ResponseAction::EnterDegradedMode {
+                    // the tier machine owns degradation now: a degrade
+                    // request raises one step (capped at CriticalOnly)
+                    // instead of flipping the legacy boolean posture
+                    decisions.extend(policy.request_degrade(key, now, sink));
+                    continue;
+                }
+                let (allowed, more) = policy.gate_action(key, action, now, sink);
+                decisions.extend(more);
+                if allowed {
+                    kept.push(action);
+                }
+            }
+            decisions
+        };
+        self.policy = Some(policy);
+        self.apply_policy_decisions(now, decisions);
+        ResponsePlan {
+            incident: plan.incident,
+            actions: kept,
+        }
+    }
+
+    /// Applies the side effects of policy decisions: tier changes reach
+    /// the response manager's posture machinery and the SSM's evidence
+    /// chain; breaker transitions are evidenced as policy notes. Every
+    /// decision also lands on the console for the operator.
+    fn apply_policy_decisions(&mut self, now: SimTime, decisions: Vec<PolicyDecision>) {
+        for decision in decisions {
+            match decision {
+                PolicyDecision::TierRaised { from, to }
+                | PolicyDecision::TierLowered { from, to } => {
+                    self.response.apply_tier(from, to, &mut self.soc);
+                    self.ssm.set_response_tier(now, from, to);
+                    if to == DegradationTier::Full
+                        && from > to
+                        && self.ssm.health() != HealthState::Healthy
+                    {
+                        self.ssm.record_recovered(now);
+                    }
+                }
+                _ => {
+                    self.ssm.record_note(now, "policy", &decision.to_string());
+                }
+            }
+            self.soc
+                .uart
+                .write_line(format!("[{now}] policy: {decision}"));
+        }
+    }
+
+    /// One policy heartbeat: samples per-criticality service delivery and,
+    /// on incident-free ticks, advances hysteresis holdoffs, decays
+    /// pressure, settles breaker cooldowns, and steps the tier back toward
+    /// [`DegradationTier::Full`]. Called by the runner once per monitor
+    /// period; a no-op when the policy engine is off.
+    pub fn policy_tick(&mut self, now: SimTime) {
+        let Some(mut policy) = self.policy.take() else {
+            return;
+        };
+        let mut critical = (0u64, 0u64);
+        let mut noncritical = (0u64, 0u64);
+        for id in self.soc.task_ids() {
+            let Some(task) = self.soc.task(id) else {
+                continue;
+            };
+            let class = if task.criticality() == Criticality::Critical {
+                &mut critical
+            } else {
+                &mut noncritical
+            };
+            class.1 += 1;
+            if task.state() == TaskState::Running {
+                class.0 += 1;
+            }
+        }
+        policy.sample_service(critical.0, critical.1, noncritical.0, noncritical.1);
+        let incidents = self.ssm.incidents().len();
+        let quiet = incidents == self.policy_last_incidents;
+        self.policy_last_incidents = incidents;
+        let decisions = if quiet {
+            let mut null = NullSink;
+            let sink: &mut dyn StageSink = match self.telemetry.as_mut() {
+                Some(recorder) => recorder,
+                None => &mut null,
+            };
+            policy.quiet_tick(now, sink)
+        } else {
+            Vec::new()
+        };
+        self.policy = Some(policy);
+        self.apply_policy_decisions(now, decisions);
     }
 
     /// Executes one plan through the response manager with the real

@@ -159,8 +159,13 @@ impl ScenarioRunner {
 
         // Monitor sampling + detect/respond/recover loop.
         let recovery_window = self.config.recovery_window;
+        let policy_enabled = self.config.policy.enabled;
         sim.schedule_periodic(self.config.monitor_period, move |p, sim| {
             let now = sim.now();
+            // Policy heartbeat first: service-availability sampling and
+            // hysteresis holdoffs advance even on quiet ticks (no-op when
+            // the policy engine is off).
+            p.policy_tick(now);
             // Buffered pair: the steady-state (no-event) tick reuses the
             // platform's event buffer and performs no heap allocation.
             let collected = p.sample_monitors_buffered(now);
@@ -185,9 +190,12 @@ impl ScenarioRunner {
                         p.update.record_boot_success();
                         p.ssm.record_recovered(done);
                     });
-                } else {
+                } else if !policy_enabled {
                     // Quiet-window recovery: if no new incidents arrive
-                    // within the window, restore service.
+                    // within the window, restore service. The policy
+                    // engine supersedes this path — tiers step back to
+                    // Full through hysteresis in `policy_tick` instead of
+                    // snapping everything open after one quiet window.
                     let incidents_now = p.ssm.incidents().len();
                     sim.schedule_at(now + recovery_window, move |p: &mut Platform, sim| {
                         if p.ssm.incidents().len() == incidents_now
@@ -284,6 +292,8 @@ impl ScenarioRunner {
             *stats
         });
 
+        let availability_detail = platform.policy.as_mut().map(|policy| policy.finish(end));
+
         let telemetry = if let Some(recorder) = platform.telemetry.as_mut() {
             let occupancy = recorder.ring().len() as f64;
             let metrics = recorder.metrics_mut();
@@ -321,6 +331,25 @@ impl ScenarioRunner {
                     f64::from(u8::from(stats.degraded_correlation)),
                 );
             }
+            if let Some(detail) = &availability_detail {
+                metrics.counter_add("policy.tier_raises", u64::from(detail.tier_raises));
+                metrics.counter_add("policy.tier_lowers", u64::from(detail.tier_lowers));
+                metrics.counter_add("policy.breaker_trips", u64::from(detail.breaker_trips));
+                metrics.counter_add("policy.breaker_resets", u64::from(detail.breaker_resets));
+                metrics.counter_add(
+                    "policy.actions_suppressed",
+                    u64::from(detail.actions_suppressed),
+                );
+                metrics.gauge_set(
+                    "policy.critical_availability",
+                    detail.critical_availability(),
+                );
+                metrics.gauge_set(
+                    "policy.noncritical_availability",
+                    detail.noncritical_availability(),
+                );
+                metrics.gauge_set("policy.peak_tier", detail.peak_tier.index() as f64);
+            }
             Some(recorder.snapshot())
         } else {
             None
@@ -347,6 +376,7 @@ impl ScenarioRunner {
             attacker_wins,
             telemetry,
             faultplane,
+            availability_detail,
         }
     }
 }
@@ -520,6 +550,54 @@ mod tests {
         // second-kind incident inside the escalation window is escalated —
         // verified at the unit level; here we confirm both kinds classified
         assert!(report.total_incidents >= 2);
+    }
+
+    #[test]
+    fn policy_engine_degrades_and_recovers_with_hysteresis() {
+        let mut config = cfg(PlatformProfile::CyberResilient);
+        config.policy = cres_response::PolicyConfig::enabled();
+        let scenario = Scenario::quiet(SimDuration::cycles(1_500_000)).attack(
+            SimTime::at_cycle(100_000),
+            SimDuration::cycles(2_000),
+            Box::new(NetworkFloodAttack::new(300, 20)),
+        );
+        let report = ScenarioRunner::new(config).run(scenario);
+        assert!(report.attacks[0].detected());
+        let detail = report.availability_detail.expect("policy armed");
+        assert!(detail.tier_raises >= 1, "never degraded: {detail:?}");
+        // hysteresis recovery: quiet ticks after the flood stepped the
+        // tier back down instead of pinning the posture forever
+        assert!(detail.tier_lowers >= 1, "never recovered: {detail:?}");
+        assert!(
+            detail.critical_availability() > 0.9,
+            "critical service collapsed: {detail:?}"
+        );
+        assert!(detail.time_in_tier[0] > 0, "{detail:?}");
+    }
+
+    #[test]
+    fn policy_off_reports_no_availability_detail() {
+        let report = ScenarioRunner::new(cfg(PlatformProfile::CyberResilient))
+            .run(Scenario::quiet(SimDuration::cycles(200_000)));
+        assert_eq!(report.availability_detail, None);
+    }
+
+    #[test]
+    fn policy_run_is_reproducible() {
+        let run = || {
+            let mut config = cfg(PlatformProfile::CyberResilient);
+            config.policy = cres_response::PolicyConfig::enabled();
+            let scenario = Scenario::quiet(SimDuration::cycles(600_000)).attack(
+                SimTime::at_cycle(100_000),
+                SimDuration::cycles(2_000),
+                Box::new(NetworkFloodAttack::new(300, 10)),
+            );
+            ScenarioRunner::new(config).run(scenario)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! The Active Response Manager — the paper's third microarchitectural
 //! characteristic.
@@ -15,11 +15,21 @@
 //!   and TEE subsystems (the platform crate wires the real one),
 //! * [`manager`] — [`manager::ResponseManager`]: executes
 //!   [`cres_ssm::ResponseAction`] plans against the SoC, tracks what was
-//!   done for the evidence loop, and owns graceful degradation
-//!   (suspend-and-resume of non-critical tasks).
+//!   done for the evidence loop, and applies graceful degradation postures
+//!   (suspend-and-resume of non-critical tasks, tier-driven network and
+//!   actuator stances),
+//! * [`policy`] — [`policy::ResponsePolicy`]: the stateful policy engine —
+//!   per-resource circuit breakers, graded degradation tiers with
+//!   hysteresis, and service-availability accounting. See `RESPONSE.md`
+//!   at the repository root for the operator's guide.
 
 pub mod backend;
 pub mod manager;
+pub mod policy;
 
 pub use backend::{NullRecoveryBackend, RecoveryBackend};
 pub use manager::{ActionOutcome, ExecutedAction, ResponseManager};
+pub use policy::{
+    AvailabilityReport, BreakerKey, BreakerState, CircuitBreaker, PolicyConfig, PolicyDecision,
+    ResponsePolicy,
+};

@@ -5,7 +5,7 @@ use cres_sim::{SimDuration, SimTime, Stage, StageSink};
 use cres_soc::addr::MasterId;
 use cres_soc::task::{Criticality, TaskId, TaskState};
 use cres_soc::Soc;
-use cres_ssm::{ResponseAction, ResponsePlan};
+use cres_ssm::{DegradationTier, ResponseAction, ResponsePlan};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -72,6 +72,11 @@ pub struct ResponseManager {
     executed: Vec<ExecutedAction>,
     degraded: bool,
     suspended_by_degrade: Vec<TaskId>,
+    /// Tier posture in force (stays `Full` unless a policy engine drives
+    /// [`ResponseManager::apply_tier`]).
+    tier: DegradationTier,
+    /// Tasks suspended by tier posture, awaiting a looser tier.
+    policy_suspended: Vec<TaskId>,
     distrusted_sensors: HashSet<usize>,
     isolated: HashSet<MasterId>,
 }
@@ -84,6 +89,8 @@ impl ResponseManager {
             executed: Vec::new(),
             degraded: false,
             suspended_by_degrade: Vec::new(),
+            tier: DegradationTier::Full,
+            policy_suspended: Vec::new(),
             distrusted_sensors: HashSet::new(),
             isolated: HashSet::new(),
         }
@@ -99,9 +106,15 @@ impl ResponseManager {
         &self.executed
     }
 
-    /// True while in degraded mode.
+    /// True while in degraded mode — either the legacy boolean degrade
+    /// (no policy engine) or any tier posture tighter than `Full`.
     pub fn is_degraded(&self) -> bool {
-        self.degraded
+        self.degraded || self.tier > DegradationTier::Full
+    }
+
+    /// The tier posture currently applied to the SoC.
+    pub fn tier(&self) -> DegradationTier {
+        self.tier
     }
 
     /// True when sensor `idx` has been marked untrustworthy.
@@ -279,15 +292,94 @@ impl ResponseManager {
         }
     }
 
-    /// Leaves degraded mode, resuming the tasks it suspended.
+    /// Leaves degraded mode, resuming the tasks it suspended. A task that
+    /// is no longer suspended — killed by a later countermeasure, restarted
+    /// elsewhere, or gone entirely — is skipped, never revived: leaving
+    /// degraded mode must not undo a `KillTask`.
     pub fn exit_degraded(&mut self, soc: &mut Soc) {
         if !self.degraded {
             return;
         }
         self.degraded = false;
         for id in self.suspended_by_degrade.drain(..) {
-            if let Some(task) = soc.task_mut(id) {
+            match soc.task_mut(id) {
+                Some(task) if task.state() == TaskState::Suspended => task.resume(),
+                _ => {}
+            }
+        }
+    }
+
+    /// Applies a degradation-tier posture change to the SoC. `from` is the
+    /// posture previously in force; raising only tightens (never lifts a
+    /// countermeasure already in place), lowering restores service for the
+    /// new tier:
+    ///
+    /// | tier | tasks running | network | actuators |
+    /// |------|---------------|---------|-----------|
+    /// | `Full` | all | open | live |
+    /// | `ShedNonCritical` | `Important`+ | rate-limited | live |
+    /// | `CriticalOnly` | `Critical` only | quarantined | live |
+    /// | `SafeHalt` | none | quarantined | locked out |
+    ///
+    /// Tasks suspended by posture are resumed when a looser tier re-admits
+    /// their criticality class — unless they are no longer suspended
+    /// (killed, restarted, or removed), in which case they are dropped from
+    /// the posture set, not revived.
+    pub fn apply_tier(&mut self, from: DegradationTier, to: DegradationTier, soc: &mut Soc) {
+        self.tier = to;
+        let admitted = |criticality: Criticality| match to {
+            DegradationTier::Full => true,
+            DegradationTier::ShedNonCritical => criticality > Criticality::BestEffort,
+            DegradationTier::CriticalOnly => criticality >= Criticality::Critical,
+            DegradationTier::SafeHalt => false,
+        };
+        // Shed: suspend running tasks the new posture no longer admits.
+        for id in soc.task_ids() {
+            let Some(task) = soc.task_mut(id) else {
+                continue;
+            };
+            if !admitted(task.criticality()) && task.state() == TaskState::Running {
+                task.suspend();
+                if !self.policy_suspended.contains(&id) {
+                    self.policy_suspended.push(id);
+                }
+            }
+        }
+        // Restore: resume posture-suspended tasks the new tier re-admits.
+        self.policy_suspended.retain(|&id| match soc.task_mut(id) {
+            Some(task) if task.state() != TaskState::Suspended => false,
+            Some(task) if admitted(task.criticality()) => {
                 task.resume();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        });
+        let raising = to > from;
+        match to {
+            DegradationTier::Full => {
+                soc.nic.release();
+                soc.nic.clear_rate_limit();
+            }
+            DegradationTier::ShedNonCritical => {
+                soc.nic.set_rate_limit(32);
+                if !raising {
+                    // lowering out of quarantine restores rate-limited flow;
+                    // raising must not lift a quarantine already imposed
+                    soc.nic.release();
+                }
+            }
+            DegradationTier::CriticalOnly | DegradationTier::SafeHalt => {
+                soc.nic.quarantine();
+            }
+        }
+        if to == DegradationTier::SafeHalt {
+            for a in &mut soc.actuators {
+                a.lockout();
+            }
+        } else if from == DegradationTier::SafeHalt {
+            for a in &mut soc.actuators {
+                a.release();
             }
         }
     }
@@ -450,6 +542,104 @@ mod tests {
         m.exit_degraded(&mut soc);
         assert!(!m.is_degraded());
         assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Running);
+    }
+
+    #[test]
+    fn exit_degraded_does_not_revive_killed_tasks() {
+        // regression: leaving degraded mode used to resume every task it had
+        // suspended, even one a later KillTask had removed from service
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::EnterDegradedMode, t0(), &mut soc, &mut b);
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Suspended);
+        // the suspended task is then killed by a countermeasure
+        m.execute(ResponseAction::KillTask(TaskId(2)), t0(), &mut soc, &mut b);
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Killed);
+        m.exit_degraded(&mut soc);
+        assert_eq!(
+            soc.task(TaskId(2)).unwrap().state(),
+            TaskState::Killed,
+            "exit_degraded revived a killed task"
+        );
+        // a task restarted in the meantime is likewise left alone
+        m.execute(ResponseAction::EnterDegradedMode, t0(), &mut soc, &mut b);
+        m.execute(
+            ResponseAction::RestartTask(TaskId(2)),
+            t0(),
+            &mut soc,
+            &mut b,
+        );
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Running);
+        m.exit_degraded(&mut soc);
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Running);
+    }
+
+    #[test]
+    fn tier_posture_sheds_and_restores_by_criticality() {
+        let mut soc = soc();
+        let mut m = mgr();
+        use DegradationTier::*;
+        m.apply_tier(Full, ShedNonCritical, &mut soc);
+        assert_eq!(m.tier(), ShedNonCritical);
+        assert!(m.is_degraded());
+        assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Running);
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Suspended);
+        assert!(soc.nic.is_rate_limited());
+        assert!(!soc.nic.is_quarantined());
+
+        m.apply_tier(ShedNonCritical, CriticalOnly, &mut soc);
+        assert!(soc.nic.is_quarantined());
+        assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Running);
+
+        m.apply_tier(CriticalOnly, SafeHalt, &mut soc);
+        assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Suspended);
+        assert!(soc.actuators[0].is_locked_out());
+
+        // recovery, one step at a time
+        m.apply_tier(SafeHalt, CriticalOnly, &mut soc);
+        assert_eq!(soc.task(TaskId(1)).unwrap().state(), TaskState::Running);
+        assert!(!soc.actuators[0].is_locked_out());
+        assert!(soc.nic.is_quarantined(), "critical-only keeps quarantine");
+        m.apply_tier(CriticalOnly, ShedNonCritical, &mut soc);
+        assert!(!soc.nic.is_quarantined());
+        assert!(soc.nic.is_rate_limited());
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Suspended);
+        m.apply_tier(ShedNonCritical, Full, &mut soc);
+        assert!(!m.is_degraded());
+        assert_eq!(m.tier(), Full);
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Running);
+        assert!(!soc.nic.is_rate_limited());
+    }
+
+    #[test]
+    fn tier_restore_skips_killed_tasks() {
+        let mut soc = soc();
+        let mut m = mgr();
+        use DegradationTier::*;
+        m.apply_tier(Full, CriticalOnly, &mut soc);
+        assert_eq!(soc.task(TaskId(2)).unwrap().state(), TaskState::Suspended);
+        soc.task_mut(TaskId(2)).unwrap().kill();
+        m.apply_tier(CriticalOnly, Full, &mut soc);
+        assert_eq!(
+            soc.task(TaskId(2)).unwrap().state(),
+            TaskState::Killed,
+            "tier restore revived a killed task"
+        );
+    }
+
+    #[test]
+    fn raising_tier_does_not_lift_existing_quarantine() {
+        let mut soc = soc();
+        let mut m = mgr();
+        let mut b = NullRecoveryBackend::new();
+        m.execute(ResponseAction::QuarantineNetwork, t0(), &mut soc, &mut b);
+        use DegradationTier::*;
+        m.apply_tier(Full, ShedNonCritical, &mut soc);
+        assert!(
+            soc.nic.is_quarantined(),
+            "raising to shed-non-critical lifted an active quarantine"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * [`gen`] — the seed-driven generator ([`generate`]): composes catalog
 //!   attack primitives into novel multi-stage campaigns, deterministically
 //!   from a single seed;
-//! * [`gauntlet`] + [`shrink`] — run a corpus, classify every scenario as
+//! * [`gauntlet`] + [`mod@shrink`] — run a corpus, classify every scenario as
 //!   detected/degraded/missed, minimize any miss while preserving it, and
 //!   pin the minimized scenario as a replayable regression fixture.
 //!

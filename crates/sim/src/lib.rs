@@ -52,6 +52,6 @@ pub mod trace;
 pub use event::{EventId, Simulator};
 pub use intern::{MonitorId, MonitorRegistry};
 pub use rng::DetRng;
-pub use stage::{fault_code, NullSink, Stage, StageSink};
+pub use stage::{fault_code, policy_code, NullSink, Stage, StageSink};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceEntry};

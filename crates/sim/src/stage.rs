@@ -55,11 +55,16 @@ pub enum Stage {
     /// stall/crash, response drop, delivery retry, degraded-mode transition
     /// (span arg: a `cres_platform::faultplane` fault code).
     FaultPlane,
+    /// One decision taken by the stateful response policy engine — a
+    /// degradation-tier transition, a circuit-breaker state change, or a
+    /// countermeasure suppressed behind an open breaker (span arg: a
+    /// [`policy_code`] constant).
+    Policy,
 }
 
 impl Stage {
     /// Number of stages (sizing for per-stage accumulator arrays).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All stages, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -71,6 +76,7 @@ impl Stage {
         Stage::Respond,
         Stage::EvidenceAppend,
         Stage::FaultPlane,
+        Stage::Policy,
     ];
 
     /// Dense index of this stage in [`Stage::ALL`] order.
@@ -89,6 +95,7 @@ impl Stage {
             Stage::Respond => "respond",
             Stage::EvidenceAppend => "evidence-append",
             Stage::FaultPlane => "fault-plane",
+            Stage::Policy => "policy",
         }
     }
 
@@ -131,6 +138,25 @@ pub mod fault_code {
     pub const MONITOR_QUARANTINED: u32 = 10;
     /// The correlation engine entered sensing-degraded compensation.
     pub const SENSING_DEGRADED: u32 = 11;
+}
+
+/// Span `arg` codes for [`Stage::Policy`] spans — the shared vocabulary for
+/// "what did the response policy engine decide". Defined here (like
+/// [`fault_code`]) so the response crate can report policy spans without
+/// depending on the platform crate that hosts the recorder.
+pub mod policy_code {
+    /// The degradation tier was raised one step (posture tightened).
+    pub const TIER_RAISED: u32 = 1;
+    /// The degradation tier was lowered one step (service restored).
+    pub const TIER_LOWERED: u32 = 2;
+    /// A per-resource circuit breaker tripped closed → open.
+    pub const BREAKER_OPENED: u32 = 3;
+    /// An open breaker's cooldown expired; it is probing (open → half-open).
+    pub const BREAKER_HALF_OPEN: u32 = 4;
+    /// A half-open breaker saw a clean probe window and reset to closed.
+    pub const BREAKER_CLOSED: u32 = 5;
+    /// A global countermeasure was suppressed behind an open breaker.
+    pub const ACTION_SUPPRESSED: u32 = 6;
 }
 
 /// The receiver instrumented pipeline code reports spans to.

@@ -34,5 +34,5 @@ pub mod ssm;
 pub use correlate::{CorrelationConfig, CorrelationEngine, Incident, IncidentKind};
 pub use evidence::{ChainError, EvidenceRecord, EvidenceStore};
 pub use health::{HealthState, MonitorHealth, SystemHealth};
-pub use planner::{PlannerMode, ResponseAction, ResponsePlan, ResponsePlanner};
+pub use planner::{DegradationTier, PlannerMode, ResponseAction, ResponsePlan, ResponsePlanner};
 pub use ssm::{SsmConfig, SsmDeployment, SystemSecurityManager};

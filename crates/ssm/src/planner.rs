@@ -19,6 +19,90 @@ use cres_soc::task::TaskId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Graded service-degradation tiers, from full service to fail-safe halt.
+///
+/// The tiers form a total order (`Full < ShedNonCritical < CriticalOnly <
+/// SafeHalt`): a *higher* tier is a *tighter* posture. The response policy
+/// engine (in `cres-response`) moves the platform along this ladder one
+/// step at a time — raising under incident pressure, lowering with
+/// hysteresis as health returns — and the planner consults the current
+/// tier when composing plans, so countermeasures tighten with posture.
+///
+/// # Example
+///
+/// ```
+/// use cres_ssm::DegradationTier;
+/// assert!(DegradationTier::Full < DegradationTier::SafeHalt);
+/// assert_eq!(DegradationTier::Full.raised(), DegradationTier::ShedNonCritical);
+/// assert_eq!(DegradationTier::Full.lowered(), DegradationTier::Full);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DegradationTier {
+    /// All tasks run, network open, actuators live.
+    Full,
+    /// Best-effort tasks suspended, network ingress rate-limited.
+    ShedNonCritical,
+    /// Only `Critical` tasks run, network quarantined.
+    CriticalOnly,
+    /// Everything suspended, network quarantined, actuators locked in
+    /// their safe position — the fail-safe end state.
+    SafeHalt,
+}
+
+impl DegradationTier {
+    /// All tiers, loosest posture first.
+    pub const ALL: [DegradationTier; 4] = [
+        DegradationTier::Full,
+        DegradationTier::ShedNonCritical,
+        DegradationTier::CriticalOnly,
+        DegradationTier::SafeHalt,
+    ];
+
+    /// Dense index in [`DegradationTier::ALL`] order.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case name (used in the report JSON schema).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DegradationTier::Full => "full",
+            DegradationTier::ShedNonCritical => "shed-non-critical",
+            DegradationTier::CriticalOnly => "critical-only",
+            DegradationTier::SafeHalt => "safe-halt",
+        }
+    }
+
+    /// Resolves a name produced by [`DegradationTier::name`].
+    pub fn from_name(name: &str) -> Option<DegradationTier> {
+        DegradationTier::ALL.into_iter().find(|t| t.name() == name)
+    }
+
+    /// One step tighter (`SafeHalt` saturates).
+    pub const fn raised(self) -> DegradationTier {
+        match self {
+            DegradationTier::Full => DegradationTier::ShedNonCritical,
+            DegradationTier::ShedNonCritical => DegradationTier::CriticalOnly,
+            DegradationTier::CriticalOnly | DegradationTier::SafeHalt => DegradationTier::SafeHalt,
+        }
+    }
+
+    /// One step looser (`Full` saturates).
+    pub const fn lowered(self) -> DegradationTier {
+        match self {
+            DegradationTier::Full | DegradationTier::ShedNonCritical => DegradationTier::Full,
+            DegradationTier::CriticalOnly => DegradationTier::ShedNonCritical,
+            DegradationTier::SafeHalt => DegradationTier::CriticalOnly,
+        }
+    }
+}
+
+impl fmt::Display for DegradationTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One executable countermeasure, fully parameterised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ResponseAction {
@@ -85,6 +169,7 @@ pub enum PlannerMode {
 #[derive(Debug, Clone)]
 pub struct ResponsePlanner {
     mode: PlannerMode,
+    tier: DegradationTier,
     plans_issued: u64,
 }
 
@@ -93,6 +178,7 @@ impl ResponsePlanner {
     pub fn new(mode: PlannerMode) -> Self {
         ResponsePlanner {
             mode,
+            tier: DegradationTier::Full,
             plans_issued: 0,
         }
     }
@@ -100,6 +186,19 @@ impl ResponsePlanner {
     /// The active mode.
     pub fn mode(&self) -> PlannerMode {
         self.mode
+    }
+
+    /// The degradation tier the planner is composing plans for.
+    pub fn tier(&self) -> DegradationTier {
+        self.tier
+    }
+
+    /// Informs the planner of the platform's current degradation tier
+    /// (set by the response policy engine). At `CriticalOnly` and above
+    /// the planner stops offering soft network countermeasures: a flood
+    /// that would normally be rate-limited is quarantined outright.
+    pub fn set_tier(&mut self, tier: DegradationTier) {
+        self.tier = tier;
     }
 
     /// Number of non-empty plans issued.
@@ -146,7 +245,15 @@ impl ResponsePlanner {
             IncidentKind::FirmwareTamper => {
                 vec![EnterDegradedMode, RollbackFirmware]
             }
-            IncidentKind::NetworkFlood => vec![RateLimitNetwork(16)],
+            IncidentKind::NetworkFlood => {
+                // Above CriticalOnly the soft option is gone: posture says
+                // non-critical traffic is already shed, so quarantine.
+                if self.tier >= DegradationTier::CriticalOnly {
+                    vec![QuarantineNetwork]
+                } else {
+                    vec![RateLimitNetwork(16)]
+                }
+            }
             IncidentKind::ExploitTraffic => vec![QuarantineNetwork],
             IncidentKind::Exfiltration => {
                 vec![QuarantineNetwork, ZeroizeKeys, EnterDegradedMode]
@@ -286,6 +393,35 @@ mod tests {
         let mut p = ResponsePlanner::new(PlannerMode::Active);
         let plan = p.plan(&incident(IncidentKind::SystemHang, Subject::Platform));
         assert_eq!(plan.actions, vec![ResponseAction::RebootSystem]);
+    }
+
+    #[test]
+    fn tier_ladder_is_total_and_single_step() {
+        for (i, tier) in DegradationTier::ALL.into_iter().enumerate() {
+            assert_eq!(tier.index(), i);
+            assert_eq!(DegradationTier::from_name(tier.name()), Some(tier));
+            assert!(tier.raised() >= tier);
+            assert!(tier.lowered() <= tier);
+            assert!(tier.raised().index() <= i + 1);
+            assert!(tier.lowered().index() + 1 >= i);
+        }
+        assert_eq!(
+            DegradationTier::SafeHalt.raised(),
+            DegradationTier::SafeHalt
+        );
+        assert_eq!(DegradationTier::Full.lowered(), DegradationTier::Full);
+        assert_eq!(DegradationTier::from_name("not-a-tier"), None);
+    }
+
+    #[test]
+    fn flood_quarantined_at_critical_only_tier() {
+        let mut p = ResponsePlanner::new(PlannerMode::Active);
+        p.set_tier(DegradationTier::CriticalOnly);
+        let plan = p.plan(&incident(IncidentKind::NetworkFlood, Subject::Network));
+        assert_eq!(plan.actions, vec![ResponseAction::QuarantineNetwork]);
+        p.set_tier(DegradationTier::Full);
+        let plan = p.plan(&incident(IncidentKind::NetworkFlood, Subject::Network));
+        assert_eq!(plan.actions, vec![ResponseAction::RateLimitNetwork(16)]);
     }
 
     #[test]

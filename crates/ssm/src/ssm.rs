@@ -16,7 +16,7 @@
 use crate::correlate::{CorrelationConfig, CorrelationEngine, Incident};
 use crate::evidence::EvidenceStore;
 use crate::health::{HealthState, MonitorHealth, SystemHealth};
-use crate::planner::{PlannerMode, ResponsePlan, ResponsePlanner};
+use crate::planner::{DegradationTier, PlannerMode, ResponsePlan, ResponsePlanner};
 use cres_monitor::MonitorEvent;
 use cres_sim::{
     fault_code, MonitorId, MonitorRegistry, NullSink, SimDuration, SimTime, Stage, StageSink,
@@ -312,6 +312,26 @@ impl SystemSecurityManager {
     /// Records that degradation took effect.
     pub fn record_degraded(&mut self, at: SimTime) {
         self.health.on_degraded(at);
+    }
+
+    /// Threads the platform's degradation tier into plan generation and
+    /// chains the transition as evidence. Called by the response policy
+    /// engine on every tier change; subsequent plans are composed for the
+    /// new posture (see [`ResponsePlanner::set_tier`]).
+    pub fn set_response_tier(&mut self, at: SimTime, from: DegradationTier, to: DegradationTier) {
+        self.planner.set_tier(to);
+        if self.config.evidence_enabled {
+            self.evidence
+                .append(at, "policy", &format!("tier {from} -> {to}"));
+        }
+        if to > from {
+            self.health.on_degraded(at);
+        }
+    }
+
+    /// The degradation tier the planner is currently composing plans for.
+    pub fn response_tier(&self) -> DegradationTier {
+        self.planner.tier()
     }
 
     /// Records the start of a recovery procedure.

@@ -62,6 +62,10 @@ fn fixture_path(profile: PlatformProfile) -> PathBuf {
         PlatformProfile::PassiveTrust => "passive_trust",
         PlatformProfile::TeeShared => "tee_shared",
     };
+    named_fixture_path(stem)
+}
+
+fn named_fixture_path(stem: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(format!("report_{stem}.json"))
@@ -117,4 +121,44 @@ fn goldens_decode_and_roundtrip() {
         assert_eq!(report.seed, GOLDEN_SEED);
         assert_eq!(report.to_json(), golden, "{profile} golden not canonical");
     }
+}
+
+/// The policy-armed cell: same scenario and seed as the CyberResilient
+/// golden, with the response policy engine enabled — so the fixture pins
+/// the `availability_detail` block (tiers, breakers, per-class service
+/// accounting) byte-for-byte alongside the legacy cells, which must stay
+/// untouched by the schema addition.
+#[test]
+fn policy_report_matches_committed_golden() {
+    let mut config = PlatformConfig::new(PlatformProfile::CyberResilient, GOLDEN_SEED);
+    config.policy = cres::response::PolicyConfig::enabled();
+    let report = ScenarioRunner::new(config).run(golden_scenario());
+    let json = report.to_json();
+    let path = named_fixture_path("policy_tiers");
+    if bless_mode() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run CRES_BLESS=1 cargo test --test report_goldens",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json,
+        golden,
+        "policy report diverged from {} — if intentional, re-bless and review the diff",
+        path.display()
+    );
+    assert!(golden.contains("\"availability_detail\":{"));
+    let decoded = RunReport::from_json(&golden).expect("policy golden decodes");
+    let detail = decoded
+        .availability_detail
+        .as_ref()
+        .expect("policy golden carries the availability block");
+    assert!(detail.critical_offered > 0);
+    assert_eq!(decoded.to_json(), golden, "policy golden not canonical");
 }
