@@ -45,6 +45,7 @@
 
 use crate::config::PlatformConfig;
 use crate::metrics::RunReport;
+use crate::pool::PlatformPool;
 use crate::runner::{Scenario, ScenarioRunner};
 use crate::telemetry::TelemetrySnapshot;
 use cres_attacks::{AttackInjector, UnknownAttack};
@@ -340,10 +341,11 @@ where
     pub fn run_sequential(self) -> Result<CampaignSummary, CampaignError> {
         self.validate()?;
         let start = Instant::now();
+        let mut pool = PlatformPool::new();
         let results = self
             .jobs
             .iter()
-            .map(|job| run_job(job, &self.builder))
+            .map(|job| run_job(job, &self.builder, &mut pool))
             .collect();
         Ok(CampaignSummary {
             results,
@@ -376,11 +378,17 @@ where
         let builder = &self.builder;
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else { break };
-                    let result = run_job(job, builder);
-                    *slots[index].lock().expect("campaign slot poisoned") = Some(result);
+                scope.spawn(|| {
+                    // One pool per worker: provisioning cache and recycled
+                    // platform stay thread-local, so no locking on the hot
+                    // path.
+                    let mut pool = PlatformPool::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else { break };
+                        let result = run_job(job, builder, &mut pool);
+                        *slots[index].lock().expect("campaign slot poisoned") = Some(result);
+                    }
                 });
             }
         });
@@ -400,7 +408,7 @@ where
     }
 }
 
-fn run_job<B>(job: &Job, builder: &B) -> JobResult
+fn run_job<B>(job: &Job, builder: &B, pool: &mut PlatformPool) -> JobResult
 where
     B: Fn(&str) -> BuiltAttack + Sync,
 {
@@ -409,7 +417,7 @@ where
         .spec
         .materialise(&|name| builder(name))
         .expect("specs validated before dispatch");
-    let report = ScenarioRunner::new(job.config).run(scenario);
+    let report = ScenarioRunner::new(job.config).run_pooled(pool, scenario);
     JobResult {
         label: job.label.clone(),
         report,

@@ -22,6 +22,9 @@
 //! * [`campaign`] — the parallel campaign engine fanning independent
 //!   scenario runs across a scoped worker pool with deterministic,
 //!   submission-ordered results,
+//! * [`pool`] — per-worker platform pooling (provisioning cache +
+//!   platform recycling): campaign jobs skip repeated RSA keygen and big
+//!   buffer rebuilds while staying bit-identical to fresh runs,
 //! * [`telemetry`] — always-on pipeline observability: a cycle-stamped
 //!   trace ring, per-stage cost accounting and a metrics registry that
 //!   merges deterministically across campaign jobs,
@@ -49,6 +52,7 @@ pub mod faultplane;
 pub mod json;
 pub mod metrics;
 pub mod platform;
+pub mod pool;
 pub mod provision;
 pub mod runner;
 pub mod telemetry;
@@ -59,6 +63,7 @@ pub use config::{PlatformConfig, PlatformProfile};
 pub use faultplane::{FaultPlane, FaultPlaneConfig, FaultPlaneStats, RetryPolicy};
 pub use metrics::{AttackOutcomeReport, RunReport};
 pub use platform::Platform;
+pub use pool::{PlatformPool, ScoreScratch};
 pub use runner::{Scenario, ScenarioRunner};
 pub use telemetry::{
     MetricsRegistry, TelemetryConfig, TelemetryRecorder, TelemetrySnapshot, TraceRing, TraceSpan,

@@ -164,9 +164,65 @@ pub struct Platform {
     pub reboots: u32,
 }
 
+/// Reusable state salvaged from a finished platform, fed back into
+/// [`Platform::build`] so a pooled rebuild does not reallocate the big
+/// steady-state buffers. Every field is *content-reset* before reuse; only
+/// capacity survives, so a pooled platform is bit-identical to a fresh one.
+#[derive(Default)]
+struct Recycled {
+    /// The previous run's event buffer (cleared, capacity kept).
+    event_buf: Vec<MonitorEvent>,
+    /// The previous SSM: evidence-record and intern-table storage is kept.
+    ssm: Option<SystemSecurityManager>,
+    /// The previous telemetry recorder, tagged with the config it was built
+    /// for — reused (via [`TelemetryRecorder::reset`]) only when the new
+    /// config matches, since the ring capacity is config-determined.
+    telemetry: Option<(crate::telemetry::TelemetryConfig, TelemetryRecorder)>,
+}
+
 impl Platform {
     /// Builds and boots a platform.
     pub fn new(config: PlatformConfig) -> Self {
+        Self::build(config, provision(&config), Recycled::default())
+    }
+
+    /// Builds and boots a platform from already-provisioned factory state.
+    ///
+    /// [`crate::pool::PlatformPool`] uses this to skip re-running RSA key
+    /// generation for every campaign job: [`provision`] is a pure function
+    /// of `(seed, rsa_bits, TEE deployment)`, so a cached clone produces a
+    /// platform bit-identical to [`Platform::new`].
+    pub fn from_provisioned(config: PlatformConfig, provisioned: Provisioned) -> Self {
+        Self::build(config, provisioned, Recycled::default())
+    }
+
+    /// Re-provisions this platform in place for a new job, reusing the
+    /// event buffer, the SSM's evidence/intern storage and (when the
+    /// telemetry config matches) the telemetry recorder. Everything else is
+    /// rebuilt exactly as [`Platform::from_provisioned`] would — the pooled
+    /// run is bit-identical to a fresh one (pinned by proptest).
+    pub fn reset(&mut self, config: PlatformConfig, provisioned: Provisioned) {
+        let mut event_buf = mem::take(&mut self.event_buf);
+        event_buf.clear();
+        let telemetry = self.telemetry.take().map(|r| (self.config.telemetry, r));
+        // Placeholder SSM (empty key, no records) so the real one can be
+        // moved into the rebuild and keep its buffers.
+        let ssm = mem::replace(
+            &mut self.ssm,
+            SystemSecurityManager::new(SsmConfig::default(), &[]),
+        );
+        *self = Self::build(
+            config,
+            provisioned,
+            Recycled {
+                event_buf,
+                ssm: Some(ssm),
+                telemetry,
+            },
+        );
+    }
+
+    fn build(config: PlatformConfig, provisioned: Provisioned, recycled: Recycled) -> Self {
         let Provisioned {
             vendor,
             signer,
@@ -177,7 +233,7 @@ impl Platform {
             evidence_key,
             device_root_key: _,
             bootloader,
-        } = provision(&config);
+        } = provisioned;
 
         let mut soc = SocBuilder::with_standard_layout(config.seed)
             .watchdog_timeout(config.watchdog_timeout)
@@ -209,7 +265,13 @@ impl Platform {
             planner: config.planner_mode(),
             evidence_enabled: config.evidence_enabled,
         };
-        let mut ssm = SystemSecurityManager::new(ssm_config, &evidence_key);
+        let mut ssm = match recycled.ssm {
+            Some(mut ssm) => {
+                ssm.reset(ssm_config, &evidence_key);
+                ssm
+            }
+            None => SystemSecurityManager::new(ssm_config, &evidence_key),
+        };
         let response = ResponseManager::new(config.reboot_duration);
 
         let monitors = Self::build_monitors(&soc, &config);
@@ -259,14 +321,17 @@ impl Platform {
             monitor_ids,
             cfi_id,
             syscall_id,
-            event_buf: Vec::new(),
+            event_buf: recycled.event_buf,
             attacks: Vec::new(),
             bootloader,
             evidence_key,
-            telemetry: config
-                .telemetry
-                .enabled
-                .then(|| TelemetryRecorder::new(config.telemetry)),
+            telemetry: config.telemetry.enabled.then(|| match recycled.telemetry {
+                Some((prev, mut recorder)) if prev == config.telemetry => {
+                    recorder.reset();
+                    recorder
+                }
+                _ => TelemetryRecorder::new(config.telemetry),
+            }),
             faultplane,
             policy: config
                 .policy

@@ -1,0 +1,194 @@
+//! Per-worker platform pooling for campaign throughput.
+//!
+//! Campaign cells used to rebuild a [`Platform`] from scratch for every
+//! job — and platform construction is dominated (in both wall clock and
+//! allocation count) by RSA key generation inside
+//! [`crate::provision::provision`]. Provisioning is a pure function of
+//! `(seed, rsa_bits, TEE deployment)` though, and most campaigns sweep a
+//! handful of such cells across many scenarios, so a per-worker
+//! [`PlatformPool`]:
+//!
+//! * caches [`Provisioned`] factory state per cell and hands out clones,
+//!   so RSA keygen and image signing run once per cell per worker instead
+//!   of once per job;
+//! * recycles the previous job's [`Platform`] through
+//!   [`Platform::reset`], keeping the event buffer, the SSM's
+//!   evidence/intern storage and the telemetry recorder's ring across
+//!   jobs;
+//! * carries the scoring scratch ([`ScoreScratch`]) so `RunReport`
+//!   assembly reuses its working buffers.
+//!
+//! Pooling is semantically invisible: a pooled run is bit-identical to a
+//! fresh-platform run (pinned by the `platform_reset` proptests and the
+//! campaign determinism suite), because every reused buffer is
+//! content-reset and everything else is rebuilt from the pure provisioning
+//! output.
+//!
+//! The pool is deliberately *per worker* — it is not `Sync`, never shared,
+//! and therefore adds no locking to the campaign's work-stealing loop.
+
+use crate::config::PlatformConfig;
+use crate::platform::Platform;
+use crate::provision::{provision, Provisioned};
+use cres_sim::SimTime;
+use cres_tee::TeeDeployment;
+
+/// Provisioning cache capacity. Campaigns sweep a few `(profile, seed)`
+/// cells per worker; 8 covers every in-tree experiment with room to spare,
+/// and eviction (oldest first) only costs a re-provision, never
+/// correctness.
+const PROVISION_CACHE_CAP: usize = 8;
+
+/// The inputs [`provision`] is a pure function of — the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProvisionKey {
+    seed: u64,
+    rsa_bits: usize,
+    tee: TeeDeployment,
+}
+
+impl ProvisionKey {
+    fn of(config: &PlatformConfig) -> Self {
+        ProvisionKey {
+            seed: config.seed,
+            rsa_bits: config.rsa_bits,
+            tee: config.tee_deployment(),
+        }
+    }
+}
+
+/// Reusable working buffers for `RunReport` assembly, carried across jobs
+/// by the pool so scoring does not rebuild them per run.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    /// Ground-truth injection times, rebuilt (capacity kept) per score.
+    pub ground_truth: Vec<SimTime>,
+}
+
+/// A per-worker pool of provisioning state and one recyclable platform.
+#[derive(Default)]
+pub struct PlatformPool {
+    provisioned: Vec<(ProvisionKey, Provisioned)>,
+    idle: Option<Platform>,
+    scratch: ScoreScratch,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlatformPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A platform for `config`: the recycled previous platform when one is
+    /// idle (via [`Platform::reset`]), else a fresh build — either way fed
+    /// from the provisioning cache.
+    pub fn acquire(&mut self, config: PlatformConfig) -> Platform {
+        let provisioned = self.provisioned(&config);
+        match self.idle.take() {
+            Some(mut platform) => {
+                platform.reset(config, provisioned);
+                platform
+            }
+            None => Platform::from_provisioned(config, provisioned),
+        }
+    }
+
+    /// Returns a finished platform for the next [`PlatformPool::acquire`]
+    /// to recycle.
+    pub fn release(&mut self, platform: Platform) {
+        self.idle = Some(platform);
+    }
+
+    /// The scoring scratch buffers.
+    pub fn scratch_mut(&mut self) -> &mut ScoreScratch {
+        &mut self.scratch
+    }
+
+    /// `(cache hits, cache misses)` for the provisioning cache — bench and
+    /// test introspection.
+    pub fn provision_cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Factory state for `config`, cloned from the cache when the cell was
+    /// provisioned before.
+    fn provisioned(&mut self, config: &PlatformConfig) -> Provisioned {
+        let key = ProvisionKey::of(config);
+        if let Some((_, cached)) = self.provisioned.iter().find(|(k, _)| *k == key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let fresh = provision(config);
+        if self.provisioned.len() == PROVISION_CACHE_CAP {
+            self.provisioned.remove(0);
+        }
+        self.provisioned.push((key, fresh.clone()));
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformProfile;
+
+    #[test]
+    fn provision_cache_hits_on_same_cell() {
+        let mut pool = PlatformPool::new();
+        let config = PlatformConfig::new(PlatformProfile::CyberResilient, 9);
+        let p1 = pool.acquire(config);
+        pool.release(p1);
+        let p2 = pool.acquire(config);
+        pool.release(p2);
+        assert_eq!(pool.provision_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn profiles_sharing_a_tee_deployment_share_provisioning() {
+        // PassiveTrust and TeeShared both map to SharedResources, so with
+        // one seed they are a single provisioning cell.
+        let mut pool = PlatformPool::new();
+        for profile in [PlatformProfile::PassiveTrust, PlatformProfile::TeeShared] {
+            let p = pool.acquire(PlatformConfig::new(profile, 3));
+            pool.release(p);
+        }
+        assert_eq!(pool.provision_cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn pooled_platform_matches_fresh_platform_state() {
+        let config_a = PlatformConfig::new(PlatformProfile::CyberResilient, 5);
+        let config_b = PlatformConfig::new(PlatformProfile::TeeShared, 6);
+        let mut pool = PlatformPool::new();
+        // Dirty the pooled platform with a full job on a different config
+        // first, then rebuild it for config_b.
+        let first = pool.acquire(config_a);
+        pool.release(first);
+        let pooled = pool.acquire(config_b);
+        let fresh = Platform::new(config_b);
+        assert_eq!(pooled.boot_report, fresh.boot_report);
+        assert_eq!(
+            pooled.ssm.evidence().records(),
+            fresh.ssm.evidence().records()
+        );
+        assert_eq!(pooled.soc.uart.lines(), fresh.soc.uart.lines());
+    }
+
+    #[test]
+    fn cache_evicts_oldest_beyond_capacity() {
+        let mut pool = PlatformPool::new();
+        for seed in 0..=PROVISION_CACHE_CAP as u64 {
+            let p = pool.acquire(PlatformConfig::new(PlatformProfile::CyberResilient, seed));
+            pool.release(p);
+        }
+        // seed 0 was evicted; acquiring it again is a miss
+        let p = pool.acquire(PlatformConfig::new(PlatformProfile::CyberResilient, 0));
+        pool.release(p);
+        let (hits, misses) = pool.provision_cache_stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, PROVISION_CACHE_CAP as u64 + 2);
+    }
+}

@@ -12,6 +12,12 @@ use cres_crypto::sha2::Sha256;
 use cres_tee::{TaSigner, Tee};
 
 /// Everything the factory hands to the platform builder.
+///
+/// `Clone` lets the platform pool provision once per `(seed, rsa_bits,
+/// TEE deployment)` cell and hand out copies: RSA key generation dominates
+/// platform construction cost (and allocation count) by orders of
+/// magnitude, and [`provision`] is a pure function of those inputs.
+#[derive(Clone)]
 pub struct Provisioned {
     /// Vendor signing keypair (stays "at the factory"; experiments use it
     /// to mint old images for downgrade attacks).

@@ -9,6 +9,7 @@
 use crate::config::PlatformConfig;
 use crate::metrics::{matching_incident_kinds, AttackOutcomeReport, RunReport};
 use crate::platform::Platform;
+use crate::pool::{PlatformPool, ScoreScratch};
 use cres_attacks::AttackInjector;
 use cres_forensics::Timeline;
 use cres_sim::{SimDuration, SimTime, Simulator};
@@ -118,8 +119,30 @@ impl ScenarioRunner {
     /// Builds the platform, runs the scenario and scores the result.
     pub fn run(self, scenario: Scenario) -> RunReport {
         let mut platform = Platform::new(self.config);
+        let mut scratch = ScoreScratch::default();
+        self.run_on(&mut platform, scenario, &mut scratch)
+    }
+
+    /// [`ScenarioRunner::run`] on a pooled platform: acquires from `pool`
+    /// (recycling the previous job's platform and provisioning cache),
+    /// runs, scores with the pool's reusable scratch, and releases the
+    /// platform back for the next job. The report is bit-identical to
+    /// [`ScenarioRunner::run`]'s.
+    pub fn run_pooled(&self, pool: &mut PlatformPool, scenario: Scenario) -> RunReport {
+        let mut platform = pool.acquire(self.config);
+        let report = self.run_on(&mut platform, scenario, pool.scratch_mut());
+        pool.release(platform);
+        report
+    }
+
+    fn run_on(
+        &self,
+        platform: &mut Platform,
+        scenario: Scenario,
+        scratch: &mut ScoreScratch,
+    ) -> RunReport {
         if scenario.default_workload {
-            Self::install_default_workload(&mut platform);
+            Self::install_default_workload(platform);
         }
         if scenario.training_rounds > 0 {
             platform.train_syscall_monitor(scenario.training_rounds);
@@ -225,19 +248,25 @@ impl ScenarioRunner {
             pump_attack(&mut sim, idx, spec.start, interval);
         }
 
-        sim.run_until(&mut platform, horizon);
+        sim.run_until(platform, horizon);
 
         // Final drain so nothing observed goes unscored.
         let events = platform.sample_monitors(horizon);
         platform.ingest_and_respond(horizon, events);
 
-        Self::score(self.config, scenario.duration, platform)
+        Self::score(self.config, scenario.duration, platform, scratch)
     }
 
-    fn score(config: PlatformConfig, duration: SimDuration, mut platform: Platform) -> RunReport {
+    fn score(
+        config: PlatformConfig,
+        duration: SimDuration,
+        platform: &mut Platform,
+        scratch: &mut ScoreScratch,
+    ) -> RunReport {
         let end = SimTime::ZERO + duration;
         let mut attacks = Vec::new();
-        let mut ground_truth: Vec<SimTime> = Vec::new();
+        let ground_truth = &mut scratch.ground_truth;
+        ground_truth.clear();
         let mut attacker_wins = 0u32;
         for idx in 0..platform.attack_count() {
             let injector = platform.attack(idx);
@@ -277,7 +306,7 @@ impl ScenarioRunner {
 
         let timeline = Timeline::reconstruct(platform.ssm.evidence().records());
         let tolerance = config.monitor_period.as_cycles() * 3 + 1_000;
-        let evidence_coverage = timeline.coverage(&ground_truth, tolerance);
+        let evidence_coverage = timeline.coverage(ground_truth, tolerance);
         let (total_events, total_incidents) = platform.ssm.correlation_stats();
 
         // Freeze end-of-run telemetry: scoring-time metrics (latency

@@ -148,6 +148,125 @@ impl MerkleTree {
     }
 }
 
+/// An append-only Merkle accumulator: the "mountain range" of perfect
+/// subtree peaks over everything appended so far.
+///
+/// [`MerkleTree`] rebuilds the whole tree from scratch on every seal —
+/// O(n) hashes per seal, O(n²) over the life of a store that seals
+/// periodically. The accumulator instead keeps at most one peak per power
+/// of two (like binary addition: appending a leaf "carries" equal-height
+/// peaks upward), so an append costs O(log n) amortised hashes and a seal
+/// costs O(log n) — no re-hashing of history.
+///
+/// [`MerkleAccumulator::root`] is **identical to the batch tree's root**
+/// for the same leaf sequence: the fold replicates the tree's
+/// duplicate-odd-promotion rule (an unpaired node at any level pairs with
+/// itself) rather than classic mountain-range "bagging", so existing
+/// inclusion proofs and sealed roots stay compatible.
+///
+/// The structure is fixed-size (no heap), so it can live inside hot-path
+/// state without violating the allocation budget.
+///
+/// # Example
+///
+/// ```
+/// use cres_crypto::merkle::{MerkleAccumulator, MerkleTree};
+/// let mut acc = MerkleAccumulator::new();
+/// for leaf in [b"a".as_slice(), b"b", b"c"] {
+///     acc.append(leaf);
+/// }
+/// let tree = MerkleTree::build([b"a".as_slice(), b"b", b"c"]);
+/// assert_eq!(acc.root(), Some(tree.root()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MerkleAccumulator {
+    // peaks[h] = root of a perfect subtree of 2^h leaves, or None. At most
+    // one peak per height — exactly the binary representation of `leaves`.
+    peaks: [Option<NodeHash>; 64],
+    leaves: u64,
+}
+
+impl Default for MerkleAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MerkleAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        MerkleAccumulator {
+            peaks: [None; 64],
+            leaves: 0,
+        }
+    }
+
+    /// Number of leaves appended so far.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaves
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.leaves == 0
+    }
+
+    /// Forgets everything, returning to the empty state.
+    pub fn clear(&mut self) {
+        self.peaks = [None; 64];
+        self.leaves = 0;
+    }
+
+    /// Appends a raw leaf (domain-separated exactly like
+    /// [`MerkleTree::build`]).
+    pub fn append(&mut self, leaf_data: &[u8]) {
+        self.push(hash_leaf(leaf_data));
+    }
+
+    /// Appends a borrowed 32-byte digest leaf — the evidence-store case,
+    /// matching [`MerkleTree::build_from_hashes`].
+    pub fn append_digest(&mut self, digest: &[u8; 32]) {
+        self.push(hash_leaf(digest.as_slice()));
+    }
+
+    fn push(&mut self, mut node: NodeHash) {
+        // Binary carry: merge equal-height peaks upward until a free slot.
+        let mut height = 0usize;
+        while let Some(peak) = self.peaks[height].take() {
+            node = hash_node(&peak, &node);
+            height += 1;
+        }
+        self.peaks[height] = Some(node);
+        self.leaves += 1;
+    }
+
+    /// The root over all leaves appended so far, equal to
+    /// `MerkleTree::build(..).root()` for the same sequence; `None` when
+    /// empty.
+    ///
+    /// Folding ascending by height: the running remainder (everything to
+    /// the right of the current peak) is first *promoted* to the peak's
+    /// height by pairing it with itself at each missing level — the batch
+    /// tree's odd-node rule — then combined with the peak on the left.
+    pub fn root(&self) -> Option<NodeHash> {
+        let mut acc: Option<(NodeHash, usize)> = None;
+        for (height, peak) in self.peaks.iter().enumerate() {
+            let Some(peak) = peak else { continue };
+            acc = Some(match acc {
+                None => (*peak, height),
+                Some((mut rem, mut rem_h)) => {
+                    while rem_h < height {
+                        rem = hash_node(&rem, &rem);
+                        rem_h += 1;
+                    }
+                    (hash_node(peak, &rem), height + 1)
+                }
+            });
+        }
+        acc.map(|(root, _)| root)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +362,45 @@ mod tests {
     #[should_panic(expected = "at least one leaf")]
     fn empty_tree_panics() {
         let _ = MerkleTree::build(std::iter::empty::<&[u8]>());
+    }
+
+    #[test]
+    fn accumulator_empty_root_is_none() {
+        assert_eq!(MerkleAccumulator::new().root(), None);
+        assert!(MerkleAccumulator::new().is_empty());
+    }
+
+    #[test]
+    fn accumulator_matches_batch_tree_all_sizes() {
+        let data = leaves(130);
+        let mut acc = MerkleAccumulator::new();
+        for (n, leaf) in data.iter().enumerate() {
+            acc.append(leaf);
+            let tree = MerkleTree::build(data[..=n].iter().map(|v| v.as_slice()));
+            assert_eq!(acc.root(), Some(tree.root()), "n={}", n + 1);
+            assert_eq!(acc.leaf_count(), (n + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn accumulator_digest_leaves_match_build_from_hashes() {
+        let digests: Vec<NodeHash> = (0..37u8).map(|i| Sha256::digest(&[i])).collect();
+        let mut acc = MerkleAccumulator::new();
+        for (n, d) in digests.iter().enumerate() {
+            acc.append_digest(d);
+            let tree = MerkleTree::build_from_hashes(digests[..=n].iter());
+            assert_eq!(acc.root(), Some(tree.root()), "n={}", n + 1);
+        }
+    }
+
+    #[test]
+    fn accumulator_clear_restarts() {
+        let mut acc = MerkleAccumulator::new();
+        acc.append(b"old");
+        acc.clear();
+        assert!(acc.is_empty());
+        acc.append(b"only");
+        let tree = MerkleTree::build([b"only".as_slice()]);
+        assert_eq!(acc.root(), Some(tree.root()));
     }
 }

@@ -9,7 +9,7 @@ use cres_crypto::aes::Aes;
 use cres_crypto::bignum::BigUint;
 use cres_crypto::hex;
 use cres_crypto::hmac::HmacSha256;
-use cres_crypto::merkle::MerkleTree;
+use cres_crypto::merkle::{MerkleAccumulator, MerkleTree};
 use cres_crypto::modes;
 use cres_crypto::sha2::{Sha256, Sha512};
 use proptest::prelude::*;
@@ -199,5 +199,78 @@ proptest! {
         let idx = pick % leaves.len();
         let proof = tree.prove(idx).unwrap();
         prop_assert!(MerkleTree::verify(&tree.root(), &leaves[idx], &proof));
+    }
+
+    #[test]
+    fn accumulator_root_matches_batch_tree(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..80)
+    ) {
+        let mut accum = MerkleAccumulator::new();
+        for leaf in &leaves {
+            accum.append(leaf);
+        }
+        let tree = MerkleTree::build(leaves.iter().map(|v| v.as_slice()));
+        prop_assert_eq!(accum.root(), Some(tree.root()));
+        prop_assert_eq!(accum.leaf_count(), leaves.len() as u64);
+    }
+
+    #[test]
+    fn accumulator_every_prefix_matches_batch_tree(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..40)
+    ) {
+        // Sealing at arbitrary segment boundaries: the root after every
+        // prefix must equal the batch tree over that prefix, so an
+        // evidence store can seal mid-stream and keep appending.
+        let mut accum = MerkleAccumulator::new();
+        for (i, leaf) in leaves.iter().enumerate() {
+            accum.append(leaf);
+            let tree = MerkleTree::build(leaves[..=i].iter().map(|v| v.as_slice()));
+            prop_assert_eq!(accum.root(), Some(tree.root()), "prefix len {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn accumulator_append_after_seal_keeps_matching(
+        before in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..30),
+        after in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..30)
+    ) {
+        let mut accum = MerkleAccumulator::new();
+        for leaf in &before {
+            accum.append(leaf);
+        }
+        // "Seal": snapshot the root (Copy type), then keep appending.
+        let sealed = accum.root();
+        let seg1 = MerkleTree::build(before.iter().map(|v| v.as_slice()));
+        prop_assert_eq!(sealed, Some(seg1.root()));
+        for leaf in &after {
+            accum.append(leaf);
+        }
+        let all: Vec<&[u8]> = before.iter().chain(&after).map(|v| v.as_slice()).collect();
+        let full = MerkleTree::build(all.into_iter());
+        prop_assert_eq!(accum.root(), Some(full.root()));
+    }
+
+    #[test]
+    fn accumulator_digest_leaves_match_build_from_hashes(
+        macs in proptest::collection::vec(any::<[u8; 32]>(), 1..50)
+    ) {
+        let mut accum = MerkleAccumulator::new();
+        for mac in &macs {
+            accum.append_digest(mac);
+        }
+        let tree = MerkleTree::build_from_hashes(macs.iter());
+        prop_assert_eq!(accum.root(), Some(tree.root()));
+    }
+
+    #[test]
+    fn accumulator_empty_and_single_leaf(leaf in proptest::collection::vec(any::<u8>(), 0..20)) {
+        let mut accum = MerkleAccumulator::new();
+        prop_assert!(accum.is_empty());
+        prop_assert_eq!(accum.root(), None);
+        accum.append(&leaf);
+        let tree = MerkleTree::build(std::iter::once(leaf.as_slice()));
+        prop_assert_eq!(accum.root(), Some(tree.root()));
+        accum.clear();
+        prop_assert_eq!(accum.root(), None);
     }
 }

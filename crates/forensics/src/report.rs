@@ -36,17 +36,17 @@ impl BreachReport {
         };
         let mut by_category: BTreeMap<String, usize> = BTreeMap::new();
         for r in records {
-            *by_category.entry(r.category.clone()).or_default() += 1;
+            *by_category.entry(r.category.to_string()).or_default() += 1;
         }
         let incidents = records
             .iter()
             .filter(|r| r.category == "incident")
-            .map(|r| r.payload.clone())
+            .map(|r| r.payload.to_string())
             .collect();
         let responses = records
             .iter()
             .filter(|r| r.category == "response")
-            .map(|r| r.payload.clone())
+            .map(|r| r.payload.to_string())
             .collect();
         let recovered = records
             .iter()

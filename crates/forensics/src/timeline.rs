@@ -98,8 +98,8 @@ impl Timeline {
             .map(|r| TimelineEntry {
                 at: r.at,
                 seq: r.seq,
-                category: r.category.clone(),
-                detail: r.payload.clone(),
+                category: r.category.to_string(),
+                detail: r.payload.to_string(),
                 phase: phase_of(r.at),
             })
             .collect();

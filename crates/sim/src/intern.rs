@@ -77,6 +77,13 @@ impl MonitorRegistry {
         MonitorId(idx as u16)
     }
 
+    /// Forgets every interned name, keeping the table's storage — the
+    /// platform pool re-interns at re-wiring time, so a reset registry
+    /// reaches the same dense ids without reallocating.
+    pub fn clear(&mut self) {
+        self.names.clear();
+    }
+
     /// Looks up a name without interning it.
     pub fn get(&self, name: &str) -> Option<MonitorId> {
         self.names

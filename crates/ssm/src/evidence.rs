@@ -13,8 +13,9 @@
 //! Batches can additionally be sealed under a Merkle root so an external
 //! auditor can verify a single record without replaying the chain.
 
+use crate::evtext::EvText;
 use cres_crypto::hmac::HmacSha256;
-use cres_crypto::merkle::{InclusionProof, MerkleTree};
+use cres_crypto::merkle::{InclusionProof, MerkleAccumulator, MerkleTree};
 use cres_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -26,10 +27,12 @@ pub struct EvidenceRecord {
     pub seq: u64,
     /// Simulated time of the underlying observation.
     pub at: SimTime,
-    /// Category tag (e.g. monitor name or `"incident"`).
-    pub category: String,
-    /// Serialized observation payload.
-    pub payload: String,
+    /// Category tag (e.g. monitor name or `"incident"`); stored inline
+    /// (allocation-free) for short text.
+    pub category: EvText,
+    /// Serialized observation payload; stored inline (allocation-free) for
+    /// short text.
+    pub payload: EvText,
     /// MAC of the previous record (all-zero for the genesis record).
     pub prev_mac: [u8; 32],
     /// MAC over `seq ‖ at ‖ category ‖ payload ‖ prev_mac`.
@@ -93,6 +96,11 @@ pub struct EvidenceStore {
     key: Vec<u8>,
     records: Vec<EvidenceRecord>,
     seals: Vec<([u8; 32], u64)>, // (merkle root, records covered)
+    // Incremental Merkle state over every appended record's MAC, so a seal
+    // is O(log n) instead of a full-tree rebuild. Tracks the *appended*
+    // history; if the raw records diverge from it (the E6/E7 attack
+    // surface), `seal` falls back to the batch rebuild.
+    accum: MerkleAccumulator,
 }
 
 impl EvidenceStore {
@@ -103,7 +111,19 @@ impl EvidenceStore {
             key: key.to_vec(),
             records: Vec::new(),
             seals: Vec::new(),
+            accum: MerkleAccumulator::new(),
         }
+    }
+
+    /// Restores the pristine just-constructed state under a (possibly new)
+    /// key, keeping the record and seal buffers' capacity — the platform
+    /// pool's reuse path.
+    pub fn reset(&mut self, key: &[u8]) {
+        self.key.clear();
+        self.key.extend_from_slice(key);
+        self.records.clear();
+        self.seals.clear();
+        self.accum.clear();
     }
 
     /// Appends an observation and returns its sequence number.
@@ -111,11 +131,12 @@ impl EvidenceStore {
         let seq = self.records.len() as u64;
         let prev_mac = self.records.last().map_or([0u8; 32], |r| r.mac);
         let mac = EvidenceRecord::compute_mac(&self.key, seq, at, category, payload, &prev_mac);
+        self.accum.append_digest(&mac);
         self.records.push(EvidenceRecord {
             seq,
             at,
-            category: category.to_string(),
-            payload: payload.to_string(),
+            category: EvText::from(category),
+            payload: EvText::from(payload),
             prev_mac,
             mac,
         });
@@ -182,12 +203,28 @@ impl EvidenceStore {
 
     /// Seals all records so far under a Merkle root; returns the root.
     ///
+    /// The fast path reads the incremental accumulator — O(log n) hashes
+    /// per seal regardless of history length, and byte-identical to the
+    /// batch tree's root. When the raw records no longer match the appended
+    /// history (an attacker with store memory access truncated or replaced
+    /// them), the root is rebuilt from the records as stored, preserving
+    /// the pre-accumulator semantics the E6/E7 experiments pin.
+    ///
     /// # Panics
     ///
     /// Panics when the store is empty.
     pub fn seal(&mut self) -> [u8; 32] {
-        let tree = MerkleTree::build_from_hashes(self.records.iter().map(|r| &r.mac));
-        let root = tree.root();
+        assert!(
+            !self.records.is_empty(),
+            "Merkle tree needs at least one leaf"
+        );
+        let root = if self.accum.leaf_count() == self.records.len() as u64 {
+            self.accum
+                .root()
+                .expect("accumulator non-empty when records are")
+        } else {
+            MerkleTree::build_from_hashes(self.records.iter().map(|r| &r.mac)).root()
+        };
         self.seals.push((root, self.records.len() as u64));
         root
     }

@@ -1,0 +1,231 @@
+//! Compact text storage for evidence records.
+//!
+//! Evidence categories ("bus-policy", "incident", …) and steady-state
+//! payloads are short, but [`crate::EvidenceStore::append`] used to copy
+//! both into fresh `String`s — the last 2 allocs/iter on the
+//! `evidence_append` bench after PR 4 made the surrounding tick
+//! allocation-free. [`EvText`] stores up to [`EvText::INLINE_CAP`] bytes
+//! inline (no heap) and spills to an owned `String` only for the long
+//! incident payloads that are already built with `format!` on cold paths.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// A string that lives inline when short, on the heap when long.
+///
+/// Behaves like `&str` wherever the evidence pipeline reads it (it derefs
+/// to `str` and compares against string literals); constructing one from a
+/// `&str` of at most [`EvText::INLINE_CAP`] bytes performs **zero heap
+/// allocations** — the contract the `evidence_append` alloc ratchet pins.
+#[derive(Clone)]
+pub struct EvText(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [u8; EvText::INLINE_CAP],
+    },
+    Heap(String),
+}
+
+impl EvText {
+    /// Longest byte length stored without touching the heap. Every
+    /// steady-state category and payload the platform emits fits; longer
+    /// text (rendered incident detail) spills to an owned `String`.
+    pub const INLINE_CAP: usize = 63;
+
+    /// The empty text.
+    pub fn new() -> Self {
+        EvText(Repr::Inline {
+            len: 0,
+            buf: [0u8; Self::INLINE_CAP],
+        })
+    }
+
+    /// The text as a string slice.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Inline { len, buf } => std::str::from_utf8(&buf[..usize::from(*len)])
+                .expect("EvText inline bytes are copied from valid UTF-8"),
+            Repr::Heap(s) => s.as_str(),
+        }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => usize::from(*len),
+            Repr::Heap(s) => s.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one character, spilling to the heap if the inline buffer is
+    /// full.
+    pub fn push(&mut self, c: char) {
+        let must_spill = matches!(
+            &self.0,
+            Repr::Inline { len, .. } if usize::from(*len) + c.len_utf8() > Self::INLINE_CAP
+        );
+        if must_spill {
+            let mut s = String::with_capacity(self.len() + c.len_utf8());
+            s.push_str(self.as_str());
+            self.0 = Repr::Heap(s);
+        }
+        match &mut self.0 {
+            Repr::Heap(s) => s.push(c),
+            Repr::Inline { len, buf } => {
+                let at = usize::from(*len);
+                c.encode_utf8(&mut buf[at..]);
+                *len = (at + c.len_utf8()) as u8;
+            }
+        }
+    }
+}
+
+impl Default for EvText {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<&str> for EvText {
+    fn from(s: &str) -> Self {
+        if s.len() <= Self::INLINE_CAP {
+            let mut buf = [0u8; Self::INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            EvText(Repr::Inline {
+                len: s.len() as u8,
+                buf,
+            })
+        } else {
+            EvText(Repr::Heap(s.to_string()))
+        }
+    }
+}
+
+impl From<String> for EvText {
+    fn from(s: String) -> Self {
+        if s.len() <= Self::INLINE_CAP {
+            Self::from(s.as_str())
+        } else {
+            EvText(Repr::Heap(s))
+        }
+    }
+}
+
+impl Deref for EvText {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for EvText {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+// Equality is over the text, never the representation: an inline "x" and a
+// heap "x" are the same value.
+impl PartialEq for EvText {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for EvText {}
+
+impl PartialEq<str> for EvText {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for EvText {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl fmt::Display for EvText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Debug for EvText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_text_stays_inline() {
+        let t = EvText::from("bus-policy");
+        assert!(matches!(t.0, Repr::Inline { .. }));
+        assert_eq!(t.as_str(), "bus-policy");
+        assert_eq!(t.len(), 10);
+        assert_eq!(t, "bus-policy");
+    }
+
+    #[test]
+    fn exactly_cap_stays_inline_one_more_spills() {
+        let at_cap = "x".repeat(EvText::INLINE_CAP);
+        let t = EvText::from(at_cap.as_str());
+        assert!(matches!(t.0, Repr::Inline { .. }));
+        let over = "x".repeat(EvText::INLINE_CAP + 1);
+        let t = EvText::from(over.as_str());
+        assert!(matches!(t.0, Repr::Heap(_)));
+        assert_eq!(t.as_str(), over);
+    }
+
+    #[test]
+    fn push_spills_at_boundary_and_preserves_content() {
+        let mut t = EvText::from("y".repeat(EvText::INLINE_CAP - 1).as_str());
+        t.push('a');
+        assert!(matches!(t.0, Repr::Inline { .. }));
+        t.push('b');
+        assert!(matches!(t.0, Repr::Heap(_)));
+        let mut expect = "y".repeat(EvText::INLINE_CAP - 1);
+        expect.push_str("ab");
+        assert_eq!(t.as_str(), expect);
+    }
+
+    #[test]
+    fn multibyte_push_never_splits_a_char() {
+        // 62 bytes inline, then a 3-byte char must spill whole.
+        let mut t = EvText::from("z".repeat(62).as_str());
+        t.push('€');
+        assert!(matches!(t.0, Repr::Heap(_)));
+        assert!(t.as_str().ends_with('€'));
+        assert_eq!(t.len(), 65);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline = EvText::from("same");
+        let mut heap = EvText(Repr::Heap("same".to_string()));
+        assert_eq!(inline, heap);
+        heap.push('!');
+        assert_ne!(inline, heap);
+    }
+
+    #[test]
+    fn deref_and_display_behave_like_str() {
+        let t = EvText::from("started reboot");
+        assert!(t.starts_with("started"));
+        assert_eq!(format!("{t}"), "started reboot");
+        assert_eq!(format!("{t:?}"), "\"started reboot\"");
+    }
+}

@@ -27,12 +27,14 @@
 
 pub mod correlate;
 pub mod evidence;
+pub mod evtext;
 pub mod health;
 pub mod planner;
 pub mod ssm;
 
 pub use correlate::{CorrelationConfig, CorrelationEngine, Incident, IncidentKind};
 pub use evidence::{ChainError, EvidenceRecord, EvidenceStore};
+pub use evtext::EvText;
 pub use health::{HealthState, MonitorHealth, SystemHealth};
 pub use planner::{DegradationTier, PlannerMode, ResponseAction, ResponsePlan, ResponsePlanner};
 pub use ssm::{SsmConfig, SsmDeployment, SystemSecurityManager};

@@ -94,6 +94,22 @@ impl SystemSecurityManager {
         }
     }
 
+    /// Restores the pristine just-constructed state under a (possibly new)
+    /// configuration and evidence key, reusing the evidence store's record
+    /// buffers and the intern table's storage. Behaviour after a reset is
+    /// bit-identical to [`SystemSecurityManager::new`] — the platform
+    /// pool's determinism proptest pins this.
+    pub fn reset(&mut self, config: SsmConfig, evidence_key: &[u8]) {
+        self.config = config;
+        self.evidence.reset(evidence_key);
+        self.engine = CorrelationEngine::new(config.correlation);
+        self.health = SystemHealth::new();
+        self.planner = ResponsePlanner::new(config.planner);
+        self.incidents.clear();
+        self.monitor_health = None;
+        self.registry.clear();
+    }
+
     /// Interns a monitor name at wiring time; events stamped with the
     /// returned [`MonitorId`] resolve back to `name` in evidence records
     /// and console output. Idempotent.
