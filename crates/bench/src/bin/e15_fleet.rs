@@ -1,0 +1,204 @@
+//! E15 — fleet-scale simulation: N heterogeneous devices through the
+//! sharded fleet runner, correlated by the streaming fleet SOC.
+//!
+//! Three questions, all answered from the same sweep:
+//!
+//! * **throughput** — devices/sec over N ∈ {100, 1k, 10k} at 1/2/8
+//!   workers (the headline the pooling PRs were building toward);
+//! * **determinism** — the fleet verdict must be byte-identical across
+//!   worker counts at every size (hard assert, mirrors
+//!   `tests/fleet_determinism.rs` at scale);
+//! * **warmth** — per-shard `PlatformPool`s must run ≥90% provisioning
+//!   hit rate in steady state (hard assert; re-provisioning per device
+//!   would be a ~50x throughput cliff).
+//!
+//! A second section fixes the size and varies the attack mix
+//! (quiet / standard / one-signature campaign) to show the SOC's
+//! cross-device correlation: campaign incidents, lateral-movement
+//! chains and fleet-wide quarantine escalation.
+//!
+//! Run: `cargo run --release -p cres-bench --bin e15_fleet`
+//!
+//! * `CRES_FAST=1` shrinks fleet sizes and device slices (CI smoke);
+//! * `CRES_JOBS=<n>` sets the worker count for the mix section;
+//! * `CRES_REPORT_DIR=<dir>` writes `e15.json` (verdicts only — no
+//!   wall-clock fields — so two runs diff byte-identical).
+
+use cres_fleet::spec::AttackMix;
+use cres_fleet::{run_fleet, FleetConfig, FleetIncident, FleetReport};
+use cres_platform::campaign::default_jobs;
+
+const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
+const SEED: u64 = 2019;
+
+/// Devices per shard before the ≥90% pool hit-rate bar applies: below
+/// this, per-shard cold starts (one provisioning miss per cell) dominate
+/// the ratio arithmetically, not because the pool regressed.
+const STEADY_DEVICES_PER_SHARD: usize = 50;
+
+fn sizes() -> Vec<u32> {
+    if cres_bench::fast_mode() {
+        vec![60, 240]
+    } else {
+        vec![100, 1_000, 10_000]
+    }
+}
+
+fn fleet_config(devices: u32, mix: AttackMix) -> FleetConfig {
+    let mut config = FleetConfig::new(devices, SEED);
+    if cres_bench::fast_mode() {
+        config.device_cycles = 60_000;
+    }
+    config.mix = mix;
+    config
+}
+
+fn run(config: &FleetConfig, workers: usize) -> FleetReport {
+    run_fleet(config, workers, cres_attacks::catalog::try_build).expect("fleet mix resolves")
+}
+
+fn incident_counts(report: &FleetReport) -> (usize, usize) {
+    let campaigns = report
+        .verdict
+        .incidents
+        .iter()
+        .filter(|i| matches!(i, FleetIncident::CoordinatedCampaign { .. }))
+        .count();
+    (campaigns, report.verdict.incidents.len() - campaigns)
+}
+
+fn main() {
+    cres_bench::banner(
+        "E15",
+        "Fleet-scale simulation: sharded devices behind a streaming fleet SOC",
+    );
+
+    let widths = [7usize, 7, 11, 10, 9, 9, 11, 10, 9];
+    cres_bench::row(
+        &[
+            &"devices",
+            &"workers",
+            &"devices/s",
+            &"wall ms",
+            &"attacked",
+            &"detected",
+            &"quarantine",
+            &"incidents",
+            &"pool hit",
+        ],
+        &widths,
+    );
+    cres_bench::rule(&widths);
+
+    // label -> canonical verdict JSON, emitted at the end (deterministic
+    // fields only, so CI can diff two runs byte for byte)
+    let mut emitted: Vec<(String, String)> = Vec::new();
+
+    for devices in sizes() {
+        let config = fleet_config(devices, AttackMix::standard());
+        let mut reference: Option<String> = None;
+        for workers in WORKER_SWEEP {
+            let report = run(&config, workers);
+            let json = report.verdict.to_json();
+            // determinism: sharding must be a pure scheduling optimisation
+            match &reference {
+                None => reference = Some(json.clone()),
+                Some(expected) => assert_eq!(
+                    expected, &json,
+                    "fleet verdict diverged at {devices} devices / {workers} workers"
+                ),
+            }
+            // warmth: steady-state shards must hit the provisioning cache.
+            // Every shard pays its own cold start (one miss per
+            // provisioning cell), so the 90% bar applies once each shard
+            // has enough devices to amortise it.
+            let pool = report.pool_stats();
+            let steady = devices as usize >= workers * STEADY_DEVICES_PER_SHARD;
+            if steady {
+                assert!(
+                    pool.hit_rate() >= 0.90,
+                    "{devices} devices / {workers} workers: pool hit rate {:.3} < 0.90 ({pool:?})",
+                    pool.hit_rate()
+                );
+            }
+            assert!(
+                report.verdict.attacked > 0,
+                "standard mix produced no attacks"
+            );
+            let (campaigns, lateral) = incident_counts(&report);
+            cres_bench::row(
+                &[
+                    &devices,
+                    &workers,
+                    &format!("{:.0}", report.devices_per_sec),
+                    &format!("{:.0}", report.wall.as_secs_f64() * 1e3),
+                    &report.verdict.attacked,
+                    &report.verdict.detected,
+                    &report.verdict.quarantined,
+                    &format!("{campaigns}c/{lateral}l"),
+                    &format!(
+                        "{:.1}%{}",
+                        pool.hit_rate() * 100.0,
+                        if steady { "" } else { "*" }
+                    ),
+                ],
+                &widths,
+            );
+            emitted.push((format!("n{devices}/w{workers}"), json));
+        }
+    }
+    cres_bench::rule(&widths);
+    println!("verdicts byte-identical across {WORKER_SWEEP:?} workers at every size");
+    println!("(* = shards too small to amortise cold provisioning; hit-rate bar not applied)\n");
+
+    // -- attack-mix section: what the fleet SOC actually correlates --
+    let mix_devices = if cres_bench::fast_mode() { 80 } else { 400 };
+    let jobs = default_jobs();
+    println!("attack-mix correlation at {mix_devices} devices ({jobs} workers):");
+    for (name, mix) in [
+        ("quiet", AttackMix::quiet()),
+        ("standard", AttackMix::standard()),
+        ("campaign", AttackMix::campaign("code-injection")),
+    ] {
+        let config = fleet_config(mix_devices, mix);
+        let report = run(&config, jobs);
+        let verdict = &report.verdict;
+        let (campaigns, lateral) = incident_counts(&report);
+        println!(
+            "  {name:<10} attacked {:>4}  detected {:>4}  missed {:>3}  quarantined {:>4}  \
+             campaigns {campaigns}  lateral {lateral}  signatures {}",
+            verdict.attacked,
+            verdict.detected,
+            verdict.missed,
+            verdict.quarantined,
+            verdict.signatures.len(),
+        );
+        match name {
+            "quiet" => {
+                assert_eq!(verdict.attacked, 0, "quiet fleet was attacked");
+                assert!(verdict.incidents.is_empty(), "quiet fleet raised incidents");
+            }
+            "campaign" => {
+                assert!(
+                    campaigns >= 1,
+                    "60% single-signature exposure must correlate into a campaign"
+                );
+                assert_eq!(verdict.signatures.len(), 1);
+            }
+            _ => assert!(verdict.attacked > 0),
+        }
+        emitted.push((format!("mix-{name}/n{mix_devices}"), verdict.to_json()));
+    }
+
+    if let Some(dir) = std::env::var_os("CRES_REPORT_DIR") {
+        let mut out = String::new();
+        for (label, json) in &emitted {
+            out.push_str(&format!("{{\"label\":\"{label}\",\"verdict\":{json}}}\n"));
+        }
+        let path = std::path::Path::new(&dir).join("e15.json");
+        std::fs::write(&path, out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("\nwrote {}", path.display());
+    }
+
+    println!("\nE15 complete: fleet verdicts deterministic, shard pools warm.");
+}

@@ -10,6 +10,7 @@
 use crate::config::PlatformProfile;
 use crate::faultplane::FaultPlaneStats;
 use crate::metrics::{AttackOutcomeReport, RunReport};
+use crate::pool::PoolStats;
 use crate::telemetry::{HistogramSnapshot, StageStat, TelemetrySnapshot, TraceSpan};
 use cres_attacks::AttackKind;
 use cres_response::AvailabilityReport;
@@ -885,6 +886,16 @@ impl RunReport {
             out.push_str(",\"availability_detail\":");
             write_availability(&mut out, detail);
         }
+        // same optional-field contract: absent unless the pool-stats audit
+        // opted in, so default reports keep the pre-pool schema
+        if let Some(pool) = &self.pool {
+            let _ = write!(
+                out,
+                ",\"pool\":{{\"provision_hits\":{},\"provision_misses\":{},\
+                 \"platform_recycles\":{}}}",
+                pool.provision_hits, pool.provision_misses, pool.platform_recycles
+            );
+        }
         out.push('}');
         out
     }
@@ -936,6 +947,19 @@ impl RunReport {
             availability_detail: match fields.get("availability_detail") {
                 None | Some(Value::Null) => None,
                 Some(value) => Some(availability_from_value(value)?),
+            },
+            // optional: absent in pre-pool reports and whenever the audit
+            // knob is off
+            pool: match fields.get("pool") {
+                None | Some(Value::Null) => None,
+                Some(value) => {
+                    let fields = as_object(value)?;
+                    Some(PoolStats {
+                        provision_hits: get_u64(fields, "provision_hits")?,
+                        provision_misses: get_u64(fields, "provision_misses")?,
+                        platform_recycles: get_u64(fields, "platform_recycles")?,
+                    })
+                }
             },
         })
     }
@@ -1031,6 +1055,11 @@ mod tests {
                 response_retries: 6,
                 degraded_correlation: true,
             }),
+            pool: Some(PoolStats {
+                provision_hits: 41,
+                provision_misses: 3,
+                platform_recycles: 43,
+            }),
         }
     }
 
@@ -1072,6 +1101,29 @@ mod tests {
         let json = report.to_json();
         assert!(!json.contains("availability_detail"));
         assert_eq!(RunReport::from_json(&json).expect("decode"), report);
+    }
+
+    #[test]
+    fn pool_stats_are_omitted_when_none() {
+        // same optional-field semantics as availability_detail: a report
+        // without the audit knob encodes exactly as pre-pool reports did
+        let mut report = sample_report();
+        report.pool = None;
+        let json = report.to_json();
+        assert!(!json.contains("\"pool\""));
+        assert_eq!(RunReport::from_json(&json).expect("decode"), report);
+    }
+
+    #[test]
+    fn pool_stats_round_trip() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(json.contains(
+            "\"pool\":{\"provision_hits\":41,\"provision_misses\":3,\"platform_recycles\":43}"
+        ));
+        let back = RunReport::from_json(&json).expect("decode");
+        assert_eq!(back.pool, report.pool);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use config::{PlatformConfig, PlatformProfile};
 pub use faultplane::{FaultPlane, FaultPlaneConfig, FaultPlaneStats, RetryPolicy};
 pub use metrics::{AttackOutcomeReport, RunReport};
 pub use platform::Platform;
-pub use pool::{PlatformPool, ScoreScratch};
+pub use pool::{PlatformPool, PoolStats, ScoreScratch};
 pub use runner::{Scenario, ScenarioRunner};
 pub use telemetry::{
     MetricsRegistry, TelemetryConfig, TelemetryRecorder, TelemetrySnapshot, TraceRing, TraceSpan,

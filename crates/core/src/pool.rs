@@ -65,6 +65,40 @@ pub struct ScoreScratch {
     pub ground_truth: Vec<SimTime>,
 }
 
+/// Cumulative pool counters: how warm the worker's pool actually is.
+///
+/// A healthy steady-state sweep shows `provision_hits` dominating
+/// `provision_misses` (misses are bounded by the number of distinct
+/// provisioning cells the worker sees) and `platform_recycles` tracking
+/// one-less-than the jobs run (only the first acquire builds fresh).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct PoolStats {
+    /// Provisioning-cache hits (RSA keygen + signing skipped).
+    pub provision_hits: u64,
+    /// Provisioning-cache misses (full provisioning paid).
+    pub provision_misses: u64,
+    /// Acquires satisfied by recycling the previous job's platform.
+    pub platform_recycles: u64,
+}
+
+impl PoolStats {
+    /// Provisioning-cache hit rate in `[0, 1]`; `1.0` for an unused pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.provision_hits + self.provision_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.provision_hits as f64 / total as f64
+    }
+
+    /// Field-wise sum — aggregating per-shard pools into fleet totals.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.provision_hits += other.provision_hits;
+        self.provision_misses += other.provision_misses;
+        self.platform_recycles += other.platform_recycles;
+    }
+}
+
 /// A per-worker pool of provisioning state and one recyclable platform.
 #[derive(Default)]
 pub struct PlatformPool {
@@ -73,6 +107,7 @@ pub struct PlatformPool {
     scratch: ScoreScratch,
     hits: u64,
     misses: u64,
+    recycles: u64,
 }
 
 impl PlatformPool {
@@ -88,6 +123,7 @@ impl PlatformPool {
         let provisioned = self.provisioned(&config);
         match self.idle.take() {
             Some(mut platform) => {
+                self.recycles += 1;
                 platform.reset(config, provisioned);
                 platform
             }
@@ -110,6 +146,15 @@ impl PlatformPool {
     /// test introspection.
     pub fn provision_cache_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Cumulative hit/miss/recycle counters since the pool was created.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            provision_hits: self.hits,
+            provision_misses: self.misses,
+            platform_recycles: self.recycles,
+        }
     }
 
     /// Factory state for `config`, cloned from the cache when the cell was
@@ -175,6 +220,37 @@ mod tests {
             fresh.ssm.evidence().records()
         );
         assert_eq!(pooled.soc.uart.lines(), fresh.soc.uart.lines());
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_recycles() {
+        let mut pool = PlatformPool::new();
+        let config = PlatformConfig::new(PlatformProfile::CyberResilient, 21);
+        assert_eq!(pool.stats(), PoolStats::default());
+        assert_eq!(
+            pool.stats().hit_rate(),
+            1.0,
+            "unused pool is vacuously warm"
+        );
+        for _ in 0..3 {
+            let p = pool.acquire(config);
+            pool.release(p);
+        }
+        let stats = pool.stats();
+        assert_eq!(
+            stats.provision_misses, 1,
+            "only the first acquire provisions"
+        );
+        assert_eq!(stats.provision_hits, 2);
+        assert_eq!(
+            stats.platform_recycles, 2,
+            "only the first acquire builds fresh"
+        );
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let mut merged = stats;
+        merged.merge(&stats);
+        assert_eq!(merged.provision_hits, 4);
+        assert_eq!(merged.platform_recycles, 4);
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! The sharded fleet runner: N devices across W warm worker shards.
+//!
+//! Work-stealing over an atomic cursor (the same discipline as the
+//! campaign engine): each worker claims the next unclaimed device id,
+//! forks its spec, and runs it on the worker's **own**
+//! [`PlatformPool`] — pools are never shared, so the warm path (cached
+//! provisioning cell + recycled platform) stays lock-free and
+//! allocation-light. Workers ship compact
+//! [`DeviceSummary`] values through one
+//! bounded channel; the aggregator (the calling thread) reorders
+//! in-flight completions and feeds the fleet SOC strictly in device
+//! order. A shared ingest watermark applies backpressure: a worker
+//! holds a finished summary until its device id is within
+//! [`REORDER_WINDOW`] ids of the watermark, so the reorder buffer —
+//! and with it total fleet memory — stays bounded no matter how far
+//! one slow device lets the other shards race ahead. Fleet verdicts
+//! are bit-identical across worker counts; only wall-clock and shard
+//! statistics vary with scheduling.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use cres_platform::campaign::BuiltAttack;
+use cres_platform::runner::ScenarioRunner;
+use cres_platform::{PlatformPool, PoolStats};
+
+use crate::soc::{FleetSoc, FleetSocConfig, FleetVerdict};
+use crate::spec::{DeviceSpec, FleetConfig};
+use crate::summary::DeviceSummary;
+
+/// How far past the aggregator's ingest watermark a worker may ship a
+/// finished device summary. Bounds the reorder buffer (and hence fleet
+/// memory) even when one slow device stalls the in-order front while
+/// every other shard keeps completing.
+pub const REORDER_WINDOW: usize = 64;
+
+/// Why a fleet run refused to start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The attack mix names an injector the builder cannot resolve
+    /// (validated up front, before any device runs).
+    UnknownAttack(String),
+    /// `workers` was zero.
+    NoWorkers,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownAttack(name) => write!(f, "unknown attack in fleet mix: {name}"),
+            FleetError::NoWorkers => write!(f, "fleet runs need at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Per-worker shard accounting (schedule-dependent: *not* part of the
+/// verdict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Devices this shard executed.
+    pub devices: u32,
+    /// The shard pool's final counters.
+    pub pool: PoolStats,
+}
+
+/// The outcome of a fleet run: the deterministic verdict plus
+/// schedule-dependent performance accounting.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The fleet SOC's verdict — a pure function of the fleet config.
+    pub verdict: FleetVerdict,
+    /// Devices executed.
+    pub devices: u32,
+    /// Workers the run used.
+    pub workers: usize,
+    /// Wall-clock time of the sharded execution.
+    pub wall: Duration,
+    /// Fleet throughput: devices per wall-clock second.
+    pub devices_per_sec: f64,
+    /// Per-shard accounting, indexed by worker.
+    pub shards: Vec<ShardStats>,
+    /// Deepest the aggregator's reorder buffer ever got (≤
+    /// [`REORDER_WINDOW`], enforced by the ingest watermark).
+    pub peak_reorder: usize,
+}
+
+impl FleetReport {
+    /// Pool counters merged across all shards.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut merged = PoolStats::default();
+        for shard in &self.shards {
+            merged.merge(&shard.pool);
+        }
+        merged
+    }
+}
+
+/// Runs the fleet with default SOC thresholds. See [`run_fleet_with`].
+pub fn run_fleet<B>(
+    config: &FleetConfig,
+    workers: usize,
+    builder: B,
+) -> Result<FleetReport, FleetError>
+where
+    B: Fn(&str) -> BuiltAttack + Sync,
+{
+    run_fleet_with(config, &FleetSocConfig::default(), workers, builder)
+}
+
+/// Runs `config.devices` device simulations across `workers` shards and
+/// correlates them through a fleet SOC with the given thresholds.
+///
+/// The verdict inside the returned report is bit-identical for any
+/// `workers ≥ 1`; wall/throughput/shard fields are schedule-dependent.
+pub fn run_fleet_with<B>(
+    config: &FleetConfig,
+    soc_config: &FleetSocConfig,
+    workers: usize,
+    builder: B,
+) -> Result<FleetReport, FleetError>
+where
+    B: Fn(&str) -> BuiltAttack + Sync,
+{
+    if workers == 0 {
+        return Err(FleetError::NoWorkers);
+    }
+    // Validate the whole mix before spending a cycle on simulation, so
+    // a typo'd attack name fails fast instead of mid-fleet.
+    for name in &config.mix.attacks {
+        builder(name).map_err(|e| FleetError::UnknownAttack(e.name))?;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // Ids ingested so far: workers wait for `id < watermark + window`
+    // before sending, which caps the aggregator's reorder buffer.
+    let watermark = AtomicUsize::new(0);
+    let total = config.devices as usize;
+    let (tx, rx) = mpsc::sync_channel::<DeviceSummary>(workers * 4);
+    let mut soc = FleetSoc::new(soc_config.clone());
+    let mut reorder: BTreeMap<u32, DeviceSummary> = BTreeMap::new();
+    let mut peak_reorder = 0usize;
+    let started = Instant::now();
+
+    let shards = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let watermark = &watermark;
+                let builder = &builder;
+                scope.spawn(move || {
+                    let mut pool = PlatformPool::new();
+                    let mut devices = 0u32;
+                    loop {
+                        let id = cursor.fetch_add(1, Ordering::Relaxed);
+                        if id >= total {
+                            break;
+                        }
+                        let spec = DeviceSpec::generate(config, id as u32);
+                        let scenario = spec
+                            .scenario_spec()
+                            .materialise(builder)
+                            .expect("mix validated before spawn");
+                        let runner = ScenarioRunner::new(spec.platform_config(config.telemetry));
+                        let report = runner.run_pooled(&mut pool, scenario);
+                        // the full RunReport dies here: only the compact
+                        // summary crosses the channel
+                        let summary = DeviceSummary::from_report(id as u32, &report);
+                        // backpressure: don't race more than a window
+                        // ahead of the in-order ingest front
+                        while id >= watermark.load(Ordering::Acquire) + REORDER_WINDOW {
+                            std::thread::yield_now();
+                        }
+                        if tx.send(summary).is_err() {
+                            break;
+                        }
+                        devices += 1;
+                    }
+                    ShardStats {
+                        worker,
+                        devices,
+                        pool: pool.stats(),
+                    }
+                })
+            })
+            .collect();
+        drop(tx); // aggregator's recv loop ends when the last shard exits
+
+        // The calling thread is the aggregator: reorder in-flight
+        // completions and ingest strictly in device order.
+        while let Ok(summary) = rx.recv() {
+            reorder.insert(summary.device, summary);
+            peak_reorder = peak_reorder.max(reorder.len());
+            while let Some(next) = reorder.remove(&soc.ingested()) {
+                soc.ingest(&next);
+            }
+            watermark.store(soc.ingested() as usize, Ordering::Release);
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet shard panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    debug_assert!(reorder.is_empty(), "reorder buffer drained");
+    let wall = started.elapsed();
+    let verdict = soc.finish();
+    debug_assert_eq!(verdict.devices, config.devices);
+    Ok(FleetReport {
+        verdict,
+        devices: config.devices,
+        workers,
+        devices_per_sec: f64::from(config.devices) / wall.as_secs_f64().max(1e-9),
+        wall,
+        shards,
+        peak_reorder,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AttackMix;
+
+    fn small_config() -> FleetConfig {
+        let mut config = FleetConfig::new(12, 42);
+        config.device_cycles = 60_000;
+        config
+    }
+
+    #[test]
+    fn unknown_attack_fails_before_running() {
+        let mut config = small_config();
+        config.mix = AttackMix::campaign("no-such-attack");
+        let err = run_fleet(&config, 2, cres_attacks::catalog::try_build).unwrap_err();
+        assert_eq!(err, FleetError::UnknownAttack("no-such-attack".into()));
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let err = run_fleet(&small_config(), 0, cres_attacks::catalog::try_build).unwrap_err();
+        assert_eq!(err, FleetError::NoWorkers);
+    }
+
+    #[test]
+    fn shards_cover_every_device_exactly_once() {
+        let config = small_config();
+        let report = run_fleet(&config, 3, cres_attacks::catalog::try_build).unwrap();
+        assert_eq!(report.devices, 12);
+        assert_eq!(report.verdict.devices, 12);
+        assert_eq!(
+            report.shards.iter().map(|s| s.devices).sum::<u32>(),
+            config.devices
+        );
+        assert_eq!(report.verdict.evidence_leaves, 12);
+        assert!(report.peak_reorder <= REORDER_WINDOW);
+        assert!(report.devices_per_sec > 0.0);
+    }
+
+    #[test]
+    fn verdict_is_worker_count_invariant() {
+        let config = small_config();
+        let one = run_fleet(&config, 1, cres_attacks::catalog::try_build).unwrap();
+        let three = run_fleet(&config, 3, cres_attacks::catalog::try_build).unwrap();
+        assert_eq!(one.verdict, three.verdict);
+        assert_eq!(one.verdict.to_json(), three.verdict.to_json());
+    }
+
+    #[test]
+    fn pools_stay_warm_across_a_shard() {
+        let mut config = small_config();
+        config.devices = 24;
+        let report = run_fleet(&config, 1, cres_attacks::catalog::try_build).unwrap();
+        let pool = report.pool_stats();
+        // 2 batches × ≤2 TEE deployments = ≤4 provisioning cells; the
+        // other 20+ acquires must hit the cache
+        assert!(
+            pool.hit_rate() >= 0.8,
+            "cold fleet pool: {pool:?} (hit rate {:.2})",
+            pool.hit_rate()
+        );
+        assert!(pool.platform_recycles > 0);
+    }
+}

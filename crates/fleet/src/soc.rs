@@ -1,0 +1,595 @@
+//! The streaming fleet SOC: cross-device correlation over summaries.
+//!
+//! One device's SSM sees only its own monitors; an operator of critical
+//! infrastructure needs the *fleet* picture. [`FleetSoc`] ingests
+//! [`DeviceSummary`] values one at a time
+//! — strictly in device order, which is what makes the verdict a pure
+//! function of the fleet config rather than of worker scheduling — and
+//! maintains only bounded state:
+//!
+//! * per-signature tracks (one per attack catalog name: counts plus a
+//!   capped onset timeline),
+//! * fleet health/availability tallies,
+//! * a bounded quarantine sample,
+//! * an incremental [`MerkleAccumulator`] over summary digests (O(log n)
+//!   peaks) — the fleet evidence root an auditor can later check device
+//!   summaries against.
+//!
+//! [`FleetSoc::finish`] turns the accumulated state into a
+//! [`FleetVerdict`]: coordinated-campaign incidents (same signature on
+//! ≥ threshold devices), lateral-movement incidents (chains of injection
+//! onsets inside a propagation window on the shared sim clock), and the
+//! fleet-wide quarantine decision (individually lost devices plus
+//! campaign escalation to every device carrying a confirmed signature).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cres_crypto::hex;
+use cres_crypto::merkle::MerkleAccumulator;
+use cres_ssm::HealthState;
+
+use crate::summary::DeviceSummary;
+
+/// Correlation thresholds for the fleet SOC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSocConfig {
+    /// Devices sharing one signature before it counts as a coordinated
+    /// campaign (and escalates quarantine to every carrier).
+    pub campaign_threshold: u32,
+    /// Max gap (cycles) between consecutive injection onsets for them to
+    /// chain into one lateral-movement timeline.
+    pub lateral_window: u64,
+    /// Chained onsets before a lateral-movement incident is raised.
+    pub lateral_threshold: u32,
+    /// Onsets retained per signature for timeline analysis (earliest
+    /// devices win; bounds SOC memory independently of fleet size).
+    pub timeline_cap: usize,
+    /// Quarantined device ids retained as a sample in the verdict.
+    pub quarantine_sample: usize,
+}
+
+impl Default for FleetSocConfig {
+    fn default() -> Self {
+        FleetSocConfig {
+            campaign_threshold: 3,
+            lateral_window: 10_000,
+            lateral_threshold: 3,
+            timeline_cap: 1_024,
+            quarantine_sample: 16,
+        }
+    }
+}
+
+/// Per-signature rollup across the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignatureTrack {
+    /// Attack catalog name.
+    pub signature: String,
+    /// Devices that carried this signature.
+    pub devices: u32,
+    /// Carriers whose platform classified a matching incident.
+    pub detected: u32,
+    /// Carriers that never detected it.
+    pub missed: u32,
+    /// Attacker wins summed across carriers.
+    pub attacker_wins: u64,
+    /// Earliest injection onset across carriers, cycles.
+    pub first_onset: Option<u64>,
+    /// Latest injection onset across carriers, cycles.
+    pub last_onset: Option<u64>,
+    /// Longest chain of onsets with consecutive gaps inside the lateral
+    /// window (1 = isolated events, no propagation pattern).
+    pub max_chain: u32,
+}
+
+/// A fleet-level incident raised by cross-device correlation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetIncident {
+    /// One signature landed on at least `campaign_threshold` devices.
+    CoordinatedCampaign {
+        /// Attack catalog name.
+        signature: String,
+        /// Carrier count.
+        devices: u32,
+        /// Carriers that detected it on-device.
+        detected: u32,
+    },
+    /// Injection onsets for one signature chained inside the lateral
+    /// window — the timing fingerprint of device-to-device propagation.
+    LateralMovement {
+        /// Attack catalog name.
+        signature: String,
+        /// Chain length (devices).
+        chain: u32,
+        /// First onset in the longest chain, cycles.
+        onset: u64,
+    },
+}
+
+/// The fleet-wide outcome: what the operator acts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetVerdict {
+    /// Devices ingested.
+    pub devices: u32,
+    /// Devices that carried an attack.
+    pub attacked: u32,
+    /// Attacked devices that detected it on-device.
+    pub detected: u32,
+    /// Attacked devices that never detected it.
+    pub missed: u32,
+    /// Attacker wins summed across the fleet.
+    pub attacker_wins: u64,
+    /// Mean service availability (summed in device order).
+    pub mean_availability: f64,
+    /// Worst single-device availability.
+    pub min_availability: f64,
+    /// Final health state histogram.
+    pub health: BTreeMap<String, u32>,
+    /// Per-signature rollups, ordered by signature name.
+    pub signatures: Vec<SignatureTrack>,
+    /// Fleet incidents, campaigns first, then lateral movement, each
+    /// ordered by signature name.
+    pub incidents: Vec<FleetIncident>,
+    /// Devices quarantined: individually lost (missed detection, attacker
+    /// wins, broken evidence chain, compromised at end) plus campaign
+    /// escalation of every carrier of a confirmed signature.
+    pub quarantined: u32,
+    /// First few quarantined device ids (individual decisions, in device
+    /// order).
+    pub quarantine_sample: Vec<u32>,
+    /// Leaves folded into the fleet evidence accumulator.
+    pub evidence_leaves: u64,
+    /// Fleet evidence root over per-device summary digests.
+    pub evidence_root: Option<[u8; 32]>,
+}
+
+impl FleetVerdict {
+    /// Canonical JSON: fixed key order, device-order floats, hex root.
+    /// Byte-equal across worker counts for the same fleet config — the
+    /// artifact the determinism suite diffs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"devices\":{},\"attacked\":{},\"detected\":{},\"missed\":{},\"attacker_wins\":{}",
+            self.devices, self.attacked, self.detected, self.missed, self.attacker_wins
+        );
+        let _ = write!(
+            out,
+            ",\"quarantined\":{},\"quarantine_sample\":[",
+            self.quarantined
+        );
+        for (i, id) in self.quarantine_sample.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{id}");
+        }
+        let _ = write!(
+            out,
+            "],\"mean_availability\":{},\"min_availability\":{},\"health\":{{",
+            self.mean_availability, self.min_availability
+        );
+        for (i, (state, count)) in self.health.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{state}\":{count}");
+        }
+        out.push_str("},\"signatures\":[");
+        for (i, track) in self.signatures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"signature\":\"{}\",\"devices\":{},\"detected\":{},\"missed\":{},\"attacker_wins\":{},\"first_onset\":{},\"last_onset\":{},\"max_chain\":{}}}",
+                track.signature,
+                track.devices,
+                track.detected,
+                track.missed,
+                track.attacker_wins,
+                json_opt(track.first_onset),
+                json_opt(track.last_onset),
+                track.max_chain
+            );
+        }
+        out.push_str("],\"incidents\":[");
+        for (i, incident) in self.incidents.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match incident {
+                FleetIncident::CoordinatedCampaign {
+                    signature,
+                    devices,
+                    detected,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"coordinated-campaign\",\"signature\":\"{signature}\",\"devices\":{devices},\"detected\":{detected}}}"
+                    );
+                }
+                FleetIncident::LateralMovement {
+                    signature,
+                    chain,
+                    onset,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"lateral-movement\",\"signature\":\"{signature}\",\"chain\":{chain},\"onset\":{onset}}}"
+                    );
+                }
+            }
+        }
+        let _ = write!(out, "],\"evidence_leaves\":{}", self.evidence_leaves);
+        match &self.evidence_root {
+            Some(root) => {
+                let _ = write!(out, ",\"evidence_root\":\"{}\"", hex::encode(root));
+            }
+            None => out.push_str(",\"evidence_root\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+#[derive(Debug, Default)]
+struct SigState {
+    devices: u32,
+    detected: u32,
+    missed: u32,
+    attacker_wins: u64,
+    quarantined: u32,
+    /// (onset, device), capped at `timeline_cap`, appended in device order.
+    timeline: Vec<(u64, u32)>,
+    timeline_dropped: u32,
+}
+
+/// The streaming aggregator. Feed summaries **in device order** via
+/// [`ingest`](FleetSoc::ingest), then call [`finish`](FleetSoc::finish).
+#[derive(Debug)]
+pub struct FleetSoc {
+    config: FleetSocConfig,
+    next_device: u32,
+    attacked: u32,
+    detected: u32,
+    missed: u32,
+    attacker_wins: u64,
+    availability_sum: f64,
+    min_availability: f64,
+    health: BTreeMap<String, u32>,
+    signatures: BTreeMap<String, SigState>,
+    quarantined: u32,
+    quarantine_sample: Vec<u32>,
+    evidence: MerkleAccumulator,
+}
+
+impl FleetSoc {
+    /// An empty SOC with the given thresholds.
+    pub fn new(config: FleetSocConfig) -> Self {
+        FleetSoc {
+            config,
+            next_device: 0,
+            attacked: 0,
+            detected: 0,
+            missed: 0,
+            attacker_wins: 0,
+            availability_sum: 0.0,
+            min_availability: 1.0,
+            health: BTreeMap::new(),
+            signatures: BTreeMap::new(),
+            quarantined: 0,
+            quarantine_sample: Vec::new(),
+            evidence: MerkleAccumulator::new(),
+        }
+    }
+
+    /// Devices ingested so far (also the next expected device id).
+    pub fn ingested(&self) -> u32 {
+        self.next_device
+    }
+
+    /// Folds one device summary into the fleet state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `summary.device` is not the next expected id: in-order
+    /// ingestion is the invariant that makes verdicts worker-count
+    /// invariant, so a violation is a runner bug, not a recoverable
+    /// condition.
+    pub fn ingest(&mut self, summary: &DeviceSummary) {
+        assert_eq!(
+            summary.device, self.next_device,
+            "fleet SOC requires in-order ingestion (got device {}, expected {})",
+            summary.device, self.next_device
+        );
+        self.next_device += 1;
+        self.availability_sum += summary.availability;
+        if summary.availability < self.min_availability {
+            self.min_availability = summary.availability;
+        }
+        *self
+            .health
+            .entry(summary.final_health.to_string())
+            .or_insert(0) += 1;
+        self.attacker_wins += u64::from(summary.attacker_wins);
+        let quarantine = summary.missed_detection()
+            || summary.attacker_wins > 0
+            || !summary.evidence_chain_ok
+            || summary.final_health == HealthState::Compromised;
+        if quarantine {
+            self.quarantined += 1;
+            if self.quarantine_sample.len() < self.config.quarantine_sample {
+                self.quarantine_sample.push(summary.device);
+            }
+        }
+        if let Some(signature) = &summary.attack {
+            self.attacked += 1;
+            let sig = self.signatures.entry(signature.clone()).or_default();
+            sig.devices += 1;
+            sig.attacker_wins += u64::from(summary.attacker_wins);
+            if quarantine {
+                sig.quarantined += 1;
+            }
+            if summary.detected_at.is_some() {
+                self.detected += 1;
+                sig.detected += 1;
+            } else {
+                self.missed += 1;
+                sig.missed += 1;
+            }
+            if let Some(onset) = summary.first_injection {
+                if sig.timeline.len() < self.config.timeline_cap {
+                    sig.timeline.push((onset, summary.device));
+                } else {
+                    sig.timeline_dropped += 1;
+                }
+            }
+        }
+        self.evidence.append_digest(&summary.digest);
+    }
+
+    /// Correlates the accumulated state into the fleet verdict.
+    pub fn finish(self) -> FleetVerdict {
+        let devices = self.next_device;
+        let mut signatures = Vec::with_capacity(self.signatures.len());
+        let mut campaigns = Vec::new();
+        let mut lateral = Vec::new();
+        let mut quarantined = self.quarantined;
+        for (name, mut sig) in self.signatures {
+            sig.timeline.sort_unstable();
+            let (max_chain, chain_onset) = longest_chain(&sig.timeline, self.config.lateral_window);
+            if sig.devices >= self.config.campaign_threshold {
+                campaigns.push(FleetIncident::CoordinatedCampaign {
+                    signature: name.clone(),
+                    devices: sig.devices,
+                    detected: sig.detected,
+                });
+                // campaign escalation: quarantine every carrier not
+                // already individually quarantined
+                quarantined += sig.devices - sig.quarantined;
+            }
+            if max_chain >= self.config.lateral_threshold {
+                lateral.push(FleetIncident::LateralMovement {
+                    signature: name.clone(),
+                    chain: max_chain,
+                    onset: chain_onset,
+                });
+            }
+            signatures.push(SignatureTrack {
+                signature: name,
+                devices: sig.devices,
+                detected: sig.detected,
+                missed: sig.missed,
+                attacker_wins: sig.attacker_wins,
+                first_onset: sig.timeline.first().map(|&(onset, _)| onset),
+                last_onset: sig.timeline.last().map(|&(onset, _)| onset),
+                max_chain,
+            });
+        }
+        let mut incidents = campaigns;
+        incidents.extend(lateral);
+        FleetVerdict {
+            devices,
+            attacked: self.attacked,
+            detected: self.detected,
+            missed: self.missed,
+            attacker_wins: self.attacker_wins,
+            mean_availability: if devices == 0 {
+                1.0
+            } else {
+                self.availability_sum / f64::from(devices)
+            },
+            min_availability: self.min_availability,
+            health: self.health,
+            signatures,
+            incidents,
+            quarantined,
+            quarantine_sample: self.quarantine_sample,
+            evidence_leaves: self.evidence.leaf_count(),
+            evidence_root: self.evidence.root(),
+        }
+    }
+}
+
+/// Longest run of onsets with consecutive gaps ≤ `window`, over a
+/// timeline sorted by onset. Returns `(length, first onset of the run)`;
+/// `(0, 0)` for an empty timeline, `(1, t0)` when nothing chains.
+fn longest_chain(sorted: &[(u64, u32)], window: u64) -> (u32, u64) {
+    let Some(&(first, _)) = sorted.first() else {
+        return (0, 0);
+    };
+    let (mut best, mut best_onset) = (1u32, first);
+    let (mut run, mut run_onset) = (1u32, first);
+    for pair in sorted.windows(2) {
+        let (prev, next) = (pair[0].0, pair[1].0);
+        if next - prev <= window {
+            run += 1;
+        } else {
+            run = 1;
+            run_onset = next;
+        }
+        if run > best {
+            best = run;
+            best_onset = run_onset;
+        }
+    }
+    (best, best_onset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_platform::PlatformProfile;
+
+    fn summary(device: u32, attack: Option<(&str, u64, bool)>) -> DeviceSummary {
+        let (name, onset, detected) = match attack {
+            Some((n, o, d)) => (Some(n.to_string()), Some(o), d),
+            None => (None, None, false),
+        };
+        let mut s = DeviceSummary {
+            device,
+            profile: PlatformProfile::CyberResilient,
+            seed: 1,
+            attack: name,
+            first_injection: onset,
+            detected_at: detected.then(|| onset.unwrap_or(0) + 500),
+            attacker_wins: 0,
+            availability: 0.99,
+            final_health: HealthState::Healthy,
+            critical_steps: 100,
+            total_incidents: u64::from(detected),
+            evidence_len: 10,
+            evidence_chain_ok: true,
+            digest: [0; 32],
+        };
+        s.digest = s.compute_digest();
+        s
+    }
+
+    #[test]
+    fn campaign_threshold_raises_incident_and_escalates_quarantine() {
+        let mut soc = FleetSoc::new(FleetSocConfig::default());
+        for d in 0..5 {
+            soc.ingest(&summary(
+                d,
+                Some(("code-injection", 40_000 + 50_000 * u64::from(d), true)),
+            ));
+        }
+        soc.ingest(&summary(5, None));
+        let verdict = soc.finish();
+        assert_eq!(verdict.devices, 6);
+        assert_eq!(verdict.attacked, 5);
+        assert!(matches!(
+            verdict.incidents.first(),
+            Some(FleetIncident::CoordinatedCampaign { devices: 5, .. })
+        ));
+        // all detected, none individually lost — but the campaign
+        // escalates to every carrier
+        assert_eq!(verdict.quarantined, 5);
+    }
+
+    #[test]
+    fn lateral_movement_needs_chained_onsets() {
+        let config = FleetSocConfig {
+            campaign_threshold: 100,
+            ..FleetSocConfig::default()
+        };
+        let mut soc = FleetSoc::new(config.clone());
+        // gaps of 4k cycles — inside the 10k window — for devices 0..3
+        for d in 0..4u32 {
+            soc.ingest(&summary(
+                d,
+                Some(("memory-probe", 30_000 + 4_000 * u64::from(d), true)),
+            ));
+        }
+        // an isolated straggler far later
+        soc.ingest(&summary(4, Some(("memory-probe", 900_000, true))));
+        let verdict = soc.finish();
+        let lateral: Vec<_> = verdict
+            .incidents
+            .iter()
+            .filter(|i| matches!(i, FleetIncident::LateralMovement { .. }))
+            .collect();
+        assert_eq!(lateral.len(), 1);
+        assert!(matches!(
+            lateral[0],
+            FleetIncident::LateralMovement {
+                chain: 4,
+                onset: 30_000,
+                ..
+            }
+        ));
+
+        // spread the same onsets out and the chain dissolves
+        let mut soc = FleetSoc::new(config);
+        for d in 0..4u32 {
+            soc.ingest(&summary(
+                d,
+                Some(("memory-probe", 30_000 + 40_000 * u64::from(d), true)),
+            ));
+        }
+        let verdict = soc.finish();
+        assert!(verdict.incidents.is_empty());
+        assert_eq!(verdict.signatures[0].max_chain, 1);
+    }
+
+    #[test]
+    fn missed_detection_quarantines_individually() {
+        let mut soc = FleetSoc::new(FleetSocConfig::default());
+        soc.ingest(&summary(0, Some(("exfiltration", 40_000, false))));
+        soc.ingest(&summary(1, None));
+        let verdict = soc.finish();
+        assert_eq!(verdict.missed, 1);
+        assert_eq!(verdict.quarantined, 1);
+        assert_eq!(verdict.quarantine_sample, vec![0]);
+    }
+
+    #[test]
+    fn out_of_order_ingest_panics() {
+        let mut soc = FleetSoc::new(FleetSocConfig::default());
+        soc.ingest(&summary(0, None));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            soc.ingest(&summary(2, None));
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn verdict_json_is_canonical_and_stable() {
+        let build = || {
+            let mut soc = FleetSoc::new(FleetSocConfig::default());
+            for d in 0..4 {
+                soc.ingest(&summary(
+                    d,
+                    Some(("network-flood", 35_000 + 2_000 * u64::from(d), true)),
+                ));
+            }
+            soc.ingest(&summary(4, None));
+            soc.finish()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        let json = a.to_json();
+        assert_eq!(json, b.to_json());
+        assert!(json.starts_with("{\"devices\":5,"));
+        assert!(json.contains("\"evidence_root\":\""));
+        assert!(json.contains("\"kind\":\"coordinated-campaign\""));
+        assert_eq!(a.evidence_leaves, 5);
+    }
+
+    #[test]
+    fn empty_fleet_has_null_root() {
+        let verdict = FleetSoc::new(FleetSocConfig::default()).finish();
+        assert_eq!(verdict.devices, 0);
+        assert_eq!(verdict.evidence_root, None);
+        assert!(verdict.to_json().contains("\"evidence_root\":null"));
+    }
+}

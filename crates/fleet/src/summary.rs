@@ -1,0 +1,160 @@
+//! Compact per-device summaries: what a shard ships to the fleet SOC.
+//!
+//! A full `RunReport` carries attack tables, telemetry snapshots and
+//! availability detail — fine for one device, ruinous for 10k held at
+//! once. [`DeviceSummary`] keeps only what cross-device correlation
+//! needs (a few dozen bytes plus the attack name) and a SHA-256 digest
+//! of the whole record, which is what the fleet evidence accumulator
+//! folds in. Workers drop the `RunReport` immediately after
+//! summarising, so fleet memory is O(workers + log n), not O(n).
+
+use cres_crypto::sha2::Sha256;
+use cres_platform::{PlatformProfile, RunReport};
+use cres_ssm::HealthState;
+
+/// The distilled outcome of one device run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSummary {
+    /// Device id (dense, 0-based).
+    pub device: u32,
+    /// Topology profile the device ran.
+    pub profile: PlatformProfile,
+    /// Platform (batch) seed the device ran with.
+    pub seed: u64,
+    /// Attack signature (catalog name); `None` for unattacked devices.
+    pub attack: Option<String>,
+    /// First injection instant on the shared sim clock, cycles.
+    pub first_injection: Option<u64>,
+    /// First matching detection instant, cycles.
+    pub detected_at: Option<u64>,
+    /// Attack steps that achieved their goal.
+    pub attacker_wins: u32,
+    /// Service availability over the run.
+    pub availability: f64,
+    /// Final health state.
+    pub final_health: HealthState,
+    /// Steps completed by critical tasks.
+    pub critical_steps: u64,
+    /// Incidents classified on-device.
+    pub total_incidents: u64,
+    /// Evidence records at end of run.
+    pub evidence_len: usize,
+    /// Whether the on-device evidence chain verified.
+    pub evidence_chain_ok: bool,
+    /// SHA-256 over the canonical encoding of every field above — the
+    /// leaf the fleet evidence accumulator appends.
+    pub digest: [u8; 32],
+}
+
+impl DeviceSummary {
+    /// Distils `report` (device `device`'s run) into a summary.
+    pub fn from_report(device: u32, report: &RunReport) -> DeviceSummary {
+        let outcome = report.attacks.first();
+        let mut summary = DeviceSummary {
+            device,
+            profile: report.profile,
+            seed: report.seed,
+            attack: outcome.map(|o| o.name.clone()),
+            first_injection: outcome.and_then(|o| o.first_injection).map(|t| t.cycle()),
+            detected_at: outcome.and_then(|o| o.detected_at).map(|t| t.cycle()),
+            attacker_wins: report.attacker_wins,
+            availability: report.availability,
+            final_health: report.final_health,
+            critical_steps: report.critical_steps,
+            total_incidents: report.total_incidents,
+            evidence_len: report.evidence_len,
+            evidence_chain_ok: report.evidence_chain_ok,
+            digest: [0; 32],
+        };
+        summary.digest = summary.compute_digest();
+        summary
+    }
+
+    /// True when the device carried an attack and never classified a
+    /// matching incident.
+    pub fn missed_detection(&self) -> bool {
+        self.attack.is_some() && self.detected_at.is_none()
+    }
+
+    /// SHA-256 over the canonical little-endian encoding of the record
+    /// (excluding the digest field itself).
+    pub fn compute_digest(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"cres-fleet/device-summary/v1");
+        h.update(&self.device.to_le_bytes());
+        h.update(self.profile.to_string().as_bytes());
+        h.update(&self.seed.to_le_bytes());
+        match &self.attack {
+            Some(name) => {
+                h.update(&[1]);
+                h.update(&(name.len() as u32).to_le_bytes());
+                h.update(name.as_bytes());
+            }
+            None => h.update(&[0]),
+        }
+        for field in [self.first_injection, self.detected_at] {
+            match field {
+                Some(cycle) => {
+                    h.update(&[1]);
+                    h.update(&cycle.to_le_bytes());
+                }
+                None => h.update(&[0]),
+            }
+        }
+        h.update(&self.attacker_wins.to_le_bytes());
+        h.update(&self.availability.to_bits().to_le_bytes());
+        h.update(self.final_health.to_string().as_bytes());
+        h.update(&self.critical_steps.to_le_bytes());
+        h.update(&self.total_incidents.to_le_bytes());
+        h.update(&(self.evidence_len as u64).to_le_bytes());
+        h.update(&[u8::from(self.evidence_chain_ok)]);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cres_platform::campaign::ScenarioSpec;
+    use cres_platform::runner::ScenarioRunner;
+    use cres_platform::PlatformConfig;
+    use cres_sim::{SimDuration, SimTime};
+
+    fn run(seed: u64) -> RunReport {
+        let spec = ScenarioSpec::quiet(SimDuration::cycles(60_000)).attack(
+            "network-flood",
+            SimTime::at_cycle(20_000),
+            SimDuration::cycles(2_000),
+        );
+        let scenario = spec
+            .materialise(&cres_attacks::catalog::try_build)
+            .expect("known attack");
+        ScenarioRunner::new(PlatformConfig::new(PlatformProfile::CyberResilient, seed))
+            .run(scenario)
+    }
+
+    #[test]
+    fn summary_distils_the_report() {
+        let report = run(7);
+        let summary = DeviceSummary::from_report(3, &report);
+        assert_eq!(summary.device, 3);
+        assert_eq!(summary.attack.as_deref(), Some("network-flood"));
+        assert_eq!(summary.availability, report.availability);
+        assert_eq!(summary.evidence_chain_ok, report.evidence_chain_ok);
+        assert!(!summary.missed_detection(), "flood should be detected");
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let report = run(7);
+        let a = DeviceSummary::from_report(3, &report);
+        let b = DeviceSummary::from_report(3, &report);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.digest, a.compute_digest());
+        let c = DeviceSummary::from_report(4, &report);
+        assert_ne!(a.digest, c.digest, "device id must alter the digest");
+        let mut d = a.clone();
+        d.availability -= 0.001;
+        assert_ne!(a.digest, d.compute_digest());
+    }
+}

@@ -23,8 +23,9 @@
 //! peripherals), [`boot`] (secure/measured boot + A/B update), [`tee`]
 //! (trusted execution environment), [`policy`] (STRIDE threat modelling +
 //! the paper's Table I), [`attacks`] (ground-truth attack injectors),
-//! [`forensics`] (timeline reconstruction + breach reports) and
-//! [`platform`] (the assembled system + scenario runner).
+//! [`forensics`] (timeline reconstruction + breach reports),
+//! [`platform`] (the assembled system + scenario runner) and [`fleet`]
+//! (N devices behind a sharded runner and a streaming fleet SOC).
 //!
 //! # Example
 //!
@@ -41,6 +42,7 @@
 pub use cres_attacks as attacks;
 pub use cres_boot as boot;
 pub use cres_crypto as crypto;
+pub use cres_fleet as fleet;
 pub use cres_forensics as forensics;
 pub use cres_monitor as monitor;
 pub use cres_platform as platform;

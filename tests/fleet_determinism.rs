@@ -1,0 +1,128 @@
+//! The fleet runner's core guarantee, mirroring `campaign_determinism`:
+//! sharding is a pure scheduling optimisation. The same fleet config run
+//! on 1, 2 and 8 workers yields byte-equal `FleetVerdict` JSON, and each
+//! of them equals what a hand-rolled sequential loop — no channels, no
+//! reorder buffer, one pool — produces by ingesting the same devices in
+//! order.
+
+use cres::attacks::catalog::try_build;
+use cres::fleet::soc::{FleetSoc, FleetSocConfig, FleetVerdict};
+use cres::fleet::spec::{AttackMix, DeviceSpec, FleetConfig};
+use cres::fleet::summary::DeviceSummary;
+use cres::fleet::{run_fleet, FleetIncident};
+use cres::platform::{PlatformPool, ScenarioRunner};
+
+fn config(devices: u32, seed: u64) -> FleetConfig {
+    let mut config = FleetConfig::new(devices, seed);
+    // enough for training + injection + detection, short enough for CI
+    config.device_cycles = 60_000;
+    config
+}
+
+/// The reference: a plain in-order loop with one pool, no fleet runner
+/// machinery at all.
+fn hand_rolled_sequential(config: &FleetConfig) -> FleetVerdict {
+    let mut pool = PlatformPool::new();
+    let mut soc = FleetSoc::new(FleetSocConfig::default());
+    for id in 0..config.devices {
+        let spec = DeviceSpec::generate(config, id);
+        let scenario = spec
+            .scenario_spec()
+            .materialise(&try_build)
+            .expect("catalog attack");
+        let report = ScenarioRunner::new(spec.platform_config(config.telemetry))
+            .run_pooled(&mut pool, scenario);
+        soc.ingest(&DeviceSummary::from_report(id, &report));
+    }
+    soc.finish()
+}
+
+#[test]
+fn worker_count_does_not_change_the_verdict() {
+    let config = config(32, 9001);
+    let reference = run_fleet(&config, 1, try_build).expect("fleet runs");
+    let reference_json = reference.verdict.to_json();
+    // the mix should actually exercise correlation, not a quiet fleet
+    assert!(reference.verdict.attacked > 0, "mix produced no attacks");
+    for workers in [2, 8] {
+        let report = run_fleet(&config, workers, try_build).expect("fleet runs");
+        assert_eq!(
+            report.verdict, reference.verdict,
+            "{workers} workers: verdict struct"
+        );
+        assert_eq!(
+            report.verdict.to_json(),
+            reference_json,
+            "{workers} workers: verdict JSON bytes"
+        );
+        assert_eq!(
+            report.shards.iter().map(|s| s.devices).sum::<u32>(),
+            config.devices,
+            "{workers} workers: shard coverage"
+        );
+    }
+}
+
+#[test]
+fn engine_matches_hand_rolled_sequential_loop() {
+    let config = config(24, 77);
+    let reference = hand_rolled_sequential(&config);
+    for workers in [1, 2, 8] {
+        let report = run_fleet(&config, workers, try_build).expect("fleet runs");
+        assert_eq!(
+            report.verdict.to_json(),
+            reference.to_json(),
+            "{workers} workers vs hand-rolled"
+        );
+    }
+}
+
+#[test]
+fn campaign_mix_raises_the_same_fleet_incidents_everywhere() {
+    let mut config = config(24, 4242);
+    config.mix = AttackMix::campaign("network-flood");
+    let reference = run_fleet(&config, 1, try_build).expect("fleet runs");
+    let campaign = reference
+        .verdict
+        .incidents
+        .iter()
+        .find_map(|incident| match incident {
+            FleetIncident::CoordinatedCampaign {
+                signature, devices, ..
+            } => Some((signature.clone(), *devices)),
+            FleetIncident::LateralMovement { .. } => None,
+        })
+        .expect("60% exposure to one signature is a campaign");
+    assert_eq!(campaign.0, "network-flood");
+    assert!(campaign.1 >= 3, "campaign carriers: {}", campaign.1);
+    // escalation quarantines every carrier
+    assert!(reference.verdict.quarantined >= campaign.1);
+    for workers in [2, 8] {
+        let report = run_fleet(&config, workers, try_build).expect("fleet runs");
+        assert_eq!(report.verdict.to_json(), reference.verdict.to_json());
+    }
+}
+
+#[test]
+fn fleet_evidence_root_is_reproducible_per_device() {
+    // re-running any single device reproduces the exact summary digest
+    // the fleet accumulator consumed — the audit story behind the root
+    let config = config(16, 31337);
+    let fleet = run_fleet(&config, 2, try_build).expect("fleet runs");
+    assert_eq!(fleet.verdict.evidence_leaves, 16);
+    let root = fleet.verdict.evidence_root.expect("non-empty fleet");
+    // rebuild the accumulator from independently re-run devices
+    let mut acc = cres::crypto::merkle::MerkleAccumulator::new();
+    let mut pool = PlatformPool::new();
+    for id in 0..config.devices {
+        let spec = DeviceSpec::generate(&config, id);
+        let scenario = spec
+            .scenario_spec()
+            .materialise(&try_build)
+            .expect("catalog attack");
+        let report = ScenarioRunner::new(spec.platform_config(config.telemetry))
+            .run_pooled(&mut pool, scenario);
+        acc.append_digest(&DeviceSummary::from_report(id, &report).digest);
+    }
+    assert_eq!(acc.root(), Some(root));
+}
