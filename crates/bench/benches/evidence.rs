@@ -50,7 +50,7 @@ fn bench_seal(c: &mut Criterion) {
     for len in [100u64, 1_000, 10_000] {
         g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
             let mut s = store_with(len);
-            b.iter(|| black_box(s.seal()));
+            b.iter(|| black_box(s.seal(SimTime::at_cycle(len))));
         });
     }
     g.finish();

@@ -288,7 +288,7 @@ fn bench_merkle_seal() -> BenchResult {
         s.append(SimTime::at_cycle(i), "bench", "payload line");
     }
     measure("merkle_seal_10k", Some(10_000), 20, scaled(20), move || {
-        black_box(s.seal());
+        black_box(s.seal(SimTime::at_cycle(10_000)));
     })
 }
 

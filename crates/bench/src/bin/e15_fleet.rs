@@ -25,7 +25,9 @@
 //!   wall-clock fields — so two runs diff byte-identical).
 
 use cres_fleet::spec::AttackMix;
-use cres_fleet::{run_fleet, FleetConfig, FleetIncident, FleetReport};
+use cres_fleet::{run_fleet, FleetConfig, FleetIncident, FleetReport, FleetSocConfig};
+use cres_obs::lint::{check_jsonl, check_prom};
+use cres_obs::{fleet_jsonl, fleet_prometheus, incident_dossiers, observe_fleet, FleetObservation};
 use cres_platform::campaign::default_jobs;
 
 const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
@@ -55,6 +57,16 @@ fn fleet_config(devices: u32, mix: AttackMix) -> FleetConfig {
 
 fn run(config: &FleetConfig, workers: usize) -> FleetReport {
     run_fleet(config, workers, cres_attacks::catalog::try_build).expect("fleet mix resolves")
+}
+
+fn observe(config: &FleetConfig, workers: usize) -> FleetObservation {
+    observe_fleet(
+        config,
+        &FleetSocConfig::default(),
+        workers,
+        cres_attacks::catalog::try_build,
+    )
+    .expect("fleet mix resolves")
 }
 
 fn incident_counts(report: &FleetReport) -> (usize, usize) {
@@ -94,11 +106,26 @@ fn main() {
     // fields only, so CI can diff two runs byte for byte)
     let mut emitted: Vec<(String, String)> = Vec::new();
 
-    for devices in sizes() {
+    let sizes = sizes();
+    let largest = *sizes.last().expect("size sweep is non-empty");
+    // the largest standard-mix fleet's summary stream, kept for the
+    // export-plane section (captured on the final sweep run — the
+    // observer hook sees the same device-order stream any worker count
+    // produces, so which run we capture from is immaterial)
+    let mut sweep_observation: Option<FleetObservation> = None;
+
+    for &devices in &sizes {
         let config = fleet_config(devices, AttackMix::standard());
         let mut reference: Option<String> = None;
         for workers in WORKER_SWEEP {
-            let report = run(&config, workers);
+            let report = if devices == largest && workers == WORKER_SWEEP[WORKER_SWEEP.len() - 1] {
+                let observation = observe(&config, workers);
+                let report = observation.report.clone();
+                sweep_observation = Some(observation);
+                report
+            } else {
+                run(&config, workers)
+            };
             let json = report.verdict.to_json();
             // determinism: sharding must be a pure scheduling optimisation
             match &reference {
@@ -154,6 +181,9 @@ fn main() {
     // -- attack-mix section: what the fleet SOC actually correlates --
     let mix_devices = if cres_bench::fast_mode() { 80 } else { 400 };
     let jobs = default_jobs();
+    // kept for the export-plane section: the campaign mix is the one
+    // guaranteed to raise fleet incidents worth a dossier
+    let mut campaign_observation: Option<FleetObservation> = None;
     println!("attack-mix correlation at {mix_devices} devices ({jobs} workers):");
     for (name, mix) in [
         ("quiet", AttackMix::quiet()),
@@ -161,7 +191,11 @@ fn main() {
         ("campaign", AttackMix::campaign("code-injection")),
     ] {
         let config = fleet_config(mix_devices, mix);
-        let report = run(&config, jobs);
+        let observation = observe(&config, jobs);
+        let report = observation.report.clone();
+        if name == "campaign" {
+            campaign_observation = Some(observation);
+        }
         let verdict = &report.verdict;
         let (campaigns, lateral) = incident_counts(&report);
         println!(
@@ -190,15 +224,88 @@ fn main() {
         emitted.push((format!("mix-{name}/n{mix_devices}"), verdict.to_json()));
     }
 
+    // -- export plane: fleet artifacts, linted and worker-invariant --
+    let observation = campaign_observation.expect("campaign mix ran");
+    let jsonl = fleet_jsonl(&observation);
+    let prom = fleet_prometheus(&observation.report.verdict);
+    let jsonl_records = check_jsonl(&jsonl).expect("fleet JSONL failed lint");
+    let prom_samples = check_prom(&prom).expect("fleet Prometheus exposition failed lint");
+    // the artifacts themselves (not just the verdict) must be byte-equal
+    // across worker counts — re-observe the same fleet single-threaded
+    let single = observe(&observation.config, 1);
+    assert_eq!(
+        jsonl,
+        fleet_jsonl(&single),
+        "fleet JSONL diverged between {jobs} workers and 1"
+    );
+    assert_eq!(
+        prom,
+        fleet_prometheus(&single.report.verdict),
+        "fleet Prometheus exposition diverged between {jobs} workers and 1"
+    );
+    println!(
+        "\nexport plane: {jsonl_records} JSONL records / {prom_samples} Prometheus samples, \
+         linted, byte-identical at 1 and {jobs} workers"
+    );
+
+    // -- incident forensics: every fleet incident becomes a dossier and
+    //    every cited evidence record must carry a verifying proof --
+    const MAX_CARRIERS: usize = 4;
+    let reconstructions =
+        incident_dossiers(&observation, cres_attacks::catalog::try_build, MAX_CARRIERS);
+    assert!(
+        !reconstructions.is_empty(),
+        "campaign mix raised no fleet incidents to reconstruct"
+    );
+    for reconstruction in &reconstructions {
+        let dossier = &reconstruction.dossier;
+        assert!(
+            reconstruction.fully_verified(),
+            "incident {:?}: a citation, re-run digest or fleet-root proof failed:\n{}",
+            dossier.signature,
+            dossier.render()
+        );
+        println!(
+            "dossier {:>9} \"{}\": {} carriers reconstructed (cap {MAX_CARRIERS}), \
+             {} citations, all Merkle proofs verify",
+            if dossier.campaign {
+                "campaign"
+            } else {
+                "lateral"
+            },
+            dossier.signature,
+            dossier.devices.len(),
+            dossier.citation_count(),
+        );
+    }
+
     if let Some(dir) = std::env::var_os("CRES_REPORT_DIR") {
         let mut out = String::new();
         for (label, json) in &emitted {
             out.push_str(&format!("{{\"label\":\"{label}\",\"verdict\":{json}}}\n"));
         }
-        let path = std::path::Path::new(&dir).join("e15.json");
+        let dir = std::path::Path::new(&dir);
+        let path = dir.join("e15.json");
         std::fs::write(&path, out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("\nwrote {}", path.display());
+        // fleet-scale artifacts: the largest standard-mix fleet's event
+        // log (10k devices on a full run) plus the campaign-mix exports —
+        // all deterministic bytes, safe for CI's run-twice diff
+        let sweep = sweep_observation.expect("size sweep ran");
+        for (file, contents) in [
+            ("e15_fleet.jsonl", fleet_jsonl(&sweep)),
+            ("e15_campaign.jsonl", jsonl),
+            ("e15_campaign.prom", prom),
+        ] {
+            let path = dir.join(file);
+            std::fs::write(&path, contents)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("wrote {}", path.display());
+        }
     }
 
-    println!("\nE15 complete: fleet verdicts deterministic, shard pools warm.");
+    println!(
+        "\nE15 complete: fleet verdicts deterministic, shard pools warm, \
+         incident dossiers proof-verified."
+    );
 }

@@ -1,0 +1,141 @@
+//! `obs_lint` — the export-plane artifact gate.
+//!
+//! Two jobs, both hard failures (exit code 1):
+//!
+//! 1. **Artifact lint** — walk a directory of exported artifacts (the
+//!    first CLI argument, else `CRES_REPORT_DIR`) and validate every
+//!    file the export plane produces:
+//!    * `*.jsonl` → [`check_jsonl`]: schema-versioned envelope, known
+//!      kinds, strict `(device, cycle, seq)` ordering;
+//!    * `*.trace.json` → [`check_chrome`]: well-formed `trace_event`
+//!      wrapper, complete events, no same-track overlap;
+//!    * `*.prom` → [`check_prom`]: typed metric families, monotone
+//!      cumulative histogram buckets, `+Inf` == `_count`.
+//! 2. **Determinism diff** — run a small built-in fleet at 1, 2 and 8
+//!    workers and byte-compare the JSONL and Prometheus artifacts:
+//!    worker count must be a pure scheduling choice, invisible in the
+//!    exported bytes. Runs even when no artifact directory is given, so
+//!    the gate always checks something.
+//!
+//! CI runs this after the `CRES_FAST` experiments matrix, pointing it at
+//! the matrix's `CRES_REPORT_DIR`; the nightly fleet job points it at
+//! the full-size artifacts.
+//!
+//! Run: `cargo run --release -p cres-bench --bin obs_lint [DIR]`
+
+use cres_fleet::spec::AttackMix;
+use cres_fleet::{FleetConfig, FleetSocConfig};
+use cres_obs::lint::{check_chrome, check_jsonl, check_prom};
+use cres_obs::{fleet_jsonl, fleet_prometheus, observe_fleet};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Worker counts the determinism diff sweeps.
+const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn lint_dir(dir: &Path) -> Result<usize, String> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .collect();
+    entries.sort();
+    let mut checked = 0;
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let kind = if name.ends_with(".jsonl") {
+            "jsonl"
+        } else if name.ends_with(".trace.json") {
+            "chrome"
+        } else if name.ends_with(".prom") {
+            "prom"
+        } else {
+            continue;
+        };
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let result = match kind {
+            "jsonl" => check_jsonl(&text),
+            "chrome" => check_chrome(&text),
+            _ => check_prom(&text),
+        };
+        match result {
+            Ok(units) => {
+                println!("  ok {name}: {units} {kind} records, {} B", text.len());
+                checked += 1;
+            }
+            Err(why) => return Err(format!("{name}: {why}")),
+        }
+    }
+    Ok(checked)
+}
+
+fn determinism_diff() -> Result<(), String> {
+    let mut config = FleetConfig::new(24, 42);
+    config.device_cycles = 60_000;
+    config.mix = AttackMix::standard();
+    let mut reference: Option<(String, String)> = None;
+    for workers in WORKER_SWEEP {
+        let observation = observe_fleet(
+            &config,
+            &FleetSocConfig::default(),
+            workers,
+            cres_attacks::catalog::try_build,
+        )
+        .map_err(|e| format!("fleet mix failed to resolve: {e:?}"))?;
+        let jsonl = fleet_jsonl(&observation);
+        let prom = fleet_prometheus(&observation.report.verdict);
+        check_jsonl(&jsonl).map_err(|why| format!("built-in fleet JSONL: {why}"))?;
+        check_prom(&prom).map_err(|why| format!("built-in fleet Prometheus: {why}"))?;
+        match &reference {
+            None => reference = Some((jsonl, prom)),
+            Some((expected_jsonl, expected_prom)) => {
+                if *expected_jsonl != jsonl {
+                    return Err(format!(
+                        "fleet JSONL diverged between {} and {workers} workers",
+                        WORKER_SWEEP[0]
+                    ));
+                }
+                if *expected_prom != prom {
+                    return Err(format!(
+                        "fleet Prometheus exposition diverged between {} and {workers} workers",
+                        WORKER_SWEEP[0]
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).or_else(|| {
+        std::env::var("CRES_REPORT_DIR")
+            .ok()
+            .filter(|d| !d.is_empty())
+    });
+    if let Some(dir) = dir {
+        println!("obs_lint: validating artifacts in {dir}");
+        match lint_dir(Path::new(&dir)) {
+            Ok(0) => println!("  (no exported artifacts found — nothing to lint)"),
+            Ok(n) => println!("  {n} artifacts pass"),
+            Err(why) => {
+                eprintln!("obs_lint: FAIL: {why}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!("obs_lint: no artifact directory (arg or CRES_REPORT_DIR); lint skipped");
+    }
+    println!(
+        "obs_lint: determinism diff (24-device fleet, workers {WORKER_SWEEP:?}, byte-compare)"
+    );
+    if let Err(why) = determinism_diff() {
+        eprintln!("obs_lint: FAIL: {why}");
+        return ExitCode::FAILURE;
+    }
+    println!("obs_lint: PASS — artifacts valid, exports worker-invariant");
+    ExitCode::SUCCESS
+}

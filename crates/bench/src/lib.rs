@@ -21,7 +21,10 @@
 //! | `e11_selfheal` | self-resilience: detection under pipeline faults |
 //! | `e13_fuzz` | generative attack fuzzing against the detection fleet |
 //! | `e14_frontier` | availability-vs-detection frontier: tiers vs reboot |
+//! | `e15_fleet` | fleet-scale sweep: sharded devices, streaming fleet SOC |
+//! | `e16_observe` | flight-recorder export plane: byte-identity + wall budget |
 //! | `a1_correlation` | ablation: correlation engine on/off |
+//! | `obs_lint` | export-plane artifact gate (schema + worker-count diff) |
 //!
 //! Two environment knobs exist for CI:
 //!

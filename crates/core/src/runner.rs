@@ -118,9 +118,19 @@ impl ScenarioRunner {
 
     /// Builds the platform, runs the scenario and scores the result.
     pub fn run(self, scenario: Scenario) -> RunReport {
+        self.run_keep(scenario).0
+    }
+
+    /// [`ScenarioRunner::run`], but hands back the finished platform
+    /// alongside the report — the export plane reads the full trace ring,
+    /// evidence chain and seal history from it post-hoc (the report's
+    /// telemetry snapshot keeps only a 16-span tail). The report is
+    /// bit-identical to [`ScenarioRunner::run`]'s.
+    pub fn run_keep(self, scenario: Scenario) -> (RunReport, Platform) {
         let mut platform = Platform::new(self.config);
         let mut scratch = ScoreScratch::default();
-        self.run_on(&mut platform, scenario, &mut scratch)
+        let report = self.run_on(&mut platform, scenario, &mut scratch);
+        (report, platform)
     }
 
     /// [`ScenarioRunner::run`] on a pooled platform: acquires from `pool`
@@ -242,8 +252,8 @@ impl ScenarioRunner {
 
         // Periodic Merkle audit seals over the evidence chain (an external
         // auditor can then verify any single record without a full replay).
-        sim.schedule_periodic(SimDuration::cycles(250_000), |p, _| {
-            p.ssm.seal_evidence();
+        sim.schedule_periodic(SimDuration::cycles(250_000), |p, sim| {
+            p.ssm.seal_evidence(sim.now());
             true
         });
 

@@ -283,6 +283,14 @@ impl Histogram {
         (self.total > 0).then(|| self.sum as f64 / self.total as f64)
     }
 
+    /// The cumulative-bucket view (Prometheus exposition semantics): one
+    /// `(upper_bound, observations ≤ bound)` pair per bound, ascending,
+    /// ending with the `+Inf` bucket (`None`) whose count equals
+    /// [`Histogram::total`].
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        cumulative(&self.bounds, &self.counts)
+    }
+
     /// Adds another histogram's observations bucket-wise.
     ///
     /// # Panics
@@ -296,6 +304,18 @@ impl Histogram {
         self.total += other.total;
         self.sum += other.sum;
     }
+}
+
+/// Shared cumulative fold for [`Histogram`] and [`HistogramSnapshot`]:
+/// pairs each upper bound (then `None` = `+Inf`) with the running count.
+fn cumulative(bounds: &[u64], counts: &[u64]) -> Vec<(Option<u64>, u64)> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut acc = 0u64;
+    for (i, count) in counts.iter().enumerate() {
+        acc += count;
+        out.push((bounds.get(i).copied(), acc));
+    }
+    out
 }
 
 /// A registry of named counters, gauges and fixed-bucket histograms.
@@ -539,6 +559,14 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// The cumulative-bucket view — see [`Histogram::cumulative_buckets`];
+    /// the last (`None` = `+Inf`) entry equals `self.total`.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        cumulative(&self.bounds, &self.counts)
+    }
+}
+
 /// The frozen end-of-run telemetry report carried on
 /// [`crate::metrics::RunReport`] (and exported through its JSON codec —
 /// see `EXPERIMENTS.md` E8 for the field-by-field schema).
@@ -716,6 +744,30 @@ mod tests {
         assert_eq!(h.total(), 4);
         assert_eq!(h.sum(), 1_026);
         assert_eq!(h.mean(), Some(256.5));
+    }
+
+    #[test]
+    fn histogram_cumulative_buckets_are_monotone_and_sum_to_count() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [5, 10, 11, 1_000, 2_000] {
+            h.observe(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(
+            buckets,
+            vec![(Some(10), 2), (Some(100), 3), (None, 5)],
+            "per-bound cumulative counts, +Inf last"
+        );
+        assert_eq!(buckets.last().unwrap().1, h.total());
+        // the snapshot view agrees with the live histogram
+        let snap = HistogramSnapshot {
+            name: "h".into(),
+            bounds: h.bounds().to_vec(),
+            counts: h.counts().to_vec(),
+            total: h.total(),
+            sum: h.sum(),
+        };
+        assert_eq!(snap.cumulative_buckets(), buckets);
     }
 
     #[test]

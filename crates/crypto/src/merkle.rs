@@ -146,6 +146,20 @@ impl MerkleTree {
         }
         &acc == root
     }
+
+    /// [`MerkleTree::prove`] under its auditor-facing name: the inclusion
+    /// proof for leaf `index`, or `None` when out of range. Paired with
+    /// [`MerkleTree::verify_proof`].
+    pub fn inclusion_proof(&self, index: usize) -> Option<InclusionProof> {
+        self.prove(index)
+    }
+
+    /// [`MerkleTree::verify`] under its auditor-facing name: checks that
+    /// `leaf_data` is included under `root` via `proof`.
+    #[must_use]
+    pub fn verify_proof(root: &NodeHash, leaf_data: &[u8], proof: &InclusionProof) -> bool {
+        Self::verify(root, leaf_data, proof)
+    }
 }
 
 /// An append-only Merkle accumulator: the "mountain range" of perfect
@@ -264,6 +278,39 @@ impl MerkleAccumulator {
             });
         }
         acc.map(|(root, _)| root)
+    }
+
+    /// An inclusion proof for digest leaf `index` against this
+    /// accumulator's root.
+    ///
+    /// The accumulator keeps only O(log n) peaks, not the leaf history, so
+    /// the caller supplies the digest sequence it accumulated (the evidence
+    /// store's record MACs). The proof is rebuilt through the batch tree —
+    /// whose root is bit-identical to [`MerkleAccumulator::root`] — and the
+    /// call returns `None` when `index` is out of range, when the leaf
+    /// count disagrees with what was appended, or when the supplied leaves
+    /// no longer reproduce the accumulated root (tampered history).
+    pub fn inclusion_proof<'a>(
+        &self,
+        leaves: impl IntoIterator<Item = &'a [u8; 32]>,
+        index: u64,
+    ) -> Option<InclusionProof> {
+        if self.is_empty() || index >= self.leaves {
+            return None;
+        }
+        let tree = MerkleTree::build_from_hashes(leaves);
+        if tree.leaf_count() as u64 != self.leaves || Some(tree.root()) != self.root() {
+            return None;
+        }
+        tree.inclusion_proof(index as usize)
+    }
+
+    /// Verifies that `digest` is a leaf of this accumulator via `proof`
+    /// (the counterpart of [`MerkleAccumulator::inclusion_proof`]).
+    #[must_use]
+    pub fn verify_proof(&self, digest: &[u8; 32], proof: &InclusionProof) -> bool {
+        self.root()
+            .is_some_and(|root| MerkleTree::verify_proof(&root, digest.as_slice(), proof))
     }
 }
 
@@ -391,6 +438,60 @@ mod tests {
             let tree = MerkleTree::build_from_hashes(digests[..=n].iter());
             assert_eq!(acc.root(), Some(tree.root()), "n={}", n + 1);
         }
+    }
+
+    #[test]
+    fn tree_inclusion_proof_pair_matches_prove_verify() {
+        let data = leaves(9);
+        let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
+        for (i, leaf) in data.iter().enumerate() {
+            let proof = tree.inclusion_proof(i).unwrap();
+            assert_eq!(proof, tree.prove(i).unwrap());
+            assert!(MerkleTree::verify_proof(&tree.root(), leaf, &proof));
+        }
+        assert!(tree.inclusion_proof(9).is_none());
+    }
+
+    #[test]
+    fn accumulator_proofs_verify_exhaustively() {
+        // Every leaf of every size 1..=130 — the same exhaustive sweep the
+        // accumulator/batch-tree root equivalence is pinned with.
+        let digests: Vec<NodeHash> = (0..130u8).map(|i| Sha256::digest(&[i])).collect();
+        let mut acc = MerkleAccumulator::new();
+        for (n, d) in digests.iter().enumerate() {
+            acc.append_digest(d);
+            let covered = &digests[..=n];
+            for (i, leaf) in covered.iter().enumerate() {
+                let proof = acc.inclusion_proof(covered.iter(), i as u64).unwrap();
+                assert!(acc.verify_proof(leaf, &proof), "n={} leaf={i}", n + 1);
+            }
+            assert!(acc
+                .inclusion_proof(covered.iter(), (n + 1) as u64)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn accumulator_proof_rejects_tampered_history() {
+        let digests: Vec<NodeHash> = (0..13u8).map(|i| Sha256::digest(&[i])).collect();
+        let mut acc = MerkleAccumulator::new();
+        for d in &digests {
+            acc.append_digest(d);
+        }
+        // swapped leaf: the supplied history no longer matches the root
+        let mut forged = digests.clone();
+        forged[4][0] ^= 1;
+        assert!(acc.inclusion_proof(forged.iter(), 4).is_none());
+        // truncated history: leaf count disagrees
+        assert!(acc.inclusion_proof(digests[..12].iter(), 3).is_none());
+        // wrong-leaf verification fails
+        let proof = acc.inclusion_proof(digests.iter(), 4).unwrap();
+        assert!(acc.verify_proof(&digests[4], &proof));
+        assert!(!acc.verify_proof(&digests[5], &proof));
+        // empty accumulator has nothing to prove or verify
+        let empty = MerkleAccumulator::new();
+        assert!(empty.inclusion_proof(std::iter::empty(), 0).is_none());
+        assert!(!empty.verify_proof(&digests[0], &proof));
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub mod soc;
 pub mod spec;
 pub mod summary;
 
-pub use runner::{run_fleet, run_fleet_with, FleetError, FleetReport, ShardStats, REORDER_WINDOW};
+pub use runner::{
+    run_fleet, run_fleet_observed, run_fleet_with, FleetError, FleetReport, ShardStats,
+    REORDER_WINDOW,
+};
 pub use soc::{FleetIncident, FleetSoc, FleetSocConfig, FleetVerdict, SignatureTrack};
 pub use spec::{AttackMix, DeviceAttack, DeviceSpec, FleetConfig};
 pub use summary::DeviceSummary;

@@ -127,6 +127,26 @@ pub fn run_fleet_with<B>(
 where
     B: Fn(&str) -> BuiltAttack + Sync,
 {
+    run_fleet_observed(config, soc_config, workers, builder, |_| {})
+}
+
+/// [`run_fleet_with`] plus a summary observer: `observe` sees every
+/// [`DeviceSummary`] exactly once, in strict device-id order, immediately
+/// after the fleet SOC ingests it — the hook the export plane streams
+/// fleet-scale event logs from without a second pass over the fleet.
+/// Because the observer runs on the aggregator's in-order front, whatever
+/// it accumulates is bit-identical across worker counts.
+pub fn run_fleet_observed<B, O>(
+    config: &FleetConfig,
+    soc_config: &FleetSocConfig,
+    workers: usize,
+    builder: B,
+    mut observe: O,
+) -> Result<FleetReport, FleetError>
+where
+    B: Fn(&str) -> BuiltAttack + Sync,
+    O: FnMut(&DeviceSummary),
+{
     if workers == 0 {
         return Err(FleetError::NoWorkers);
     }
@@ -199,6 +219,7 @@ where
             peak_reorder = peak_reorder.max(reorder.len());
             while let Some(next) = reorder.remove(&soc.ingested()) {
                 soc.ingest(&next);
+                observe(&next);
             }
             watermark.store(soc.ingested() as usize, Ordering::Release);
         }
@@ -271,6 +292,27 @@ mod tests {
         let three = run_fleet(&config, 3, cres_attacks::catalog::try_build).unwrap();
         assert_eq!(one.verdict, three.verdict);
         assert_eq!(one.verdict.to_json(), three.verdict.to_json());
+    }
+
+    #[test]
+    fn observer_sees_every_device_in_order_on_any_worker_count() {
+        let config = small_config();
+        let observed = |workers| {
+            let mut seen: Vec<DeviceSummary> = Vec::new();
+            run_fleet_observed(
+                &config,
+                &FleetSocConfig::default(),
+                workers,
+                cres_attacks::catalog::try_build,
+                |summary| seen.push(summary.clone()),
+            )
+            .unwrap();
+            seen
+        };
+        let one = observed(1);
+        assert_eq!(one.len(), 12);
+        assert!(one.windows(2).all(|w| w[0].device + 1 == w[1].device));
+        assert_eq!(one, observed(3), "observer stream is schedule-dependent");
     }
 
     #[test]

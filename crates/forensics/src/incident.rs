@@ -1,0 +1,251 @@
+//! Incident dossiers: evidence-backed reconstruction of a correlated
+//! incident, with every cited record proven against a Merkle seal.
+//!
+//! A fleet verdict names devices; a dossier explains them. For each
+//! carrier device the dossier extracts the records an operator would cite
+//! in a post-incident review — onset incidents, response actions, tier
+//! transitions, recovery markers — and attaches a Merkle inclusion proof
+//! for each against the seal covering it, so the citations stay checkable
+//! after the store itself is gone. The types here are fleet-agnostic: the
+//! export plane supplies the fleet context (signature, correlation
+//! window, carrier list) and this module supplies the per-device
+//! reconstruction and proof discipline.
+
+use cres_crypto::merkle::InclusionProof;
+use cres_sim::SimTime;
+use cres_ssm::{EvidenceRecord, EvidenceStore};
+use serde::{Deserialize, Serialize};
+
+/// Evidence categories a dossier cites: the decision trail (incident,
+/// response, tier transition, recovery), not the raw monitor chatter.
+const CITED_CATEGORIES: [&str; 4] = ["incident", "response", "policy", "recovery"];
+
+/// One cited evidence record with its inclusion proof.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceCitation {
+    /// The cited record, verbatim from the device's export.
+    pub record: EvidenceRecord,
+    /// Inclusion proof against `root`; `None` when no seal covered the
+    /// record (it then cannot be independently verified).
+    pub proof: Option<InclusionProof>,
+    /// The Merkle root of the covering seal.
+    pub root: Option<[u8; 32]>,
+    /// True when the proof verifies the record against the root.
+    pub verified: bool,
+}
+
+/// One device's slice of an incident dossier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceDossier {
+    /// Device id.
+    pub device: u32,
+    /// The injected attack, when ground truth is known.
+    pub attack: Option<String>,
+    /// First classified incident on the device.
+    pub onset: Option<SimTime>,
+    /// Response actions recorded.
+    pub responses: u32,
+    /// Policy tier / breaker transitions recorded.
+    pub tier_changes: u32,
+    /// True when a completed recovery is on record.
+    pub recovered: bool,
+    /// Whole-chain verification result for the device's export.
+    pub chain_ok: bool,
+    /// The cited records, chain order, each with its proof.
+    pub citations: Vec<EvidenceCitation>,
+}
+
+impl DeviceDossier {
+    /// Reconstructs one device's dossier from its (sealed) evidence
+    /// store: verifies the chain, extracts the cited categories and
+    /// proves each citation against the latest seal covering it.
+    pub fn from_store(device: u32, attack: Option<String>, store: &EvidenceStore) -> Self {
+        let records = store.records();
+        let onset = records
+            .iter()
+            .find(|r| r.category == "incident")
+            .map(|r| r.at);
+        let responses = records.iter().filter(|r| r.category == "response").count() as u32;
+        let tier_changes = records.iter().filter(|r| r.category == "policy").count() as u32;
+        let recovered = records
+            .iter()
+            .any(|r| r.category == "recovery" && r.payload.starts_with("completed"));
+        let citations = records
+            .iter()
+            .filter(|r| CITED_CATEGORIES.contains(&r.category.as_ref()))
+            .map(|record| match store.prove_inclusion(record.seq) {
+                Some((proof, root)) => {
+                    let verified = EvidenceStore::verify_inclusion(record, &proof, &root);
+                    EvidenceCitation {
+                        record: record.clone(),
+                        proof: Some(proof),
+                        root: Some(root),
+                        verified,
+                    }
+                }
+                None => EvidenceCitation {
+                    record: record.clone(),
+                    proof: None,
+                    root: None,
+                    verified: false,
+                },
+            })
+            .collect();
+        DeviceDossier {
+            device,
+            attack,
+            onset,
+            responses,
+            tier_changes,
+            recovered,
+            chain_ok: store.verify().is_ok(),
+            citations,
+        }
+    }
+
+    /// True when the chain verifies and every citation's proof does too.
+    pub fn all_verified(&self) -> bool {
+        self.chain_ok && self.citations.iter().all(|c| c.verified)
+    }
+}
+
+/// A full incident dossier: the fleet-level correlation facts plus one
+/// reconstructed [`DeviceDossier`] per carrier device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentDossier {
+    /// The correlated attack signature.
+    pub signature: String,
+    /// True for a coordinated campaign, false for lateral movement.
+    pub campaign: bool,
+    /// The correlation window `(first onset, correlation instant)`.
+    pub window: (SimTime, SimTime),
+    /// Per-carrier reconstructions, device-id order.
+    pub devices: Vec<DeviceDossier>,
+}
+
+impl IncidentDossier {
+    /// Total citations across all carrier devices.
+    pub fn citation_count(&self) -> usize {
+        self.devices.iter().map(|d| d.citations.len()).sum()
+    }
+
+    /// True when every carrier's chain and every cited record verifies.
+    pub fn all_verified(&self) -> bool {
+        self.devices.iter().all(DeviceDossier::all_verified)
+    }
+
+    /// Renders the dossier as operator-readable text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} \"{}\": {} devices, window {} .. {}\n",
+            if self.campaign {
+                "coordinated campaign"
+            } else {
+                "lateral movement"
+            },
+            self.signature,
+            self.devices.len(),
+            self.window.0,
+            self.window.1,
+        );
+        for d in &self.devices {
+            out.push_str(&format!(
+                "  device {:>5}  attack {:<16} onset {:<12} responses {:>2}  tiers {:>2}  \
+                 recovered {}  citations {:>3} ({})\n",
+                d.device,
+                d.attack.as_deref().unwrap_or("-"),
+                d.onset.map_or("-".into(), |t| t.to_string()),
+                d.responses,
+                d.tier_changes,
+                if d.recovered { "yes" } else { "no " },
+                d.citations.len(),
+                if d.all_verified() {
+                    "all proofs verify"
+                } else {
+                    "UNVERIFIED"
+                },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::at_cycle(c)
+    }
+
+    fn sealed_store() -> EvidenceStore {
+        let mut s = EvidenceStore::new(b"k");
+        s.append(t(10), "bus-policy", "benign read");
+        s.append(t(100), "cfi", "illegal edge bb0 -> bb7");
+        s.append(t(101), "incident", "#0 CodeInjection severity=Critical");
+        s.append(t(120), "response", "KillTask(task#1): executed");
+        s.append(t(130), "policy", "tier raised to Essential");
+        s.append(t(300), "recovery", "completed; observation window quiet");
+        s.seal(t(400));
+        s
+    }
+
+    #[test]
+    fn dossier_cites_decision_trail_with_verifying_proofs() {
+        let s = sealed_store();
+        let d = DeviceDossier::from_store(7, Some("code-injection".into()), &s);
+        assert_eq!(d.device, 7);
+        assert_eq!(d.onset, Some(t(101)));
+        assert_eq!(d.responses, 1);
+        assert_eq!(d.tier_changes, 1);
+        assert!(d.recovered);
+        assert!(d.chain_ok);
+        // incident + response + policy + recovery — not the monitor chatter
+        assert_eq!(d.citations.len(), 4);
+        assert!(d.all_verified());
+    }
+
+    #[test]
+    fn unsealed_records_cannot_be_cited_as_verified() {
+        let mut s = sealed_store();
+        s.append(t(500), "incident", "#1 late incident, never sealed");
+        let d = DeviceDossier::from_store(0, None, &s);
+        assert_eq!(d.citations.len(), 5);
+        assert!(!d.all_verified(), "uncovered record must not verify");
+        let late = d.citations.last().unwrap();
+        assert!(late.proof.is_none() && !late.verified);
+    }
+
+    #[test]
+    fn tampered_store_fails_chain_even_if_proofs_match() {
+        let mut s = sealed_store();
+        s.records_mut_for_attack()[1].payload = "benign-looking".into();
+        let d = DeviceDossier::from_store(0, None, &s);
+        assert!(!d.chain_ok);
+        assert!(!d.all_verified());
+    }
+
+    #[test]
+    fn incident_dossier_aggregates_and_renders() {
+        let s = sealed_store();
+        let dossier = IncidentDossier {
+            signature: "code-injection".into(),
+            campaign: true,
+            window: (t(101), t(150)),
+            devices: vec![
+                DeviceDossier::from_store(3, Some("code-injection".into()), &s),
+                DeviceDossier::from_store(9, Some("code-injection".into()), &s),
+            ],
+        };
+        assert_eq!(dossier.citation_count(), 8);
+        assert!(dossier.all_verified());
+        let text = dossier.render();
+        for needle in [
+            "coordinated campaign",
+            "code-injection",
+            "all proofs verify",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

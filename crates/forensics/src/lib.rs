@@ -14,8 +14,10 @@
 //!   incident inventory, response/recovery audit and the reconstructed
 //!   timeline, rendered as text.
 
+pub mod incident;
 pub mod report;
 pub mod timeline;
 
+pub use incident::{DeviceDossier, EvidenceCitation, IncidentDossier};
 pub use report::BreachReport;
 pub use timeline::{Phase, Timeline, TimelineEntry};

@@ -1,0 +1,47 @@
+//! Post-run capture: everything the exporters read, taken off a finished
+//! platform in one place.
+//!
+//! The report's telemetry snapshot keeps only a 16-span tail; the full
+//! trace ring, the evidence chain and the seal history live on the
+//! [`Platform`]. [`ObsCapture`] copies them out after
+//! [`ScenarioRunner::run_keep`][cres_platform::ScenarioRunner::run_keep]
+//! returns, so exporters work on plain owned data with no live borrows of
+//! simulation state.
+
+use cres_platform::telemetry::TraceSpan;
+use cres_platform::{Platform, RunReport};
+use cres_ssm::{EvidenceRecord, SealInfo};
+
+/// One device's exportable run history.
+#[derive(Debug, Clone)]
+pub struct ObsCapture {
+    /// Device id (0 for single-device runs).
+    pub device: u32,
+    /// The scored report (metrics registry, availability, outcomes).
+    pub report: RunReport,
+    /// Every span retained by the trace ring, oldest first.
+    pub spans: Vec<TraceSpan>,
+    /// The evidence seal history, oldest first.
+    pub seals: Vec<SealInfo>,
+    /// The full evidence chain export.
+    pub evidence: Vec<EvidenceRecord>,
+}
+
+impl ObsCapture {
+    /// Captures device `device`'s run from the platform `run_keep` handed
+    /// back. The platform is only read; the capture owns its data.
+    pub fn from_run(device: u32, report: RunReport, platform: &Platform) -> Self {
+        let spans = platform
+            .telemetry
+            .as_ref()
+            .map(|recorder| recorder.ring().iter().copied().collect())
+            .unwrap_or_default();
+        ObsCapture {
+            device,
+            report,
+            spans,
+            seals: platform.ssm.evidence().seals().to_vec(),
+            evidence: platform.ssm.evidence().records().to_vec(),
+        }
+    }
+}

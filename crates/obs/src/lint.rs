@@ -1,0 +1,254 @@
+//! Artifact validators — the `obs_lint` CI gate.
+//!
+//! These checks read exported *bytes*, not in-memory structures, so they
+//! catch exactly the failures a downstream consumer would hit: a JSONL
+//! line out of `(device, cycle, seq)` order, two Chrome events
+//! overlapping on one track, a histogram whose cumulative buckets run
+//! backwards. They deliberately parse only the canonical encodings the
+//! exporters emit (fixed key order, no whitespace) — an artifact that
+//! fails to scan *is* malformed, because canonical bytes are the format
+//! contract.
+
+/// Scans `"key":<u64>` out of a canonical JSON line.
+fn scan_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Scans `"key":"<str>"` out of a canonical JSON line (no escape
+/// handling — callers only scan keys with restricted vocabularies).
+fn scan_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Validates a JSONL event log: every line an object with the `v:1`
+/// envelope, a known `k`, and strict `(d, c, s)` ordering across lines.
+///
+/// Returns the record count, or the first violation as
+/// `Err("line N: what")`.
+pub fn check_jsonl(text: &str) -> Result<usize, String> {
+    const KINDS: [&str; 6] = [
+        "span",
+        "fault",
+        "policy",
+        "seal",
+        "device",
+        "fleet-incident",
+    ];
+    let mut previous: Option<(u64, u64, u64)> = None;
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if !line.starts_with("{\"v\":1,") || !line.ends_with('}') {
+            return Err(format!("line {n}: not a v1 envelope object"));
+        }
+        let device = scan_u64(line, "d").ok_or(format!("line {n}: missing \"d\""))?;
+        let cycle = scan_u64(line, "c").ok_or(format!("line {n}: missing \"c\""))?;
+        let seq = scan_u64(line, "s").ok_or(format!("line {n}: missing \"s\""))?;
+        let kind = scan_str(line, "k").ok_or(format!("line {n}: missing \"k\""))?;
+        if !KINDS.contains(&kind) {
+            return Err(format!("line {n}: unknown kind {kind:?}"));
+        }
+        let key = (device, cycle, seq);
+        if let Some(prev) = previous {
+            if key <= prev {
+                return Err(format!(
+                    "line {n}: (d,c,s) {key:?} not after {prev:?} — ordering violated"
+                ));
+            }
+        }
+        previous = Some(key);
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Validates a Chrome trace document: the `traceEvents` wrapper, and for
+/// every `"ph":"X"` event a positive duration and no overlap with the
+/// previous event on the same `(pid, tid)` track.
+///
+/// Returns the duration-event count, or the first violation.
+pub fn check_chrome(text: &str) -> Result<usize, String> {
+    if !text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[") || !text.ends_with("]}") {
+        return Err("missing traceEvents wrapper".into());
+    }
+    let mut cursors: std::collections::BTreeMap<(u64, u64), u64> =
+        std::collections::BTreeMap::new();
+    let mut count = 0usize;
+    // canonical output: one event object per `{...}` — split on "},{"
+    for (i, event) in text["{\"displayTimeUnit\":\"ms\",\"traceEvents\":[".len()..]
+        .trim_end_matches("]}")
+        .split("},{")
+        .enumerate()
+    {
+        let n = i + 1;
+        match scan_str(event, "ph") {
+            Some("M") => continue,
+            Some("X") => {}
+            Some(other) => return Err(format!("event {n}: unknown phase {other:?}")),
+            None => {
+                if event.is_empty() {
+                    continue; // empty traceEvents
+                }
+                return Err(format!("event {n}: missing \"ph\""));
+            }
+        }
+        let pid = scan_u64(event, "pid").ok_or(format!("event {n}: missing pid"))?;
+        let tid = scan_u64(event, "tid").ok_or(format!("event {n}: missing tid"))?;
+        let ts = scan_u64(event, "ts").ok_or(format!("event {n}: missing ts"))?;
+        let dur = scan_u64(event, "dur").ok_or(format!("event {n}: missing dur"))?;
+        if dur == 0 {
+            return Err(format!("event {n}: zero duration"));
+        }
+        let cursor = cursors.entry((pid, tid)).or_insert(0);
+        if ts < *cursor {
+            return Err(format!(
+                "event {n}: ts {ts} overlaps track ({pid},{tid}) cursor {cursor}"
+            ));
+        }
+        *cursor = ts + dur;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Validates a Prometheus exposition: every sample line parses, every
+/// metric has a preceding `# TYPE`, and every histogram's buckets are
+/// monotone non-decreasing with the `+Inf` bucket equal to `_count`.
+///
+/// Returns the sample count, or the first violation.
+pub fn check_prom(text: &str) -> Result<usize, String> {
+    let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    // per-histogram: (last bucket value, +Inf value)
+    let mut hist: std::collections::BTreeMap<String, (u64, Option<u64>)> =
+        std::collections::BTreeMap::new();
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or_default();
+            let kind = parts.next().unwrap_or_default();
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unknown type {kind:?}"));
+            }
+            typed.insert(name.to_string());
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {n}: no sample value"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: unparsable value {value:?}"));
+        }
+        let name = name_and_labels.split('{').next().unwrap_or(name_and_labels);
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !typed.contains(name) && !typed.contains(base) {
+            return Err(format!("line {n}: sample {name:?} has no # TYPE"));
+        }
+        if name.ends_with("_bucket") {
+            let le = name_and_labels
+                .split_once("le=\"")
+                .and_then(|(_, rest)| rest.split('"').next())
+                .ok_or(format!("line {n}: bucket without le label"))?;
+            let bucket: u64 = value
+                .parse()
+                .map_err(|_| format!("line {n}: non-integer bucket count"))?;
+            let entry = hist.entry(base.to_string()).or_insert((0, None));
+            if bucket < entry.0 {
+                return Err(format!(
+                    "line {n}: bucket le={le} count {bucket} below previous {}",
+                    entry.0
+                ));
+            }
+            entry.0 = bucket;
+            if le == "+Inf" {
+                entry.1 = Some(bucket);
+            }
+        } else if name.ends_with("_count") {
+            let total: u64 = value
+                .parse()
+                .map_err(|_| format!("line {n}: non-integer count"))?;
+            if let Some((_, inf)) = hist.get(base) {
+                match inf {
+                    Some(inf) if *inf == total => {}
+                    Some(inf) => {
+                        return Err(format!(
+                            "line {n}: +Inf bucket {inf} != count {total} for {base:?}"
+                        ));
+                    }
+                    None => return Err(format!("line {n}: histogram {base:?} missing +Inf")),
+                }
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_ordering_and_schema_enforced() {
+        let good = "{\"v\":1,\"d\":0,\"c\":5,\"s\":0,\"k\":\"fault\",\"event\":\"event-lost\",\"code\":1}\n\
+                    {\"v\":1,\"d\":0,\"c\":5,\"s\":1,\"k\":\"policy\",\"event\":\"tier-raised\",\"code\":1}\n\
+                    {\"v\":1,\"d\":1,\"c\":2,\"s\":0,\"k\":\"seal\",\"root\":\"00\",\"covered\":1}\n";
+        assert_eq!(check_jsonl(good), Ok(3));
+        let reordered = "{\"v\":1,\"d\":1,\"c\":2,\"s\":0,\"k\":\"seal\",\"root\":\"00\",\"covered\":1}\n\
+                         {\"v\":1,\"d\":0,\"c\":5,\"s\":0,\"k\":\"fault\",\"event\":\"x\",\"code\":1}\n";
+        assert!(check_jsonl(reordered).unwrap_err().contains("ordering"));
+        assert!(check_jsonl("{\"v\":2,\"d\":0}\n").is_err());
+        assert!(check_jsonl("{\"v\":1,\"d\":0,\"c\":1,\"s\":0,\"k\":\"nope\"}\n").is_err());
+    }
+
+    #[test]
+    fn chrome_overlap_detected() {
+        let good = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                    {\"name\":\"a\",\"cat\":\"pipeline\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":5,\"args\":{}},\
+                    {\"name\":\"b\",\"cat\":\"pipeline\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5,\"dur\":1,\"args\":{}}]}";
+        assert_eq!(check_chrome(good), Ok(2));
+        let overlap = good.replace("\"ts\":5", "\"ts\":4");
+        assert!(check_chrome(&overlap).unwrap_err().contains("overlaps"));
+        assert!(check_chrome("not a trace").is_err());
+    }
+
+    #[test]
+    fn prom_cumulative_buckets_enforced() {
+        let good = "# TYPE cres_x histogram\n\
+                    cres_x_bucket{le=\"10\"} 2\n\
+                    cres_x_bucket{le=\"100\"} 5\n\
+                    cres_x_bucket{le=\"+Inf\"} 7\n\
+                    cres_x_sum 420\n\
+                    cres_x_count 7\n";
+        assert!(check_prom(good).is_ok());
+        let backwards = good.replace("cres_x_bucket{le=\"100\"} 5", "cres_x_bucket{le=\"100\"} 1");
+        assert!(check_prom(&backwards)
+            .unwrap_err()
+            .contains("below previous"));
+        let short = good.replace("cres_x_count 7", "cres_x_count 9");
+        assert!(check_prom(&short).unwrap_err().contains("!= count"));
+        assert!(check_prom("cres_untyped 1\n")
+            .unwrap_err()
+            .contains("no # TYPE"));
+    }
+}

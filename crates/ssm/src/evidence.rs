@@ -90,12 +90,25 @@ impl fmt::Display for ChainError {
 
 impl std::error::Error for ChainError {}
 
+/// One audit seal: the Merkle root over the chain's first `covered`
+/// records, stamped with the simulated time the seal was taken — the
+/// anchor a forensic export cites when proving a record's inclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SealInfo {
+    /// Simulated time the seal was taken.
+    pub at: SimTime,
+    /// Merkle root over records `0..covered`.
+    pub root: [u8; 32],
+    /// Number of records the seal covers.
+    pub covered: u64,
+}
+
 /// The append-only evidence store.
 #[derive(Debug, Clone)]
 pub struct EvidenceStore {
     key: Vec<u8>,
     records: Vec<EvidenceRecord>,
-    seals: Vec<([u8; 32], u64)>, // (merkle root, records covered)
+    seals: Vec<SealInfo>,
     // Incremental Merkle state over every appended record's MAC, so a seal
     // is O(log n) instead of a full-tree rebuild. Tracks the *appended*
     // history; if the raw records diverge from it (the E6/E7 attack
@@ -201,7 +214,8 @@ impl EvidenceStore {
         Ok(())
     }
 
-    /// Seals all records so far under a Merkle root; returns the root.
+    /// Seals all records so far under a Merkle root at simulated time
+    /// `at`; returns the root.
     ///
     /// The fast path reads the incremental accumulator — O(log n) hashes
     /// per seal regardless of history length, and byte-identical to the
@@ -213,7 +227,7 @@ impl EvidenceStore {
     /// # Panics
     ///
     /// Panics when the store is empty.
-    pub fn seal(&mut self) -> [u8; 32] {
+    pub fn seal(&mut self, at: SimTime) -> [u8; 32] {
         assert!(
             !self.records.is_empty(),
             "Merkle tree needs at least one leaf"
@@ -225,27 +239,28 @@ impl EvidenceStore {
         } else {
             MerkleTree::build_from_hashes(self.records.iter().map(|r| &r.mac)).root()
         };
-        self.seals.push((root, self.records.len() as u64));
+        self.seals.push(SealInfo {
+            at,
+            root,
+            covered: self.records.len() as u64,
+        });
         root
     }
 
-    /// The seal history `(root, records covered)`.
-    pub fn seals(&self) -> &[([u8; 32], u64)] {
+    /// The seal history, oldest first.
+    pub fn seals(&self) -> &[SealInfo] {
         &self.seals
     }
 
     /// Produces an inclusion proof for record `seq` against the latest seal
     /// covering it.
     pub fn prove_inclusion(&self, seq: u64) -> Option<(InclusionProof, [u8; 32])> {
-        let (root, covered) = *self
-            .seals
-            .iter()
-            .rev()
-            .find(|(_, covered)| seq < *covered)?;
-        let tree =
-            MerkleTree::build_from_hashes(self.records[..covered as usize].iter().map(|r| &r.mac));
-        debug_assert_eq!(tree.root(), root);
-        tree.prove(seq as usize).map(|p| (p, root))
+        let seal = *self.seals.iter().rev().find(|seal| seq < seal.covered)?;
+        let tree = MerkleTree::build_from_hashes(
+            self.records[..seal.covered as usize].iter().map(|r| &r.mac),
+        );
+        debug_assert_eq!(tree.root(), seal.root);
+        tree.inclusion_proof(seq as usize).map(|p| (p, seal.root))
     }
 
     /// Verifies an inclusion proof produced by
@@ -360,7 +375,7 @@ mod tests {
     #[test]
     fn seal_and_prove_inclusion() {
         let mut s = store_with(20);
-        let root = s.seal();
+        let root = s.seal(t(200));
         let (proof, got_root) = s.prove_inclusion(7).unwrap();
         assert_eq!(got_root, root);
         assert!(EvidenceStore::verify_inclusion(
@@ -379,16 +394,21 @@ mod tests {
     #[test]
     fn inclusion_requires_covering_seal() {
         let mut s = store_with(5);
-        s.seal();
+        s.seal(t(100));
         s.append(t(999), "late", "after seal");
         assert!(s.prove_inclusion(4).is_some());
         assert!(
             s.prove_inclusion(5).is_none(),
             "record after seal not covered"
         );
-        s.seal();
+        s.seal(t(1_000));
         assert!(s.prove_inclusion(5).is_some());
         assert_eq!(s.seals().len(), 2);
+        // seals carry their audit timestamps and coverage, oldest first
+        assert_eq!(s.seals()[0].at, t(100));
+        assert_eq!(s.seals()[0].covered, 5);
+        assert_eq!(s.seals()[1].at, t(1_000));
+        assert_eq!(s.seals()[1].covered, 6);
     }
 
     #[test]

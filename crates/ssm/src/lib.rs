@@ -33,7 +33,7 @@ pub mod planner;
 pub mod ssm;
 
 pub use correlate::{CorrelationConfig, CorrelationEngine, Incident, IncidentKind};
-pub use evidence::{ChainError, EvidenceRecord, EvidenceStore};
+pub use evidence::{ChainError, EvidenceRecord, EvidenceStore, SealInfo};
 pub use evtext::EvText;
 pub use health::{HealthState, MonitorHealth, SystemHealth};
 pub use planner::{DegradationTier, PlannerMode, ResponseAction, ResponsePlan, ResponsePlanner};

@@ -368,13 +368,14 @@ impl SystemSecurityManager {
         }
     }
 
-    /// Seals the evidence chain under a Merkle root (periodic audit point).
-    /// No-op returning `None` when the store is empty.
-    pub fn seal_evidence(&mut self) -> Option<[u8; 32]> {
+    /// Seals the evidence chain under a Merkle root at simulated time `at`
+    /// (periodic audit point). No-op returning `None` when the store is
+    /// empty.
+    pub fn seal_evidence(&mut self, at: SimTime) -> Option<[u8; 32]> {
         if self.evidence.is_empty() {
             None
         } else {
-            Some(self.evidence.seal())
+            Some(self.evidence.seal(at))
         }
     }
 
@@ -506,7 +507,7 @@ mod tests {
         );
         assert!(!plans.is_empty(), "response still works without evidence");
         assert!(s.evidence().is_empty());
-        assert_eq!(s.seal_evidence(), None);
+        assert_eq!(s.seal_evidence(SimTime::at_cycle(1)), None);
     }
 
     #[test]
@@ -581,7 +582,7 @@ mod tests {
             SimTime::at_cycle(0),
             &[ev(1, DetectionCapability::BusPolicing, Severity::Info, "x")],
         );
-        let root = s.seal_evidence().unwrap();
+        let root = s.seal_evidence(SimTime::at_cycle(10)).unwrap();
         assert_ne!(root, [0u8; 32]);
     }
 

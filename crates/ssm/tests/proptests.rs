@@ -91,7 +91,7 @@ proptest! {
         entries in proptest::collection::vec((0u64..1_000, "[a-z]{1,10}"), 1..30)
     ) {
         let mut s = build_store(b"key", &entries);
-        let root = s.seal();
+        let root = s.seal(SimTime::at_cycle(1_000_000));
         for i in 0..entries.len() as u64 {
             let (proof, r) = s.prove_inclusion(i).unwrap();
             prop_assert_eq!(r, root);

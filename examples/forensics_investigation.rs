@@ -108,7 +108,10 @@ fn main() {
     }
 
     // --- Merkle seal: prove one record to an external auditor ---
-    let root = p.ssm.seal_evidence().expect("non-empty store");
+    let root = p
+        .ssm
+        .seal_evidence(SimTime::at_cycle(900_000))
+        .expect("non-empty store");
     let mid = (export.len() / 2) as u64;
     let (proof, sealed_root) = p.ssm.evidence().prove_inclusion(mid).unwrap();
     assert_eq!(root, sealed_root);

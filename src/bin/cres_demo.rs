@@ -3,7 +3,8 @@
 //! ```text
 //! cres-demo [--profile cres|passive|tee-shared] [--seed N]...
 //!           [--duration CYCLES] [--attack NAME]... [--jobs N]
-//!           [--report] [--trace]
+//!           [--report] [--trace] [--trace-out FILE] [--log-out FILE]
+//!           [--metrics-out FILE]
 //! ```
 //!
 //! `--seed` is repeatable: each seed becomes one run, and runs fan out
@@ -16,7 +17,9 @@
 //! fault-injection, log-wipe, syscall-anomaly, system-hang.
 
 use cres::attacks::catalog;
+use cres::obs::{chrome_trace, device_records, prometheus, write_jsonl, ObsCapture};
 use cres::platform::campaign::{jobs_from_env, Campaign, ScenarioSpec};
+use cres::platform::runner::ScenarioRunner;
 use cres::platform::{PlatformConfig, PlatformProfile};
 use cres::sim::{SimDuration, SimTime};
 use std::process::ExitCode;
@@ -34,7 +37,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cres-demo [--profile cres|passive|tee-shared] [--seed N]...\n\
          \x20                [--duration CYCLES] [--attack NAME]... [--jobs N]\n\
-         \x20                [--report] [--trace]\n\
+         \x20                [--report] [--trace] [--trace-out FILE] [--log-out FILE]\n\
+         \x20                [--metrics-out FILE]\n\
          run `cres-demo --help` for the attack list"
     );
     ExitCode::FAILURE
@@ -48,6 +52,9 @@ fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut full_report = false;
     let mut trace_dump = false;
+    let mut trace_out: Option<String> = None;
+    let mut log_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,7 +73,12 @@ fn main() -> ExitCode {
                      \x20                                     (default: CRES_JOBS or all cores)\n\
                      \x20 --report                            dump each report as JSON\n\
                      \x20 --trace                             print the telemetry stage table\n\
-                     \x20                                     and the trace-ring tail\n\n\
+                     \x20                                     and the trace-ring tail\n\
+                     \x20 --trace-out FILE                    write a Chrome trace_event file\n\
+                     \x20                                     (open in chrome://tracing / Perfetto)\n\
+                     \x20 --log-out FILE                      write the structured JSONL event log\n\
+                     \x20 --metrics-out FILE                  write a Prometheus text exposition\n\
+                     \x20                                     (first seed's metrics registry)\n\n\
                      attacks: code-injection memory-probe firmware-tamper dma-exfil\n\
                      \x20        debug-port network-flood exploit-traffic exfiltration\n\
                      \x20        sensor-spoof fault-injection log-wipe syscall-anomaly system-hang"
@@ -125,6 +137,19 @@ fn main() -> ExitCode {
             }
             "--report" => full_report = true,
             "--trace" => trace_dump = true,
+            "--trace-out" | "--log-out" | "--metrics-out" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("error: {flag} requires a file path");
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--trace-out" => trace_out = Some(path.clone()),
+                    "--log-out" => log_out = Some(path.clone()),
+                    _ => metrics_out = Some(path.clone()),
+                }
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 return usage();
@@ -230,5 +255,54 @@ fn main() -> ExitCode {
     if multi {
         summary.print_aggregate("cres-demo");
     }
+
+    // Export plane: runs are deterministic, so re-executing each seed
+    // through `run_keep` reproduces the campaign's reports bit-for-bit
+    // while also handing back the platform (full trace ring + evidence)
+    // the exporters need. Entirely post-hoc — the runs above are never
+    // instrumented differently because an export was requested.
+    if trace_out.is_some() || log_out.is_some() || metrics_out.is_some() {
+        let mut captures = Vec::with_capacity(seeds.len());
+        for (device, &seed) in seeds.iter().enumerate() {
+            let scenario = spec
+                .materialise(&catalog::try_build)
+                .expect("attack names validated at parse time");
+            let runner = ScenarioRunner::new(PlatformConfig::new(profile, seed));
+            let (report, platform) = runner.run_keep(scenario);
+            captures.push(ObsCapture::from_run(device as u32, report, &platform));
+        }
+        if let Some(path) = &trace_out {
+            if let Err(code) = write_artifact(path, &chrome_trace(&captures)) {
+                return code;
+            }
+        }
+        if let Some(path) = &log_out {
+            let mut records = Vec::new();
+            for capture in &captures {
+                records.extend(device_records(capture));
+            }
+            if let Err(code) = write_artifact(path, &write_jsonl(&records)) {
+                return code;
+            }
+        }
+        if let Some(path) = &metrics_out {
+            let Some(telemetry) = captures.first().and_then(|c| c.report.telemetry.as_ref()) else {
+                eprintln!("error: --metrics-out requires telemetry (enabled by default)");
+                return ExitCode::from(2);
+            };
+            if let Err(code) = write_artifact(path, &prometheus(telemetry)) {
+                return code;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Writes one export artifact; a bad path is an operator error, not a
+/// panic: report it and exit 2.
+fn write_artifact(path: &str, contents: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("error: cannot write {path:?}: {e}");
+        ExitCode::from(2)
+    })
 }

@@ -45,6 +45,7 @@ pub use cres_crypto as crypto;
 pub use cres_fleet as fleet;
 pub use cres_forensics as forensics;
 pub use cres_monitor as monitor;
+pub use cres_obs as obs;
 pub use cres_platform as platform;
 pub use cres_policy as policy;
 pub use cres_response as response;
